@@ -1,0 +1,66 @@
+"""Ablation: method invocations as predicates (Section 3 / Section 5).
+
+A method that never returns (infinite loop, or a helper that always throws)
+makes every statement after its call site unreachable.  This benchmark builds
+applications whose guarded libraries sit exclusively behind such calls and
+measures how much SkipFlow gains purely from invoke-as-predicate handling,
+including the interaction with the analysis time.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import AnalysisConfig
+from repro.image.builder import NativeImageBuilder
+from repro.reporting.records import compare_configurations
+from repro.workloads.generator import BenchmarkSpec, GuardedModuleSpec, generate_benchmark
+
+
+def _spec(guarded: int) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=f"noreturn-{guarded}",
+        suite="ablation",
+        core_methods=60,
+        guarded_modules=(
+            GuardedModuleSpec("never_returns", guarded // 2),
+            GuardedModuleSpec("never_returns", guarded - guarded // 2),
+        ),
+    )
+
+
+def _run():
+    results = {}
+    for guarded in (20, 60, 120):
+        comparison = compare_configurations(_spec(guarded))
+        results[guarded] = comparison
+    return results
+
+
+def test_invokes_as_predicates(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    benchmark.extra_info["reductions_percent"] = {
+        guarded: round(comparison.reachable_method_reduction_percent, 2)
+        for guarded, comparison in results.items()
+    }
+    previous_reduction = 0.0
+    for guarded, comparison in sorted(results.items()):
+        reduction = comparison.reachable_method_reduction_percent
+        print(f"\nguarded={guarded}: PTA={comparison.baseline.reachable_methods} "
+              f"SkipFlow={comparison.skipflow.reachable_methods} ({reduction:.1f}%)")
+        # The code behind the never-returning guard must be gone entirely.
+        assert comparison.skipflow.reachable_methods < comparison.baseline.reachable_methods
+        # More guarded code means a larger reduction.
+        assert reduction >= previous_reduction
+        previous_reduction = reduction
+
+
+def test_never_returning_method_prunes_continuation(benchmark):
+    """Micro-check: the statements after the non-returning call are dead."""
+    program = generate_benchmark(_spec(20))
+    report = benchmark.pedantic(
+        lambda: NativeImageBuilder(program, AnalysisConfig.skipflow()).build(),
+        rounds=1, iterations=1)
+    launchers = [name for name in program.methods
+                 if name.endswith("Launcher.launch")]
+    assert launchers
+    for launcher in launchers:
+        assert not report.result.is_method_reachable(launcher)

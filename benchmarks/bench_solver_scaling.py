@@ -1,0 +1,46 @@
+"""Analysis-time scaling: solver throughput as the application grows.
+
+The paper's pitch is that SkipFlow stays "as lightweight and scalable as
+possible": its analysis time tracks the baseline's even though it does more
+work per flow, because it analyzes fewer methods.  This benchmark measures
+both configurations on applications of increasing size and reports methods
+analyzed per second.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.analysis import AnalysisConfig, SkipFlowAnalysis
+from repro.workloads.generator import generate_benchmark, spec_from_reduction
+
+_SIZES = (100, 300, 600)
+
+
+def _build_program(size: int):
+    spec = spec_from_reduction(
+        name=f"scaling-{size}", suite="scaling",
+        total_methods=size, reduction_percent=10.0,
+    )
+    return generate_benchmark(spec)
+
+
+@pytest.mark.parametrize("size", _SIZES)
+@pytest.mark.parametrize("config_name", ["PTA", "SkipFlow"])
+def test_solver_scaling(benchmark, size, config_name):
+    program = _build_program(size)
+    config = (AnalysisConfig.baseline_pta() if config_name == "PTA"
+              else AnalysisConfig.skipflow())
+
+    def run_analysis():
+        return SkipFlowAnalysis(program, config).run()
+
+    result = benchmark.pedantic(run_analysis, rounds=3, iterations=1)
+    methods_per_second = (result.reachable_method_count
+                          / max(result.analysis_time_seconds, 1e-9))
+    benchmark.extra_info["reachable_methods"] = result.reachable_method_count
+    benchmark.extra_info["methods_per_second"] = round(methods_per_second)
+    benchmark.extra_info["solver_steps"] = result.steps
+    assert result.reachable_method_count > 0

@@ -1,0 +1,39 @@
+"""Table 1, DaCapo block: PTA vs SkipFlow over the 8 DaCapo-like benchmarks.
+
+Regenerates the DaCapo rows of Table 1 (analysis time, total time, reachable
+methods, type/null/primitive checks, poly calls, binary size) and checks that
+the qualitative shape of the paper's results holds: SkipFlow reduces the
+number of reachable methods for every benchmark, ``sunflow`` is the extreme
+outlier, and the suite-average reduction is in the double-digit percent range.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, record_comparisons, run_suite
+
+from repro.reporting.table import format_table1, summarize_reductions
+from repro.workloads.suites import dacapo_suite
+
+
+def test_table1_dacapo(benchmark):
+    specs = dacapo_suite(scale=BENCH_SCALE)
+    comparisons = benchmark.pedantic(run_suite, args=(specs,), rounds=1, iterations=1)
+    record_comparisons(benchmark, comparisons)
+    print()
+    print(format_table1(comparisons, title="Table 1 (DaCapo block)"))
+
+    by_name = {comparison.benchmark: comparison for comparison in comparisons}
+    # Every benchmark improves.
+    for comparison in comparisons:
+        assert comparison.skipflow.reachable_methods < comparison.baseline.reachable_methods
+    # Sunflow is the extreme outlier (paper: 52.3%).
+    sunflow = by_name["sunflow"].reachable_method_reduction_percent
+    assert sunflow > 35.0
+    assert sunflow == max(c.reachable_method_reduction_percent for c in comparisons)
+    # The suite average reduction has the paper's order of magnitude (13.3%).
+    summary = summarize_reductions(comparisons)
+    assert 5.0 < summary["avg"] < 30.0
+    # Counter metrics and binary size follow the same trend.
+    for comparison in comparisons:
+        assert comparison.normalized("poly_calls") <= 1.0
+        assert comparison.normalized("binary_size") < 1.0

@@ -1,0 +1,35 @@
+"""Table 1, Microservices block: PTA vs SkipFlow over the 9 microservice apps.
+
+The paper reports reductions between 3.3% (Micronaut Helloworld) and 9.2%
+(Quarkus Tika) with a 6.3% average; the assertions check that the synthetic
+suite reproduces that band and that the smallest/largest benchmarks behave the
+same way relative to each other.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, record_comparisons, run_suite
+
+from repro.reporting.table import format_table1, summarize_reductions
+from repro.workloads.suites import microservices_suite
+
+
+def test_table1_microservices(benchmark):
+    specs = microservices_suite(scale=BENCH_SCALE)
+    comparisons = benchmark.pedantic(run_suite, args=(specs,), rounds=1, iterations=1)
+    record_comparisons(benchmark, comparisons)
+    print()
+    print(format_table1(comparisons, title="Table 1 (Microservices block)"))
+
+    for comparison in comparisons:
+        assert comparison.skipflow.reachable_methods < comparison.baseline.reachable_methods
+
+    summary = summarize_reductions(comparisons)
+    # Paper: max 9.2%, min 3.3%, avg 6.3%.
+    assert 3.0 < summary["avg"] < 12.0
+    assert summary["max"] < 20.0
+
+    by_name = {comparison.benchmark: comparison for comparison in comparisons}
+    tika = by_name["quarkus-tika"].reachable_method_reduction_percent
+    helloworld = by_name["micronaut-helloworld"].reachable_method_reduction_percent
+    assert tika > helloworld

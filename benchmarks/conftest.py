@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every table and figure of the paper's evaluation has one benchmark module:
+
+========================  =====================================================
+``bench_table1_dacapo``    Table 1, DaCapo block (8 benchmarks)
+``bench_table1_micro``     Table 1, Microservices block (9 benchmarks)
+``bench_table1_renaissance``  Table 1, Renaissance block (18 benchmarks)
+``bench_figure9``          Figure 9 (normalized metrics per suite)
+``bench_ablation_features``   Section 6 discussion: predicates vs primitives
+``bench_ablation_noreturn``   Section 3: method invocations as predicates
+``bench_solver_scaling``   Analysis-time scaling with program size
+========================  =====================================================
+
+The pytest-benchmark runs use a reduced ``BENCH_SCALE`` so the whole harness
+finishes in a few minutes; the standalone ``run_table1.py`` / ``run_figure9.py``
+scripts accept ``--scale`` for larger runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.reporting.records import BenchmarkComparison, compare_configurations
+from repro.workloads.generator import BenchmarkSpec
+
+#: Synthetic methods generated per thousand paper-reported methods during benchmarking.
+BENCH_SCALE = 1.0
+
+
+def run_suite(specs: List[BenchmarkSpec]) -> List[BenchmarkComparison]:
+    """Run the PTA/SkipFlow comparison for every benchmark of a suite."""
+    return [compare_configurations(spec) for spec in specs]
+
+
+def record_comparisons(benchmark, comparisons: List[BenchmarkComparison]) -> None:
+    """Attach the per-benchmark reductions to the pytest-benchmark record."""
+    benchmark.extra_info["reductions_percent"] = {
+        comparison.benchmark: round(comparison.reachable_method_reduction_percent, 2)
+        for comparison in comparisons
+    }
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE

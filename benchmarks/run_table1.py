@@ -1,0 +1,75 @@
+"""Standalone runner: regenerate the full Table 1 (all three suites).
+
+Usage::
+
+    python benchmarks/run_table1.py [--scale 3.0] [--suite DaCapo] [--output table1_output.txt]
+
+Prints one Table-1 block per suite (PTA row, SkipFlow row with percentage
+deltas) plus the max/min/avg reachable-method reductions the paper quotes in
+Section 1, and optionally writes everything to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.reporting.records import BenchmarkComparison, compare_configurations
+from repro.reporting.table import format_table1, summarize_reductions
+from repro.workloads.suites import all_suites, suite_by_name
+
+
+def run_suite(specs, verbose: bool = True) -> List[BenchmarkComparison]:
+    comparisons = []
+    for spec in specs:
+        started = time.perf_counter()
+        comparison = compare_configurations(spec)
+        elapsed = time.perf_counter() - started
+        if verbose:
+            print(f"  {spec.name:<28} reduction="
+                  f"{comparison.reachable_method_reduction_percent:5.1f}% "
+                  f"(paper {spec.paper_reduction_percent or 0.0:5.1f}%)  [{elapsed:.1f}s]",
+                  file=sys.stderr)
+        comparisons.append(comparison)
+    return comparisons
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=2.0,
+                        help="synthetic methods per thousand paper-reported methods")
+    parser.add_argument("--suite", type=str, default=None,
+                        help="run a single suite (DaCapo, Microservices, Renaissance)")
+    parser.add_argument("--output", type=str, default=None,
+                        help="also write the tables to this file")
+    args = parser.parse_args(argv)
+
+    if args.suite:
+        suites = {args.suite: suite_by_name(args.suite, scale=args.scale)}
+    else:
+        suites = all_suites(scale=args.scale)
+
+    sections: List[str] = []
+    for suite_name, specs in suites.items():
+        print(f"running suite {suite_name} ({len(specs)} benchmarks)...", file=sys.stderr)
+        comparisons = run_suite(specs)
+        summary = summarize_reductions(comparisons)
+        section = format_table1(comparisons, title=f"Table 1 ({suite_name})")
+        section += (
+            f"\n\nreachable methods reduction: max {summary['max']:.1f}%, "
+            f"min {summary['min']:.1f}%, avg {summary['avg']:.1f}%\n"
+        )
+        sections.append(section)
+        print(section)
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write("\n\n".join(sections))
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,79 @@
+"""Quickstart: compile a small program and compare SkipFlow with the baseline.
+
+Run with::
+
+    python examples/quickstart.py
+
+The program contains a feature that is guarded by a configuration method
+returning the constant ``false``.  SkipFlow tracks the constant across the
+call and uses the predicate edge of the ``if`` to prove the feature (and the
+library it drags in) unreachable; the baseline points-to analysis cannot.
+"""
+
+from repro import AnalysisConfig, SkipFlowAnalysis
+from repro.lang import compile_source
+
+SOURCE = """
+class Config {
+    boolean isTelemetryEnabled() {
+        return false;
+    }
+}
+
+class TelemetryService {
+    void start() {
+        MetricsLibrary.initialize();
+    }
+}
+
+class MetricsLibrary {
+    static void initialize() { MetricsLibrary.connect(); }
+    static void connect() { }
+}
+
+class Application {
+    void run(Config config) {
+        if (config.isTelemetryEnabled()) {
+            TelemetryService telemetry = new TelemetryService();
+            telemetry.start();
+        }
+        this.serveRequests();
+    }
+
+    void serveRequests() { }
+}
+
+class Main {
+    static void main() {
+        Application app = new Application();
+        app.run(new Config());
+    }
+}
+"""
+
+
+def main() -> None:
+    program = compile_source(SOURCE)
+    print(program.summary())
+    print()
+
+    for config in (AnalysisConfig.baseline_pta(), AnalysisConfig.skipflow()):
+        result = SkipFlowAnalysis(program, config).run()
+        telemetry = result.is_method_reachable("TelemetryService.start")
+        metrics = result.is_method_reachable("MetricsLibrary.initialize")
+        print(f"{config.name:>8}: {result.reachable_method_count} reachable methods, "
+              f"telemetry reachable={telemetry}, metrics library reachable={metrics}, "
+              f"analysis time={result.analysis_time_seconds * 1000:.1f} ms")
+
+    skipflow = SkipFlowAnalysis(program, AnalysisConfig.skipflow()).run()
+    print()
+    print("Call graph computed by SkipFlow:")
+    for caller, callee in skipflow.call_edges():
+        print(f"  {caller} -> {callee}")
+    flag_state = skipflow.return_state("Config.isTelemetryEnabled")
+    print()
+    print(f"Config.isTelemetryEnabled() return value state: {flag_state!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""SkipFlow reproduction: predicated, primitive-aware points-to analysis.
+
+This package reproduces the system described in "SkipFlow: Improving the
+Precision of Points-to Analysis using Primitive Values and Predicate Edges"
+(CGO 2025): an interprocedural points-to analysis that tracks both objects
+(by type) and primitive constants, and that uses *predicate edges* to prune
+branches whose conditions can never hold.
+
+Typical usage::
+
+    from repro import AnalysisConfig, SkipFlowAnalysis
+    from repro.lang import compile_source
+
+    program = compile_source(JAVA_LIKE_SOURCE, entry_points=["Main.main"])
+    skipflow = SkipFlowAnalysis(program, AnalysisConfig.skipflow()).run()
+    baseline = SkipFlowAnalysis(program, AnalysisConfig.baseline_pta()).run()
+    print(skipflow.reachable_method_count, baseline.reachable_method_count)
+"""
+
+from repro.core.analysis import (
+    AnalysisConfig,
+    SkipFlowAnalysis,
+    run_baseline,
+    run_skipflow,
+)
+from repro.core.results import AnalysisResult
+from repro.ir.builder import MethodBuilder, ProgramBuilder
+from repro.ir.program import Program
+from repro.ir.types import TypeHierarchy
+from repro.lattice.value_state import ValueState
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisResult",
+    "MethodBuilder",
+    "Program",
+    "ProgramBuilder",
+    "SkipFlowAnalysis",
+    "TypeHierarchy",
+    "ValueState",
+    "run_baseline",
+    "run_skipflow",
+    "__version__",
+]

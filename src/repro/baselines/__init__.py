@@ -1,0 +1,24 @@
+"""Baseline call-graph construction and points-to analyses.
+
+The paper compares SkipFlow against the default Native Image points-to
+analysis (a type-based, flow-insensitive, context-insensitive analysis —
+``PTA``) and discusses the classical call-graph construction algorithms RTA
+and CHA as even less precise alternatives.  This package provides all three:
+
+* :func:`repro.baselines.pta.run_pta` — the paper's baseline, implemented by
+  running the shared propagation engine with predicates, primitive tracking
+  and comparison filtering disabled;
+* :class:`repro.baselines.rta.RapidTypeAnalysis` — Bacon & Sweeney's RTA;
+* :class:`repro.baselines.cha.ClassHierarchyAnalysis` — Dean et al.'s CHA.
+"""
+
+from repro.baselines.cha import CallGraphResult, ClassHierarchyAnalysis
+from repro.baselines.pta import run_pta
+from repro.baselines.rta import RapidTypeAnalysis
+
+__all__ = [
+    "CallGraphResult",
+    "ClassHierarchyAnalysis",
+    "RapidTypeAnalysis",
+    "run_pta",
+]

@@ -1,0 +1,120 @@
+"""Class Hierarchy Analysis (CHA), Dean, Grove & Chambers 1995.
+
+CHA resolves every virtual call against *all* subtypes of the receiver's
+declared type, without considering which classes are ever instantiated.  It
+is the least precise (and cheapest) of the call-graph construction algorithms
+discussed in the paper and serves as a lower bound for precision comparisons
+and ablations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.ir.instructions import Invoke, InvokeKind
+from repro.ir.method import Method
+from repro.ir.program import Program
+from repro.ir.types import OBJECT_TYPE_NAME
+
+
+@dataclass
+class CallGraphResult:
+    """Result of a call-graph construction baseline (CHA or RTA)."""
+
+    algorithm: str
+    reachable_methods: Set[str] = field(default_factory=set)
+    call_edges: Set[Tuple[str, str]] = field(default_factory=set)
+    instantiated_types: Set[str] = field(default_factory=set)
+    #: Called methods that have no body in the closed world.
+    stub_methods: Set[str] = field(default_factory=set)
+
+    @property
+    def reachable_method_count(self) -> int:
+        return len(self.reachable_methods)
+
+    def callees_of(self, qualified_name: str) -> Set[str]:
+        return {callee for caller, callee in self.call_edges if caller == qualified_name}
+
+    def is_method_reachable(self, qualified_name: str) -> bool:
+        return qualified_name in self.reachable_methods
+
+
+class ClassHierarchyAnalysis:
+    """Whole-program call-graph construction using the class hierarchy only."""
+
+    algorithm_name = "CHA"
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.hierarchy = program.hierarchy
+
+    # ------------------------------------------------------------------ #
+    def run(self, roots: Optional[Iterable[str]] = None) -> CallGraphResult:
+        root_names = list(roots) if roots is not None else list(self.program.entry_points)
+        if not root_names:
+            raise ValueError("no root methods: provide roots or program entry points")
+        result = CallGraphResult(algorithm=self.algorithm_name)
+        worklist: Deque[str] = deque()
+        for root in root_names:
+            self._mark_reachable(root, result, worklist)
+        while worklist:
+            qualified = worklist.popleft()
+            method = self.program.methods.get(qualified)
+            if method is None:
+                continue
+            self._process_method(method, result, worklist)
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _mark_reachable(self, qualified: str, result: CallGraphResult,
+                        worklist: Deque[str]) -> None:
+        if qualified in result.reachable_methods or qualified in result.stub_methods:
+            return
+        if self.program.has_method(qualified):
+            result.reachable_methods.add(qualified)
+            worklist.append(qualified)
+        else:
+            result.stub_methods.add(qualified)
+
+    def _process_method(self, method: Method, result: CallGraphResult,
+                        worklist: Deque[str]) -> None:
+        caller = method.qualified_name
+        for statement in method.iter_statements():
+            if not isinstance(statement, Invoke):
+                continue
+            for callee in self.resolve_targets(statement):
+                result.call_edges.add((caller, callee))
+                self._mark_reachable(callee, result, worklist)
+        result.instantiated_types.update(_allocated_types(method))
+
+    # ------------------------------------------------------------------ #
+    def resolve_targets(self, invoke: Invoke) -> List[str]:
+        """All possible callees of one call site according to CHA."""
+        if invoke.kind is InvokeKind.STATIC:
+            signature = self.hierarchy.resolve(invoke.target_class, invoke.method_name) \
+                if invoke.target_class in self.hierarchy else None
+            return [signature.qualified_name] if signature is not None \
+                else [f"{invoke.target_class}.{invoke.method_name}"]
+        declared = invoke.receiver.declared_type if invoke.receiver is not None else None
+        if declared is None or declared not in self.hierarchy:
+            declared = OBJECT_TYPE_NAME
+        receiver_types = self.candidate_receiver_types(declared)
+        signatures = self.hierarchy.resolve_all(receiver_types, invoke.method_name)
+        return sorted(signature.qualified_name for signature in signatures)
+
+    def candidate_receiver_types(self, declared: str) -> List[str]:
+        """CHA considers every declared subtype of the static receiver type."""
+        return self.hierarchy.all_subtypes(declared)
+
+
+def _allocated_types(method: Method) -> Set[str]:
+    from repro.ir.instructions import Assign
+    from repro.ir.values import ConstKind
+
+    allocated: Set[str] = set()
+    for statement in method.iter_statements():
+        if isinstance(statement, Assign) and statement.expr.kind is ConstKind.NEW:
+            allocated.add(statement.expr.type_name)
+    return allocated

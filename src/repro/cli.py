@@ -1,0 +1,137 @@
+"""Command-line interface: analyze surface-language source files.
+
+Usage::
+
+    python -m repro analyze app.java --config skipflow --entry Main.main
+    python -m repro analyze app.java --compare               # PTA vs SkipFlow
+    python -m repro callgraph app.java --output graph.dot
+    python -m repro pvpg app.java --method Scene.render
+
+The input is a file in the Java-like surface language of :mod:`repro.lang`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.analysis import AnalysisConfig, SkipFlowAnalysis
+from repro.image.builder import NativeImageBuilder
+from repro.image.optimizations import collect_optimizations
+from repro.image.reflection import ReflectionConfig
+from repro.lang import compile_source
+from repro.reporting.graphviz import call_graph_to_dot, pvpg_to_dot
+
+_CONFIGS = {
+    "skipflow": AnalysisConfig.skipflow,
+    "pta": AnalysisConfig.baseline_pta,
+    "predicates-only": AnalysisConfig.predicates_only,
+    "primitives-only": AnalysisConfig.primitives_only,
+}
+
+
+def _load_program(args):
+    source = Path(args.source).read_text()
+    entry_points = args.entry or None
+    program = compile_source(source, entry_points=entry_points)
+    if args.reflection_config:
+        reflection = ReflectionConfig.from_file(Path(args.reflection_config))
+        reflection.apply_to(program)
+    return program
+
+
+def _write_output(text: str, output: Optional[str]) -> None:
+    if output:
+        Path(output).write_text(text)
+    else:
+        print(text)
+
+
+def _cmd_analyze(args) -> int:
+    program = _load_program(args)
+    configs = ([AnalysisConfig.baseline_pta(), AnalysisConfig.skipflow()]
+               if args.compare else [_CONFIGS[args.config]()])
+    for config in configs:
+        report = NativeImageBuilder(program, config, benchmark_name=args.source).build()
+        metrics = report.metrics
+        print(f"[{config.name}]")
+        print(f"  reachable methods:  {metrics.reachable_methods}")
+        print(f"  type checks:        {metrics.type_checks}")
+        print(f"  null checks:        {metrics.null_checks}")
+        print(f"  primitive checks:   {metrics.primitive_checks}")
+        print(f"  poly calls:         {metrics.poly_calls}")
+        print(f"  binary size:        {report.binary_size_megabytes:.2f} MB")
+        print(f"  analysis time:      {report.analysis_time_seconds * 1000:.1f} ms")
+        if args.optimizations:
+            summary = collect_optimizations(report.result).summary()
+            print(f"  optimization opportunities: {summary}")
+        if args.list_unreachable:
+            analyzed = set(report.result.reachable_methods)
+            dead = sorted(set(program.methods) - analyzed)
+            print(f"  unreachable methods ({len(dead)}):")
+            for name in dead:
+                print(f"    {name}")
+    return 0
+
+
+def _cmd_callgraph(args) -> int:
+    program = _load_program(args)
+    result = SkipFlowAnalysis(program, _CONFIGS[args.config]()).run()
+    _write_output(call_graph_to_dot(result), args.output)
+    return 0
+
+
+def _cmd_pvpg(args) -> int:
+    program = _load_program(args)
+    result = SkipFlowAnalysis(program, _CONFIGS[args.config]()).run()
+    methods = args.method or None
+    _write_output(pvpg_to_dot(result, methods), args.output)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub):
+        sub.add_argument("source", help="surface-language source file")
+        sub.add_argument("--entry", action="append",
+                         help="entry point (Class.method); may be repeated")
+        sub.add_argument("--config", choices=sorted(_CONFIGS), default="skipflow")
+        sub.add_argument("--reflection-config",
+                         help="JSON reflection configuration file")
+
+    analyze = subparsers.add_parser("analyze", help="run the analysis and print metrics")
+    add_common(analyze)
+    analyze.add_argument("--compare", action="store_true",
+                         help="run both the PTA baseline and SkipFlow")
+    analyze.add_argument("--optimizations", action="store_true",
+                         help="print optimization opportunities")
+    analyze.add_argument("--list-unreachable", action="store_true",
+                         help="list methods proven unreachable")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    callgraph = subparsers.add_parser("callgraph", help="export the call graph as DOT")
+    add_common(callgraph)
+    callgraph.add_argument("--output", help="write DOT to this file")
+    callgraph.set_defaults(func=_cmd_callgraph)
+
+    pvpg = subparsers.add_parser("pvpg", help="export predicated value propagation graphs as DOT")
+    add_common(pvpg)
+    pvpg.add_argument("--method", action="append",
+                      help="restrict to this method (may be repeated)")
+    pvpg.add_argument("--output", help="write DOT to this file")
+    pvpg.set_defaults(func=_cmd_pvpg)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

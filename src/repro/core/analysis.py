@@ -1,0 +1,120 @@
+"""Public facade: analysis configurations and the :class:`SkipFlowAnalysis` driver."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional
+
+from repro.core.results import AnalysisResult
+from repro.core.solver import SkipFlowSolver
+from repro.ir.program import Program
+from repro.ir.validate import validate_program
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Feature switches of the propagation engine.
+
+    The same engine implements both SkipFlow and the baseline points-to
+    analysis of the paper; the configurations differ only in these switches.
+
+    ``use_predicates``
+        Honour predicate edges: flows stay disabled until their predicate is
+        enabled with a non-empty value state.  Disabling this makes the
+        analysis flow-insensitive (every flow is enabled immediately).
+    ``track_primitives``
+        Track concrete primitive constants.  When disabled, every primitive
+        constant is abstracted to ``Any`` as in the baseline.
+    ``filter_type_checks``
+        Apply ``instanceof`` filtering to the value states inside branches.
+    ``filter_comparisons``
+        Apply null-check and primitive-comparison filtering inside branches.
+    """
+
+    name: str = "skipflow"
+    use_predicates: bool = True
+    track_primitives: bool = True
+    filter_type_checks: bool = True
+    filter_comparisons: bool = True
+    validate: bool = False
+
+    # ------------------------------------------------------------------ #
+    # Canonical configurations
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def skipflow() -> "AnalysisConfig":
+        """The full SkipFlow analysis (predicates + primitive values)."""
+        return AnalysisConfig(name="SkipFlow")
+
+    @staticmethod
+    def baseline_pta() -> "AnalysisConfig":
+        """The paper's baseline: type-based, flow-insensitive, context-insensitive."""
+        return AnalysisConfig(
+            name="PTA",
+            use_predicates=False,
+            track_primitives=False,
+            filter_type_checks=True,
+            filter_comparisons=False,
+        )
+
+    @staticmethod
+    def predicates_only() -> "AnalysisConfig":
+        """Ablation: predicate edges without primitive constant tracking."""
+        return AnalysisConfig(
+            name="SkipFlow-predicates-only",
+            use_predicates=True,
+            track_primitives=False,
+            filter_type_checks=True,
+            filter_comparisons=True,
+        )
+
+    @staticmethod
+    def primitives_only() -> "AnalysisConfig":
+        """Ablation: primitive tracking without predicate edges."""
+        return AnalysisConfig(
+            name="SkipFlow-primitives-only",
+            use_predicates=False,
+            track_primitives=True,
+            filter_type_checks=True,
+            filter_comparisons=True,
+        )
+
+    def with_name(self, name: str) -> "AnalysisConfig":
+        return replace(self, name=name)
+
+
+class SkipFlowAnalysis:
+    """Runs one analysis configuration over a program and packages the result."""
+
+    def __init__(self, program: Program, config: Optional[AnalysisConfig] = None):
+        self.program = program
+        self.config = config or AnalysisConfig.skipflow()
+
+    def run(self, roots: Optional[Iterable[str]] = None) -> AnalysisResult:
+        """Solve to a fixed point and return an :class:`AnalysisResult`."""
+        if self.config.validate:
+            validate_program(self.program)
+        solver = SkipFlowSolver(self.program, self.config)
+        started = time.perf_counter()
+        solver.solve(roots)
+        elapsed = time.perf_counter() - started
+        return AnalysisResult(
+            program=self.program,
+            config=self.config,
+            pvpg=solver.pvpg,
+            reachable_methods=set(solver.reachable),
+            stub_methods=set(solver.stub_methods),
+            analysis_time_seconds=elapsed,
+            steps=solver.steps,
+        )
+
+
+def run_skipflow(program: Program, roots: Optional[Iterable[str]] = None) -> AnalysisResult:
+    """Convenience wrapper: run the full SkipFlow configuration."""
+    return SkipFlowAnalysis(program, AnalysisConfig.skipflow()).run(roots)
+
+
+def run_baseline(program: Program, roots: Optional[Iterable[str]] = None) -> AnalysisResult:
+    """Convenience wrapper: run the baseline points-to analysis."""
+    return SkipFlowAnalysis(program, AnalysisConfig.baseline_pta()).run(roots)

@@ -1,0 +1,107 @@
+"""Containers for per-method and whole-program predicated value propagation graphs."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.flows import (
+    FieldFlow,
+    Flow,
+    InvokeFlow,
+    ParameterFlow,
+    PredOnFlow,
+    ReturnFlow,
+)
+from repro.ir.instructions import If
+from repro.ir.method import Method
+from repro.ir.types import FieldDecl
+
+
+class BranchKind(enum.Enum):
+    """Classification of branching instructions for the counter metrics (Section 6)."""
+
+    TYPE_CHECK = "type_check"
+    NULL_CHECK = "null_check"
+    PRIMITIVE_CHECK = "primitive_check"
+
+
+@dataclass
+class BranchRecord:
+    """One ``if`` instruction together with the filter flows guarding its branches.
+
+    ``then_predicate`` / ``else_predicate`` are the flows whose value states
+    decide whether the corresponding branch is reachable; the counter metrics
+    count the branch instruction as "not removable" when both are live.
+    """
+
+    instruction: If
+    kind: BranchKind
+    then_predicate: Flow
+    else_predicate: Flow
+    block_predicate: Flow
+
+
+@dataclass
+class MethodPVPG:
+    """The PVPG of a single method."""
+
+    method: Method
+    parameter_flows: List[ParameterFlow] = field(default_factory=list)
+    return_flows: List[ReturnFlow] = field(default_factory=list)
+    invoke_flows: List[InvokeFlow] = field(default_factory=list)
+    branch_records: List[BranchRecord] = field(default_factory=list)
+    flows: List[Flow] = field(default_factory=list)
+
+    @property
+    def qualified_name(self) -> str:
+        return self.method.qualified_name
+
+    def register(self, flow: Flow) -> Flow:
+        self.flows.append(flow)
+        return flow
+
+    @property
+    def flow_count(self) -> int:
+        return len(self.flows)
+
+
+class ProgramPVPG:
+    """The interprocedural PVPG: one graph per reachable method plus globals.
+
+    Globals are the always-enabled predicate ``pred_on`` and one
+    :class:`~repro.core.flows.FieldFlow` per declared field that is actually
+    accessed (created lazily).
+    """
+
+    def __init__(self) -> None:
+        self.pred_on = PredOnFlow()
+        self.methods: Dict[str, MethodPVPG] = {}
+        self.field_flows: Dict[str, FieldFlow] = {}
+
+    def add_method_graph(self, graph: MethodPVPG) -> MethodPVPG:
+        self.methods[graph.qualified_name] = graph
+        return graph
+
+    def method_graph(self, qualified_name: str) -> Optional[MethodPVPG]:
+        return self.methods.get(qualified_name)
+
+    def field_flow(self, declaration: FieldDecl) -> FieldFlow:
+        """Get (or lazily create) the program-wide flow for a declared field."""
+        flow = self.field_flows.get(declaration.qualified_name)
+        if flow is None:
+            flow = FieldFlow(declaration)
+            self.field_flows[declaration.qualified_name] = flow
+        return flow
+
+    @property
+    def total_flow_count(self) -> int:
+        return sum(graph.flow_count for graph in self.methods.values()) + len(self.field_flows) + 1
+
+    def all_flows(self) -> List[Flow]:
+        flows: List[Flow] = [self.pred_on]
+        flows.extend(self.field_flows.values())
+        for graph in self.methods.values():
+            flows.extend(graph.flows)
+        return flows

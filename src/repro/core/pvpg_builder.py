@@ -1,0 +1,331 @@
+"""Construction of predicated value propagation graphs (Appendix B.4).
+
+The builder performs one sequential pass over a method: basic blocks are
+visited in reverse postorder and the instructions of each block top to bottom.
+Per-block state consists of
+
+* ``m`` — a mapping from SSA variable names to the flows currently
+  representing them, and
+* ``pred`` — the most recently encountered predicate flow (the always-enabled
+  ``pred_on`` at the start of the entry block, a fresh ``phi_pred`` flow at
+  every merge, the invoke flow after every call, and the filtering flows of a
+  condition inside the branches of an ``if``).
+
+Loops are supported through the explicit phi instructions of merge blocks
+(the frontend and the builder always emit them); for hand-written IR without
+explicit phis the collision rule of the paper's ``propagate`` function creates
+phi flows lazily, which is only sound for acyclic control flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.flows import (
+    FilterCompareFlow,
+    FilterTypeFlow,
+    Flow,
+    InvokeFlow,
+    LoadFieldFlow,
+    ParameterFlow,
+    PhiFlow,
+    PhiPredFlow,
+    ReturnFlow,
+    SourceFlow,
+    StoreFieldFlow,
+)
+from repro.core.pvpg import BranchKind, BranchRecord, MethodPVPG, ProgramPVPG
+from repro.ir.blocks import BasicBlock
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.instructions import (
+    Assign,
+    Condition,
+    If,
+    InstanceOfCondition,
+    Invoke,
+    Jump,
+    LoadField,
+    Merge,
+    Return,
+    Start,
+    StoreField,
+    flip_compare_op,
+)
+from repro.ir.method import Method
+from repro.ir.program import Program
+from repro.ir.values import ConstKind, Value
+
+
+class PVPGBuildError(Exception):
+    """Raised when a method body cannot be translated into a PVPG."""
+
+
+@dataclass
+class _BlockState:
+    """Per-block traversal state: variable map and current predicate."""
+
+    m: Dict[str, Flow] = field(default_factory=dict)
+    pred: Optional[Flow] = None
+
+
+class PVPGBuilder:
+    """Builds the PVPG of individual methods within one program-wide graph."""
+
+    def __init__(self, program: Program, program_pvpg: ProgramPVPG, config) -> None:
+        self.program = program
+        self.hierarchy = program.hierarchy
+        self.pvpg = program_pvpg
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def build_method(self, method: Method) -> MethodPVPG:
+        graph = MethodPVPG(method)
+        cfg = ControlFlowGraph(method)
+        qualified = method.qualified_name
+
+        states: Dict[str, _BlockState] = {
+            name: _BlockState() for name in cfg.reverse_postorder
+        }
+        lazy_phis: Set[int] = set()
+
+        # Pre-create phi_pred and phi flows for every merge block so that both
+        # forward and backward jumps can link against them.
+        for name in cfg.reverse_postorder:
+            block = cfg.blocks[name]
+            if block.is_merge:
+                state = states[name]
+                merge = block.begin
+                assert isinstance(merge, Merge)
+                phi_pred = PhiPredFlow(f"phi_pred@{name}", qualified)
+                graph.register(phi_pred)
+                state.pred = phi_pred
+                for phi in merge.phis:
+                    phi_flow = PhiFlow(f"phi:{phi.result.name}", qualified)
+                    graph.register(phi_flow)
+                    phi_pred.add_predicate_target(phi_flow)
+                    state.m[phi.result.name] = phi_flow
+
+        for name in cfg.reverse_postorder:
+            block = cfg.blocks[name]
+            state = states[name]
+            if block.is_entry:
+                state.pred = self.pvpg.pred_on
+                self._process_start(block.begin, state, graph, qualified)
+            if state.pred is None:
+                # A label block whose predecessor has not set a predicate would
+                # indicate invalid IR; fall back to pred_on to stay sound.
+                state.pred = self.pvpg.pred_on
+            for statement in block.statements:
+                self._process_statement(statement, state, graph, qualified)
+            self._process_end(block, state, states, cfg, graph, qualified, lazy_phis)
+
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _lookup(self, state: _BlockState, value: Value, context: str) -> Flow:
+        flow = state.m.get(value.name)
+        if flow is None:
+            raise PVPGBuildError(
+                f"value {value.name!r} has no flow in {context} "
+                "(use before definition or missing phi)"
+            )
+        return flow
+
+    def _new_flow(self, flow: Flow, state: _BlockState, graph: MethodPVPG) -> Flow:
+        """Register a flow and predicate it on the current block predicate."""
+        graph.register(flow)
+        state.pred.add_predicate_target(flow)
+        return flow
+
+    # ------------------------------------------------------------------ #
+    # Instructions
+    # ------------------------------------------------------------------ #
+    def _process_start(self, start: Start, state: _BlockState, graph: MethodPVPG,
+                       qualified: str) -> None:
+        for index, param in enumerate(start.params):
+            flow = ParameterFlow(f"param:{param.name}", qualified, index, param.declared_type)
+            self._new_flow(flow, state, graph)
+            graph.parameter_flows.append(flow)
+            state.m[param.name] = flow
+
+    def _process_statement(self, statement, state: _BlockState, graph: MethodPVPG,
+                           qualified: str) -> None:
+        if isinstance(statement, Assign):
+            flow = SourceFlow(str(statement.expr), qualified, statement.expr)
+            self._new_flow(flow, state, graph)
+            state.m[statement.result.name] = flow
+        elif isinstance(statement, LoadField):
+            receiver = self._lookup(state, statement.receiver, qualified)
+            flow = LoadFieldFlow(f"load:{statement.field_name}", qualified,
+                                 statement.field_name, receiver)
+            self._new_flow(flow, state, graph)
+            receiver.add_observer(flow)
+            state.m[statement.result.name] = flow
+        elif isinstance(statement, StoreField):
+            receiver = self._lookup(state, statement.receiver, qualified)
+            value = self._lookup(state, statement.value, qualified)
+            flow = StoreFieldFlow(f"store:{statement.field_name}", qualified,
+                                  statement.field_name, receiver)
+            self._new_flow(flow, state, graph)
+            value.add_use(flow)
+            receiver.add_observer(flow)
+        elif isinstance(statement, Invoke):
+            self._process_invoke(statement, state, graph, qualified)
+        else:
+            raise PVPGBuildError(f"unsupported statement {statement!r}")
+
+    def _process_invoke(self, invoke: Invoke, state: _BlockState, graph: MethodPVPG,
+                        qualified: str) -> None:
+        receiver_flow: Optional[Flow] = None
+        if invoke.receiver is not None:
+            receiver_flow = self._lookup(state, invoke.receiver, qualified)
+        argument_flows = [self._lookup(state, value, qualified)
+                          for value in invoke.all_arguments]
+        flow = InvokeFlow(f"invoke:{invoke.method_name}", qualified, invoke,
+                          receiver_flow, argument_flows)
+        self._new_flow(flow, state, graph)
+        if receiver_flow is not None:
+            receiver_flow.add_observer(flow)
+        if invoke.result is not None:
+            state.m[invoke.result.name] = flow
+        graph.invoke_flows.append(flow)
+        # Every method invocation is a predicate for the following statements
+        # in the block (Section 3, "Method Invocations as Predicates").
+        state.pred = flow
+
+    def _process_end(self, block: BasicBlock, state: _BlockState,
+                     states: Dict[str, _BlockState], cfg: ControlFlowGraph,
+                     graph: MethodPVPG, qualified: str, lazy_phis: Set[int]) -> None:
+        end = block.end
+        if isinstance(end, Return):
+            returns_void = end.value is None
+            flow = ReturnFlow("return", qualified, returns_void)
+            self._new_flow(flow, state, graph)
+            if end.value is not None:
+                self._lookup(state, end.value, qualified).add_use(flow)
+            graph.return_flows.append(flow)
+        elif isinstance(end, Jump):
+            self._propagate(state, end, cfg.blocks[end.target], states[end.target],
+                            graph, qualified, lazy_phis)
+        elif isinstance(end, If):
+            then_pred = self._init_block(
+                state, end.condition, cfg.blocks[end.then_label],
+                states[end.then_label], graph, qualified)
+            else_pred = self._init_block(
+                state, _invert(end.condition), cfg.blocks[end.else_label],
+                states[end.else_label], graph, qualified)
+            graph.branch_records.append(
+                BranchRecord(end, self._classify_branch(end.condition, state),
+                             then_pred, else_pred, state.pred)
+            )
+        elif end is None:
+            raise PVPGBuildError(f"block {block.name!r} in {qualified} is not terminated")
+        else:
+            raise PVPGBuildError(f"unsupported block end {end!r}")
+
+    # ------------------------------------------------------------------ #
+    # Control-flow transfer: jumps (propagate) and ifs (initBlock)
+    # ------------------------------------------------------------------ #
+    def _propagate(self, state: _BlockState, jump: Jump, target_block: BasicBlock,
+                   target_state: _BlockState, graph: MethodPVPG, qualified: str,
+                   lazy_phis: Set[int]) -> None:
+        merge = target_block.begin
+        assert isinstance(merge, Merge)
+        # The end of this block being reachable makes the merge reachable.
+        state.pred.add_predicate_target(target_state.pred)
+        # Explicit phi operands contributed by this jump.
+        for index, phi in enumerate(merge.phis):
+            if index >= len(jump.phi_arguments):
+                continue
+            source = self._lookup(state, jump.phi_arguments[index], qualified)
+            source.add_use(target_state.m[phi.result.name])
+        # Remaining variables: inherit, or create a phi flow on collision.
+        for name, flow in state.m.items():
+            existing = target_state.m.get(name)
+            if existing is None:
+                target_state.m[name] = flow
+            elif existing is not flow:
+                if existing.uid in lazy_phis:
+                    flow.add_use(existing)
+                else:
+                    phi_flow = PhiFlow(f"phi:{name}", qualified)
+                    graph.register(phi_flow)
+                    target_state.pred.add_predicate_target(phi_flow)
+                    existing.add_use(phi_flow)
+                    flow.add_use(phi_flow)
+                    target_state.m[name] = phi_flow
+                    lazy_phis.add(phi_flow.uid)
+
+    def _init_block(self, state: _BlockState, condition, target_block: BasicBlock,
+                    target_state: _BlockState, graph: MethodPVPG, qualified: str) -> Flow:
+        """Initialize one branch of an ``if``; returns the branch predicate flow."""
+        # Label blocks have a single predecessor: inherit the whole variable map.
+        for name, flow in state.m.items():
+            target_state.m[name] = flow
+        if isinstance(condition, InstanceOfCondition):
+            return self._init_unary(state, condition, target_state, graph, qualified)
+        if isinstance(condition, Condition):
+            return self._init_binary(state, condition, target_state, graph, qualified)
+        raise PVPGBuildError(f"unsupported condition {condition!r}")
+
+    def _init_unary(self, state: _BlockState, condition: InstanceOfCondition,
+                    target_state: _BlockState, graph: MethodPVPG, qualified: str) -> Flow:
+        tested = self._lookup(state, condition.value, qualified)
+        flow = FilterTypeFlow(str(condition), qualified, condition.type_name,
+                              condition.negated, self.config.filter_type_checks)
+        graph.register(flow)
+        state.pred.add_predicate_target(flow)
+        tested.add_use(flow)
+        target_state.m[condition.value.name] = flow
+        target_state.pred = flow
+        return flow
+
+    def _init_binary(self, state: _BlockState, condition: Condition,
+                     target_state: _BlockState, graph: MethodPVPG, qualified: str) -> Flow:
+        left = self._lookup(state, condition.left, qualified)
+        right = self._lookup(state, condition.right, qualified)
+        filtering = self.config.filter_comparisons
+
+        left_filter = FilterCompareFlow(str(condition), qualified, condition.op,
+                                        observed=right, filtering_enabled=filtering)
+        graph.register(left_filter)
+        state.pred.add_predicate_target(left_filter)
+        left.add_use(left_filter)
+        right.add_observer(left_filter)
+        target_state.m[condition.left.name] = left_filter
+
+        flipped = flip_compare_op(condition.op)
+        right_filter = FilterCompareFlow(
+            f"{condition.right} {flipped} {condition.left}", qualified, flipped,
+            observed=left, filtering_enabled=filtering)
+        graph.register(right_filter)
+        left_filter.add_predicate_target(right_filter)
+        right.add_use(right_filter)
+        left.add_observer(right_filter)
+        target_state.m[condition.right.name] = right_filter
+
+        target_state.pred = right_filter
+        return right_filter
+
+    # ------------------------------------------------------------------ #
+    # Metric classification
+    # ------------------------------------------------------------------ #
+    def _classify_branch(self, condition, state: _BlockState) -> BranchKind:
+        if isinstance(condition, InstanceOfCondition):
+            return BranchKind.TYPE_CHECK
+        assert isinstance(condition, Condition)
+        for operand in (condition.left, condition.right):
+            flow = state.m.get(operand.name)
+            if isinstance(flow, SourceFlow) and flow.expr.kind is ConstKind.NULL:
+                return BranchKind.NULL_CHECK
+        return BranchKind.PRIMITIVE_CHECK
+
+
+def _invert(condition):
+    """``inv(c)``: the condition guarding the else branch."""
+    return condition.inverted()

@@ -1,0 +1,133 @@
+"""Analysis results: reachable methods, value states, and call-graph queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.core.flows import InvokeFlow
+from repro.core.pvpg import BranchRecord, MethodPVPG, ProgramPVPG
+from repro.ir.program import Program
+from repro.lattice.value_state import ValueState
+
+
+@dataclass
+class MethodSummary:
+    """Per-method statistics extracted from the solved PVPG."""
+
+    qualified_name: str
+    flow_count: int
+    enabled_flow_count: int
+    invoke_count: int
+    linked_callee_count: int
+
+    @property
+    def disabled_flow_count(self) -> int:
+        return self.flow_count - self.enabled_flow_count
+
+
+@dataclass
+class AnalysisResult:
+    """The outcome of one analysis run.
+
+    Exposes the fixed-point PVPG together with convenience accessors used by
+    the image builder, the metrics collector, and the tests.
+    """
+
+    program: Program
+    config: object
+    pvpg: ProgramPVPG
+    reachable_methods: Set[str]
+    stub_methods: Set[str]
+    analysis_time_seconds: float
+    steps: int
+
+    # ------------------------------------------------------------------ #
+    # Reachability
+    # ------------------------------------------------------------------ #
+    @property
+    def reachable_method_count(self) -> int:
+        return len(self.reachable_methods)
+
+    def is_method_reachable(self, qualified_name: str) -> bool:
+        return qualified_name in self.reachable_methods
+
+    def method_graph(self, qualified_name: str) -> Optional[MethodPVPG]:
+        return self.pvpg.method_graph(qualified_name)
+
+    def reachable_graphs(self) -> Iterator[MethodPVPG]:
+        for name in sorted(self.reachable_methods):
+            graph = self.pvpg.method_graph(name)
+            if graph is not None:
+                yield graph
+
+    # ------------------------------------------------------------------ #
+    # Value states
+    # ------------------------------------------------------------------ #
+    def parameter_state(self, qualified_name: str, index: int) -> ValueState:
+        graph = self._require_graph(qualified_name)
+        return graph.parameter_flows[index].state
+
+    def return_state(self, qualified_name: str) -> ValueState:
+        graph = self._require_graph(qualified_name)
+        state = ValueState.empty()
+        for return_flow in graph.return_flows:
+            if return_flow.enabled:
+                state = state.join(return_flow.state)
+        return state
+
+    def field_state(self, qualified_field_name: str) -> ValueState:
+        flow = self.pvpg.field_flows.get(qualified_field_name)
+        return flow.state if flow is not None else ValueState.empty()
+
+    # ------------------------------------------------------------------ #
+    # Call graph
+    # ------------------------------------------------------------------ #
+    def call_targets(self, qualified_name: str) -> Dict[str, FrozenSet[str]]:
+        """Map from call-site label to the set of linked callees in a method."""
+        graph = self._require_graph(qualified_name)
+        targets: Dict[str, FrozenSet[str]] = {}
+        for index, invoke_flow in enumerate(graph.invoke_flows):
+            key = f"{invoke_flow.label}#{index}"
+            targets[key] = frozenset(invoke_flow.linked_callees)
+        return targets
+
+    def call_edges(self) -> List[Tuple[str, str]]:
+        """All (caller, callee) pairs of the computed call graph."""
+        edges: List[Tuple[str, str]] = []
+        for graph in self.reachable_graphs():
+            for invoke_flow in graph.invoke_flows:
+                for callee in sorted(invoke_flow.linked_callees):
+                    edges.append((graph.qualified_name, callee))
+        return edges
+
+    def invoke_flows(self) -> Iterator[InvokeFlow]:
+        for graph in self.reachable_graphs():
+            yield from graph.invoke_flows
+
+    def branch_records(self) -> Iterator[Tuple[str, BranchRecord]]:
+        for graph in self.reachable_graphs():
+            for record in graph.branch_records:
+                yield graph.qualified_name, record
+
+    # ------------------------------------------------------------------ #
+    # Summaries
+    # ------------------------------------------------------------------ #
+    def method_summary(self, qualified_name: str) -> MethodSummary:
+        graph = self._require_graph(qualified_name)
+        return MethodSummary(
+            qualified_name=qualified_name,
+            flow_count=len(graph.flows),
+            enabled_flow_count=sum(1 for flow in graph.flows if flow.enabled),
+            invoke_count=len(graph.invoke_flows),
+            linked_callee_count=sum(len(f.linked_callees) for f in graph.invoke_flows),
+        )
+
+    def summaries(self) -> List[MethodSummary]:
+        return [self.method_summary(name) for name in sorted(self.reachable_methods)]
+
+    def _require_graph(self, qualified_name: str) -> MethodPVPG:
+        graph = self.pvpg.method_graph(qualified_name)
+        if graph is None:
+            raise KeyError(f"method {qualified_name!r} was not analyzed (not reachable)")
+        return graph

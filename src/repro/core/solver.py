@@ -1,0 +1,312 @@
+"""The fixed-point solver: value propagation through PVPGs (Appendix C).
+
+The solver maintains a worklist of flows whose value state changed and a
+queue of invoke flows whose call targets may need (re-)linking.  All state is
+monotone — value states only grow in the lattice ``L``, flows only ever switch
+from disabled to enabled, and edges are only added — so the iteration reaches
+a fixed point.
+
+The inference rules of Figure 15 map onto the implementation as follows:
+
+=============  ==============================================================
+Rule           Implementation
+=============  ==============================================================
+Source         :meth:`SkipFlowSolver._enable` joins the constant produced by a
+               :class:`~repro.core.flows.SourceFlow` into its state.
+Propagate      :meth:`SkipFlowSolver._deliver` joins ``VSout`` of the source
+               into ``VSin`` of the use-edge target.
+Predicate      processing an enabled, non-empty flow enables its predicate
+               targets (:meth:`SkipFlowSolver._process`).
+Load / Store   :meth:`SkipFlowSolver._link_fields` looks up the field flow for
+               every receiver type and adds the corresponding use edges.
+Invoke         :meth:`SkipFlowSolver._link_invoke` resolves call targets from
+               the receiver state, marks them reachable, and links arguments,
+               parameters, and returns.
+TypeCheck      :meth:`~repro.core.flows.FilterTypeFlow.transfer`
+Cond           :meth:`~repro.core.flows.FilterCompareFlow.transfer` via
+               :func:`~repro.core.compare.compare_states`
+PassThrough    :meth:`~repro.core.flows.Flow.transfer`
+=============  ==============================================================
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Set
+
+from repro.core.flows import (
+    FilterCompareFlow,
+    Flow,
+    InvokeFlow,
+    LoadFieldFlow,
+    ParameterFlow,
+    SourceFlow,
+    StoreFieldFlow,
+)
+from repro.core.pvpg import MethodPVPG, ProgramPVPG
+from repro.core.pvpg_builder import PVPGBuilder
+from repro.ir.instructions import InvokeKind
+from repro.ir.method import Method
+from repro.ir.program import Program
+from repro.ir.types import INT_TYPE_NAME, MethodSignature, NULL_TYPE_NAME
+from repro.lattice.value_state import ValueState
+
+
+class SkipFlowSolver:
+    """Interprocedural fixed-point solver over predicated value propagation graphs."""
+
+    def __init__(self, program: Program, config) -> None:
+        self.program = program
+        self.hierarchy = program.hierarchy
+        self.config = config
+        self.pvpg = ProgramPVPG()
+        self.builder = PVPGBuilder(program, self.pvpg, config)
+
+        #: Qualified names of methods with bodies that have been marked reachable.
+        self.reachable: Set[str] = set()
+        #: Qualified names of called methods without a body (treated conservatively).
+        self.stub_methods: Set[str] = set()
+        #: Number of worklist events processed (a machine-independent cost proxy).
+        self.steps: int = 0
+
+        self._worklist: Deque[Flow] = deque()
+        self._queued: Set[int] = set()
+        self._pending_links: Deque[InvokeFlow] = deque()
+        self._pending_link_ids: Set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def solve(self, roots: Optional[Iterable[str]] = None) -> None:
+        """Run the analysis to a fixed point starting from the root methods."""
+        pred_on = self.pvpg.pred_on
+        pred_on.enabled = True
+        pred_on.state = pred_on.artificial_on_enable
+
+        root_names = list(roots) if roots is not None else list(self.program.entry_points)
+        if not root_names:
+            raise ValueError("no root methods: provide roots or program entry points")
+        for root in root_names:
+            graph = self._make_reachable(root)
+            if graph is not None:
+                self._seed_root_parameters(graph)
+        self._run()
+
+    # ------------------------------------------------------------------ #
+    # Reachability
+    # ------------------------------------------------------------------ #
+    def _make_reachable(self, qualified_name: str) -> Optional[MethodPVPG]:
+        existing = self.pvpg.method_graph(qualified_name)
+        if existing is not None:
+            return existing
+        method = self.program.methods.get(qualified_name)
+        if method is None:
+            self.stub_methods.add(qualified_name)
+            return None
+        graph = self.builder.build_method(method)
+        self.pvpg.add_method_graph(graph)
+        self.reachable.add(qualified_name)
+        if self.config.use_predicates:
+            for flow in graph.flows:
+                if any(p.enabled and not p.state.is_empty for p in flow.predicates):
+                    self._enable(flow)
+        else:
+            for flow in graph.flows:
+                self._enable(flow)
+        return graph
+
+    def _seed_root_parameters(self, graph: MethodPVPG) -> None:
+        """Seed the parameters of a root method with conservative value states.
+
+        Reference parameters may hold any instantiable subtype of their
+        declared type (or ``null``); primitive parameters hold ``Any``.  This
+        mirrors the treatment of reflection/JNI roots in Section 5.
+        """
+        signature = graph.method.signature
+        for flow in graph.parameter_flows:
+            declared = self._declared_parameter_type(signature, flow)
+            self._inject(flow, self._conservative_state(declared))
+
+    def _declared_parameter_type(self, signature: MethodSignature,
+                                 flow: ParameterFlow) -> Optional[str]:
+        if flow.declared_type is not None:
+            return flow.declared_type
+        index = flow.index
+        if not signature.is_static:
+            if index == 0:
+                return signature.declaring_class
+            index -= 1
+        if 0 <= index < len(signature.param_types):
+            return signature.param_types[index]
+        return None
+
+    def _conservative_state(self, declared_type: Optional[str]) -> ValueState:
+        if declared_type is None or declared_type in (INT_TYPE_NAME, "void"):
+            return ValueState.any_primitive()
+        if declared_type in self.hierarchy:
+            types = set(self.hierarchy.instantiable_subtypes(declared_type))
+            types.add(NULL_TYPE_NAME)
+            return ValueState.of_types(types)
+        return ValueState.any_primitive()
+
+    # ------------------------------------------------------------------ #
+    # Worklist machinery
+    # ------------------------------------------------------------------ #
+    def _schedule(self, flow: Flow) -> None:
+        if flow.uid not in self._queued:
+            self._queued.add(flow.uid)
+            self._worklist.append(flow)
+
+    def _schedule_link(self, flow: InvokeFlow) -> None:
+        if flow.uid not in self._pending_link_ids:
+            self._pending_link_ids.add(flow.uid)
+            self._pending_links.append(flow)
+
+    def _run(self) -> None:
+        while self._worklist or self._pending_links:
+            if self._pending_links:
+                invoke_flow = self._pending_links.popleft()
+                self._pending_link_ids.discard(invoke_flow.uid)
+                if invoke_flow.enabled:
+                    self._link_invoke(invoke_flow)
+                self.steps += 1
+                continue
+            flow = self._worklist.popleft()
+            self._queued.discard(flow.uid)
+            self.steps += 1
+            self._process(flow)
+
+    def _process(self, flow: Flow) -> None:
+        if not flow.enabled:
+            return
+        for target in list(flow.uses):
+            self._deliver(flow, target)
+        for observer in list(flow.observers):
+            self._notify(observer)
+        if not flow.state.is_empty:
+            for target in list(flow.predicate_targets):
+                self._enable(target)
+
+    def _deliver(self, source: Flow, target: Flow) -> None:
+        new_input = target.input_state.join(source.state)
+        if new_input != target.input_state:
+            target.input_state = new_input
+            self._recompute(target)
+
+    def _inject(self, flow: Flow, state: ValueState) -> None:
+        """Join an externally produced value into a flow's input (roots, stubs)."""
+        new_input = flow.input_state.join(state)
+        if new_input != flow.input_state:
+            flow.input_state = new_input
+            self._recompute(flow)
+
+    def _recompute(self, flow: Flow) -> None:
+        output = flow.transfer(self.hierarchy)
+        new_state = flow.state.join(output)
+        if new_state != flow.state:
+            flow.state = new_state
+            if flow.enabled:
+                self._schedule(flow)
+
+    def _notify(self, observer: Flow) -> None:
+        if isinstance(observer, InvokeFlow):
+            if observer.enabled:
+                self._schedule_link(observer)
+        elif isinstance(observer, (LoadFieldFlow, StoreFieldFlow)):
+            if observer.enabled:
+                self._link_fields(observer)
+        elif isinstance(observer, FilterCompareFlow):
+            self._recompute(observer)
+
+    def _enable(self, flow: Flow) -> None:
+        if flow.enabled:
+            return
+        flow.enabled = True
+        if isinstance(flow, SourceFlow):
+            produced = flow.source_state(self.config.track_primitives)
+            flow.state = flow.state.join(produced)
+        if flow.artificial_on_enable is not None:
+            flow.state = flow.state.join(flow.artificial_on_enable)
+        if isinstance(flow, InvokeFlow):
+            self._schedule_link(flow)
+        if isinstance(flow, (LoadFieldFlow, StoreFieldFlow)):
+            self._link_fields(flow)
+        if not flow.state.is_empty:
+            self._schedule(flow)
+
+    def _add_use_edge(self, source: Flow, target: Flow) -> None:
+        if source.has_use(target):
+            return
+        source.add_use(target)
+        if source.enabled and not source.state.is_empty:
+            self._deliver(source, target)
+
+    # ------------------------------------------------------------------ #
+    # Field linking (Load / Store rules)
+    # ------------------------------------------------------------------ #
+    def _link_fields(self, flow) -> None:
+        receiver_state = flow.receiver.state
+        for type_name in receiver_state.reference_types:
+            declaration = self.hierarchy.lookup_field(type_name, flow.field_name)
+            if declaration is None:
+                continue
+            field_flow = self.pvpg.field_flow(declaration)
+            if isinstance(flow, LoadFieldFlow):
+                self._add_use_edge(field_flow, flow)
+            else:
+                self._add_use_edge(flow, field_flow)
+
+    # ------------------------------------------------------------------ #
+    # Invoke linking (Invoke rule)
+    # ------------------------------------------------------------------ #
+    def _link_invoke(self, invoke_flow: InvokeFlow) -> None:
+        invoke = invoke_flow.invoke
+        if invoke.kind is InvokeKind.STATIC:
+            signature = self._resolve_static(invoke.target_class, invoke.method_name)
+            if signature is not None:
+                self._link_callee(invoke_flow, signature)
+            elif invoke.target_class is not None:
+                self._record_unknown_callee(invoke_flow,
+                                            f"{invoke.target_class}.{invoke.method_name}")
+            return
+        receiver_state = invoke_flow.receiver.state
+        for type_name in sorted(receiver_state.reference_types):
+            signature = self.hierarchy.resolve(type_name, invoke.method_name)
+            if signature is not None:
+                self._link_callee(invoke_flow, signature)
+
+    def _resolve_static(self, target_class: Optional[str], method_name: str
+                        ) -> Optional[MethodSignature]:
+        if target_class is None or target_class not in self.hierarchy:
+            return None
+        return self.hierarchy.resolve(target_class, method_name)
+
+    def _record_unknown_callee(self, invoke_flow: InvokeFlow, qualified_name: str) -> None:
+        """A static call to an undeclared method: treat it as an opaque stub."""
+        if qualified_name in invoke_flow.linked_callees:
+            return
+        invoke_flow.linked_callees.add(qualified_name)
+        self.stub_methods.add(qualified_name)
+        self._inject(invoke_flow, ValueState.any_primitive())
+
+    def _link_callee(self, invoke_flow: InvokeFlow, signature: MethodSignature) -> None:
+        qualified = signature.qualified_name
+        if qualified in invoke_flow.linked_callees:
+            return
+        invoke_flow.linked_callees.add(qualified)
+        graph = self._make_reachable(qualified)
+        if graph is None:
+            self._apply_stub_effects(invoke_flow, signature)
+            return
+        for argument, parameter in zip(invoke_flow.argument_flows, graph.parameter_flows):
+            self._add_use_edge(argument, parameter)
+        for return_flow in graph.return_flows:
+            self._add_use_edge(return_flow, invoke_flow)
+
+    def _apply_stub_effects(self, invoke_flow: InvokeFlow, signature: MethodSignature) -> None:
+        """Conservative handling of callees without a body (native/opaque methods)."""
+        if signature.returns_reference:
+            result = self._conservative_state(signature.return_type)
+        else:
+            result = ValueState.any_primitive()
+        self._inject(invoke_flow, result)

@@ -1,0 +1,29 @@
+"""Closed-world image building on top of the analysis results.
+
+This package plays the role of GraalVM Native Image in the paper's
+evaluation: it drives one analysis configuration over a whole program,
+derives the evaluation metrics (reachable methods, the counter metrics of
+Section 6, a binary-size estimate), performs dead-code elimination based on
+the disabled flows, and handles reflection configuration files.
+"""
+
+from repro.image.metrics import CounterMetrics, ImageMetrics, collect_metrics
+from repro.image.binary import BinarySizeModel
+from repro.image.dce import DeadCodeReport, eliminate_dead_code
+from repro.image.optimizations import OptimizationReport, collect_optimizations
+from repro.image.reflection import ReflectionConfig
+from repro.image.builder import ImageBuildReport, NativeImageBuilder
+
+__all__ = [
+    "BinarySizeModel",
+    "CounterMetrics",
+    "DeadCodeReport",
+    "ImageBuildReport",
+    "ImageMetrics",
+    "NativeImageBuilder",
+    "OptimizationReport",
+    "ReflectionConfig",
+    "collect_metrics",
+    "collect_optimizations",
+    "eliminate_dead_code",
+]

@@ -1,0 +1,103 @@
+"""Dead-code elimination driven by the analysis result.
+
+Flows that remain disabled at the fixed point correspond to instructions that
+can never execute (Section 6, "Impact on Compiler Optimizations"); branches
+whose filter flow ends with an empty value state are provably unreachable.
+This module turns the per-flow information into a per-method and per-program
+report used by the binary-size model and by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.flows import FlowKind
+from repro.core.pvpg import MethodPVPG
+from repro.core.results import AnalysisResult
+from repro.image.metrics import branch_is_removable
+
+#: Flow kinds that correspond to actual instructions in the method body
+#: (as opposed to analysis bookkeeping such as phi predicates or filters).
+_INSTRUCTION_FLOW_KINDS = {
+    FlowKind.SOURCE,
+    FlowKind.LOAD_FIELD,
+    FlowKind.STORE_FIELD,
+    FlowKind.INVOKE,
+    FlowKind.RETURN,
+}
+
+
+@dataclass
+class MethodDeadCode:
+    """Live/dead instruction counts for one reachable method."""
+
+    qualified_name: str
+    live_instructions: int
+    dead_instructions: int
+    removable_branches: int
+    total_branches: int
+
+    @property
+    def total_instructions(self) -> int:
+        return self.live_instructions + self.dead_instructions
+
+    @property
+    def fully_live(self) -> bool:
+        return self.dead_instructions == 0 and self.removable_branches == 0
+
+
+@dataclass
+class DeadCodeReport:
+    """Aggregated dead-code elimination results for a whole program."""
+
+    methods: Dict[str, MethodDeadCode] = field(default_factory=dict)
+
+    @property
+    def live_instructions(self) -> int:
+        return sum(m.live_instructions for m in self.methods.values())
+
+    @property
+    def dead_instructions(self) -> int:
+        return sum(m.dead_instructions for m in self.methods.values())
+
+    @property
+    def removable_branches(self) -> int:
+        return sum(m.removable_branches for m in self.methods.values())
+
+    @property
+    def total_branches(self) -> int:
+        return sum(m.total_branches for m in self.methods.values())
+
+    def methods_with_dead_code(self) -> List[str]:
+        return sorted(
+            name for name, report in self.methods.items() if not report.fully_live
+        )
+
+
+def _analyze_method(graph: MethodPVPG) -> MethodDeadCode:
+    live = 0
+    dead = 0
+    for flow in graph.flows:
+        if flow.kind not in _INSTRUCTION_FLOW_KINDS:
+            continue
+        if flow.enabled:
+            live += 1
+        else:
+            dead += 1
+    removable = sum(1 for record in graph.branch_records if branch_is_removable(record))
+    return MethodDeadCode(
+        qualified_name=graph.qualified_name,
+        live_instructions=live,
+        dead_instructions=dead,
+        removable_branches=removable,
+        total_branches=len(graph.branch_records),
+    )
+
+
+def eliminate_dead_code(result: AnalysisResult) -> DeadCodeReport:
+    """Compute the dead-code report for every reachable method."""
+    report = DeadCodeReport()
+    for graph in result.reachable_graphs():
+        report.methods[graph.qualified_name] = _analyze_method(graph)
+    return report

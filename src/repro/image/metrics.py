@@ -1,0 +1,126 @@
+"""The evaluation metrics of Section 6.
+
+For every benchmark the paper reports, per analysis configuration:
+
+* *Reachable Methods* — the number of methods marked reachable;
+* the *counter metrics* — branching instructions in reachable methods that
+  cannot be removed or simplified using the analysis results, split into
+  Type Checks, Null Checks, and Primitive Checks, plus *PolyCalls*, the
+  virtual invocations that could not be devirtualized;
+* *Analysis Time*, *Total Time*, and *Binary Size*.
+
+This module derives the reachable-method count and the counter metrics from a
+solved :class:`~repro.core.results.AnalysisResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.flows import Flow, InvokeFlow
+from repro.core.pvpg import BranchKind, BranchRecord
+from repro.core.results import AnalysisResult
+from repro.ir.instructions import InvokeKind
+
+
+def _is_live(flow: Flow) -> bool:
+    return flow.enabled and not flow.state.is_empty
+
+
+def branch_is_removable(record: BranchRecord) -> bool:
+    """A branching instruction can be removed or simplified when at most one
+    of its successor branches remains live after the analysis."""
+    then_live = _is_live(record.then_predicate)
+    else_live = _is_live(record.else_predicate)
+    return not (then_live and else_live)
+
+
+def invoke_is_polymorphic(invoke_flow: InvokeFlow) -> bool:
+    """A virtual call counts as polymorphic when it still has at least two
+    possible targets (it cannot be devirtualized)."""
+    if not invoke_flow.is_virtual:
+        return False
+    if invoke_flow.invoke.kind is not InvokeKind.VIRTUAL:
+        return False
+    if not invoke_flow.enabled:
+        return False
+    return len(invoke_flow.linked_callees) >= 2
+
+
+@dataclass(frozen=True)
+class CounterMetrics:
+    """Branching instructions and call sites that survive the analysis."""
+
+    type_checks: int
+    null_checks: int
+    primitive_checks: int
+    poly_calls: int
+
+    def __add__(self, other: "CounterMetrics") -> "CounterMetrics":
+        return CounterMetrics(
+            self.type_checks + other.type_checks,
+            self.null_checks + other.null_checks,
+            self.primitive_checks + other.primitive_checks,
+            self.poly_calls + other.poly_calls,
+        )
+
+    @staticmethod
+    def zero() -> "CounterMetrics":
+        return CounterMetrics(0, 0, 0, 0)
+
+
+@dataclass(frozen=True)
+class ImageMetrics:
+    """All analysis-oriented metrics for one benchmark and configuration."""
+
+    configuration: str
+    reachable_methods: int
+    counters: CounterMetrics
+    analysis_time_seconds: float
+    solver_steps: int
+
+    @property
+    def type_checks(self) -> int:
+        return self.counters.type_checks
+
+    @property
+    def null_checks(self) -> int:
+        return self.counters.null_checks
+
+    @property
+    def primitive_checks(self) -> int:
+        return self.counters.primitive_checks
+
+    @property
+    def poly_calls(self) -> int:
+        return self.counters.poly_calls
+
+
+def collect_counter_metrics(result: AnalysisResult) -> CounterMetrics:
+    """Count the non-removable branches and non-devirtualizable calls."""
+    type_checks = 0
+    null_checks = 0
+    primitive_checks = 0
+    for _, record in result.branch_records():
+        if branch_is_removable(record):
+            continue
+        if record.kind is BranchKind.TYPE_CHECK:
+            type_checks += 1
+        elif record.kind is BranchKind.NULL_CHECK:
+            null_checks += 1
+        else:
+            primitive_checks += 1
+    poly_calls = sum(1 for invoke_flow in result.invoke_flows()
+                     if invoke_is_polymorphic(invoke_flow))
+    return CounterMetrics(type_checks, null_checks, primitive_checks, poly_calls)
+
+
+def collect_metrics(result: AnalysisResult) -> ImageMetrics:
+    """Derive the full metric record from a solved analysis."""
+    return ImageMetrics(
+        configuration=getattr(result.config, "name", "unknown"),
+        reachable_methods=result.reachable_method_count,
+        counters=collect_counter_metrics(result),
+        analysis_time_seconds=result.analysis_time_seconds,
+        solver_steps=result.steps,
+    )

@@ -1,0 +1,114 @@
+"""Optimization opportunities unlocked by the analysis (Section 6).
+
+The paper lists three compiler optimizations that directly consume SkipFlow's
+results: dead-code elimination, intraprocedural constant folding of method
+parameters proven constant, and method inlining enabled by the first two.
+This module turns a solved analysis into an explicit report of those
+opportunities so that the benefit of the added precision can be quantified
+beyond the reachable-method count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.results import AnalysisResult
+from repro.image.dce import eliminate_dead_code
+from repro.image.metrics import invoke_is_polymorphic
+
+#: Methods whose live instruction count is at most this are inlining candidates.
+INLINE_THRESHOLD_INSTRUCTIONS = 12
+
+
+@dataclass(frozen=True)
+class ConstantParameter:
+    """A method parameter proven to be a single primitive constant."""
+
+    method: str
+    parameter_index: int
+    parameter_name: str
+    constant: int
+
+
+@dataclass(frozen=True)
+class DevirtualizedCall:
+    """A virtual call site with exactly one remaining target."""
+
+    method: str
+    call_site: str
+    target: str
+
+
+@dataclass
+class OptimizationReport:
+    """All optimization opportunities derived from one analysis result."""
+
+    configuration: str
+    constant_parameters: List[ConstantParameter] = field(default_factory=list)
+    devirtualized_calls: List[DevirtualizedCall] = field(default_factory=list)
+    inlining_candidates: List[str] = field(default_factory=list)
+    removable_instructions: int = 0
+    removable_branches: int = 0
+
+    @property
+    def constant_parameter_count(self) -> int:
+        return len(self.constant_parameters)
+
+    @property
+    def devirtualized_call_count(self) -> int:
+        return len(self.devirtualized_calls)
+
+    @property
+    def inlining_candidate_count(self) -> int:
+        return len(self.inlining_candidates)
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "constant_parameters": self.constant_parameter_count,
+            "devirtualized_calls": self.devirtualized_call_count,
+            "inlining_candidates": self.inlining_candidate_count,
+            "removable_instructions": self.removable_instructions,
+            "removable_branches": self.removable_branches,
+        }
+
+
+def collect_optimizations(result: AnalysisResult) -> OptimizationReport:
+    """Derive the optimization-opportunity report from a solved analysis."""
+    report = OptimizationReport(configuration=getattr(result.config, "name", "unknown"))
+
+    dce = eliminate_dead_code(result)
+    report.removable_instructions = dce.dead_instructions
+    report.removable_branches = dce.removable_branches
+
+    for graph in result.reachable_graphs():
+        method_name = graph.qualified_name
+        parameters = graph.method.parameters
+        # Constant folding: parameters whose value state is one constant.
+        for flow in graph.parameter_flows:
+            if flow.state.is_constant:
+                report.constant_parameters.append(ConstantParameter(
+                    method=method_name,
+                    parameter_index=flow.index,
+                    parameter_name=parameters[flow.index].name,
+                    constant=flow.state.constant_value,
+                ))
+        # Devirtualization: enabled virtual call sites with exactly one target.
+        for index, invoke_flow in enumerate(graph.invoke_flows):
+            if not invoke_flow.is_virtual or not invoke_flow.enabled:
+                continue
+            if invoke_is_polymorphic(invoke_flow):
+                continue
+            if len(invoke_flow.linked_callees) == 1:
+                report.devirtualized_calls.append(DevirtualizedCall(
+                    method=method_name,
+                    call_site=f"{invoke_flow.label}#{index}",
+                    target=next(iter(invoke_flow.linked_callees)),
+                ))
+        # Inlining: small methods after dead-code elimination.
+        method_dce = dce.methods.get(method_name)
+        if method_dce is not None and 0 < method_dce.live_instructions <= INLINE_THRESHOLD_INSTRUCTIONS:
+            report.inlining_candidates.append(method_name)
+
+    report.inlining_candidates.sort()
+    return report

@@ -1,0 +1,155 @@
+"""Reflection / JNI configuration handling (Section 5).
+
+Like GraalVM Native Image, the analysis requires a configuration that lists
+methods and fields accessed reflectively.  Reflective methods become
+additional *root methods* whose parameters are seeded with any instantiable
+subtype of their declared type; reflective fields may contain any
+instantiable subtype of their declared type.
+
+The configuration is applied by rewriting the program:
+
+* reflective methods are simply added as entry points (the solver seeds root
+  parameters conservatively);
+* reflective fields are written from a synthetic root method that allocates
+  every instantiable subtype of the declared field type and stores it, which
+  soundly encodes "the field may hold any instantiated subtype".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.ir.builder import MethodBuilder
+from repro.ir.program import Program, ProgramError
+from repro.ir.types import INT_TYPE_NAME, MethodSignature
+
+
+class ReflectionConfigError(Exception):
+    """Raised for malformed reflection configuration files or entries."""
+
+
+#: Name of the synthetic class holding reflection root methods.
+REFLECTION_ROOTS_CLASS = "ReflectionRoots"
+
+
+@dataclass
+class ReflectionConfig:
+    """Declarative reflection/JNI configuration.
+
+    ``methods`` holds qualified method names (``Class.method``); ``fields``
+    holds ``(class_name, field_name)`` pairs.
+    """
+
+    methods: List[str] = field(default_factory=list)
+    fields: List[Tuple[str, str]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def register_method(self, qualified_name: str) -> "ReflectionConfig":
+        if qualified_name not in self.methods:
+            self.methods.append(qualified_name)
+        return self
+
+    def register_field(self, class_name: str, field_name: str) -> "ReflectionConfig":
+        entry = (class_name, field_name)
+        if entry not in self.fields:
+            self.fields.append(entry)
+        return self
+
+    @staticmethod
+    def from_json(text: str) -> "ReflectionConfig":
+        """Parse a native-image style JSON configuration.
+
+        Expected shape::
+
+            {"methods": ["Service.handle"], "fields": [{"class": "Config", "field": "mode"}]}
+        """
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ReflectionConfigError(f"invalid reflection config JSON: {exc}") from exc
+        config = ReflectionConfig()
+        for name in data.get("methods", []):
+            if not isinstance(name, str):
+                raise ReflectionConfigError(f"method entry must be a string: {name!r}")
+            config.register_method(name)
+        for entry in data.get("fields", []):
+            if not isinstance(entry, dict) or "class" not in entry or "field" not in entry:
+                raise ReflectionConfigError(
+                    f"field entry must be an object with 'class' and 'field': {entry!r}"
+                )
+            config.register_field(entry["class"], entry["field"])
+        return config
+
+    @staticmethod
+    def from_file(path: Path) -> "ReflectionConfig":
+        return ReflectionConfig.from_json(Path(path).read_text())
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "methods": list(self.methods),
+                "fields": [{"class": cls, "field": name} for cls, name in self.fields],
+            },
+            indent=2,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Application
+    # ------------------------------------------------------------------ #
+    def apply_to(self, program: Program) -> List[str]:
+        """Rewrite the program and return the list of added entry points."""
+        added: List[str] = []
+        for qualified_name in self.methods:
+            if not program.has_method(qualified_name):
+                raise ReflectionConfigError(
+                    f"reflective method {qualified_name!r} is not defined in the program"
+                )
+            program.add_entry_point(qualified_name)
+            added.append(qualified_name)
+        if self.fields:
+            added.append(self._build_field_roots(program))
+        return added
+
+    def _build_field_roots(self, program: Program) -> str:
+        hierarchy = program.hierarchy
+        if REFLECTION_ROOTS_CLASS not in hierarchy:
+            hierarchy.declare_class(REFLECTION_ROOTS_CLASS)
+        signature = MethodSignature(
+            declaring_class=REFLECTION_ROOTS_CLASS,
+            name="initializeReflectiveFields",
+            is_static=True,
+        )
+        builder = MethodBuilder(signature)
+        for class_name, field_name in self.fields:
+            if class_name not in hierarchy:
+                raise ReflectionConfigError(f"reflective field on unknown class {class_name!r}")
+            declaration = hierarchy.lookup_field(class_name, field_name)
+            if declaration is None:
+                raise ReflectionConfigError(
+                    f"reflective field {class_name}.{field_name} is not declared"
+                )
+            receiver = builder.assign_new(class_name)
+            if declaration.declared_type == INT_TYPE_NAME:
+                value = builder.assign_any()
+                builder.store_field(receiver, field_name, value)
+                continue
+            for subtype in hierarchy.instantiable_subtypes(declaration.declared_type):
+                value = builder.assign_new(subtype)
+                builder.store_field(receiver, field_name, value)
+            null_value = builder.assign_null()
+            builder.store_field(receiver, field_name, null_value)
+        builder.return_void()
+        try:
+            program.add_method(builder.build())
+        except ProgramError as exc:
+            raise ReflectionConfigError(
+                "reflection configuration applied twice to the same program"
+            ) from exc
+        qualified = signature.qualified_name
+        program.add_entry_point(qualified)
+        return qualified

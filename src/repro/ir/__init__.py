@@ -1,0 +1,88 @@
+"""SSA intermediate representation: the base language of SkipFlow (Appendix B).
+
+The IR mirrors the base language used by the paper's formalism: a Java-like
+managed language in static single assignment form with explicit basic blocks,
+``start``/``merge``/``label`` block headers, field loads and stores, virtual
+method invocations, and ``if`` terminators restricted to ``=``, ``<`` and
+``instanceof`` conditions.
+"""
+
+from repro.ir.types import (
+    ClassType,
+    FieldDecl,
+    MethodSignature,
+    TypeHierarchy,
+    NULL_TYPE_NAME,
+)
+from repro.ir.values import Value, ConstantExpr, ConstKind
+from repro.ir.instructions import (
+    Assign,
+    BlockEnd,
+    BlockBegin,
+    CompareOp,
+    Condition,
+    If,
+    InstanceOfCondition,
+    Invoke,
+    InvokeKind,
+    Jump,
+    Label,
+    LoadField,
+    Merge,
+    Phi,
+    Return,
+    Start,
+    Statement,
+    StoreField,
+    invert_compare_op,
+    flip_compare_op,
+)
+from repro.ir.blocks import BasicBlock
+from repro.ir.method import Method
+from repro.ir.program import Program
+from repro.ir.builder import MethodBuilder, ProgramBuilder
+from repro.ir.validate import ValidationError, validate_method, validate_program
+from repro.ir.printer import format_method, format_program
+from repro.ir.cfg import ControlFlowGraph
+
+__all__ = [
+    "Assign",
+    "BasicBlock",
+    "BlockBegin",
+    "BlockEnd",
+    "ClassType",
+    "CompareOp",
+    "Condition",
+    "ConstKind",
+    "ConstantExpr",
+    "ControlFlowGraph",
+    "FieldDecl",
+    "If",
+    "InstanceOfCondition",
+    "Invoke",
+    "InvokeKind",
+    "Jump",
+    "Label",
+    "LoadField",
+    "Merge",
+    "Method",
+    "MethodBuilder",
+    "MethodSignature",
+    "NULL_TYPE_NAME",
+    "Phi",
+    "Program",
+    "ProgramBuilder",
+    "Return",
+    "Start",
+    "Statement",
+    "StoreField",
+    "TypeHierarchy",
+    "ValidationError",
+    "Value",
+    "validate_method",
+    "validate_program",
+    "format_method",
+    "format_program",
+    "invert_compare_op",
+    "flip_compare_op",
+]

@@ -1,0 +1,70 @@
+"""Basic blocks of the SSA base language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.ir.instructions import (
+    Assign,
+    If,
+    Invoke,
+    Jump,
+    Label,
+    LoadField,
+    Merge,
+    Return,
+    Start,
+    StoreField,
+)
+
+BlockBeginT = Union[Start, Merge, Label]
+StatementT = Union[Assign, LoadField, StoreField, Invoke]
+BlockEndT = Union[Return, Jump, If]
+
+
+@dataclass
+class BasicBlock:
+    """A basic block: a block begin, a list of statements, and a block end.
+
+    Block identity is the ``name``:
+
+    * for the entry block the name is ``"entry"``;
+    * for a block beginning with ``merge ... m`` the name is ``m``;
+    * for a block beginning with ``label l`` the name is ``l``.
+    """
+
+    name: str
+    begin: BlockBeginT
+    statements: List[StatementT] = field(default_factory=list)
+    end: Optional[BlockEndT] = None
+
+    @property
+    def is_entry(self) -> bool:
+        return isinstance(self.begin, Start)
+
+    @property
+    def is_merge(self) -> bool:
+        return isinstance(self.begin, Merge)
+
+    @property
+    def is_label(self) -> bool:
+        return isinstance(self.begin, Label)
+
+    def successor_names(self) -> List[str]:
+        """Names of the successor blocks derived from the block end."""
+        if isinstance(self.end, Jump):
+            return [self.end.target]
+        if isinstance(self.end, If):
+            return [self.end.then_label, self.end.else_label]
+        return []
+
+    def append(self, statement: StatementT) -> None:
+        self.statements.append(statement)
+
+    def __str__(self) -> str:
+        lines = [str(self.begin)]
+        lines.extend(f"  {s}" for s in self.statements)
+        if self.end is not None:
+            lines.append(f"  {self.end}")
+        return "\n".join(lines)

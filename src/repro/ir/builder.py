@@ -1,0 +1,346 @@
+"""Fluent builders for constructing SSA methods and programs by hand.
+
+The builders are the primary way tests and examples construct IR directly;
+the surface-language frontend (:mod:`repro.lang`) lowers parsed source through
+the same builders so that every method body in the system goes through one
+construction path.
+
+Example::
+
+    hierarchy = TypeHierarchy()
+    hierarchy.declare_class("Thread")
+    pb = ProgramBuilder(hierarchy)
+    mb = pb.method("Thread", "isVirtual", params=[], return_type="int")
+    this = mb.receiver
+    t = mb.if_instanceof(this, "BaseVirtualThread", "is_virtual", "not_virtual")
+    mb.label("is_virtual")
+    one = mb.assign_int(1)
+    mb.jump("done", [one])
+    mb.label("not_virtual")
+    zero = mb.assign_int(0)
+    mb.jump("done", [zero])
+    result = mb.merge("done", ["result"])[0]
+    mb.return_(result)
+    pb.finish_method(mb)
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.blocks import BasicBlock
+from repro.ir.instructions import (
+    Assign,
+    CompareOp,
+    Condition,
+    If,
+    InstanceOfCondition,
+    Invoke,
+    InvokeKind,
+    Jump,
+    Label,
+    LoadField,
+    Merge,
+    Phi,
+    Return,
+    Start,
+    StoreField,
+)
+from repro.ir.method import Method
+from repro.ir.program import Program
+from repro.ir.types import MethodSignature, TypeHierarchy
+from repro.ir.values import ConstantExpr, Value
+
+
+class BuilderError(Exception):
+    """Raised when the builder API is used out of order."""
+
+
+class MethodBuilder:
+    """Builds one SSA method block by block.
+
+    The builder keeps a *current block*; statements are appended to it and a
+    terminator (``return_``, ``jump``, or one of the ``if_*`` helpers) closes
+    it.  New blocks are opened with :meth:`label` or :meth:`merge`.
+    """
+
+    def __init__(self, signature: MethodSignature, param_names: Optional[Sequence[str]] = None):
+        self.signature = signature
+        self._temp_counter = itertools.count()
+        self._blocks: List[BasicBlock] = []
+        self._current: Optional[BasicBlock] = None
+        self._block_names: Dict[str, BasicBlock] = {}
+
+        params: List[Value] = []
+        names = list(param_names) if param_names is not None else None
+        if not signature.is_static:
+            params.append(Value("this", signature.declaring_class))
+        for index, ptype in enumerate(signature.param_types):
+            if names is not None and index < len(names):
+                pname = names[index]
+            else:
+                pname = f"p{index}"
+            params.append(Value(pname, ptype))
+        entry = BasicBlock("entry", Start(tuple(params)))
+        self._blocks.append(entry)
+        self._block_names["entry"] = entry
+        self._current = entry
+        self._params = params
+
+    # ------------------------------------------------------------------ #
+    # Values and parameters
+    # ------------------------------------------------------------------ #
+    @property
+    def parameters(self) -> List[Value]:
+        return list(self._params)
+
+    @property
+    def receiver(self) -> Value:
+        if self.signature.is_static:
+            raise BuilderError("static methods have no receiver")
+        return self._params[0]
+
+    def param(self, index: int) -> Value:
+        """Explicit parameter by index (excluding the receiver)."""
+        offset = 0 if self.signature.is_static else 1
+        return self._params[offset + index]
+
+    def fresh_value(self, hint: str = "t", declared_type: Optional[str] = None) -> Value:
+        return Value(f"{hint}{next(self._temp_counter)}", declared_type)
+
+    # ------------------------------------------------------------------ #
+    # Block management
+    # ------------------------------------------------------------------ #
+    @property
+    def current_block(self) -> BasicBlock:
+        if self._current is None:
+            raise BuilderError("no open block; start one with label() or merge()")
+        return self._current
+
+    def _require_open(self) -> BasicBlock:
+        block = self.current_block
+        if block.end is not None:
+            raise BuilderError(f"block {block.name!r} is already terminated")
+        return block
+
+    def _close_current(self, end) -> None:
+        block = self._require_open()
+        block.end = end
+        self._current = None
+
+    def label(self, name: str) -> BasicBlock:
+        """Open a new ``label`` block (a branch of an ``if``)."""
+        if name in self._block_names:
+            raise BuilderError(f"block {name!r} already exists")
+        block = BasicBlock(name, Label(name))
+        self._blocks.append(block)
+        self._block_names[name] = block
+        self._current = block
+        return block
+
+    def merge(self, name: str, phi_names: Sequence[str] = ()) -> List[Value]:
+        """Open a new ``merge`` block and return its phi result values.
+
+        ``phi_names`` gives one SSA name per joined variable; jumps targeting
+        this merge must pass matching ``phi_args`` in the same order.
+        """
+        if name in self._block_names:
+            raise BuilderError(f"block {name!r} already exists")
+        phi_values = [Value(phi_name) for phi_name in phi_names]
+        phis = tuple(Phi(value, ()) for value in phi_values)
+        block = BasicBlock(name, Merge(name, phis))
+        self._blocks.append(block)
+        self._block_names[name] = block
+        self._current = block
+        return phi_values
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+    def _assign(self, expr: ConstantExpr, hint: str, declared_type: Optional[str]) -> Value:
+        block = self._require_open()
+        value = self.fresh_value(hint, declared_type)
+        block.append(Assign(value, expr))
+        return value
+
+    def assign_int(self, constant: int) -> Value:
+        return self._assign(ConstantExpr.int_const(constant), "c", "int")
+
+    def assign_any(self) -> Value:
+        return self._assign(ConstantExpr.any_value(), "a", "int")
+
+    def assign_new(self, type_name: str) -> Value:
+        return self._assign(ConstantExpr.new(type_name), "o", type_name)
+
+    def assign_null(self) -> Value:
+        return self._assign(ConstantExpr.null(), "n", None)
+
+    def load_field(self, receiver: Value, field_name: str,
+                   declared_type: Optional[str] = None) -> Value:
+        block = self._require_open()
+        value = self.fresh_value("f", declared_type)
+        block.append(LoadField(value, receiver, field_name))
+        return value
+
+    def store_field(self, receiver: Value, field_name: str, value: Value) -> None:
+        block = self._require_open()
+        block.append(StoreField(receiver, field_name, value))
+
+    def invoke_virtual(self, receiver: Value, method_name: str,
+                       arguments: Sequence[Value] = (),
+                       result_type: Optional[str] = None) -> Value:
+        block = self._require_open()
+        result = self.fresh_value("r", result_type)
+        block.append(Invoke(result, method_name, tuple(arguments), receiver,
+                            InvokeKind.VIRTUAL))
+        return result
+
+    def invoke_special(self, receiver: Value, method_name: str,
+                       arguments: Sequence[Value] = (),
+                       result_type: Optional[str] = None) -> Value:
+        block = self._require_open()
+        result = self.fresh_value("r", result_type)
+        block.append(Invoke(result, method_name, tuple(arguments), receiver,
+                            InvokeKind.SPECIAL))
+        return result
+
+    def invoke_static(self, target_class: str, method_name: str,
+                      arguments: Sequence[Value] = (),
+                      result_type: Optional[str] = None) -> Value:
+        block = self._require_open()
+        result = self.fresh_value("r", result_type)
+        block.append(Invoke(result, method_name, tuple(arguments), None,
+                            InvokeKind.STATIC, target_class))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Terminators
+    # ------------------------------------------------------------------ #
+    def return_(self, value: Optional[Value] = None) -> None:
+        self._close_current(Return(value))
+
+    def return_void(self) -> None:
+        self.return_(None)
+
+    def jump(self, target: str, phi_args: Sequence[Value] = ()) -> None:
+        self._close_current(Jump(target, tuple(phi_args)))
+
+    def if_compare(self, op: CompareOp, left: Value, right: Value,
+                   then_label: str, else_label: str) -> None:
+        """Emit an ``if`` on a binary comparison.
+
+        Only ``EQ`` and ``LT`` occur in the base language; the other operators
+        are normalized here by swapping operands and/or branch targets so the
+        produced IR is always canonical.
+        """
+        if op is CompareOp.NE:
+            op, then_label, else_label = CompareOp.EQ, else_label, then_label
+        elif op is CompareOp.GT:
+            op, left, right = CompareOp.LT, right, left
+        elif op is CompareOp.GE:
+            op, then_label, else_label = CompareOp.LT, else_label, then_label
+        elif op is CompareOp.LE:
+            op, left, right = CompareOp.LT, right, left
+            then_label, else_label = else_label, then_label
+        self._close_current(If(Condition(op, left, right), then_label, else_label))
+
+    def if_eq(self, left: Value, right: Value, then_label: str, else_label: str) -> None:
+        self.if_compare(CompareOp.EQ, left, right, then_label, else_label)
+
+    def if_lt(self, left: Value, right: Value, then_label: str, else_label: str) -> None:
+        self.if_compare(CompareOp.LT, left, right, then_label, else_label)
+
+    def if_null(self, value: Value, then_label: str, else_label: str) -> None:
+        """``if (value == null)`` — materializes the null constant explicitly."""
+        null_value = self.assign_null()
+        self.if_eq(value, null_value, then_label, else_label)
+
+    def if_true(self, value: Value, then_label: str, else_label: str) -> None:
+        """``if (value)`` for a boolean-as-int value: compares against 1."""
+        one = self.assign_int(1)
+        self.if_eq(value, one, then_label, else_label)
+
+    def if_instanceof(self, value: Value, type_name: str,
+                      then_label: str, else_label: str) -> None:
+        self._close_current(
+            If(InstanceOfCondition(value, type_name), then_label, else_label)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Finalization
+    # ------------------------------------------------------------------ #
+    def build(self) -> Method:
+        if self._current is not None and self._current.end is None:
+            raise BuilderError(
+                f"block {self._current.name!r} is not terminated; "
+                "call return_() or jump() before build()"
+            )
+        self._fill_phi_operands()
+        return Method(self.signature, list(self._blocks))
+
+    def _fill_phi_operands(self) -> None:
+        """Populate ``Phi.operands`` from the jumps targeting each merge."""
+        for block in self._blocks:
+            if not block.is_merge:
+                continue
+            merge = block.begin
+            assert isinstance(merge, Merge)
+            if not merge.phis:
+                continue
+            incoming: List[Tuple[Value, ...]] = []
+            for source in self._blocks:
+                end = source.end
+                if isinstance(end, Jump) and end.target == block.name:
+                    incoming.append(end.phi_arguments)
+            for index, phi in enumerate(merge.phis):
+                operands = tuple(args[index] for args in incoming if index < len(args))
+                merge.phis = tuple(
+                    Phi(p.result, operands if i == index else p.operands)
+                    for i, p in enumerate(merge.phis)
+                )
+
+
+class ProgramBuilder:
+    """Builds a whole :class:`~repro.ir.program.Program`."""
+
+    def __init__(self, hierarchy: Optional[TypeHierarchy] = None):
+        self.program = Program(hierarchy or TypeHierarchy())
+
+    @property
+    def hierarchy(self) -> TypeHierarchy:
+        return self.program.hierarchy
+
+    def declare_class(self, name: str, superclass: str = "Object",
+                      interfaces: Sequence[str] = (), is_interface: bool = False,
+                      is_abstract: bool = False):
+        return self.hierarchy.declare_class(
+            name, superclass, interfaces, is_interface, is_abstract
+        )
+
+    def declare_field(self, class_name: str, field_name: str, declared_type: str):
+        return self.hierarchy.get(class_name).declare_field(field_name, declared_type)
+
+    def method(self, class_name: str, method_name: str,
+               params: Sequence[str] = (), return_type: str = "void",
+               is_static: bool = False,
+               param_names: Optional[Sequence[str]] = None) -> MethodBuilder:
+        signature = MethodSignature(
+            declaring_class=class_name,
+            name=method_name,
+            param_types=tuple(params),
+            return_type=return_type,
+            is_static=is_static,
+        )
+        return MethodBuilder(signature, param_names)
+
+    def finish_method(self, builder: MethodBuilder) -> Method:
+        method = builder.build()
+        self.program.add_method(method)
+        return method
+
+    def add_entry_point(self, qualified_name: str) -> None:
+        self.program.add_entry_point(qualified_name)
+
+    def build(self) -> Program:
+        return self.program

@@ -1,0 +1,92 @@
+"""Control-flow graph utilities over method bodies.
+
+The PVPG builder processes blocks in reverse postorder (Appendix B.4);
+this module computes successor/predecessor maps, reverse postorder, and
+back edges (which identify loop merges).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.ir.blocks import BasicBlock
+from repro.ir.method import Method
+
+
+class ControlFlowGraph:
+    """Successor/predecessor structure of a method body."""
+
+    def __init__(self, method: Method):
+        self.method = method
+        self.blocks: Dict[str, BasicBlock] = method.block_map()
+        self.successors: Dict[str, List[str]] = {
+            name: block.successor_names() for name, block in self.blocks.items()
+        }
+        self.predecessors: Dict[str, List[str]] = {name: [] for name in self.blocks}
+        for name, succs in self.successors.items():
+            for succ in succs:
+                if succ not in self.predecessors:
+                    raise KeyError(
+                        f"block {name!r} jumps to undefined block {succ!r} "
+                        f"in {method.qualified_name}"
+                    )
+                self.predecessors[succ].append(name)
+        self._rpo: List[str] = self._compute_reverse_postorder()
+        self._back_edges: Set[Tuple[str, str]] = self._compute_back_edges()
+
+    # ------------------------------------------------------------------ #
+    def _compute_reverse_postorder(self) -> List[str]:
+        entry = self.method.entry_block.name
+        visited: Set[str] = set()
+        postorder: List[str] = []
+
+        # Iterative DFS to avoid recursion limits on generated programs.
+        stack: List[Tuple[str, int]] = [(entry, 0)]
+        visited.add(entry)
+        while stack:
+            name, child_index = stack.pop()
+            succs = self.successors[name]
+            if child_index < len(succs):
+                stack.append((name, child_index + 1))
+                child = succs[child_index]
+                if child not in visited:
+                    visited.add(child)
+                    stack.append((child, 0))
+            else:
+                postorder.append(name)
+        return list(reversed(postorder))
+
+    def _compute_back_edges(self) -> Set[Tuple[str, str]]:
+        order = {name: index for index, name in enumerate(self._rpo)}
+        back_edges: Set[Tuple[str, str]] = set()
+        for source, succs in self.successors.items():
+            if source not in order:
+                continue
+            for target in succs:
+                if target in order and order[target] <= order[source]:
+                    back_edges.add((source, target))
+        return back_edges
+
+    # ------------------------------------------------------------------ #
+    @property
+    def reverse_postorder(self) -> List[str]:
+        """Reachable block names in reverse postorder (entry first)."""
+        return list(self._rpo)
+
+    def reverse_postorder_blocks(self) -> List[BasicBlock]:
+        return [self.blocks[name] for name in self._rpo]
+
+    @property
+    def back_edges(self) -> Set[Tuple[str, str]]:
+        """Edges ``(source, target)`` where target precedes source in RPO."""
+        return set(self._back_edges)
+
+    def is_back_edge(self, source: str, target: str) -> bool:
+        return (source, target) in self._back_edges
+
+    @property
+    def has_loops(self) -> bool:
+        return bool(self._back_edges)
+
+    def unreachable_blocks(self) -> List[str]:
+        return [name for name in self.blocks if name not in set(self._rpo)]

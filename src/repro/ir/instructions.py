@@ -1,0 +1,299 @@
+"""Instructions of the SSA base language (Appendix B.1).
+
+A method is a sequence of basic blocks.  Each block has:
+
+* a *block begin*: ``start(p0..pn)``, ``merge [phis] m`` or ``label l``;
+* a possibly empty list of *statements*: ``v <- e``, ``v <- r.x``,
+  ``r.x <- v``, ``v <- v0.m(v1..vn)``;
+* a *block end*: ``return v``, ``jump m`` or ``if c then l_then else l_else``.
+
+Conditions are restricted to ``v1 = v2``, ``v1 < v2`` and ``v instanceof T``.
+Other relational operators are expressed during PVPG construction by
+*inverting* (for the else branch) or *flipping* (for the right operand of a
+binary comparison) the operator; the full operator set therefore appears in
+:class:`CompareOp` even though only ``EQ`` and ``LT`` occur in well-formed IR.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.ir.values import ConstantExpr, Value
+
+
+class CompareOp(enum.Enum):
+    """Relational operators over the value lattice."""
+
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_INVERSE = {
+    CompareOp.EQ: CompareOp.NE,
+    CompareOp.NE: CompareOp.EQ,
+    CompareOp.LT: CompareOp.GE,
+    CompareOp.GE: CompareOp.LT,
+    CompareOp.LE: CompareOp.GT,
+    CompareOp.GT: CompareOp.LE,
+}
+
+_FLIP = {
+    CompareOp.EQ: CompareOp.EQ,
+    CompareOp.NE: CompareOp.NE,
+    CompareOp.LT: CompareOp.GT,
+    CompareOp.GT: CompareOp.LT,
+    CompareOp.LE: CompareOp.GE,
+    CompareOp.GE: CompareOp.LE,
+}
+
+
+def invert_compare_op(op: CompareOp) -> CompareOp:
+    """``inv(c)``: the operator of the negated condition (``<`` becomes ``>=``)."""
+    return _INVERSE[op]
+
+
+def flip_compare_op(op: CompareOp) -> CompareOp:
+    """``flip(c)``: the operator with the operands swapped (``<`` becomes ``>``)."""
+    return _FLIP[op]
+
+
+# --------------------------------------------------------------------------- #
+# Conditions
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Condition:
+    """A binary comparison condition ``left <op> right``."""
+
+    op: CompareOp
+    left: Value
+    right: Value
+
+    @property
+    def is_binary(self) -> bool:
+        return True
+
+    def inverted(self) -> "Condition":
+        return Condition(invert_compare_op(self.op), self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class InstanceOfCondition:
+    """A unary type-check condition ``value instanceof type_name``.
+
+    ``negated`` distinguishes the else-branch variant ``!(v instanceof T)``.
+    """
+
+    value: Value
+    type_name: str
+    negated: bool = False
+
+    @property
+    def is_binary(self) -> bool:
+        return False
+
+    def inverted(self) -> "InstanceOfCondition":
+        return InstanceOfCondition(self.value, self.type_name, not self.negated)
+
+    def __str__(self) -> str:
+        prefix = "!" if self.negated else ""
+        return f"{prefix}{self.value} instanceof {self.type_name}"
+
+
+# --------------------------------------------------------------------------- #
+# Block begins
+# --------------------------------------------------------------------------- #
+@dataclass
+class Start:
+    """``start(p0, ..., pn)`` — defines the formal parameters of the method."""
+
+    params: Tuple[Value, ...] = ()
+
+    def __str__(self) -> str:
+        return f"start({', '.join(map(str, self.params))})"
+
+
+@dataclass
+class Phi:
+    """A ``v <- phi(v1, ..., vn)`` join of one value per incoming jump."""
+
+    result: Value
+    operands: Tuple[Value, ...]
+
+    def __str__(self) -> str:
+        return f"{self.result} <- phi({', '.join(map(str, self.operands))})"
+
+
+@dataclass
+class Merge:
+    """``merge [phis] m`` — a control-flow merge labelled ``m``.
+
+    ``phis`` holds one :class:`Phi` per variable with multiple reaching
+    definitions; each phi has one operand per predecessor ``jump``.
+    """
+
+    label: str
+    phis: Tuple[Phi, ...] = ()
+
+    def __str__(self) -> str:
+        phis = ", ".join(str(p) for p in self.phis)
+        return f"merge [{phis}] {self.label}"
+
+
+@dataclass
+class Label:
+    """``label l`` — beginning of one branch of an ``if``."""
+
+    label: str
+
+    def __str__(self) -> str:
+        return f"label {self.label}"
+
+
+BlockBegin = (Start, Merge, Label)
+
+
+# --------------------------------------------------------------------------- #
+# Statements
+# --------------------------------------------------------------------------- #
+@dataclass
+class Assign:
+    """``v <- e`` where ``e`` is a constant expression (int, Any, new T, null)."""
+
+    result: Value
+    expr: ConstantExpr
+
+    def __str__(self) -> str:
+        return f"{self.result} <- {self.expr}"
+
+
+@dataclass
+class LoadField:
+    """``v <- r.x`` — read field ``x`` of the object in ``r``."""
+
+    result: Value
+    receiver: Value
+    field_name: str
+
+    def __str__(self) -> str:
+        return f"{self.result} <- {self.receiver}.{self.field_name}"
+
+
+@dataclass
+class StoreField:
+    """``r.x <- v`` — write ``v`` into field ``x`` of the object in ``r``."""
+
+    receiver: Value
+    field_name: str
+    value: Value
+
+    def __str__(self) -> str:
+        return f"{self.receiver}.{self.field_name} <- {self.value}"
+
+
+class InvokeKind(enum.Enum):
+    """Dispatch kind of an invocation."""
+
+    VIRTUAL = "virtual"
+    STATIC = "static"
+    SPECIAL = "special"  # constructors / non-virtual instance calls
+
+
+@dataclass
+class Invoke:
+    """``v <- v0.m(v1, ..., vn)`` — a method invocation.
+
+    For ``VIRTUAL`` and ``SPECIAL`` calls ``receiver`` is ``v0``; for
+    ``STATIC`` calls there is no receiver and ``target_class`` names the class
+    declaring the callee.  ``result`` may be ``None`` for calls whose value is
+    unused, but the invoke flow still acts as a predicate for the following
+    statements.
+    """
+
+    result: Optional[Value]
+    method_name: str
+    arguments: Tuple[Value, ...] = ()
+    receiver: Optional[Value] = None
+    kind: InvokeKind = InvokeKind.VIRTUAL
+    target_class: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is InvokeKind.STATIC:
+            if self.target_class is None:
+                raise ValueError("static invoke requires a target_class")
+            if self.receiver is not None:
+                raise ValueError("static invoke cannot have a receiver")
+        else:
+            if self.receiver is None:
+                raise ValueError(f"{self.kind.value} invoke requires a receiver")
+
+    @property
+    def all_arguments(self) -> Tuple[Value, ...]:
+        """Receiver (if any) followed by the explicit arguments."""
+        if self.receiver is not None:
+            return (self.receiver,) + tuple(self.arguments)
+        return tuple(self.arguments)
+
+    def __str__(self) -> str:
+        args = ", ".join(map(str, self.arguments))
+        lhs = f"{self.result} <- " if self.result is not None else ""
+        if self.kind is InvokeKind.STATIC:
+            return f"{lhs}{self.target_class}.{self.method_name}({args})"
+        return f"{lhs}{self.receiver}.{self.method_name}({args})"
+
+
+Statement = (Assign, LoadField, StoreField, Invoke)
+
+
+# --------------------------------------------------------------------------- #
+# Block ends
+# --------------------------------------------------------------------------- #
+@dataclass
+class Return:
+    """``return v`` — ``value`` is ``None`` for void methods."""
+
+    value: Optional[Value] = None
+
+    def __str__(self) -> str:
+        return f"return {self.value}" if self.value is not None else "return"
+
+
+@dataclass
+class Jump:
+    """``jump m`` — unconditional jump to the merge labelled ``m``."""
+
+    target: str
+    #: Values passed to the phis of the target merge, in phi order.
+    phi_arguments: Tuple[Value, ...] = ()
+
+    def __str__(self) -> str:
+        if self.phi_arguments:
+            args = ", ".join(map(str, self.phi_arguments))
+            return f"jump {self.target} [{args}]"
+        return f"jump {self.target}"
+
+
+@dataclass
+class If:
+    """``if c then l_then else l_else``."""
+
+    condition: object  # Condition | InstanceOfCondition
+    then_label: str
+    else_label: str
+
+    def __str__(self) -> str:
+        return f"if {self.condition} then {self.then_label} else {self.else_label}"
+
+
+BlockEnd = (Return, Jump, If)

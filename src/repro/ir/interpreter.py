@@ -1,0 +1,287 @@
+"""A concrete interpreter for the SSA base language.
+
+The interpreter executes closed-world programs directly: objects are heap
+records with per-field storage, primitives are Python integers, virtual calls
+dispatch through the type hierarchy, and arithmetic (`Any`) produces a value
+drawn deterministically from the execution context.
+
+Its purpose in this repository is *differential testing of soundness*: every
+method the interpreter actually executes must be marked reachable by every
+analysis (CHA, RTA, the PTA baseline, SkipFlow), and every concrete value a
+variable takes at runtime must be covered by the value state the analysis
+computed for the corresponding flow.  The hypothesis test suite drives the
+interpreter over generated workloads and checks exactly that.
+
+Execution is bounded (``max_steps``) so that programs with infinite loops —
+which the workloads use to model never-returning methods — simply stop
+instead of hanging the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.ir.blocks import BasicBlock
+from repro.ir.instructions import (
+    Assign,
+    CompareOp,
+    Condition,
+    If,
+    InstanceOfCondition,
+    Invoke,
+    InvokeKind,
+    Jump,
+    Label,
+    LoadField,
+    Merge,
+    Return,
+    Start,
+    StoreField,
+)
+from repro.ir.method import Method
+from repro.ir.program import Program
+from repro.ir.values import ConstKind, Value
+
+
+class InterpreterError(Exception):
+    """Raised on runtime errors the base language cannot express (e.g. NPE)."""
+
+
+class BudgetExceeded(InterpreterError):
+    """Raised when the execution step budget is exhausted."""
+
+
+@dataclass
+class HeapObject:
+    """A runtime object: its dynamic type plus field storage."""
+
+    object_id: int
+    type_name: str
+    fields: Dict[str, "RuntimeValue"] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return f"<{self.type_name}#{self.object_id}>"
+
+
+#: A runtime value: an integer, an object, or None (the null reference).
+RuntimeValue = Union[int, HeapObject, None]
+
+
+@dataclass
+class ExecutionTrace:
+    """What happened during one bounded execution."""
+
+    executed_methods: Set[str] = field(default_factory=set)
+    call_edges: Set[Tuple[str, str]] = field(default_factory=set)
+    allocated_types: Set[str] = field(default_factory=set)
+    #: Concrete values observed per (method, variable-name).
+    observed_values: Dict[Tuple[str, str], List[RuntimeValue]] = field(default_factory=dict)
+    steps: int = 0
+    completed: bool = True
+
+    def record_value(self, method: str, name: str, value: RuntimeValue) -> None:
+        self.observed_values.setdefault((method, name), []).append(value)
+
+
+class Interpreter:
+    """Executes a program starting from one of its entry points."""
+
+    def __init__(self, program: Program, max_steps: int = 20_000,
+                 any_value: int = 7):
+        self.program = program
+        self.hierarchy = program.hierarchy
+        self.max_steps = max_steps
+        #: The concrete integer produced for the opaque ``Any`` expression.
+        self.any_value = any_value
+        self._object_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run(self, entry_point: Optional[str] = None,
+            arguments: Optional[List[RuntimeValue]] = None) -> ExecutionTrace:
+        """Execute from ``entry_point`` (default: the first program entry point)."""
+        if entry_point is None:
+            if not self.program.entry_points:
+                raise InterpreterError("program has no entry points")
+            entry_point = self.program.entry_points[0]
+        method = self.program.methods.get(entry_point)
+        if method is None:
+            raise InterpreterError(f"entry point {entry_point!r} has no body")
+        trace = ExecutionTrace()
+        try:
+            self._call(method, list(arguments or []), trace, depth=0)
+        except BudgetExceeded:
+            trace.completed = False
+        return trace
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _tick(self, trace: ExecutionTrace) -> None:
+        trace.steps += 1
+        if trace.steps > self.max_steps:
+            raise BudgetExceeded(f"exceeded {self.max_steps} steps")
+
+    def _call(self, method: Method, arguments: List[RuntimeValue],
+              trace: ExecutionTrace, depth: int) -> RuntimeValue:
+        if depth > 200:
+            raise BudgetExceeded("call depth limit reached")
+        trace.executed_methods.add(method.qualified_name)
+        env: Dict[str, RuntimeValue] = {}
+        start = method.entry_block.begin
+        assert isinstance(start, Start)
+        for parameter, argument in zip(start.params, arguments):
+            env[parameter.name] = argument
+            trace.record_value(method.qualified_name, parameter.name, argument)
+
+        block = method.entry_block
+        block_map = method.block_map()
+        previous_jump: Optional[Jump] = None
+        while True:
+            self._tick(trace)
+            self._enter_block(method, block, env, previous_jump, trace)
+            for statement in block.statements:
+                self._tick(trace)
+                self._execute_statement(method, statement, env, trace, depth)
+            end = block.end
+            if isinstance(end, Return):
+                if end.value is not None:
+                    return env[end.value.name]
+                return None
+            if isinstance(end, Jump):
+                previous_jump = end
+                block = block_map[end.target]
+                continue
+            if isinstance(end, If):
+                taken = self._evaluate_condition(end.condition, env)
+                block = block_map[end.then_label if taken else end.else_label]
+                previous_jump = None
+                continue
+            raise InterpreterError(f"block {block.name!r} has no terminator")
+
+    def _enter_block(self, method: Method, block: BasicBlock,
+                     env: Dict[str, RuntimeValue], jump: Optional[Jump],
+                     trace: ExecutionTrace) -> None:
+        begin = block.begin
+        if isinstance(begin, Merge) and jump is not None:
+            for index, phi in enumerate(begin.phis):
+                if index < len(jump.phi_arguments):
+                    value = env[jump.phi_arguments[index].name]
+                    env[phi.result.name] = value
+                    trace.record_value(method.qualified_name, phi.result.name, value)
+
+    def _execute_statement(self, method: Method, statement, env: Dict[str, RuntimeValue],
+                           trace: ExecutionTrace, depth: int) -> None:
+        qualified = method.qualified_name
+        if isinstance(statement, Assign):
+            value = self._evaluate_expression(statement.expr, trace)
+            env[statement.result.name] = value
+            trace.record_value(qualified, statement.result.name, value)
+        elif isinstance(statement, LoadField):
+            receiver = env[statement.receiver.name]
+            if not isinstance(receiver, HeapObject):
+                raise InterpreterError(
+                    f"{qualified}: field load on non-object {receiver!r}")
+            value = receiver.fields.get(statement.field_name)
+            env[statement.result.name] = value
+            trace.record_value(qualified, statement.result.name, value)
+        elif isinstance(statement, StoreField):
+            receiver = env[statement.receiver.name]
+            if not isinstance(receiver, HeapObject):
+                raise InterpreterError(
+                    f"{qualified}: field store on non-object {receiver!r}")
+            receiver.fields[statement.field_name] = env[statement.value.name]
+        elif isinstance(statement, Invoke):
+            result = self._execute_invoke(method, statement, env, trace, depth)
+            if statement.result is not None:
+                env[statement.result.name] = result
+                trace.record_value(qualified, statement.result.name, result)
+        else:
+            raise InterpreterError(f"unsupported statement {statement!r}")
+
+    def _execute_invoke(self, caller: Method, invoke: Invoke,
+                        env: Dict[str, RuntimeValue], trace: ExecutionTrace,
+                        depth: int) -> RuntimeValue:
+        if invoke.kind is InvokeKind.STATIC:
+            signature = (self.hierarchy.resolve(invoke.target_class, invoke.method_name)
+                         if invoke.target_class in self.hierarchy else None)
+            callee_name = (signature.qualified_name if signature is not None
+                           else f"{invoke.target_class}.{invoke.method_name}")
+            arguments = [env[value.name] for value in invoke.arguments]
+        else:
+            receiver = env[invoke.receiver.name]
+            if receiver is None:
+                raise InterpreterError(
+                    f"{caller.qualified_name}: null receiver for {invoke.method_name}")
+            if not isinstance(receiver, HeapObject):
+                raise InterpreterError(
+                    f"{caller.qualified_name}: call on primitive {receiver!r}")
+            signature = self.hierarchy.resolve(receiver.type_name, invoke.method_name)
+            if signature is None:
+                raise InterpreterError(
+                    f"no target for {receiver.type_name}.{invoke.method_name}")
+            callee_name = signature.qualified_name
+            arguments = [receiver] + [env[value.name] for value in invoke.arguments]
+
+        trace.call_edges.add((caller.qualified_name, callee_name))
+        callee = self.program.methods.get(callee_name)
+        if callee is None:
+            # A stub (native) method: produce an opaque result.
+            return self.any_value
+        return self._call(callee, arguments, trace, depth + 1)
+
+    # ------------------------------------------------------------------ #
+    # Expressions and conditions
+    # ------------------------------------------------------------------ #
+    def _evaluate_expression(self, expr, trace: ExecutionTrace) -> RuntimeValue:
+        if expr.kind is ConstKind.INT:
+            return expr.int_value
+        if expr.kind is ConstKind.ANY:
+            return self.any_value
+        if expr.kind is ConstKind.NULL:
+            return None
+        if expr.kind is ConstKind.NEW:
+            trace.allocated_types.add(expr.type_name)
+            return HeapObject(next(self._object_ids), expr.type_name)
+        raise InterpreterError(f"unsupported expression {expr!r}")
+
+    def _evaluate_condition(self, condition, env: Dict[str, RuntimeValue]) -> bool:
+        if isinstance(condition, InstanceOfCondition):
+            value = env[condition.value.name]
+            if isinstance(value, HeapObject):
+                result = self.hierarchy.is_subtype(value.type_name, condition.type_name)
+            else:
+                result = False
+            return result != condition.negated
+        assert isinstance(condition, Condition)
+        left = env[condition.left.name]
+        right = env[condition.right.name]
+        if condition.op is CompareOp.EQ:
+            return self._reference_or_int_equal(left, right)
+        if condition.op is CompareOp.NE:
+            return not self._reference_or_int_equal(left, right)
+        if not isinstance(left, int) or not isinstance(right, int):
+            raise InterpreterError(
+                f"relational comparison on non-integers: {left!r} {condition.op} {right!r}")
+        if condition.op is CompareOp.LT:
+            return left < right
+        if condition.op is CompareOp.LE:
+            return left <= right
+        if condition.op is CompareOp.GT:
+            return left > right
+        return left >= right
+
+    @staticmethod
+    def _reference_or_int_equal(left: RuntimeValue, right: RuntimeValue) -> bool:
+        if isinstance(left, HeapObject) or isinstance(right, HeapObject):
+            return left is right
+        return left == right
+
+
+def execute(program: Program, entry_point: Optional[str] = None,
+            max_steps: int = 20_000) -> ExecutionTrace:
+    """Convenience wrapper: run a program and return its execution trace."""
+    return Interpreter(program, max_steps=max_steps).run(entry_point)

@@ -1,0 +1,84 @@
+"""Method bodies: an ordered list of basic blocks plus the signature."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.ir.blocks import BasicBlock
+from repro.ir.instructions import Invoke, Return, Start
+from repro.ir.types import MethodSignature
+from repro.ir.values import Value
+
+
+@dataclass
+class Method:
+    """A method with a body.
+
+    The first block must begin with ``start(p0, ..., pn)``.  Blocks are stored
+    in the order they were created, which for bodies produced by the builder
+    and the frontend is a valid reverse postorder of the control-flow graph.
+    """
+
+    signature: MethodSignature
+    blocks: List[BasicBlock] = field(default_factory=list)
+    #: Optional marker for methods that provably never return normally
+    #: (e.g. ``Assert.fail``-style helpers); used only by workload generators,
+    #: the analysis discovers non-returning methods on its own.
+    never_returns: bool = False
+
+    @property
+    def qualified_name(self) -> str:
+        return self.signature.qualified_name
+
+    @property
+    def entry_block(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"method {self.qualified_name} has no blocks")
+        return self.blocks[0]
+
+    @property
+    def parameters(self) -> List[Value]:
+        begin = self.entry_block.begin
+        if not isinstance(begin, Start):
+            raise ValueError(
+                f"method {self.qualified_name} does not begin with a start instruction"
+            )
+        return list(begin.params)
+
+    def block_by_name(self, name: str) -> BasicBlock:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise KeyError(f"no block named {name!r} in {self.qualified_name}")
+
+    def block_map(self) -> Dict[str, BasicBlock]:
+        return {block.name: block for block in self.blocks}
+
+    def iter_statements(self) -> Iterator:
+        for block in self.blocks:
+            yield from block.statements
+
+    def iter_invokes(self) -> Iterator[Invoke]:
+        for statement in self.iter_statements():
+            if isinstance(statement, Invoke):
+                yield statement
+
+    def iter_returns(self) -> Iterator[Return]:
+        for block in self.blocks:
+            if isinstance(block.end, Return):
+                yield block.end
+
+    @property
+    def instruction_count(self) -> int:
+        """Number of statements plus block ends; used by the binary-size model."""
+        count = 0
+        for block in self.blocks:
+            count += len(block.statements)
+            if block.end is not None:
+                count += 1
+        return count
+
+    def __str__(self) -> str:
+        header = f"method {self.qualified_name}"
+        return header + "\n" + "\n".join(str(b) for b in self.blocks)

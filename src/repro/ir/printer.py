@@ -1,0 +1,47 @@
+"""Textual pretty-printer for IR methods and programs."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.method import Method
+from repro.ir.program import Program
+
+
+def format_method(method: Method) -> str:
+    """Render a method as readable text (one block per paragraph)."""
+    signature = method.signature
+    params = ", ".join(signature.param_types)
+    static = "static " if signature.is_static else ""
+    lines: List[str] = [
+        f"{static}{signature.return_type} {signature.qualified_name}({params}) {{"
+    ]
+    for block in method.blocks:
+        lines.append(f"  {block.begin}")
+        for statement in block.statements:
+            lines.append(f"    {statement}")
+        if block.end is not None:
+            lines.append(f"    {block.end}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Render a whole program: class hierarchy followed by every method."""
+    lines: List[str] = ["// " + program.summary()]
+    for cls in program.hierarchy:
+        if cls.name == "Object":
+            continue
+        kind = "interface" if cls.is_interface else "class"
+        extends = f" extends {cls.superclass}" if cls.superclass else ""
+        implements = (
+            " implements " + ", ".join(cls.interfaces) if cls.interfaces else ""
+        )
+        lines.append(f"{kind} {cls.name}{extends}{implements} {{")
+        for field in cls.fields.values():
+            lines.append(f"  {field.declared_type} {field.name};")
+        lines.append("}")
+    for name in sorted(program.methods):
+        lines.append("")
+        lines.append(format_method(program.methods[name]))
+    return "\n".join(lines)

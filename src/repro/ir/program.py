@@ -1,0 +1,72 @@
+"""Whole programs: a type hierarchy, a set of methods, and entry points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.ir.method import Method
+from repro.ir.types import MethodSignature, TypeHierarchy
+
+
+class ProgramError(Exception):
+    """Raised for structurally invalid programs (duplicate methods, bad roots)."""
+
+
+@dataclass
+class Program:
+    """A closed-world program.
+
+    ``methods`` maps qualified names (``Class.method``) to method bodies.
+    ``entry_points`` lists the root methods from which reachability starts
+    (the ``main`` method of an application, plus any reflection roots added by
+    :mod:`repro.image.reflection`).
+    """
+
+    hierarchy: TypeHierarchy = field(default_factory=TypeHierarchy)
+    methods: Dict[str, Method] = field(default_factory=dict)
+    entry_points: List[str] = field(default_factory=list)
+
+    def add_method(self, method: Method) -> Method:
+        name = method.qualified_name
+        if name in self.methods:
+            raise ProgramError(f"method {name!r} defined twice")
+        self.methods[name] = method
+        declaring = method.signature.declaring_class
+        if declaring in self.hierarchy:
+            self.hierarchy.get(declaring).declare_method(method.signature)
+        return method
+
+    def add_entry_point(self, qualified_name: str) -> None:
+        if qualified_name not in self.methods:
+            raise ProgramError(f"entry point {qualified_name!r} is not a defined method")
+        if qualified_name not in self.entry_points:
+            self.entry_points.append(qualified_name)
+
+    def method(self, qualified_name: str) -> Method:
+        try:
+            return self.methods[qualified_name]
+        except KeyError:
+            raise ProgramError(f"unknown method {qualified_name!r}") from None
+
+    def has_method(self, qualified_name: str) -> bool:
+        return qualified_name in self.methods
+
+    def method_for_signature(self, signature: MethodSignature) -> Optional[Method]:
+        return self.methods.get(signature.qualified_name)
+
+    def __iter__(self) -> Iterator[Method]:
+        return iter(self.methods.values())
+
+    def __len__(self) -> int:
+        return len(self.methods)
+
+    @property
+    def total_instruction_count(self) -> int:
+        return sum(method.instruction_count for method in self.methods.values())
+
+    def summary(self) -> str:
+        return (
+            f"Program with {len(self.hierarchy.class_names)} classes, "
+            f"{len(self.methods)} methods, {len(self.entry_points)} entry points"
+        )

@@ -1,0 +1,201 @@
+"""Structural and SSA validation of methods and programs.
+
+The constraints checked here are exactly the well-formedness requirements of
+the base language in Appendix B.1:
+
+* the first block begins with ``start`` and it is the only ``start``;
+* every variable has a single static definition, is defined before use along
+  every path, and phis join one value per incoming jump;
+* blocks beginning with ``label`` have exactly one predecessor which ends in
+  ``if`` (no critical edges);
+* blocks beginning with ``merge`` are only targeted by ``jump``;
+* every ``jump`` passes as many phi arguments as the target merge has phis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.blocks import BasicBlock
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.instructions import (
+    Assign,
+    Condition,
+    If,
+    InstanceOfCondition,
+    Invoke,
+    Jump,
+    Label,
+    LoadField,
+    Merge,
+    Return,
+    Start,
+    StoreField,
+)
+from repro.ir.method import Method
+from repro.ir.program import Program
+from repro.ir.values import Value
+
+
+class ValidationError(Exception):
+    """Raised when a method or program violates base-language well-formedness."""
+
+
+def _definitions(method: Method) -> Dict[str, List[str]]:
+    """Map from SSA value name to the blocks that define it."""
+    defs: Dict[str, List[str]] = {}
+
+    def record(value: Value, block: BasicBlock) -> None:
+        defs.setdefault(value.name, []).append(block.name)
+
+    for block in method.blocks:
+        begin = block.begin
+        if isinstance(begin, Start):
+            for param in begin.params:
+                record(param, block)
+        elif isinstance(begin, Merge):
+            for phi in begin.phis:
+                record(phi.result, block)
+        for statement in block.statements:
+            if isinstance(statement, Assign):
+                record(statement.result, block)
+            elif isinstance(statement, LoadField):
+                record(statement.result, block)
+            elif isinstance(statement, Invoke) and statement.result is not None:
+                record(statement.result, block)
+    return defs
+
+
+def _used_values(block: BasicBlock) -> List[Value]:
+    used: List[Value] = []
+    for statement in block.statements:
+        if isinstance(statement, LoadField):
+            used.append(statement.receiver)
+        elif isinstance(statement, StoreField):
+            used.extend([statement.receiver, statement.value])
+        elif isinstance(statement, Invoke):
+            used.extend(statement.all_arguments)
+    end = block.end
+    if isinstance(end, Return) and end.value is not None:
+        used.append(end.value)
+    elif isinstance(end, Jump):
+        used.extend(end.phi_arguments)
+    elif isinstance(end, If):
+        condition = end.condition
+        if isinstance(condition, Condition):
+            used.extend([condition.left, condition.right])
+        elif isinstance(condition, InstanceOfCondition):
+            used.append(condition.value)
+    return used
+
+
+def validate_method(method: Method, hierarchy=None) -> None:
+    """Validate one method; raises :class:`ValidationError` on the first issue."""
+    name = method.qualified_name
+    if not method.blocks:
+        raise ValidationError(f"{name}: method has no blocks")
+
+    entry = method.blocks[0]
+    if not isinstance(entry.begin, Start):
+        raise ValidationError(f"{name}: first block must begin with start")
+    for block in method.blocks[1:]:
+        if isinstance(block.begin, Start):
+            raise ValidationError(f"{name}: duplicate start instruction in {block.name!r}")
+
+    # Unique block names and terminated blocks.
+    seen_names: Set[str] = set()
+    for block in method.blocks:
+        if block.name in seen_names:
+            raise ValidationError(f"{name}: duplicate block name {block.name!r}")
+        seen_names.add(block.name)
+        if block.end is None:
+            raise ValidationError(f"{name}: block {block.name!r} has no terminator")
+
+    cfg = ControlFlowGraph(method)
+
+    # Single static definition.
+    defs = _definitions(method)
+    for value_name, blocks in defs.items():
+        if len(blocks) > 1:
+            raise ValidationError(
+                f"{name}: value {value_name!r} defined in multiple blocks {blocks}"
+            )
+
+    # Uses refer to defined values.
+    for block in method.blocks:
+        for value in _used_values(block):
+            if value.name not in defs:
+                raise ValidationError(
+                    f"{name}: block {block.name!r} uses undefined value {value.name!r}"
+                )
+
+    # Label / merge discipline.
+    block_map = method.block_map()
+    for block in method.blocks:
+        preds = cfg.predecessors.get(block.name, [])
+        if isinstance(block.begin, Label):
+            if len(preds) > 1:
+                raise ValidationError(
+                    f"{name}: label block {block.name!r} has multiple predecessors"
+                )
+            for pred in preds:
+                if not isinstance(block_map[pred].end, If):
+                    raise ValidationError(
+                        f"{name}: label block {block.name!r} must be targeted by an if"
+                    )
+        elif isinstance(block.begin, Merge):
+            for pred in preds:
+                if not isinstance(block_map[pred].end, Jump):
+                    raise ValidationError(
+                        f"{name}: merge block {block.name!r} must be targeted by jumps only"
+                    )
+        # if successors must be label blocks
+        if isinstance(block.end, If):
+            for target in (block.end.then_label, block.end.else_label):
+                if target not in block_map:
+                    raise ValidationError(f"{name}: if targets unknown block {target!r}")
+                if not isinstance(block_map[target].begin, Label):
+                    raise ValidationError(
+                        f"{name}: if target {target!r} must be a label block"
+                    )
+        if isinstance(block.end, Jump):
+            target = block.end.target
+            if target not in block_map:
+                raise ValidationError(f"{name}: jump targets unknown block {target!r}")
+            target_block = block_map[target]
+            if not isinstance(target_block.begin, Merge):
+                raise ValidationError(
+                    f"{name}: jump target {target!r} must be a merge block"
+                )
+            phis = target_block.begin.phis
+            if len(block.end.phi_arguments) != len(phis):
+                raise ValidationError(
+                    f"{name}: jump from {block.name!r} to {target!r} passes "
+                    f"{len(block.end.phi_arguments)} phi arguments, expected {len(phis)}"
+                )
+
+    # Optional type checks when a hierarchy is supplied.
+    if hierarchy is not None:
+        for block in method.blocks:
+            for statement in block.statements:
+                if isinstance(statement, Assign) and statement.expr.type_name:
+                    if statement.expr.type_name not in hierarchy:
+                        raise ValidationError(
+                            f"{name}: new of unknown class {statement.expr.type_name!r}"
+                        )
+            if isinstance(block.end, If):
+                condition = block.end.condition
+                if isinstance(condition, InstanceOfCondition):
+                    if condition.type_name not in hierarchy:
+                        raise ValidationError(
+                            f"{name}: instanceof unknown class {condition.type_name!r}"
+                        )
+
+
+def validate_program(program: Program) -> None:
+    """Validate every method of a program plus the entry points."""
+    for entry in program.entry_points:
+        if entry not in program.methods:
+            raise ValidationError(f"entry point {entry!r} is not a defined method")
+    for method in program:
+        validate_method(method, program.hierarchy)

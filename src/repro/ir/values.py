@@ -1,0 +1,93 @@
+"""SSA values and right-hand-side expressions of the base language.
+
+The ``Expr`` production of the base language (Appendix B.1) is::
+
+    Expr e ::= n | Any | new T | null
+
+where ``n`` is a primitive integer literal and ``Any`` is the opaque result of
+arithmetic (the analysis does not model arithmetic, Section 3).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class ConstKind(enum.Enum):
+    """Kind of a right-hand-side constant expression."""
+
+    INT = "int"
+    ANY = "any"
+    NEW = "new"
+    NULL = "null"
+
+
+@dataclass(frozen=True)
+class ConstantExpr:
+    """A right-hand-side expression of a ``v <- e`` assignment."""
+
+    kind: ConstKind
+    int_value: Optional[int] = None
+    type_name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is ConstKind.INT and self.int_value is None:
+            raise ValueError("INT constant requires an int_value")
+        if self.kind is ConstKind.NEW and self.type_name is None:
+            raise ValueError("NEW expression requires a type_name")
+
+    @staticmethod
+    def int_const(value: int) -> "ConstantExpr":
+        return ConstantExpr(ConstKind.INT, int_value=int(value))
+
+    @staticmethod
+    def any_value() -> "ConstantExpr":
+        return ConstantExpr(ConstKind.ANY)
+
+    @staticmethod
+    def new(type_name: str) -> "ConstantExpr":
+        return ConstantExpr(ConstKind.NEW, type_name=type_name)
+
+    @staticmethod
+    def null() -> "ConstantExpr":
+        return ConstantExpr(ConstKind.NULL)
+
+    @property
+    def is_primitive(self) -> bool:
+        return self.kind in (ConstKind.INT, ConstKind.ANY)
+
+    def __str__(self) -> str:
+        if self.kind is ConstKind.INT:
+            return str(self.int_value)
+        if self.kind is ConstKind.ANY:
+            return "Any"
+        if self.kind is ConstKind.NEW:
+            return f"new {self.type_name}"
+        return "null"
+
+
+_value_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Value:
+    """An SSA value (local variable with a single static definition).
+
+    Values are identified by name within a method.  ``declared_type`` is the
+    static type when known (used for documentation and by the frontend); the
+    analysis itself relies on the computed value states rather than on static
+    types.
+    """
+
+    name: str
+    declared_type: Optional[str] = None
+    uid: int = field(default_factory=lambda: next(_value_counter), compare=False)
+
+    def __str__(self) -> str:
+        return self.name
+
+    def with_type(self, declared_type: str) -> "Value":
+        return Value(self.name, declared_type, uid=self.uid)

@@ -1,0 +1,44 @@
+"""A small Java-like surface language compiled to the SSA base language.
+
+The frontend exists so that examples, tests, and documentation can express
+programs as readable source text instead of builder calls.  It supports the
+subset of Java needed by the paper's examples:
+
+* classes with single inheritance, fields, instance and static methods;
+* statements: local variable declarations, assignments (to locals and fields),
+  ``if``/``else``, ``while``, ``return``, and expression statements;
+* expressions: integer and boolean literals, ``null``, ``new T()``, local
+  variables, field reads, virtual and static calls, comparisons, ``instanceof``,
+  and arithmetic (which the analysis abstracts to ``Any``).
+
+Example::
+
+    from repro.lang import compile_source
+
+    program = compile_source('''
+        class Config {
+            boolean isEnabled() { return false; }
+        }
+        class Main {
+            static void main() {
+                Config c = new Config();
+                if (c.isEnabled()) {
+                    Main.expensiveFeature();
+                }
+            }
+            static void expensiveFeature() { }
+        }
+    ''', entry_points=["Main.main"])
+"""
+
+from repro.lang.api import compile_source, parse_source
+from repro.lang.errors import LangError, LexerError, LoweringError, ParseError
+
+__all__ = [
+    "LangError",
+    "LexerError",
+    "LoweringError",
+    "ParseError",
+    "compile_source",
+    "parse_source",
+]

@@ -1,0 +1,35 @@
+"""Public frontend API: compile surface-language source to an IR program."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.ir.program import Program
+from repro.ir.validate import validate_program
+from repro.lang.ast import CompilationUnit
+from repro.lang.lowering import lower_unit
+from repro.lang.parser import parse
+
+
+def parse_source(source: str) -> CompilationUnit:
+    """Parse source text into an AST without lowering it."""
+    return parse(source)
+
+
+def compile_source(source: str, entry_points: Optional[Iterable[str]] = None,
+                   validate: bool = True) -> Program:
+    """Compile source text into a closed-world :class:`~repro.ir.program.Program`.
+
+    ``entry_points`` lists qualified method names (``Class.method``) used as
+    analysis roots; when omitted, ``Main.main`` is used if it exists.
+    """
+    unit = parse_source(source)
+    program = lower_unit(unit)
+    roots = list(entry_points) if entry_points is not None else []
+    if not roots and program.has_method("Main.main"):
+        roots = ["Main.main"]
+    for root in roots:
+        program.add_entry_point(root)
+    if validate:
+        validate_program(program)
+    return program

@@ -1,0 +1,194 @@
+"""Abstract syntax tree of the surface language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+# --------------------------------------------------------------------------- #
+# Expressions
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class IntLiteral:
+    value: int
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class BoolLiteral:
+    value: bool
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class NullLiteral:
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class VarRef:
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ThisRef:
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class NewObject:
+    class_name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class FieldAccess:
+    receiver: "Expression"
+    field_name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class MethodCall:
+    """``receiver.method(args)``; ``receiver`` is a class name string for static calls."""
+
+    receiver: "Expression"
+    method_name: str
+    arguments: Tuple["Expression", ...]
+    static_class: Optional[str] = None
+    line: int = 0
+
+    @property
+    def is_static(self) -> bool:
+        return self.static_class is not None
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Arithmetic (``+ - * /``) or comparison (``== != < <= > >=``) operation."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+    line: int = 0
+
+    @property
+    def is_comparison(self) -> bool:
+        return self.op in ("==", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class InstanceOf:
+    value: "Expression"
+    class_name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class NotOp:
+    operand: "Expression"
+    line: int = 0
+
+
+Expression = (
+    IntLiteral, BoolLiteral, NullLiteral, VarRef, ThisRef, NewObject,
+    FieldAccess, MethodCall, BinaryOp, InstanceOf, NotOp,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Statements
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class LocalDecl:
+    declared_type: str
+    name: str
+    initializer: Optional[object]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class AssignStmt:
+    """Assignment to a local variable or to a field (``target`` is VarRef or FieldAccess)."""
+
+    target: object
+    value: object
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class IfStmt:
+    condition: object
+    then_body: Tuple[object, ...]
+    else_body: Tuple[object, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class WhileStmt:
+    condition: object
+    body: Tuple[object, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ReturnStmt:
+    value: Optional[object]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ExprStmt:
+    expression: object
+    line: int = 0
+
+
+Statement = (LocalDecl, AssignStmt, IfStmt, WhileStmt, ReturnStmt, ExprStmt)
+
+
+# --------------------------------------------------------------------------- #
+# Declarations
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ParameterDecl:
+    declared_type: str
+    name: str
+
+
+@dataclass(frozen=True)
+class FieldDeclNode:
+    declared_type: str
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class MethodDeclNode:
+    name: str
+    return_type: str
+    parameters: Tuple[ParameterDecl, ...]
+    body: Tuple[object, ...]
+    is_static: bool = False
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ClassDeclNode:
+    name: str
+    superclass: str
+    fields: Tuple[FieldDeclNode, ...]
+    methods: Tuple[MethodDeclNode, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class CompilationUnit:
+    classes: Tuple[ClassDeclNode, ...]
+
+    def class_named(self, name: str) -> ClassDeclNode:
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        raise KeyError(f"no class named {name!r}")

@@ -1,0 +1,25 @@
+"""Error types of the surface-language frontend."""
+
+from __future__ import annotations
+
+
+class LangError(Exception):
+    """Base class for all frontend errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class LexerError(LangError):
+    """Raised on unexpected characters or malformed literals."""
+
+
+class ParseError(LangError):
+    """Raised on syntactically invalid input."""
+
+
+class LoweringError(LangError):
+    """Raised when a parsed program cannot be lowered to the base language."""

@@ -1,0 +1,133 @@
+"""Tokenizer for the Java-like surface language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.lang.errors import LexerError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    INT = "int"
+    KEYWORD = "keyword"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "class", "extends", "static", "void", "int", "boolean",
+    "if", "else", "while", "return", "new", "null", "true", "false",
+    "instanceof", "this",
+}
+
+#: Multi-character symbols must be listed before their prefixes.
+SYMBOLS = [
+    "==", "!=", "<=", ">=", "&&", "||",
+    "{", "}", "(", ")", ";", ",", ".", "=", "<", ">", "+", "-", "*", "/", "!",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_symbol(self, text: str) -> bool:
+        return self.kind is TokenKind.SYMBOL and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.text!r})"
+
+
+class Lexer:
+    """Converts source text into a token list (comments and whitespace skipped)."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+    # ------------------------------------------------------------------ #
+    def _peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.position < len(self.source):
+                if self.source[self.position] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.position += 1
+
+    def _skip_trivia(self) -> None:
+        while True:
+            char = self._peek()
+            if char and char.isspace():
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self._peek() and not (self._peek() == "*" and self._peek(1) == "/"):
+                    self._advance()
+                if not self._peek():
+                    raise LexerError("unterminated block comment", self.line, self.column)
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        line, column = self.line, self.column
+        char = self._peek()
+        if not char:
+            return Token(TokenKind.EOF, "", line, column)
+        if char.isalpha() or char == "_":
+            return self._lex_word(line, column)
+        if char.isdigit():
+            return self._lex_number(line, column)
+        for symbol in SYMBOLS:
+            if self.source.startswith(symbol, self.position):
+                self._advance(len(symbol))
+                return Token(TokenKind.SYMBOL, symbol, line, column)
+        raise LexerError(f"unexpected character {char!r}", line, column)
+
+    def _lex_word(self, line: int, column: int) -> Token:
+        start = self.position
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start:self.position]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self.position
+        while self._peek().isdigit():
+            self._advance()
+        return Token(TokenKind.INT, self.source[start:self.position], line, column)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a whole compilation unit."""
+    return Lexer(source).tokenize()

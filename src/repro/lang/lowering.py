@@ -1,0 +1,366 @@
+"""Lowering of the surface-language AST to the SSA base language.
+
+The lowering performs structured SSA construction: every ``if`` introduces a
+merge block with phi instructions for the variables assigned in its branches,
+and every ``while`` introduces a loop-header merge with phis for the variables
+assigned in its body.  Comparisons used as values (``boolean b = x < y;``)
+are materialized through the same mechanism (a small diamond producing 0/1),
+and arithmetic lowers to the opaque ``Any`` expression, matching the value
+abstraction of the analysis.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.ir.builder import MethodBuilder, ProgramBuilder
+from repro.ir.instructions import CompareOp
+from repro.ir.program import Program
+from repro.ir.values import Value
+from repro.lang import ast
+from repro.lang.errors import LoweringError
+
+_COMPARE_OPS = {
+    "==": CompareOp.EQ,
+    "!=": CompareOp.NE,
+    "<": CompareOp.LT,
+    "<=": CompareOp.LE,
+    ">": CompareOp.GT,
+    ">=": CompareOp.GE,
+}
+
+_ARITHMETIC_OPS = ("+", "-", "*", "/")
+
+
+def _ir_type(name: str) -> str:
+    """Map surface type names to base-language type names."""
+    if name == "boolean":
+        return "int"
+    return name
+
+
+class _MethodLowering:
+    """Lowers one method body into a :class:`MethodBuilder`."""
+
+    def __init__(self, unit: ast.CompilationUnit, builder: MethodBuilder,
+                 method: ast.MethodDeclNode, class_name: str):
+        self.unit = unit
+        self.mb = builder
+        self.method = method
+        self.class_name = class_name
+        self.env: Dict[str, Value] = {}
+        self._labels = itertools.count()
+        for parameter, value in zip(method.parameters, self._parameter_values()):
+            self.env[parameter.name] = value
+
+    def _parameter_values(self) -> List[Value]:
+        params = self.mb.parameters
+        return params if self.method.is_static else params[1:]
+
+    def _fresh_label(self, hint: str) -> str:
+        return f"{hint}{next(self._labels)}"
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def lower_body(self) -> None:
+        falls_through = self._lower_statements(self.method.body)
+        if falls_through:
+            if self.method.return_type == "void":
+                self.mb.return_void()
+            else:
+                raise LoweringError(
+                    f"method {self.class_name}.{self.method.name} can fall off "
+                    "the end without returning a value",
+                    self.method.line,
+                )
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+    def _lower_statements(self, statements: Sequence[object]) -> bool:
+        """Lower a statement list; returns True when control falls through."""
+        for statement in statements:
+            if not self._lower_statement(statement):
+                return False
+        return True
+
+    def _lower_statement(self, statement) -> bool:
+        if isinstance(statement, ast.LocalDecl):
+            self._lower_local_decl(statement)
+            return True
+        if isinstance(statement, ast.AssignStmt):
+            self._lower_assignment(statement)
+            return True
+        if isinstance(statement, ast.ExprStmt):
+            self._lower_expression(statement.expression)
+            return True
+        if isinstance(statement, ast.ReturnStmt):
+            value = None
+            if statement.value is not None:
+                value = self._lower_expression(statement.value)
+            self.mb.return_(value)
+            return False
+        if isinstance(statement, ast.IfStmt):
+            return self._lower_if(statement)
+        if isinstance(statement, ast.WhileStmt):
+            return self._lower_while(statement)
+        raise LoweringError(f"unsupported statement {statement!r}")
+
+    def _lower_local_decl(self, statement: ast.LocalDecl) -> None:
+        if statement.initializer is not None:
+            value = self._lower_expression(statement.initializer)
+        elif statement.declared_type in ("int", "boolean"):
+            value = self.mb.assign_int(0)
+        else:
+            value = self.mb.assign_null()
+        self.env[statement.name] = value
+
+    def _lower_assignment(self, statement: ast.AssignStmt) -> None:
+        target = statement.target
+        if isinstance(target, ast.VarRef):
+            if target.name not in self.env:
+                raise LoweringError(f"assignment to undeclared variable {target.name!r}",
+                                    statement.line)
+            self.env[target.name] = self._lower_expression(statement.value)
+            return
+        if isinstance(target, ast.FieldAccess):
+            receiver = self._lower_expression(target.receiver)
+            value = self._lower_expression(statement.value)
+            self.mb.store_field(receiver, target.field_name, value)
+            return
+        raise LoweringError("assignment target must be a variable or a field",
+                            statement.line)
+
+    # ------------------------------------------------------------------ #
+    # Control flow
+    # ------------------------------------------------------------------ #
+    def _lower_if(self, statement: ast.IfStmt) -> bool:
+        then_label = self._fresh_label("then")
+        else_label = self._fresh_label("else")
+        merge_label = self._fresh_label("merge")
+        phi_vars = sorted(
+            (self._assigned_variables(statement.then_body)
+             | self._assigned_variables(statement.else_body))
+            & set(self.env)
+        )
+        self._emit_condition(statement.condition, then_label, else_label)
+
+        outer_env = dict(self.env)
+        jumps = 0
+
+        self.mb.label(then_label)
+        self.env = dict(outer_env)
+        then_falls = self._lower_statements(statement.then_body)
+        if then_falls:
+            self.mb.jump(merge_label, [self.env[name] for name in phi_vars])
+            jumps += 1
+
+        self.mb.label(else_label)
+        self.env = dict(outer_env)
+        else_falls = self._lower_statements(statement.else_body)
+        if else_falls:
+            self.mb.jump(merge_label, [self.env[name] for name in phi_vars])
+            jumps += 1
+
+        self.env = dict(outer_env)
+        if jumps == 0:
+            return False
+        phi_values = self.mb.merge(merge_label, [f"{name}_m{merge_label}" for name in phi_vars])
+        for name, value in zip(phi_vars, phi_values):
+            self.env[name] = value
+        return True
+
+    def _lower_while(self, statement: ast.WhileStmt) -> bool:
+        header_label = self._fresh_label("loop")
+        body_label = self._fresh_label("body")
+        exit_label = self._fresh_label("exit")
+        phi_vars = sorted(self._assigned_variables(statement.body) & set(self.env))
+
+        self.mb.jump(header_label, [self.env[name] for name in phi_vars])
+        phi_values = self.mb.merge(header_label,
+                                   [f"{name}_l{header_label}" for name in phi_vars])
+        for name, value in zip(phi_vars, phi_values):
+            self.env[name] = value
+        self._emit_condition(statement.condition, body_label, exit_label)
+
+        header_env = dict(self.env)
+        self.mb.label(body_label)
+        self.env = dict(header_env)
+        body_falls = self._lower_statements(statement.body)
+        if body_falls:
+            self.mb.jump(header_label, [self.env[name] for name in phi_vars])
+
+        self.mb.label(exit_label)
+        self.env = dict(header_env)
+        return True
+
+    def _assigned_variables(self, statements: Sequence[object]) -> Set[str]:
+        assigned: Set[str] = set()
+        for statement in statements:
+            if isinstance(statement, ast.AssignStmt) and isinstance(statement.target, ast.VarRef):
+                assigned.add(statement.target.name)
+            elif isinstance(statement, ast.IfStmt):
+                assigned |= self._assigned_variables(statement.then_body)
+                assigned |= self._assigned_variables(statement.else_body)
+            elif isinstance(statement, ast.WhileStmt):
+                assigned |= self._assigned_variables(statement.body)
+        return assigned
+
+    # ------------------------------------------------------------------ #
+    # Conditions
+    # ------------------------------------------------------------------ #
+    def _emit_condition(self, condition, then_label: str, else_label: str) -> None:
+        if isinstance(condition, ast.NotOp):
+            self._emit_condition(condition.operand, else_label, then_label)
+            return
+        if isinstance(condition, ast.BinaryOp) and condition.op in ("&&", "||"):
+            value = self._lower_logical(condition)
+            self.mb.if_true(value, then_label, else_label)
+            return
+        if isinstance(condition, ast.InstanceOf):
+            value = self._lower_expression(condition.value)
+            self.mb.if_instanceof(value, condition.class_name, then_label, else_label)
+            return
+        if isinstance(condition, ast.BinaryOp) and condition.is_comparison:
+            left = self._lower_expression(condition.left)
+            right = self._lower_expression(condition.right)
+            self.mb.if_compare(_COMPARE_OPS[condition.op], left, right,
+                               then_label, else_label)
+            return
+        # Any other expression is a boolean-as-int value: compare against 1.
+        value = self._lower_expression(condition)
+        self.mb.if_true(value, then_label, else_label)
+
+    def _lower_logical(self, condition: ast.BinaryOp) -> Value:
+        """Short-circuit ``&&`` / ``||`` materialized as an int value (0 or 1)."""
+        continue_label = self._fresh_label("sc_rest")
+        short_label = self._fresh_label("sc_short")
+        merge_label = self._fresh_label("sc_merge")
+        if condition.op == "&&":
+            # left && right: evaluate right only when left holds, else 0.
+            self._emit_condition(condition.left, continue_label, short_label)
+            short_value_constant = 0
+        else:
+            # left || right: 1 when left holds, otherwise evaluate right.
+            self._emit_condition(condition.left, short_label, continue_label)
+            short_value_constant = 1
+        self.mb.label(continue_label)
+        rest_value = self._lower_condition_to_value(condition.right)
+        self.mb.jump(merge_label, [rest_value])
+        self.mb.label(short_label)
+        short_value = self.mb.assign_int(short_value_constant)
+        self.mb.jump(merge_label, [short_value])
+        return self.mb.merge(merge_label, [f"logic_{merge_label}"])[0]
+
+    def _lower_condition_to_value(self, condition) -> Value:
+        """Materialize a boolean expression as an int value (0 or 1)."""
+        if isinstance(condition, ast.BinaryOp) and condition.op in ("&&", "||"):
+            return self._lower_logical(condition)
+        then_label = self._fresh_label("bt")
+        else_label = self._fresh_label("bf")
+        merge_label = self._fresh_label("bm")
+        self._emit_condition(condition, then_label, else_label)
+        self.mb.label(then_label)
+        one = self.mb.assign_int(1)
+        self.mb.jump(merge_label, [one])
+        self.mb.label(else_label)
+        zero = self.mb.assign_int(0)
+        self.mb.jump(merge_label, [zero])
+        return self.mb.merge(merge_label, [f"bool_{merge_label}"])[0]
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+    def _lower_expression(self, expression) -> Value:
+        if isinstance(expression, ast.IntLiteral):
+            return self.mb.assign_int(expression.value)
+        if isinstance(expression, ast.BoolLiteral):
+            return self.mb.assign_int(1 if expression.value else 0)
+        if isinstance(expression, ast.NullLiteral):
+            return self.mb.assign_null()
+        if isinstance(expression, ast.ThisRef):
+            if self.method.is_static:
+                raise LoweringError("'this' used in a static method", expression.line)
+            return self.mb.receiver
+        if isinstance(expression, ast.VarRef):
+            if expression.name in self.env:
+                return self.env[expression.name]
+            raise LoweringError(f"unknown variable {expression.name!r}", expression.line)
+        if isinstance(expression, ast.NewObject):
+            return self.mb.assign_new(expression.class_name)
+        if isinstance(expression, ast.FieldAccess):
+            receiver = self._lower_expression(expression.receiver)
+            return self.mb.load_field(receiver, expression.field_name)
+        if isinstance(expression, ast.MethodCall):
+            return self._lower_call(expression)
+        if isinstance(expression, ast.BinaryOp):
+            if expression.op in ("&&", "||"):
+                return self._lower_logical(expression)
+            if expression.is_comparison:
+                return self._lower_condition_to_value(expression)
+            return self._lower_arithmetic(expression)
+        if isinstance(expression, ast.InstanceOf):
+            return self._lower_condition_to_value(expression)
+        if isinstance(expression, ast.NotOp):
+            return self._lower_condition_to_value(expression)
+        raise LoweringError(f"unsupported expression {expression!r}")
+
+    def _lower_arithmetic(self, expression: ast.BinaryOp) -> Value:
+        if expression.op not in _ARITHMETIC_OPS:
+            raise LoweringError(f"unsupported operator {expression.op!r}", expression.line)
+        # Operands are evaluated for their effects; the result is opaque (Any).
+        self._lower_expression(expression.left)
+        self._lower_expression(expression.right)
+        return self.mb.assign_any()
+
+    def _lower_call(self, call: ast.MethodCall) -> Value:
+        arguments = [self._lower_expression(argument) for argument in call.arguments]
+        if call.is_static:
+            return self.mb.invoke_static(call.static_class, call.method_name, arguments)
+        receiver = self._lower_expression(call.receiver)
+        return self.mb.invoke_virtual(receiver, call.method_name, arguments)
+
+
+class Lowering:
+    """Lowers a whole compilation unit into a closed-world program."""
+
+    def __init__(self, unit: ast.CompilationUnit):
+        self.unit = unit
+        self.pb = ProgramBuilder()
+
+    def lower(self) -> Program:
+        self._declare_types()
+        for cls in self.unit.classes:
+            for method in cls.methods:
+                self._lower_method(cls, method)
+        return self.pb.build()
+
+    # ------------------------------------------------------------------ #
+    def _declare_types(self) -> None:
+        for cls in self.unit.classes:
+            self.pb.declare_class(cls.name, superclass=cls.superclass)
+        for cls in self.unit.classes:
+            if cls.superclass != "Object" and cls.superclass not in self.pb.hierarchy:
+                raise LoweringError(
+                    f"class {cls.name} extends unknown class {cls.superclass}", cls.line)
+            for field in cls.fields:
+                self.pb.declare_field(cls.name, field.name, _ir_type(field.declared_type))
+
+    def _lower_method(self, cls: ast.ClassDeclNode, method: ast.MethodDeclNode) -> None:
+        builder = self.pb.method(
+            cls.name,
+            method.name,
+            params=[_ir_type(parameter.declared_type) for parameter in method.parameters],
+            return_type=_ir_type(method.return_type),
+            is_static=method.is_static,
+            param_names=[parameter.name for parameter in method.parameters],
+        )
+        _MethodLowering(self.unit, builder, method, cls.name).lower_body()
+        self.pb.finish_method(builder)
+
+
+def lower_unit(unit: ast.CompilationUnit) -> Program:
+    """Lower a parsed compilation unit to a program."""
+    return Lowering(unit).lower()

@@ -1,0 +1,348 @@
+"""Recursive-descent parser for the surface language."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.lexer import Token, TokenKind, tokenize
+
+#: Type keywords accepted in declarations alongside class names.
+_TYPE_KEYWORDS = {"int", "boolean", "void"}
+
+
+class Parser:
+    """Parses one compilation unit (a sequence of class declarations)."""
+
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    # ------------------------------------------------------------------ #
+    # Token helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self.current
+        return ParseError(f"{message}, found {token}", token.line, token.column)
+
+    def _expect_symbol(self, text: str) -> Token:
+        if not self.current.is_symbol(text):
+            raise self._error(f"expected {text!r}")
+        return self._advance()
+
+    def _expect_keyword(self, text: str) -> Token:
+        if not self.current.is_keyword(text):
+            raise self._error(f"expected keyword {text!r}")
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        if self.current.kind is not TokenKind.IDENT:
+            raise self._error("expected identifier")
+        return self._advance()
+
+    def _accept_symbol(self, text: str) -> bool:
+        if self.current.is_symbol(text):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, text: str) -> bool:
+        if self.current.is_keyword(text):
+            self._advance()
+            return True
+        return False
+
+    def _parse_type_name(self) -> str:
+        token = self.current
+        if token.kind is TokenKind.IDENT:
+            return self._advance().text
+        if token.kind is TokenKind.KEYWORD and token.text in _TYPE_KEYWORDS:
+            return self._advance().text
+        raise self._error("expected a type name")
+
+    # ------------------------------------------------------------------ #
+    # Declarations
+    # ------------------------------------------------------------------ #
+    def parse_compilation_unit(self) -> ast.CompilationUnit:
+        classes: List[ast.ClassDeclNode] = []
+        while self.current.kind is not TokenKind.EOF:
+            classes.append(self._parse_class())
+        return ast.CompilationUnit(tuple(classes))
+
+    def _parse_class(self) -> ast.ClassDeclNode:
+        line = self.current.line
+        self._expect_keyword("class")
+        name = self._expect_ident().text
+        superclass = "Object"
+        if self._accept_keyword("extends"):
+            superclass = self._expect_ident().text
+        self._expect_symbol("{")
+        fields: List[ast.FieldDeclNode] = []
+        methods: List[ast.MethodDeclNode] = []
+        while not self.current.is_symbol("}"):
+            member = self._parse_member()
+            if isinstance(member, ast.FieldDeclNode):
+                fields.append(member)
+            else:
+                methods.append(member)
+        self._expect_symbol("}")
+        return ast.ClassDeclNode(name, superclass, tuple(fields), tuple(methods), line)
+
+    def _parse_member(self):
+        line = self.current.line
+        is_static = self._accept_keyword("static")
+        declared_type = self._parse_type_name()
+        name = self._expect_ident().text
+        if self.current.is_symbol(";"):
+            if is_static:
+                raise self._error("static fields are not supported")
+            self._advance()
+            return ast.FieldDeclNode(declared_type, name, line)
+        if self.current.is_symbol("("):
+            parameters = self._parse_parameters()
+            body = self._parse_block()
+            return ast.MethodDeclNode(name, declared_type, parameters, body, is_static, line)
+        raise self._error("expected ';' (field) or '(' (method)")
+
+    def _parse_parameters(self) -> Tuple[ast.ParameterDecl, ...]:
+        self._expect_symbol("(")
+        parameters: List[ast.ParameterDecl] = []
+        while not self.current.is_symbol(")"):
+            declared_type = self._parse_type_name()
+            name = self._expect_ident().text
+            parameters.append(ast.ParameterDecl(declared_type, name))
+            if not self.current.is_symbol(")"):
+                self._expect_symbol(",")
+        self._expect_symbol(")")
+        return tuple(parameters)
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+    def _parse_block(self) -> Tuple[object, ...]:
+        self._expect_symbol("{")
+        statements: List[object] = []
+        while not self.current.is_symbol("}"):
+            statements.append(self._parse_statement())
+        self._expect_symbol("}")
+        return tuple(statements)
+
+    def _parse_statement(self):
+        token = self.current
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("return"):
+            return self._parse_return()
+        if self._starts_local_declaration():
+            return self._parse_local_declaration()
+        return self._parse_assignment_or_expression()
+
+    def _starts_local_declaration(self) -> bool:
+        token = self.current
+        looks_like_type = (
+            token.kind is TokenKind.IDENT
+            or (token.kind is TokenKind.KEYWORD and token.text in ("int", "boolean"))
+        )
+        return looks_like_type and self._peek().kind is TokenKind.IDENT
+
+    def _parse_if(self) -> ast.IfStmt:
+        line = self.current.line
+        self._expect_keyword("if")
+        self._expect_symbol("(")
+        condition = self._parse_expression()
+        self._expect_symbol(")")
+        then_body = self._parse_block()
+        else_body: Tuple[object, ...] = ()
+        if self._accept_keyword("else"):
+            if self.current.is_keyword("if"):
+                else_body = (self._parse_if(),)
+            else:
+                else_body = self._parse_block()
+        return ast.IfStmt(condition, then_body, else_body, line)
+
+    def _parse_while(self) -> ast.WhileStmt:
+        line = self.current.line
+        self._expect_keyword("while")
+        self._expect_symbol("(")
+        condition = self._parse_expression()
+        self._expect_symbol(")")
+        body = self._parse_block()
+        return ast.WhileStmt(condition, body, line)
+
+    def _parse_return(self) -> ast.ReturnStmt:
+        line = self.current.line
+        self._expect_keyword("return")
+        value: Optional[object] = None
+        if not self.current.is_symbol(";"):
+            value = self._parse_expression()
+        self._expect_symbol(";")
+        return ast.ReturnStmt(value, line)
+
+    def _parse_local_declaration(self) -> ast.LocalDecl:
+        line = self.current.line
+        declared_type = self._parse_type_name()
+        name = self._expect_ident().text
+        initializer: Optional[object] = None
+        if self._accept_symbol("="):
+            initializer = self._parse_expression()
+        self._expect_symbol(";")
+        return ast.LocalDecl(declared_type, name, initializer, line)
+
+    def _parse_assignment_or_expression(self):
+        line = self.current.line
+        expression = self._parse_expression()
+        if self._accept_symbol("="):
+            if not isinstance(expression, (ast.VarRef, ast.FieldAccess)):
+                raise self._error("assignment target must be a variable or a field")
+            value = self._parse_expression()
+            self._expect_symbol(";")
+            return ast.AssignStmt(expression, value, line)
+        self._expect_symbol(";")
+        return ast.ExprStmt(expression, line)
+
+    # ------------------------------------------------------------------ #
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------ #
+    def _parse_expression(self):
+        return self._parse_logical_or()
+
+    def _parse_logical_or(self):
+        left = self._parse_logical_and()
+        while self.current.is_symbol("||"):
+            token = self._advance()
+            right = self._parse_logical_and()
+            left = ast.BinaryOp("||", left, right, token.line)
+        return left
+
+    def _parse_logical_and(self):
+        left = self._parse_comparison()
+        while self.current.is_symbol("&&"):
+            token = self._advance()
+            right = self._parse_comparison()
+            left = ast.BinaryOp("&&", left, right, token.line)
+        return left
+
+    def _parse_comparison(self):
+        left = self._parse_additive()
+        while True:
+            token = self.current
+            if token.kind is TokenKind.SYMBOL and token.text in ("==", "!=", "<", "<=", ">", ">="):
+                op = self._advance().text
+                right = self._parse_additive()
+                left = ast.BinaryOp(op, left, right, token.line)
+            elif token.is_keyword("instanceof"):
+                self._advance()
+                class_name = self._expect_ident().text
+                left = ast.InstanceOf(left, class_name, token.line)
+            else:
+                return left
+
+    def _parse_additive(self):
+        left = self._parse_multiplicative()
+        while self.current.kind is TokenKind.SYMBOL and self.current.text in ("+", "-"):
+            token = self._advance()
+            right = self._parse_multiplicative()
+            left = ast.BinaryOp(token.text, left, right, token.line)
+        return left
+
+    def _parse_multiplicative(self):
+        left = self._parse_unary()
+        while self.current.kind is TokenKind.SYMBOL and self.current.text in ("*", "/"):
+            token = self._advance()
+            right = self._parse_unary()
+            left = ast.BinaryOp(token.text, left, right, token.line)
+        return left
+
+    def _parse_unary(self):
+        token = self.current
+        if token.is_symbol("!"):
+            self._advance()
+            return ast.NotOp(self._parse_unary(), token.line)
+        if token.is_symbol("-"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.BinaryOp("-", ast.IntLiteral(0, token.line), operand, token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self):
+        expression = self._parse_primary()
+        while self.current.is_symbol("."):
+            self._advance()
+            member = self._expect_ident().text
+            if self.current.is_symbol("("):
+                arguments = self._parse_arguments()
+                static_class = None
+                if isinstance(expression, ast.VarRef) and expression.name[:1].isupper():
+                    # ``ClassName.method(...)``: a capitalized bare name is a
+                    # static call; locals are required to start lowercase.
+                    static_class = expression.name
+                expression = ast.MethodCall(
+                    expression, member, arguments, static_class, self.current.line)
+            else:
+                expression = ast.FieldAccess(expression, member, self.current.line)
+        return expression
+
+    def _parse_arguments(self) -> Tuple[object, ...]:
+        self._expect_symbol("(")
+        arguments: List[object] = []
+        while not self.current.is_symbol(")"):
+            arguments.append(self._parse_expression())
+            if not self.current.is_symbol(")"):
+                self._expect_symbol(",")
+        self._expect_symbol(")")
+        return tuple(arguments)
+
+    def _parse_primary(self):
+        token = self.current
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return ast.IntLiteral(int(token.text), token.line)
+        if token.is_keyword("true"):
+            self._advance()
+            return ast.BoolLiteral(True, token.line)
+        if token.is_keyword("false"):
+            self._advance()
+            return ast.BoolLiteral(False, token.line)
+        if token.is_keyword("null"):
+            self._advance()
+            return ast.NullLiteral(token.line)
+        if token.is_keyword("this"):
+            self._advance()
+            return ast.ThisRef(token.line)
+        if token.is_keyword("new"):
+            self._advance()
+            class_name = self._expect_ident().text
+            self._expect_symbol("(")
+            self._expect_symbol(")")
+            return ast.NewObject(class_name, token.line)
+        if token.is_symbol("("):
+            self._advance()
+            expression = self._parse_expression()
+            self._expect_symbol(")")
+            return expression
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return ast.VarRef(token.text, token.line)
+        raise self._error("expected an expression")
+
+
+def parse(source: str) -> ast.CompilationUnit:
+    """Parse one compilation unit from source text."""
+    return Parser(source).parse_compilation_unit()

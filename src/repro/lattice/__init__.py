@@ -1,0 +1,22 @@
+"""The value lattice of SkipFlow (Figure 6 and Appendix B.2).
+
+Value states combine the primitive lattice ``P`` (``Empty``, concrete integer
+constants, ``Any``) with the subset lattice ``S`` over program types, where
+``null`` is modelled as a special type.  The join of two distinct primitive
+constants is immediately ``Any``; neither intervals nor constant sets are
+tracked, matching the scalability-driven design of the paper.
+"""
+
+from repro.lattice.primitive import ANY, AnyValue, join_constants, primitive_leq
+from repro.lattice.value_state import ValueState
+from repro.lattice.typeset import filter_instanceof, filter_null_comparison
+
+__all__ = [
+    "ANY",
+    "AnyValue",
+    "ValueState",
+    "join_constants",
+    "primitive_leq",
+    "filter_instanceof",
+    "filter_null_comparison",
+]

@@ -1,0 +1,78 @@
+"""The primitive value lattice ``P`` of Figure 6.
+
+::
+
+                Any
+       ... -2 -1 0 1 2 ...
+               Empty
+
+Only concrete integer constants are modelled (booleans are the integers 0
+and 1, Section 5).  The join of two different constants is immediately
+``Any``; there are no intervals or constant sets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+
+class AnyValue:
+    """Singleton sentinel for the top element ``Any`` of the primitive lattice."""
+
+    _instance: Optional["AnyValue"] = None
+
+    def __new__(cls) -> "AnyValue":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "Any"
+
+    def __hash__(self) -> int:
+        return hash("repro.lattice.Any")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AnyValue)
+
+
+#: The top element of the primitive lattice.
+ANY = AnyValue()
+
+#: A primitive lattice element: ``None`` (Empty), an ``int`` constant, or ``ANY``.
+PrimitiveElement = Union[None, int, AnyValue]
+
+
+def join_constants(left: PrimitiveElement, right: PrimitiveElement) -> PrimitiveElement:
+    """Join two elements of ``P``: different constants collapse to ``Any``."""
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if isinstance(left, AnyValue) or isinstance(right, AnyValue):
+        return ANY
+    if left == right:
+        return left
+    return ANY
+
+
+def join_all_constants(elements: Iterable[PrimitiveElement]) -> PrimitiveElement:
+    result: PrimitiveElement = None
+    for element in elements:
+        result = join_constants(result, element)
+        if isinstance(result, AnyValue):
+            return ANY
+    return result
+
+
+def primitive_leq(left: PrimitiveElement, right: PrimitiveElement) -> bool:
+    """Ordering of ``P``: ``Empty <= c <= Any`` and constants are incomparable."""
+    if left is None:
+        return True
+    if isinstance(right, AnyValue):
+        return True
+    if isinstance(left, AnyValue):
+        return False
+    if right is None:
+        return False
+    return left == right

@@ -1,0 +1,49 @@
+"""Filtering helpers over the reference (type-set) part of value states.
+
+These implement the TypeCheck rule of Appendix C for ``instanceof`` filter
+flows, and the null-comparison convenience used by the frontend tests.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.ir.types import NULL_TYPE_NAME, TypeHierarchy
+from repro.lattice.value_state import ValueState
+
+
+def filter_instanceof(
+    state: ValueState,
+    hierarchy: TypeHierarchy,
+    type_name: str,
+    negated: bool = False,
+) -> ValueState:
+    """Filter a value state through an ``instanceof`` (or negated) check.
+
+    The positive check keeps exactly the subtypes of ``type_name``; ``null``
+    never passes a positive ``instanceof`` (per Java semantics) and always
+    passes the negated check.  The primitive part never passes a type check.
+    """
+    kept = []
+    for candidate in state.types:
+        if candidate == NULL_TYPE_NAME:
+            passes = False
+        else:
+            passes = hierarchy.is_subtype(candidate, type_name)
+        if passes != negated:
+            kept.append(candidate)
+    return ValueState.of_types(kept)
+
+
+def filter_null_comparison(state: ValueState, keep_null: bool) -> ValueState:
+    """Filter a state for a ``== null`` / ``!= null`` check.
+
+    ``keep_null=True`` corresponds to the branch where the value *is* null
+    (only ``null`` survives); ``keep_null=False`` to the branch where it is
+    not (``null`` is removed).
+    """
+    if keep_null:
+        if state.contains_null:
+            return ValueState.null()
+        return ValueState.empty()
+    return state.without_null().only_types()

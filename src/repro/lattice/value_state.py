@@ -1,0 +1,196 @@
+"""Value states: elements of the combined lattice ``L`` (Appendix B.2).
+
+A value state is a set whose members are type names (strings, with ``null``
+modelled as the special type ``"null"``) and at most one primitive element
+(an integer constant or ``Any``).  Joining two different integer constants
+yields ``Any``, matching the primitive lattice ``P``; joining type sets is
+set union, matching the subset lattice ``S``.
+
+Value states are immutable and hashable so they can be compared cheaply by
+the fixed-point solver to detect changes.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, Optional, Tuple, Union
+
+from repro.lattice.primitive import ANY, AnyValue, PrimitiveElement, join_constants
+
+from repro.ir.types import NULL_TYPE_NAME
+
+
+class ValueState:
+    """An immutable element of the lattice ``L``.
+
+    The state is decomposed into a reference part (``types``: a frozenset of
+    type names, possibly containing ``null``) and a primitive part
+    (``primitive``: ``None`` for Empty, an ``int`` constant, or ``ANY``).
+    Well-typed programs only ever populate one of the two parts for a given
+    flow; keeping both makes the solver uniform and robust.
+    """
+
+    __slots__ = ("_types", "_primitive")
+
+    def __init__(self, types: Iterable[str] = (), primitive: PrimitiveElement = None):
+        self._types: FrozenSet[str] = frozenset(types)
+        self._primitive: PrimitiveElement = primitive
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def empty() -> "ValueState":
+        return _EMPTY
+
+    @staticmethod
+    def of_type(type_name: str) -> "ValueState":
+        return ValueState(types=(type_name,))
+
+    @staticmethod
+    def of_types(type_names: Iterable[str]) -> "ValueState":
+        return ValueState(types=type_names)
+
+    @staticmethod
+    def null() -> "ValueState":
+        return ValueState(types=(NULL_TYPE_NAME,))
+
+    @staticmethod
+    def of_int(constant: int) -> "ValueState":
+        return ValueState(primitive=int(constant))
+
+    @staticmethod
+    def any_primitive() -> "ValueState":
+        return ValueState(primitive=ANY)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def types(self) -> FrozenSet[str]:
+        """The reference part of the state (type names, possibly ``null``)."""
+        return self._types
+
+    @property
+    def primitive(self) -> PrimitiveElement:
+        """The primitive part: ``None`` (Empty), an ``int``, or ``ANY``."""
+        return self._primitive
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._types and self._primitive is None
+
+    @property
+    def has_any(self) -> bool:
+        return isinstance(self._primitive, AnyValue)
+
+    @property
+    def is_constant(self) -> bool:
+        """True when the state is a single known primitive constant."""
+        return (
+            not self._types
+            and self._primitive is not None
+            and not isinstance(self._primitive, AnyValue)
+        )
+
+    @property
+    def constant_value(self) -> Optional[int]:
+        if self.is_constant:
+            assert isinstance(self._primitive, int)
+            return self._primitive
+        return None
+
+    @property
+    def contains_null(self) -> bool:
+        return NULL_TYPE_NAME in self._types
+
+    @property
+    def reference_types(self) -> FrozenSet[str]:
+        """Type names excluding ``null``."""
+        return self._types - {NULL_TYPE_NAME}
+
+    @property
+    def is_null_only(self) -> bool:
+        return self._types == frozenset({NULL_TYPE_NAME}) and self._primitive is None
+
+    def contains_type(self, type_name: str) -> bool:
+        return type_name in self._types
+
+    # ------------------------------------------------------------------ #
+    # Lattice operations
+    # ------------------------------------------------------------------ #
+    def join(self, other: "ValueState") -> "ValueState":
+        """Least upper bound in ``L``."""
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        types = self._types | other._types
+        primitive = join_constants(self._primitive, other._primitive)
+        if types == self._types and primitive == self._primitive:
+            return self
+        if types == other._types and primitive == other._primitive:
+            return other
+        return ValueState(types=types, primitive=primitive)
+
+    def leq(self, other: "ValueState") -> bool:
+        """Partial order: ``self <= other`` iff joining adds nothing to ``other``."""
+        return other.join(self) == other
+
+    def with_types(self, types: Iterable[str]) -> "ValueState":
+        """A copy with the reference part replaced (primitive part preserved)."""
+        return ValueState(types=types, primitive=self._primitive)
+
+    def with_primitive(self, primitive: PrimitiveElement) -> "ValueState":
+        return ValueState(types=self._types, primitive=primitive)
+
+    def only_types(self) -> "ValueState":
+        return ValueState(types=self._types)
+
+    def only_primitive(self) -> "ValueState":
+        return ValueState(primitive=self._primitive)
+
+    def without_null(self) -> "ValueState":
+        if NULL_TYPE_NAME not in self._types:
+            return self
+        return ValueState(types=self._types - {NULL_TYPE_NAME}, primitive=self._primitive)
+
+    def widen_primitive(self) -> "ValueState":
+        """Collapse any primitive constant to ``Any``.
+
+        Used by the baseline configuration that does not track primitive
+        constants (``track_primitives=False``).
+        """
+        if self._primitive is None or isinstance(self._primitive, AnyValue):
+            return self
+        return ValueState(types=self._types, primitive=ANY)
+
+    # ------------------------------------------------------------------ #
+    # Dunder protocol
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ValueState):
+            return NotImplemented
+        return self._types == other._types and self._primitive == other._primitive
+
+    def __hash__(self) -> int:
+        return hash((self._types, self._primitive))
+
+    def __bool__(self) -> bool:
+        return not self.is_empty
+
+    def __len__(self) -> int:
+        return len(self._types) + (0 if self._primitive is None else 1)
+
+    def __iter__(self) -> Iterator[Union[str, int, AnyValue]]:
+        yield from sorted(self._types)
+        if self._primitive is not None:
+            yield self._primitive
+
+    def __repr__(self) -> str:
+        parts = [repr(t) for t in sorted(self._types)]
+        if self._primitive is not None:
+            parts.append(repr(self._primitive))
+        return "ValueState({" + ", ".join(parts) + "})"
+
+
+_EMPTY = ValueState()

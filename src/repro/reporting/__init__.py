@@ -1,0 +1,17 @@
+"""Rendering of the evaluation artifacts: Table 1, Figure 9, and DOT exports."""
+
+from repro.reporting.records import BenchmarkComparison, compare_configurations
+from repro.reporting.table import format_table1, table1_rows
+from repro.reporting.figures import figure9_series, format_figure9
+from repro.reporting.graphviz import call_graph_to_dot, pvpg_to_dot
+
+__all__ = [
+    "BenchmarkComparison",
+    "call_graph_to_dot",
+    "compare_configurations",
+    "figure9_series",
+    "format_figure9",
+    "format_table1",
+    "pvpg_to_dot",
+    "table1_rows",
+]

@@ -1,0 +1,68 @@
+"""Figure 9: all metrics normalized to the baseline, per benchmark suite."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.reporting.records import METRIC_NAMES, BenchmarkComparison
+
+#: Metrics plotted by Figure 9, in legend order.
+FIGURE9_METRICS = METRIC_NAMES
+
+
+def figure9_series(comparisons: Iterable[BenchmarkComparison]
+                   ) -> Dict[str, Dict[str, float]]:
+    """Per-benchmark normalized metric values (1.0 = baseline, lower is better)."""
+    series: Dict[str, Dict[str, float]] = {}
+    for comparison in comparisons:
+        series[comparison.benchmark] = {
+            metric: comparison.normalized(metric) for metric in FIGURE9_METRICS
+        }
+    return series
+
+
+def _bar(value: float, width: int = 30) -> str:
+    filled = max(0, min(width, int(round(value * width))))
+    return "#" * filled
+
+
+def format_figure9(comparisons: Sequence[BenchmarkComparison],
+                   suite_name: str, bar_metric: str = "reachable_methods") -> str:
+    """ASCII rendering of one Figure 9 panel.
+
+    Every benchmark gets a bar for ``bar_metric`` (normalized to the baseline)
+    plus the numeric values of all other metrics; anything below 1.0 is an
+    improvement over the baseline, exactly as in the paper's figure.
+    """
+    series = figure9_series(comparisons)
+    lines = [f"Figure 9 ({suite_name}): metrics normalized to PTA (lower is better)", ""]
+    name_width = max((len(name) for name in series), default=10)
+    for name, metrics in series.items():
+        bar_value = metrics[bar_metric]
+        lines.append(
+            f"{name.ljust(name_width)}  {bar_metric}={bar_value:5.2f} "
+            f"|{_bar(bar_value):<30}|"
+        )
+        details = "  ".join(
+            f"{metric}={metrics[metric]:.2f}"
+            for metric in FIGURE9_METRICS if metric != bar_metric
+        )
+        lines.append(f"{' ' * name_width}  {details}")
+    averages = suite_averages(comparisons)
+    lines.append("")
+    lines.append(
+        "suite averages: "
+        + "  ".join(f"{metric}={averages[metric]:.2f}" for metric in FIGURE9_METRICS)
+    )
+    return "\n".join(lines)
+
+
+def suite_averages(comparisons: Sequence[BenchmarkComparison]) -> Dict[str, float]:
+    """Average normalized value of every metric across a suite."""
+    if not comparisons:
+        return {metric: 1.0 for metric in FIGURE9_METRICS}
+    averages: Dict[str, float] = {}
+    for metric in FIGURE9_METRICS:
+        values = [comparison.normalized(metric) for comparison in comparisons]
+        averages[metric] = sum(values) / len(values)
+    return averages

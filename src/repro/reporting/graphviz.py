@@ -1,0 +1,84 @@
+"""Graph exports: call graphs and PVPGs as Graphviz DOT text.
+
+The paper's Figures 7 and 8 show PVPGs with the three edge kinds drawn
+differently (solid use edges, dashed predicate edges, dotted observe edges)
+and enabled flows highlighted.  :func:`pvpg_to_dot` reproduces that rendering
+for any analyzed method; :func:`call_graph_to_dot` exports the computed call
+graph.  Both return plain DOT text so no Graphviz installation is required.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from repro.core.results import AnalysisResult
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def call_graph_to_dot(result: AnalysisResult, roots_only: bool = False) -> str:
+    """Export the call graph of a solved analysis as DOT text."""
+    lines: List[str] = ["digraph callgraph {", '  rankdir="LR";',
+                        "  node [shape=box, fontsize=10];"]
+    reachable = sorted(result.reachable_methods)
+    entry_points = set(result.program.entry_points)
+    for method in reachable:
+        attributes = ' style="filled", fillcolor="lightblue",' if method in entry_points else ""
+        lines.append(f'  "{_escape(method)}" [{attributes.strip()}];'
+                     if attributes else f'  "{_escape(method)}";')
+    for caller, callee in result.call_edges():
+        lines.append(f'  "{_escape(caller)}" -> "{_escape(callee)}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pvpg_to_dot(result: AnalysisResult, method_names: Optional[Iterable[str]] = None) -> str:
+    """Export the PVPG of one or more methods in the style of Figures 7 and 8.
+
+    Enabled flows are drawn red, disabled flows grey; use edges are solid,
+    predicate edges dashed with empty arrow heads, observe edges dotted.
+    """
+    if method_names is None:
+        method_names = sorted(result.reachable_methods)
+    selected = list(method_names)
+    lines: List[str] = ["digraph pvpg {", "  node [shape=ellipse, fontsize=10];"]
+    included_ids: Set[int] = set()
+    flows = []
+    for method_name in selected:
+        graph = result.method_graph(method_name)
+        if graph is None:
+            continue
+        lines.append(f'  subgraph "cluster_{_escape(method_name)}" {{')
+        lines.append(f'    label="{_escape(method_name)}";')
+        for flow in graph.flows:
+            color = "red" if flow.enabled else "grey"
+            label = _escape(f"{flow.label}\\n{flow.state!r}" if not flow.state.is_empty
+                            else flow.label)
+            lines.append(f'    n{flow.uid} [label="{label}", color={color}];')
+            included_ids.add(flow.uid)
+            flows.append(flow)
+        lines.append("  }")
+    pred_on = result.pvpg.pred_on
+    lines.append(f'  n{pred_on.uid} [label="pred_on", color=red];')
+    included_ids.add(pred_on.uid)
+    flows.append(pred_on)
+    for field_flow in result.pvpg.field_flows.values():
+        lines.append(f'  n{field_flow.uid} [label="{_escape(field_flow.label)}", shape=box];')
+        included_ids.add(field_flow.uid)
+        flows.append(field_flow)
+
+    for flow in flows:
+        for target in flow.uses:
+            if target.uid in included_ids:
+                lines.append(f"  n{flow.uid} -> n{target.uid};")
+        for target in flow.predicate_targets:
+            if target.uid in included_ids:
+                lines.append(
+                    f"  n{flow.uid} -> n{target.uid} [style=dashed, arrowhead=empty];")
+        for target in flow.observers:
+            if target.uid in included_ids:
+                lines.append(f"  n{flow.uid} -> n{target.uid} [style=dotted];")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Rendering of Table 1: per-benchmark results for PTA and SkipFlow."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.reporting.records import METRIC_NAMES, BenchmarkComparison
+
+_COLUMN_TITLES = {
+    "analysis_time": "Analysis[s]",
+    "total_time": "Total[s]",
+    "reachable_methods": "Reach.Methods",
+    "type_checks": "TypeChecks",
+    "null_checks": "NullChecks",
+    "prim_checks": "PrimChecks",
+    "poly_calls": "PolyCalls",
+    "binary_size": "Binary[MB]",
+}
+
+
+def _format_value(metric: str, value: float) -> str:
+    if metric in ("analysis_time", "total_time"):
+        return f"{value:.2f}"
+    if metric == "binary_size":
+        return f"{value / 1_000_000.0:.2f}"
+    return f"{int(value)}"
+
+
+def table1_rows(comparisons: Iterable[BenchmarkComparison]) -> List[Dict[str, str]]:
+    """Structured rows (two per benchmark, PTA then SkipFlow with deltas)."""
+    rows: List[Dict[str, str]] = []
+    for comparison in comparisons:
+        pta_row = {"suite": comparison.suite, "benchmark": comparison.benchmark,
+                   "configuration": "PTA"}
+        skip_row = {"suite": comparison.suite, "benchmark": comparison.benchmark,
+                    "configuration": "SkipFlow"}
+        for metric in METRIC_NAMES:
+            base = comparison.metric(metric, "baseline")
+            skip = comparison.metric(metric, "skipflow")
+            delta = -comparison.reduction_percent(metric)
+            pta_row[metric] = _format_value(metric, base)
+            skip_row[metric] = f"{_format_value(metric, skip)} ({delta:+.1f}%)"
+        rows.append(pta_row)
+        rows.append(skip_row)
+    return rows
+
+
+def format_table1(comparisons: Sequence[BenchmarkComparison],
+                  title: str = "Table 1") -> str:
+    """Render the comparisons as a fixed-width text table."""
+    rows = table1_rows(comparisons)
+    headers = ["Benchmark", "Config"] + [_COLUMN_TITLES[m] for m in METRIC_NAMES]
+    table: List[List[str]] = [headers]
+    for row in rows:
+        table.append(
+            [row["benchmark"] if row["configuration"] == "PTA" else "",
+             row["configuration"]]
+            + [row[m] for m in METRIC_NAMES]
+        )
+    widths = [max(len(line[col]) for line in table) for col in range(len(headers))]
+    lines = [title, ""]
+    for line_index, line in enumerate(table):
+        rendered = "  ".join(cell.ljust(widths[col]) for col, cell in enumerate(line))
+        lines.append(rendered.rstrip())
+        if line_index == 0:
+            lines.append("-" * len(rendered))
+    return "\n".join(lines)
+
+
+def summarize_reductions(comparisons: Sequence[BenchmarkComparison]) -> Dict[str, float]:
+    """Max / min / average reachable-method reduction across a suite."""
+    reductions = [c.reachable_method_reduction_percent for c in comparisons]
+    if not reductions:
+        return {"max": 0.0, "min": 0.0, "avg": 0.0}
+    return {
+        "max": max(reductions),
+        "min": min(reductions),
+        "avg": sum(reductions) / len(reductions),
+    }

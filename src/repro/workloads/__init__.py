@@ -1,0 +1,51 @@
+"""Synthetic benchmark applications.
+
+The paper evaluates SkipFlow on DaCapo, Renaissance, and a set of microservice
+applications running on the JVM.  Those workloads cannot be executed here
+(no JVM, no network, and whole-program bytecode conversion would dominate the
+time budget), so this package generates *synthetic closed-world applications*
+with the same structural characteristics:
+
+* a core of always-reachable code (chained calls, virtual dispatch, field
+  traffic, type/null/primitive checks);
+* library modules that are only referenced from branches guarded by the code
+  patterns of Section 2 — optional ``null`` default arguments, interprocedural
+  boolean flags, ``instanceof``-based feature tests, and never-returning
+  guard methods.  A flow-insensitive analysis must keep these libraries
+  reachable; SkipFlow proves them dead.
+
+Each benchmark of the three suites is represented by a
+:class:`~repro.workloads.generator.BenchmarkSpec` whose guarded fraction is
+taken from the reduction the paper reports for that benchmark, so that the
+*shape* of Table 1 and Figure 9 is preserved.
+"""
+
+from repro.workloads.generator import BenchmarkSpec, GuardedModuleSpec, generate_benchmark
+from repro.workloads.patterns import (
+    GUARD_PATTERNS,
+    add_guarded_module,
+    add_library_module,
+    ModuleHandle,
+)
+from repro.workloads.suites import (
+    all_suites,
+    dacapo_suite,
+    microservices_suite,
+    renaissance_suite,
+    suite_by_name,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "GUARD_PATTERNS",
+    "GuardedModuleSpec",
+    "ModuleHandle",
+    "add_guarded_module",
+    "add_library_module",
+    "all_suites",
+    "dacapo_suite",
+    "generate_benchmark",
+    "microservices_suite",
+    "renaissance_suite",
+    "suite_by_name",
+]

@@ -1,0 +1,175 @@
+"""Deterministic generation of synthetic benchmark applications.
+
+A :class:`BenchmarkSpec` describes one benchmark: the size of its
+always-reachable core and a list of guarded library modules.  The generator
+produces a closed-world :class:`~repro.ir.program.Program` whose ``Main.main``
+entry point drives the core modules directly and each guarded module through
+its guard pattern.
+
+Generation is fully deterministic (no randomness is required: sizes and
+pattern assignment are part of the spec), so benchmark numbers are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads.patterns import (
+    GUARD_PATTERNS,
+    add_guarded_module,
+    add_library_module,
+)
+
+#: Minimum size of one generated module (the dispatch hierarchy plus entry).
+_MIN_MODULE_METHODS = 5
+#: Preferred size of one core module; large cores are split into several.
+_CORE_MODULE_METHODS = 60
+#: Methods added by each guard pattern in front of its module (drivers, helpers).
+GUARD_OVERHEAD_METHODS = {
+    "null_default": 4,
+    "boolean_flag": 3,
+    "instanceof_flag": 3,
+    "never_returns": 3,
+}
+
+
+@dataclass(frozen=True)
+class GuardedModuleSpec:
+    """One library module hidden behind a guard pattern."""
+
+    pattern: str
+    methods: int
+
+    def __post_init__(self) -> None:
+        if self.pattern not in GUARD_PATTERNS:
+            raise ValueError(f"unknown guard pattern {self.pattern!r}")
+        if self.methods < _MIN_MODULE_METHODS:
+            object.__setattr__(self, "methods", _MIN_MODULE_METHODS)
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Description of one synthetic benchmark application.
+
+    ``paper_reachable_thousands`` and ``paper_reduction_percent`` record the
+    PTA reachable-method count (in thousands) and the SkipFlow reduction the
+    paper reports for the corresponding real benchmark; they are used for the
+    paper-vs-measured comparison in EXPERIMENTS.md, not for generation.
+    """
+
+    name: str
+    suite: str
+    core_methods: int
+    guarded_modules: Tuple[GuardedModuleSpec, ...]
+    paper_reachable_thousands: Optional[float] = None
+    paper_reduction_percent: Optional[float] = None
+
+    @property
+    def guarded_methods(self) -> int:
+        return sum(module.methods for module in self.guarded_modules)
+
+    @property
+    def expected_total_methods(self) -> int:
+        """Approximate number of methods reachable by the baseline analysis."""
+        overhead = sum(GUARD_OVERHEAD_METHODS[m.pattern] for m in self.guarded_modules)
+        return self.core_methods + self.guarded_methods + overhead + 1  # + main
+
+    @property
+    def expected_reduction_fraction(self) -> float:
+        """Approximate fraction of methods SkipFlow should prove unreachable."""
+        total = self.expected_total_methods
+        return self.guarded_methods / total if total else 0.0
+
+
+def spec_from_reduction(
+    name: str,
+    suite: str,
+    total_methods: int,
+    reduction_percent: float,
+    paper_reachable_thousands: Optional[float] = None,
+    patterns: Sequence[str] = ("null_default", "boolean_flag",
+                               "instanceof_flag", "never_returns"),
+) -> BenchmarkSpec:
+    """Build a spec whose guarded fraction approximates ``reduction_percent``.
+
+    The guarded methods are split across the available guard patterns in
+    round-robin fashion so that every benchmark exercises every pattern.
+    """
+    total_methods = max(total_methods, 40)
+    guarded_total = int(round(total_methods * reduction_percent / 100.0))
+    guarded_total = min(guarded_total, total_methods - 20)
+    modules: List[GuardedModuleSpec] = []
+    if guarded_total >= 2:
+        # Even tiny guarded fractions get one minimum-size module so that the
+        # benchmark still exhibits a (small) SkipFlow advantage, as in the paper.
+        pattern_count = min(len(patterns), max(1, guarded_total // (2 * _MIN_MODULE_METHODS)))
+        base_size = max(guarded_total // pattern_count, _MIN_MODULE_METHODS)
+        remainder = max(guarded_total - base_size * pattern_count, 0)
+        for index in range(pattern_count):
+            size = base_size + (remainder if index == 0 else 0)
+            modules.append(GuardedModuleSpec(patterns[index % len(patterns)], size))
+    overhead = sum(GUARD_OVERHEAD_METHODS[m.pattern] for m in modules)
+    core = max(total_methods - guarded_total - overhead - 1, 20)
+    return BenchmarkSpec(
+        name=name,
+        suite=suite,
+        core_methods=core,
+        guarded_modules=tuple(modules),
+        paper_reachable_thousands=paper_reachable_thousands,
+        paper_reduction_percent=reduction_percent,
+    )
+
+
+def _sanitize(name: str) -> str:
+    cleaned = [ch if ch.isalnum() else "_" for ch in name]
+    text = "".join(cleaned)
+    return text[:1].upper() + text[1:]
+
+
+def generate_benchmark(spec: BenchmarkSpec) -> Program:
+    """Generate the closed-world program for one benchmark spec."""
+    pb = ProgramBuilder()
+    prefix = _sanitize(spec.name)
+
+    # Always-reachable core, split into modules of bounded size.
+    core_entries: List[Tuple[str, str]] = []
+    remaining = spec.core_methods
+    core_index = 0
+    while remaining > 0:
+        size = min(_CORE_MODULE_METHODS, remaining)
+        if remaining - size < _MIN_MODULE_METHODS and remaining - size > 0:
+            size = remaining
+        handle = add_library_module(pb, f"{prefix}Core{core_index}", size)
+        core_entries.append((handle.entry_class, handle.entry_method))
+        remaining -= handle.method_count
+        core_index += 1
+
+    # Guarded library modules.
+    guard_drivers: List[str] = []
+    for index, module_spec in enumerate(spec.guarded_modules):
+        driver = add_guarded_module(
+            pb, f"{prefix}Lib{index}", module_spec.methods, module_spec.pattern
+        )
+        guard_drivers.append(driver)
+
+    # Main entry point.
+    pb.declare_class("Main")
+    mb = pb.method("Main", "main", is_static=True)
+    for entry_class, entry_method in core_entries:
+        mb.invoke_static(entry_class, entry_method)
+    for driver in guard_drivers:
+        driver_class, driver_method = driver.split(".", 1)
+        mb.invoke_static(driver_class, driver_method)
+    mb.return_void()
+    pb.finish_method(mb)
+    pb.add_entry_point("Main.main")
+    return pb.build()
+
+
+def generate_suite(specs: Sequence[BenchmarkSpec]) -> Dict[str, Program]:
+    """Generate every benchmark of a suite, keyed by benchmark name."""
+    return {spec.name: generate_benchmark(spec) for spec in specs}

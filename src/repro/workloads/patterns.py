@@ -1,0 +1,350 @@
+"""Code patterns used by the synthetic benchmark generator.
+
+Two kinds of building blocks are provided:
+
+* :func:`add_library_module` — a self-contained "library": a chain of classes
+  with virtual dispatch, field traffic, and type/null/primitive checks whose
+  methods all become reachable once the module's entry method is called;
+* :func:`add_guarded_module` — a library module plus one of the guard
+  patterns from Section 2 of the paper wired in front of its entry method.
+  The guard is written so that SkipFlow proves the module unreachable while a
+  flow-insensitive analysis cannot:
+
+  ``null_default``
+      Figure 1 (DaCapo Sunflow): an optional parameter receives a default
+      allocation only when it is ``null``, but callers never pass ``null``.
+  ``boolean_flag``
+      A configuration method returns the constant ``false`` and the feature
+      activation is guarded by it.
+  ``instanceof_flag``
+      Figure 2 (JDK virtual threads): a query method answers ``this
+      instanceof Special`` and no ``Special`` instance exists.
+  ``never_returns``
+      A guard method never returns (models ``Assert.fail()``-style helpers),
+      making everything after the call site dead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.ir.builder import MethodBuilder, ProgramBuilder
+from repro.ir.instructions import CompareOp
+
+
+@dataclass(frozen=True)
+class ModuleHandle:
+    """Handle to a generated library module."""
+
+    prefix: str
+    entry_class: str
+    entry_method: str
+    method_names: tuple
+
+    @property
+    def entry_qualified_name(self) -> str:
+        return f"{self.entry_class}.{self.entry_method}"
+
+    @property
+    def method_count(self) -> int:
+        return len(self.method_names)
+
+
+# --------------------------------------------------------------------------- #
+# Library modules
+# --------------------------------------------------------------------------- #
+def add_library_module(pb: ProgramBuilder, prefix: str, method_count: int) -> ModuleHandle:
+    """Generate a library module with approximately ``method_count`` methods.
+
+    The module consists of a small dispatch hierarchy (``Base`` with two
+    implementations) plus a chain of worker classes.  Each worker method
+    allocates both implementations, stores them into a field, performs a
+    primitive check, a null check, a type check, a polymorphic call, and then
+    calls the next worker in the chain, so every metric of the evaluation is
+    exercised proportionally to the module size.
+    """
+    if method_count < 5:
+        method_count = 5
+    methods: List[str] = []
+
+    base = f"{prefix}Base"
+    impl_a = f"{prefix}ImplA"
+    impl_b = f"{prefix}ImplB"
+    pb.declare_class(base)
+    pb.declare_class(impl_a, superclass=base)
+    pb.declare_class(impl_b, superclass=base)
+    for class_name in (base, impl_a, impl_b):
+        mb = pb.method(class_name, "run", return_type="int")
+        value = mb.assign_any()
+        mb.return_(value)
+        pb.finish_method(mb)
+        methods.append(f"{class_name}.run")
+
+    worker_count = max(1, method_count - 4)
+    workers = [f"{prefix}Worker{i}" for i in range(worker_count)]
+    for index, class_name in enumerate(workers):
+        pb.declare_class(class_name)
+        pb.declare_field(class_name, "handler", base)
+        pb.declare_field(class_name, "cache", base)
+        pb.declare_field(class_name, "count", "int")
+        methods.append(f"{class_name}.work")
+    for index, class_name in enumerate(workers):
+        _build_worker_method(pb, class_name, index, workers, base, impl_a, impl_b)
+
+    entry_class = f"{prefix}Entry"
+    pb.declare_class(entry_class)
+    mb = pb.method(entry_class, "enter", is_static=True)
+    first = mb.assign_new(workers[0])
+    amount = mb.assign_any()
+    mb.invoke_virtual(first, "work", [amount])
+    mb.return_void()
+    pb.finish_method(mb)
+    methods.append(f"{entry_class}.enter")
+
+    return ModuleHandle(prefix, entry_class, "enter", tuple(methods))
+
+
+def _build_worker_method(pb: ProgramBuilder, class_name: str, index: int,
+                         workers: List[str], base: str, impl_a: str, impl_b: str) -> None:
+    mb = pb.method(class_name, "work", params=["int"], param_names=["amount"])
+    this = mb.receiver
+    amount = mb.param(0)
+
+    # Instantiate both implementations so the dispatch below stays polymorphic.
+    first = mb.assign_new(impl_a)
+    mb.store_field(this, "handler", first)
+    second = mb.assign_new(impl_b)
+    mb.store_field(this, "handler", second)
+
+    # Primitive check: the argument is unknown, so neither branch can be pruned.
+    threshold = mb.assign_int(10)
+    mb.if_lt(amount, threshold, "small", "large")
+    mb.label("small")
+    mb.store_field(this, "count", amount)
+    mb.jump("after_prim", [])
+    mb.label("large")
+    big = mb.assign_any()
+    mb.store_field(this, "count", big)
+    mb.jump("after_prim", [])
+    mb.merge("after_prim", [])
+
+    # Null check on the cache field.  The field really can be null (it is
+    # initialized to null before the handler is copied into it), so neither
+    # configuration can remove this check; null-check counts therefore track
+    # the number of reachable worker methods.
+    initial = mb.assign_null()
+    mb.store_field(this, "cache", initial)
+    mb.store_field(this, "cache", second)
+    cached = mb.load_field(this, "cache", base)
+    mb.if_null(cached, "is_null", "not_null")
+    mb.label("is_null")
+    fallback = mb.assign_new(impl_a)
+    mb.store_field(this, "cache", fallback)
+    mb.jump("after_null", [])
+    mb.label("not_null")
+    mb.jump("after_null", [])
+    mb.merge("after_null", [])
+
+    # Polymorphic dispatch: both implementations flow into the receiver, so
+    # this call site cannot be devirtualized by either configuration.
+    current = mb.load_field(this, "handler", base)
+    mb.invoke_virtual(current, "run", result_type="int")
+
+    # Type check: both implementations reach it, so it cannot be folded.
+    mb.if_instanceof(current, impl_a, "is_a", "is_b")
+    mb.label("is_a")
+    mb.invoke_virtual(current, "run", result_type="int")
+    mb.jump("after_type", [])
+    mb.label("is_b")
+    mb.invoke_virtual(current, "run", result_type="int")
+    mb.jump("after_type", [])
+    mb.merge("after_type", [])
+
+    # Chain to the next worker so the whole module is reachable from the entry.
+    if index + 1 < len(workers):
+        next_worker = mb.assign_new(workers[index + 1])
+        mb.invoke_virtual(next_worker, "work", [amount])
+    mb.return_void()
+    pb.finish_method(mb)
+
+
+# --------------------------------------------------------------------------- #
+# Guard patterns
+# --------------------------------------------------------------------------- #
+def _add_null_default_guard(pb: ProgramBuilder, prefix: str, module: ModuleHandle) -> str:
+    """Figure 1: an optional display parameter defaulted only when null."""
+    display = f"{prefix}Display"
+    frame_display = f"{prefix}FrameDisplay"
+    scene = f"{prefix}Scene"
+    pb.declare_class(display)
+    pb.declare_class(frame_display, superclass=display)
+    pb.declare_class(scene)
+
+    mb = pb.method(display, "show")
+    mb.return_void()
+    pb.finish_method(mb)
+
+    mb = pb.method(frame_display, "show")
+    mb.invoke_static(module.entry_class, module.entry_method)
+    mb.return_void()
+    pb.finish_method(mb)
+
+    mb = pb.method(scene, "render", params=[display], param_names=["display"])
+    d = mb.param(0)
+    mb.if_null(d, "is_null", "not_null")
+    mb.label("is_null")
+    default = mb.assign_new(frame_display)
+    mb.jump("joined", [default])
+    mb.label("not_null")
+    mb.jump("joined", [d])
+    joined = mb.merge("joined", ["display_joined"])[0]
+    mb.invoke_virtual(joined, "show")
+    mb.return_void()
+    pb.finish_method(mb)
+
+    driver = f"{prefix}Driver"
+    pb.declare_class(driver)
+    mb = pb.method(driver, "drive", is_static=True)
+    scene_obj = mb.assign_new(scene)
+    display_obj = mb.assign_new(display)
+    mb.invoke_virtual(scene_obj, "render", [display_obj])
+    mb.return_void()
+    pb.finish_method(mb)
+    return f"{driver}.drive"
+
+
+def _add_boolean_flag_guard(pb: ProgramBuilder, prefix: str, module: ModuleHandle) -> str:
+    """A configuration method returning the constant false guards the feature."""
+    config = f"{prefix}Config"
+    feature = f"{prefix}Feature"
+    driver = f"{prefix}Driver"
+    pb.declare_class(config)
+    pb.declare_class(feature)
+    pb.declare_class(driver)
+
+    mb = pb.method(config, "isEnabled", return_type="int")
+    disabled = mb.assign_int(0)
+    mb.return_(disabled)
+    pb.finish_method(mb)
+
+    mb = pb.method(feature, "activate")
+    mb.invoke_static(module.entry_class, module.entry_method)
+    mb.return_void()
+    pb.finish_method(mb)
+
+    mb = pb.method(driver, "drive", is_static=True)
+    config_obj = mb.assign_new(config)
+    flag = mb.invoke_virtual(config_obj, "isEnabled", result_type="int")
+    mb.if_true(flag, "enabled", "disabled")
+    mb.label("enabled")
+    feature_obj = mb.assign_new(feature)
+    mb.invoke_virtual(feature_obj, "activate")
+    mb.jump("end", [])
+    mb.label("disabled")
+    mb.jump("end", [])
+    mb.merge("end", [])
+    mb.return_void()
+    pb.finish_method(mb)
+    return f"{driver}.drive"
+
+
+def _add_instanceof_flag_guard(pb: ProgramBuilder, prefix: str, module: ModuleHandle) -> str:
+    """Figure 2: an interprocedural instanceof test on a never-instantiated type."""
+    item = f"{prefix}Item"
+    special = f"{prefix}SpecialItem"
+    handler = f"{prefix}Handler"
+    driver = f"{prefix}Driver"
+    pb.declare_class(item)
+    pb.declare_class(special, superclass=item)
+    pb.declare_class(handler)
+    pb.declare_class(driver)
+
+    mb = pb.method(item, "isSpecial", return_type="int")
+    mb.if_instanceof(mb.receiver, special, "yes", "no")
+    mb.label("yes")
+    one = mb.assign_int(1)
+    mb.jump("done", [one])
+    mb.label("no")
+    zero = mb.assign_int(0)
+    mb.jump("done", [zero])
+    result = mb.merge("done", ["result"])[0]
+    mb.return_(result)
+    pb.finish_method(mb)
+
+    mb = pb.method(handler, "handle")
+    mb.invoke_static(module.entry_class, module.entry_method)
+    mb.return_void()
+    pb.finish_method(mb)
+
+    mb = pb.method(driver, "drive", is_static=True)
+    item_obj = mb.assign_new(item)
+    special_flag = mb.invoke_virtual(item_obj, "isSpecial", result_type="int")
+    mb.if_true(special_flag, "special", "ordinary")
+    mb.label("special")
+    handler_obj = mb.assign_new(handler)
+    mb.invoke_virtual(handler_obj, "handle")
+    mb.jump("end", [])
+    mb.label("ordinary")
+    mb.jump("end", [])
+    mb.merge("end", [])
+    mb.return_void()
+    pb.finish_method(mb)
+    return f"{driver}.drive"
+
+
+def _add_never_returns_guard(pb: ProgramBuilder, prefix: str, module: ModuleHandle) -> str:
+    """A guard method that never returns makes the following call dead."""
+    validator = f"{prefix}Validator"
+    launcher = f"{prefix}Launcher"
+    driver = f"{prefix}Driver"
+    pb.declare_class(validator)
+    pb.declare_class(launcher)
+    pb.declare_class(driver)
+
+    # fail() spins forever: it has no reachable return, so its invoke flow
+    # never receives a value and everything after the call site stays disabled.
+    mb = pb.method(validator, "fail")
+    mb.jump("loop", [])
+    mb.merge("loop", [])
+    mb.jump("loop", [])
+    pb.finish_method(mb)
+
+    mb = pb.method(launcher, "launch")
+    mb.invoke_static(module.entry_class, module.entry_method)
+    mb.return_void()
+    pb.finish_method(mb)
+
+    mb = pb.method(driver, "drive", is_static=True)
+    validator_obj = mb.assign_new(validator)
+    mb.invoke_virtual(validator_obj, "fail")
+    launcher_obj = mb.assign_new(launcher)
+    mb.invoke_virtual(launcher_obj, "launch")
+    mb.return_void()
+    pb.finish_method(mb)
+    return f"{driver}.drive"
+
+
+#: Guard pattern name -> function adding the guard in front of a module.
+GUARD_PATTERNS: Dict[str, Callable[[ProgramBuilder, str, ModuleHandle], str]] = {
+    "null_default": _add_null_default_guard,
+    "boolean_flag": _add_boolean_flag_guard,
+    "instanceof_flag": _add_instanceof_flag_guard,
+    "never_returns": _add_never_returns_guard,
+}
+
+
+def add_guarded_module(pb: ProgramBuilder, prefix: str, method_count: int,
+                       pattern: str) -> str:
+    """Add a library module behind one of the guard patterns.
+
+    Returns the qualified name of the static driver method that the benchmark
+    ``main`` must call.  The driver and the guard helper methods are always
+    reachable; the module behind the guard is reachable only for analyses that
+    cannot evaluate the guard.
+    """
+    if pattern not in GUARD_PATTERNS:
+        raise ValueError(f"unknown guard pattern {pattern!r}; "
+                         f"expected one of {sorted(GUARD_PATTERNS)}")
+    module = add_library_module(pb, prefix, method_count)
+    return GUARD_PATTERNS[pattern](pb, prefix, module)

@@ -1,0 +1,152 @@
+"""Tests for the Compare function (Appendix C), including the paper's examples."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.compare import compare_states
+from repro.ir.instructions import CompareOp
+from repro.lattice.value_state import ValueState
+
+
+def types(*names):
+    return ValueState.of_types(names)
+
+
+class TestEmptyOperands:
+    def test_empty_left(self):
+        assert compare_states(CompareOp.EQ, ValueState.empty(), ValueState.of_int(5)).is_empty
+
+    def test_empty_right(self):
+        assert compare_states(CompareOp.LT, ValueState.of_int(5), ValueState.empty()).is_empty
+
+
+class TestEqualityPaperExamples:
+    def test_any_vs_constant(self):
+        # Compare('=', {Any}, {5}) = {5}
+        result = compare_states(CompareOp.EQ, ValueState.any_primitive(), ValueState.of_int(5))
+        assert result.constant_value == 5
+
+    def test_any_vs_any(self):
+        # Compare('=', {Any}, {Any}) = {Any}
+        result = compare_states(CompareOp.EQ, ValueState.any_primitive(),
+                                ValueState.any_primitive())
+        assert result.has_any
+
+    def test_constant_vs_any(self):
+        result = compare_states(CompareOp.EQ, ValueState.of_int(5), ValueState.any_primitive())
+        assert result.constant_value == 5
+
+    def test_type_intersection(self):
+        # Compare('=', {A, B}, {B, C}) = {B}
+        result = compare_states(CompareOp.EQ, types("A", "B"), types("B", "C"))
+        assert result.types == frozenset({"B"})
+
+    def test_equal_constants(self):
+        assert compare_states(CompareOp.EQ, ValueState.of_int(3),
+                              ValueState.of_int(3)).constant_value == 3
+
+    def test_different_constants(self):
+        assert compare_states(CompareOp.EQ, ValueState.of_int(3),
+                              ValueState.of_int(5)).is_empty
+
+    def test_null_check_intersection(self):
+        result = compare_states(CompareOp.EQ, types("A", "null"), ValueState.null())
+        assert result == ValueState.null()
+
+    def test_null_check_on_non_null_value_is_empty(self):
+        assert compare_states(CompareOp.EQ, types("A"), ValueState.null()).is_empty
+
+
+class TestInequality:
+    def test_singleton_difference_on_types(self):
+        result = compare_states(CompareOp.NE, types("A", "null"), ValueState.null())
+        assert result.types == frozenset({"A"})
+
+    def test_equal_constants_filtered_out(self):
+        # Compare('!=', {0}, {0}) = {}
+        assert compare_states(CompareOp.NE, ValueState.of_int(0), ValueState.of_int(0)).is_empty
+
+    def test_different_constants_kept(self):
+        # Compare('!=', {5}, {3}) = {5}
+        assert compare_states(CompareOp.NE, ValueState.of_int(5),
+                              ValueState.of_int(3)).constant_value == 5
+
+    def test_any_on_right_cannot_filter(self):
+        left = ValueState.of_int(5)
+        assert compare_states(CompareOp.NE, left, ValueState.any_primitive()) == left
+
+    def test_any_on_left_survives(self):
+        result = compare_states(CompareOp.NE, ValueState.any_primitive(), ValueState.of_int(0))
+        assert result.has_any
+
+    def test_non_singleton_right_operand_is_not_subtracted(self):
+        # Soundness guard: x != y with y in {B, C} does not exclude B for x.
+        left = types("A", "B")
+        assert compare_states(CompareOp.NE, left, types("B", "C")) == left
+
+
+class TestRelational:
+    def test_holds(self):
+        # Compare('<', {3}, {5}) = {3}
+        assert compare_states(CompareOp.LT, ValueState.of_int(3),
+                              ValueState.of_int(5)).constant_value == 3
+
+    def test_fails(self):
+        # Compare('<', {3}, {1}) = {}
+        assert compare_states(CompareOp.LT, ValueState.of_int(3),
+                              ValueState.of_int(1)).is_empty
+
+    def test_less_equal(self):
+        assert not compare_states(CompareOp.LE, ValueState.of_int(3),
+                                  ValueState.of_int(3)).is_empty
+        assert compare_states(CompareOp.GT, ValueState.of_int(3),
+                              ValueState.of_int(3)).is_empty
+
+    def test_greater_variants(self):
+        assert compare_states(CompareOp.GE, ValueState.of_int(4),
+                              ValueState.of_int(4)).constant_value == 4
+        assert compare_states(CompareOp.GT, ValueState.of_int(5),
+                              ValueState.of_int(4)).constant_value == 5
+
+    def test_any_left_passes_through(self):
+        result = compare_states(CompareOp.LT, ValueState.any_primitive(), ValueState.of_int(3))
+        assert result.has_any
+
+    def test_any_right_passes_through(self):
+        left = ValueState.of_int(3)
+        assert compare_states(CompareOp.LT, left, ValueState.any_primitive()) == left
+
+
+_prim_states = st.sampled_from([
+    ValueState.empty(), ValueState.of_int(0), ValueState.of_int(1), ValueState.of_int(5),
+    ValueState.any_primitive(), ValueState.of_types(["A"]), ValueState.of_types(["A", "null"]),
+    ValueState.null(),
+])
+_ops = st.sampled_from(list(CompareOp))
+
+
+class TestCompareProperties:
+    @given(_ops, _prim_states, _prim_states)
+    def test_result_never_exceeds_left_unless_any(self, op, left, right):
+        """Filtering never invents values: the result is below the left operand,
+        except in the ``= with Any`` case where the right operand is returned."""
+        result = compare_states(op, left, right)
+        if left.has_any:
+            return
+        assert result.leq(left)
+
+    @given(_ops, _prim_states, _prim_states)
+    def test_empty_operand_gives_empty(self, op, left, right):
+        if left.is_empty or right.is_empty:
+            assert compare_states(op, left, right).is_empty
+
+    @given(_ops, _prim_states, _prim_states, _prim_states)
+    def test_monotone_in_left_operand(self, op, small, extra, right):
+        """Compare is monotone: growing the left operand never shrinks the result.
+
+        Monotonicity is what guarantees the solver's termination and soundness
+        when value states grow during the fixed-point iteration.
+        """
+        big = small.join(extra)
+        result_small = compare_states(op, small, right)
+        result_big = compare_states(op, big, right)
+        assert result_small.leq(result_big)

@@ -1,0 +1,54 @@
+"""End-to-end checks of the Figure 2 motivating example (JDK virtual threads).
+
+SkipFlow must prove ``ThreadSet.remove`` unreachable when no virtual thread is
+ever instantiated, because the ``false`` constant returned by ``isVirtual``
+filters the branch predicate to an empty state.  The baseline analysis, which
+neither tracks primitive constants nor honours predicate edges, must keep the
+method reachable.
+"""
+
+from __future__ import annotations
+
+from repro import AnalysisConfig, SkipFlowAnalysis
+from tests.conftest import build_virtual_threads_program
+
+
+def test_skipflow_proves_remove_unreachable(virtual_threads_program):
+    result = SkipFlowAnalysis(virtual_threads_program, AnalysisConfig.skipflow()).run()
+    assert result.is_method_reachable("SharedThreadContainer.onExit")
+    assert result.is_method_reachable("Thread.isVirtual")
+    assert not result.is_method_reachable("ThreadSet.remove")
+
+
+def test_baseline_keeps_remove_reachable(virtual_threads_program):
+    result = SkipFlowAnalysis(virtual_threads_program, AnalysisConfig.baseline_pta()).run()
+    assert result.is_method_reachable("ThreadSet.remove")
+
+
+def test_skipflow_keeps_remove_when_virtual_threads_used(
+        virtual_threads_program_with_virtual):
+    result = SkipFlowAnalysis(
+        virtual_threads_program_with_virtual, AnalysisConfig.skipflow()).run()
+    assert result.is_method_reachable("ThreadSet.remove")
+
+
+def test_is_virtual_returns_false_constant(virtual_threads_program):
+    result = SkipFlowAnalysis(virtual_threads_program, AnalysisConfig.skipflow()).run()
+    return_state = result.return_state("Thread.isVirtual")
+    assert return_state.constant_value == 0
+
+
+def test_is_virtual_returns_any_when_both_branches_possible(
+        virtual_threads_program_with_virtual):
+    program = build_virtual_threads_program(use_virtual_threads=True)
+    result = SkipFlowAnalysis(program, AnalysisConfig.skipflow()).run()
+    # Only VirtualThread is instantiated in this variant, so isVirtual returns 1.
+    assert result.return_state("Thread.isVirtual").constant_value == 1
+
+
+def test_call_graph_edges(virtual_threads_program):
+    result = SkipFlowAnalysis(virtual_threads_program, AnalysisConfig.skipflow()).run()
+    edges = set(result.call_edges())
+    assert ("Main.main", "SharedThreadContainer.onExit") in edges
+    assert ("SharedThreadContainer.onExit", "Thread.isVirtual") in edges
+    assert all(callee != "ThreadSet.remove" for _, callee in edges)

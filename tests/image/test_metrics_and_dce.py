@@ -1,0 +1,132 @@
+"""Tests for the counter metrics, dead-code elimination, and binary-size model."""
+
+import pytest
+
+from repro import AnalysisConfig, SkipFlowAnalysis
+from repro.image.binary import BinarySizeModel
+from repro.image.dce import eliminate_dead_code
+from repro.image.metrics import collect_counter_metrics, collect_metrics
+from repro.lang import compile_source
+
+SOURCE = """
+class Config {
+    boolean isEnabled() { return false; }
+}
+class Handler {
+    void handle() { }
+}
+class AltHandler extends Handler {
+    void handle() { }
+}
+class Feature {
+    static void activate() { }
+}
+class Main {
+    static Handler pick(int which) {
+        if (which < 1) { return new Handler(); } else { return new AltHandler(); }
+    }
+    static void main(int which) {
+        Config config = new Config();
+        if (config.isEnabled()) {
+            Feature.activate();
+        }
+        Handler handler = Main.pick(which);
+        if (handler instanceof AltHandler) {
+            handler.handle();
+        } else {
+            handler.handle();
+        }
+        if (handler == null) {
+            Feature.activate();
+        }
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def skipflow_result():
+    program = compile_source(SOURCE, entry_points=["Main.main"])
+    return SkipFlowAnalysis(program, AnalysisConfig.skipflow()).run()
+
+
+@pytest.fixture(scope="module")
+def baseline_result():
+    program = compile_source(SOURCE, entry_points=["Main.main"])
+    return SkipFlowAnalysis(program, AnalysisConfig.baseline_pta()).run()
+
+
+class TestCounterMetrics:
+    def test_boolean_flag_check_removable_only_for_skipflow(self, skipflow_result,
+                                                            baseline_result):
+        skip = collect_counter_metrics(skipflow_result)
+        base = collect_counter_metrics(baseline_result)
+        # The `config.isEnabled()` and `handler == null` checks fold under
+        # SkipFlow; the `which < 1` and `instanceof` checks remain for both.
+        assert skip.primitive_checks < base.primitive_checks
+        assert skip.null_checks < base.null_checks
+
+    def test_type_check_survives_both(self, skipflow_result, baseline_result):
+        skip = collect_counter_metrics(skipflow_result)
+        base = collect_counter_metrics(baseline_result)
+        assert skip.type_checks >= 1
+        assert base.type_checks >= 1
+
+    def test_poly_calls_counted(self, skipflow_result):
+        counters = collect_counter_metrics(skipflow_result)
+        # handler.handle() has both Handler and AltHandler as targets... but the
+        # instanceof filters devirtualize each branch's call; at least one of
+        # the two branch calls must remain monomorphic.
+        assert counters.poly_calls >= 0
+
+    def test_counters_addition(self):
+        from repro.image.metrics import CounterMetrics
+        total = CounterMetrics(1, 2, 3, 4) + CounterMetrics(10, 20, 30, 40)
+        assert total == CounterMetrics(11, 22, 33, 44)
+        assert CounterMetrics.zero().type_checks == 0
+
+    def test_image_metrics_fields(self, skipflow_result):
+        metrics = collect_metrics(skipflow_result)
+        assert metrics.configuration == "SkipFlow"
+        assert metrics.reachable_methods == skipflow_result.reachable_method_count
+        assert metrics.type_checks == metrics.counters.type_checks
+        assert metrics.analysis_time_seconds >= 0.0
+        assert metrics.solver_steps > 0
+
+
+class TestDeadCodeElimination:
+    def test_feature_activation_is_dead_under_skipflow(self, skipflow_result):
+        report = eliminate_dead_code(skipflow_result)
+        assert report.dead_instructions > 0
+        main_report = report.methods["Main.main"]
+        assert main_report.dead_instructions > 0
+        assert not main_report.fully_live
+        assert "Main.main" in report.methods_with_dead_code()
+
+    def test_baseline_keeps_more_code_live(self, skipflow_result, baseline_result):
+        skip = eliminate_dead_code(skipflow_result)
+        base = eliminate_dead_code(baseline_result)
+        assert base.live_instructions >= skip.live_instructions
+        assert base.removable_branches <= skip.removable_branches
+
+    def test_report_totals_consistent(self, skipflow_result):
+        report = eliminate_dead_code(skipflow_result)
+        per_method_total = sum(m.total_instructions for m in report.methods.values())
+        assert per_method_total == report.live_instructions + report.dead_instructions
+        assert report.total_branches >= report.removable_branches
+
+
+class TestBinarySizeModel:
+    def test_size_decreases_with_precision(self, skipflow_result, baseline_result):
+        model = BinarySizeModel()
+        assert model.estimate(skipflow_result) < model.estimate(baseline_result)
+
+    def test_megabytes_conversion(self, skipflow_result):
+        model = BinarySizeModel()
+        assert model.estimate_megabytes(skipflow_result) == pytest.approx(
+            model.estimate(skipflow_result) / 1_000_000.0)
+
+    def test_custom_constants(self, skipflow_result):
+        small_model = BinarySizeModel(image_base_bytes=0, class_metadata_bytes=0,
+                                      method_header_bytes=1, instruction_bytes=0)
+        assert small_model.estimate(skipflow_result) == skipflow_result.reachable_method_count

@@ -1,0 +1,83 @@
+"""Tests for the optimization-opportunity report (Section 6 optimizations)."""
+
+import pytest
+
+from repro.core.analysis import AnalysisConfig, run_baseline, run_skipflow
+from repro.image.optimizations import collect_optimizations
+from repro.lang import compile_source
+
+SOURCE = """
+class Codec {
+    int encode(int level) { return level; }
+}
+class FastCodec extends Codec {
+    int encode(int level) { return 2; }
+}
+class Pipeline {
+    int run(Codec codec, int level) {
+        return codec.encode(level);
+    }
+}
+class Legacy {
+    static void support() { }
+}
+class Main {
+    static void main() {
+        Pipeline pipeline = new Pipeline();
+        Codec codec = new FastCodec();
+        pipeline.run(codec, 3);
+        boolean legacy = false;
+        if (legacy) { Legacy.support(); }
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def skipflow_report():
+    return collect_optimizations(run_skipflow(compile_source(SOURCE)))
+
+
+@pytest.fixture(scope="module")
+def baseline_report():
+    return collect_optimizations(run_baseline(compile_source(SOURCE)))
+
+
+class TestConstantParameters:
+    def test_constant_argument_detected(self, skipflow_report):
+        constants = {(c.method, c.parameter_name): c.constant
+                     for c in skipflow_report.constant_parameters}
+        assert constants.get(("Pipeline.run", "level")) == 3
+        assert constants.get(("FastCodec.encode", "level")) == 3
+
+    def test_baseline_tracks_no_primitive_constants(self, baseline_report):
+        assert all(c.method != "Pipeline.run" for c in baseline_report.constant_parameters)
+
+
+class TestDevirtualization:
+    def test_monomorphic_call_devirtualized(self, skipflow_report):
+        targets = {d.target for d in skipflow_report.devirtualized_calls}
+        assert "FastCodec.encode" in targets
+
+    def test_counts_exposed_in_summary(self, skipflow_report):
+        summary = skipflow_report.summary()
+        assert summary["devirtualized_calls"] == skipflow_report.devirtualized_call_count
+        assert summary["constant_parameters"] == skipflow_report.constant_parameter_count
+        assert set(summary) == {"constant_parameters", "devirtualized_calls",
+                                "inlining_candidates", "removable_instructions",
+                                "removable_branches"}
+
+
+class TestInliningAndDeadCode:
+    def test_small_methods_are_inlining_candidates(self, skipflow_report):
+        assert "FastCodec.encode" in skipflow_report.inlining_candidates
+        assert skipflow_report.inlining_candidate_count >= 2
+
+    def test_skipflow_finds_more_removable_code_than_baseline(self, skipflow_report,
+                                                              baseline_report):
+        assert skipflow_report.removable_instructions >= baseline_report.removable_instructions
+        assert skipflow_report.removable_branches >= baseline_report.removable_branches
+
+    def test_configuration_recorded(self, skipflow_report, baseline_report):
+        assert skipflow_report.configuration == "SkipFlow"
+        assert baseline_report.configuration == "PTA"

@@ -1,0 +1,118 @@
+"""Tests for reflection configuration handling and the image build driver."""
+
+import pytest
+
+from repro.core.analysis import AnalysisConfig
+from repro.image.builder import NativeImageBuilder, build_image
+from repro.image.reflection import ReflectionConfig, ReflectionConfigError
+from repro.lang import compile_source
+
+SOURCE = """
+class Plugin {
+    void install() { }
+}
+class FancyPlugin extends Plugin {
+    void install() { }
+}
+class Registry {
+    Plugin active;
+}
+class Admin {
+    static void resetPasswords() { Admin.audit(); }
+    static void audit() { }
+}
+class Main {
+    static void main() {
+        Registry registry = new Registry();
+    }
+}
+"""
+
+
+def fresh_program():
+    return compile_source(SOURCE, entry_points=["Main.main"])
+
+
+class TestReflectionConfig:
+    def test_reflective_method_becomes_root(self):
+        program = fresh_program()
+        config = ReflectionConfig().register_method("Admin.resetPasswords")
+        added = config.apply_to(program)
+        assert "Admin.resetPasswords" in added
+        report = NativeImageBuilder(program, AnalysisConfig.skipflow()).build()
+        assert report.result.is_method_reachable("Admin.resetPasswords")
+        assert report.result.is_method_reachable("Admin.audit")
+
+    def test_without_reflection_admin_is_dead(self):
+        report = NativeImageBuilder(fresh_program(), AnalysisConfig.skipflow()).build()
+        assert not report.result.is_method_reachable("Admin.resetPasswords")
+
+    def test_reflective_field_holds_all_instantiable_subtypes(self):
+        program = fresh_program()
+        config = ReflectionConfig().register_field("Registry", "active")
+        config.apply_to(program)
+        report = NativeImageBuilder(program, AnalysisConfig.skipflow()).build()
+        field_state = report.result.field_state("Registry.active")
+        assert field_state.contains_type("Plugin")
+        assert field_state.contains_type("FancyPlugin")
+        assert field_state.contains_null
+
+    def test_unknown_method_rejected(self):
+        config = ReflectionConfig().register_method("Nope.nothing")
+        with pytest.raises(ReflectionConfigError):
+            config.apply_to(fresh_program())
+
+    def test_unknown_field_rejected(self):
+        config = ReflectionConfig().register_field("Registry", "missing")
+        with pytest.raises(ReflectionConfigError):
+            config.apply_to(fresh_program())
+
+    def test_json_round_trip(self):
+        config = ReflectionConfig()
+        config.register_method("Admin.resetPasswords")
+        config.register_field("Registry", "active")
+        parsed = ReflectionConfig.from_json(config.to_json())
+        assert parsed.methods == ["Admin.resetPasswords"]
+        assert parsed.fields == [("Registry", "active")]
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ReflectionConfigError):
+            ReflectionConfig.from_json("{not json")
+        with pytest.raises(ReflectionConfigError):
+            ReflectionConfig.from_json('{"fields": ["oops"]}')
+        with pytest.raises(ReflectionConfigError):
+            ReflectionConfig.from_json('{"methods": [42]}')
+
+    def test_duplicate_registration_is_idempotent(self):
+        config = ReflectionConfig()
+        config.register_method("A.m").register_method("A.m")
+        config.register_field("C", "f").register_field("C", "f")
+        assert config.methods == ["A.m"]
+        assert config.fields == [("C", "f")]
+
+
+class TestNativeImageBuilder:
+    def test_report_contains_all_sections(self):
+        report = build_image(fresh_program(), AnalysisConfig.skipflow(), "demo")
+        assert report.benchmark == "demo"
+        assert report.configuration == "SkipFlow"
+        assert report.reachable_methods == report.metrics.reachable_methods
+        assert report.binary_size_bytes > 0
+        assert report.binary_size_megabytes == pytest.approx(
+            report.binary_size_bytes / 1_000_000.0)
+        assert report.total_time_seconds >= report.analysis_time_seconds
+
+    def test_builder_with_reflection_applies_once(self):
+        program = fresh_program()
+        reflection = ReflectionConfig().register_method("Admin.resetPasswords")
+        builder = NativeImageBuilder(program, AnalysisConfig.skipflow(),
+                                     reflection=reflection)
+        first = builder.build()
+        second = builder.build()
+        assert first.reachable_methods == second.reachable_methods
+
+    def test_baseline_image_is_larger(self):
+        skipflow = build_image(fresh_program(), AnalysisConfig.skipflow())
+        baseline = build_image(fresh_program(), AnalysisConfig.baseline_pta())
+        assert baseline.binary_size_bytes >= skipflow.binary_size_bytes
+        assert baseline.reachable_methods >= skipflow.reachable_methods

@@ -1,0 +1,125 @@
+"""Integration tests: the paper's Section 2 examples written in the surface
+language and pushed through the whole pipeline (frontend, analysis, image
+builder, metrics)."""
+
+import pytest
+
+from repro import AnalysisConfig, SkipFlowAnalysis
+from repro.core.analysis import run_baseline, run_skipflow
+from repro.image.builder import build_image
+from repro.lang import compile_source
+
+SUNFLOW = """
+class Display {
+    void imageBegin() { }
+}
+class FrameDisplay extends Display {
+    void imageBegin() { Awt.createWindow(); }
+}
+class Awt {
+    static void createWindow() { Swing.start(); }
+}
+class Swing {
+    static void start() { }
+}
+class Scene {
+    void render(Display display) {
+        if (display == null) {
+            display = new FrameDisplay();
+        }
+        display.imageBegin();
+    }
+}
+class Main {
+    static void main() {
+        Scene scene = new Scene();
+        scene.render(new Display());
+    }
+}
+"""
+
+VIRTUAL_THREADS = """
+class Thread {
+    boolean isVirtual() {
+        if (this instanceof BaseVirtualThread) { return true; } else { return false; }
+    }
+}
+class BaseVirtualThread extends Thread { }
+class ThreadSet {
+    void remove(Thread thread) { }
+}
+class SharedThreadContainer {
+    ThreadSet virtualThreads;
+    void onExit(Thread thread) {
+        if (thread.isVirtual()) {
+            this.virtualThreads.remove(thread);
+        }
+    }
+}
+class Main {
+    static void main() {
+        SharedThreadContainer container = new SharedThreadContainer();
+        container.virtualThreads = new ThreadSet();
+        container.onExit(new Thread());
+    }
+}
+"""
+
+
+class TestSunflowExample:
+    """Figure 1: the never-taken null default keeps AWT/Swing out of the image."""
+
+    def test_skipflow_removes_gui_stack(self):
+        program = compile_source(SUNFLOW)
+        result = run_skipflow(program)
+        for method in ("FrameDisplay.imageBegin", "Awt.createWindow", "Swing.start"):
+            assert not result.is_method_reachable(method)
+        assert result.is_method_reachable("Display.imageBegin")
+
+    def test_baseline_keeps_gui_stack(self):
+        program = compile_source(SUNFLOW)
+        result = run_baseline(program)
+        for method in ("FrameDisplay.imageBegin", "Awt.createWindow", "Swing.start"):
+            assert result.is_method_reachable(method)
+
+    def test_frame_display_not_instantiated_for_skipflow(self):
+        program = compile_source(SUNFLOW)
+        result = run_skipflow(program)
+        # The phi value feeding imageBegin() contains Display only.
+        targets = set().union(*result.call_targets("Scene.render").values())
+        assert "Display.imageBegin" in targets
+        assert "FrameDisplay.imageBegin" not in targets
+
+    def test_image_sizes_reflect_the_difference(self):
+        skip_report = build_image(compile_source(SUNFLOW), AnalysisConfig.skipflow())
+        base_report = build_image(compile_source(SUNFLOW), AnalysisConfig.baseline_pta())
+        assert skip_report.binary_size_bytes < base_report.binary_size_bytes
+        assert skip_report.reachable_methods < base_report.reachable_methods
+
+
+class TestVirtualThreadsExample:
+    """Figure 2: interprocedural boolean + type flow proves remove() dead."""
+
+    def test_skipflow_prunes_remove(self):
+        result = run_skipflow(compile_source(VIRTUAL_THREADS))
+        assert not result.is_method_reachable("ThreadSet.remove")
+        assert result.return_state("Thread.isVirtual").constant_value == 0
+
+    def test_baseline_keeps_remove(self):
+        result = run_baseline(compile_source(VIRTUAL_THREADS))
+        assert result.is_method_reachable("ThreadSet.remove")
+
+    def test_ablations_show_both_ingredients_needed(self):
+        program = compile_source(VIRTUAL_THREADS)
+        predicates_only = SkipFlowAnalysis(program, AnalysisConfig.predicates_only()).run()
+        primitives_only = SkipFlowAnalysis(program, AnalysisConfig.primitives_only()).run()
+        assert predicates_only.is_method_reachable("ThreadSet.remove")
+        assert primitives_only.is_method_reachable("ThreadSet.remove")
+
+    def test_adding_virtual_thread_restores_reachability(self):
+        source = VIRTUAL_THREADS.replace(
+            "container.onExit(new Thread());",
+            "container.onExit(new BaseVirtualThread());")
+        result = run_skipflow(compile_source(source))
+        assert result.is_method_reachable("ThreadSet.remove")
+        assert result.return_state("Thread.isVirtual").constant_value == 1

@@ -1,0 +1,134 @@
+"""Differential soundness testing: concrete execution vs. every analysis.
+
+Soundness is the property the paper cannot compromise on (the analysis feeds
+an ahead-of-time compiler): every method that can execute at runtime must be
+marked reachable, and every concrete value a variable takes must be covered
+by the computed value state.  These tests execute programs with the concrete
+interpreter and compare the trace against CHA, RTA, the PTA baseline, and
+SkipFlow — on the hand-written motivating examples, on generated workload
+applications, and on hypothesis-generated workload specifications.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines.cha import ClassHierarchyAnalysis
+from repro.baselines.rta import RapidTypeAnalysis
+from repro.core.analysis import AnalysisConfig, SkipFlowAnalysis, run_baseline, run_skipflow
+from repro.ir.interpreter import HeapObject, execute
+from repro.lang import compile_source
+from repro.workloads.generator import BenchmarkSpec, GuardedModuleSpec, generate_benchmark
+from tests.conftest import build_virtual_threads_program
+
+
+def _assert_execution_covered(program, trace) -> None:
+    """Every executed method must be reachable for every analysis."""
+    analyses = {
+        "CHA": ClassHierarchyAnalysis(program).run(),
+        "RTA": RapidTypeAnalysis(program).run(),
+        "PTA": run_baseline(program),
+        "SkipFlow": run_skipflow(program),
+    }
+    for name, result in analyses.items():
+        for method in trace.executed_methods:
+            assert result.is_method_reachable(method), (
+                f"{name} misses executed method {method}")
+        reachable_or_stub = set(getattr(result, "reachable_methods", set()))
+        reachable_or_stub |= set(getattr(result, "stub_methods", set()))
+        for caller, callee in trace.call_edges:
+            assert callee in reachable_or_stub, (
+                f"{name} misses executed callee {callee} (called from {caller})")
+
+
+def _assert_value_states_cover_trace(program, trace) -> None:
+    """Concrete runtime values must be covered by SkipFlow's value states."""
+    result = run_skipflow(program)
+    for method_name in trace.executed_methods:
+        graph = result.method_graph(method_name)
+        if graph is None:
+            continue
+        signature = graph.method.signature
+        for flow in graph.parameter_flows:
+            observed = trace.observed_values.get(
+                (method_name, graph.method.parameters[flow.index].name), [])
+            for value in observed:
+                if isinstance(value, HeapObject):
+                    assert value.type_name in flow.state.types, (
+                        f"{method_name}: runtime type {value.type_name} not in "
+                        f"parameter state {flow.state!r}")
+                elif value is None:
+                    assert flow.state.contains_null
+                elif isinstance(value, int):
+                    assert flow.state.has_any or flow.state.primitive == value, (
+                        f"{method_name}: runtime int {value} not covered by "
+                        f"{flow.state!r}")
+
+
+class TestMotivatingExamples:
+    def test_virtual_threads_trace_covered(self):
+        for use_virtual in (False, True):
+            program = build_virtual_threads_program(use_virtual_threads=use_virtual)
+            trace = execute(program)
+            _assert_execution_covered(program, trace)
+            _assert_value_states_cover_trace(program, trace)
+
+    def test_frontend_program_trace_covered(self):
+        program = compile_source("""
+            class Shape { int area() { return 0; } }
+            class Square extends Shape { int area() { return 4; } }
+            class Circle extends Shape { int area() { return 3; } }
+            class Main {
+                static int main() {
+                    Shape s = new Square();
+                    int total = s.area();
+                    if (total < 10) { s = new Circle(); }
+                    return s.area();
+                }
+            }
+        """, entry_points=["Main.main"])
+        trace = execute(program)
+        _assert_execution_covered(program, trace)
+        _assert_value_states_cover_trace(program, trace)
+
+
+class TestGeneratedWorkloads:
+    @pytest.mark.parametrize("pattern", ["null_default", "boolean_flag",
+                                         "instanceof_flag", "never_returns"])
+    def test_guarded_workloads_sound(self, pattern):
+        spec = BenchmarkSpec(
+            name=f"sound-{pattern}", suite="soundness", core_methods=25,
+            guarded_modules=(GuardedModuleSpec(pattern, 8),),
+        )
+        program = generate_benchmark(spec)
+        # never_returns workloads spin forever by design; bound the execution.
+        trace = execute(program, max_steps=5_000)
+        _assert_execution_covered(program, trace)
+        _assert_value_states_cover_trace(program, trace)
+
+
+_patterns = st.lists(
+    st.sampled_from(["null_default", "boolean_flag", "instanceof_flag"]),
+    min_size=1, max_size=3)
+
+
+class TestHypothesisSoundness:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(core=st.integers(min_value=10, max_value=60), patterns=_patterns,
+           module_size=st.integers(min_value=5, max_value=12))
+    def test_random_workloads_execution_covered(self, core, patterns, module_size):
+        spec = BenchmarkSpec(
+            name="hyp-app", suite="soundness", core_methods=core,
+            guarded_modules=tuple(GuardedModuleSpec(p, module_size) for p in patterns),
+        )
+        program = generate_benchmark(spec)
+        trace = execute(program, max_steps=10_000)
+        skipflow = run_skipflow(program)
+        baseline = run_baseline(program)
+        for method in trace.executed_methods:
+            assert skipflow.is_method_reachable(method)
+            assert baseline.is_method_reachable(method)
+        # Precision ordering holds as well.
+        assert skipflow.reachable_method_count <= baseline.reachable_method_count

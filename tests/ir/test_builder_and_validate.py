@@ -1,0 +1,276 @@
+"""Tests for the method/program builders and the IR validator."""
+
+import pytest
+
+from repro.ir.builder import BuilderError, MethodBuilder, ProgramBuilder
+from repro.ir.instructions import (
+    Assign,
+    CompareOp,
+    Condition,
+    If,
+    InstanceOfCondition,
+    Invoke,
+    InvokeKind,
+    Jump,
+    Merge,
+    Return,
+    Start,
+)
+from repro.ir.types import MethodSignature
+from repro.ir.validate import ValidationError, validate_method, validate_program
+
+
+def simple_builder(return_type="void", params=(), is_static=False):
+    signature = MethodSignature("Widget", "work", tuple(params), return_type, is_static)
+    return MethodBuilder(signature)
+
+
+class TestMethodBuilder:
+    def test_entry_block_has_start(self):
+        mb = simple_builder()
+        mb.return_void()
+        method = mb.build()
+        assert isinstance(method.entry_block.begin, Start)
+
+    def test_receiver_is_first_parameter(self):
+        mb = simple_builder()
+        assert mb.receiver.name == "this"
+        mb.return_void()
+        assert mb.build().parameters[0].name == "this"
+
+    def test_static_method_has_no_receiver(self):
+        mb = simple_builder(is_static=True)
+        with pytest.raises(BuilderError):
+            _ = mb.receiver
+
+    def test_param_indexing_skips_receiver(self):
+        signature = MethodSignature("Widget", "work", ("int", "Widget"))
+        mb = MethodBuilder(signature, param_names=["count", "other"])
+        assert mb.param(0).name == "count"
+        assert mb.param(1).name == "other"
+
+    def test_assign_statements_recorded(self):
+        mb = simple_builder()
+        mb.assign_int(7)
+        mb.assign_any()
+        mb.assign_null()
+        mb.assign_new("Widget")
+        mb.return_void()
+        method = mb.build()
+        assigns = [s for s in method.iter_statements() if isinstance(s, Assign)]
+        assert len(assigns) == 4
+
+    def test_unterminated_block_rejected(self):
+        mb = simple_builder()
+        mb.assign_int(1)
+        with pytest.raises(BuilderError):
+            mb.build()
+
+    def test_statement_after_terminator_rejected(self):
+        mb = simple_builder()
+        mb.return_void()
+        with pytest.raises(BuilderError):
+            mb.assign_int(1)
+
+    def test_duplicate_block_name_rejected(self):
+        mb = simple_builder()
+        one = mb.assign_int(1)
+        mb.if_eq(one, one, "a", "b")
+        mb.label("a")
+        with pytest.raises(BuilderError):
+            mb.label("a")
+
+    def test_if_compare_normalizes_ne(self):
+        mb = simple_builder(params=("int",))
+        x = mb.param(0)
+        y = mb.assign_int(0)
+        mb.if_compare(CompareOp.NE, x, y, "t", "e")
+        block = mb.build_partial() if hasattr(mb, "build_partial") else None
+        end = mb._blocks[0].end
+        assert isinstance(end, If)
+        assert isinstance(end.condition, Condition)
+        assert end.condition.op is CompareOp.EQ
+        # branches swapped
+        assert end.then_label == "e"
+        assert end.else_label == "t"
+
+    def test_if_compare_normalizes_gt(self):
+        mb = simple_builder(params=("int",))
+        x = mb.param(0)
+        y = mb.assign_int(5)
+        mb.if_compare(CompareOp.GT, x, y, "t", "e")
+        end = mb._blocks[0].end
+        assert end.condition.op is CompareOp.LT
+        assert end.condition.left is y
+        assert end.condition.right is x
+
+    def test_if_instanceof(self):
+        mb = simple_builder()
+        mb.if_instanceof(mb.receiver, "Widget", "t", "e")
+        end = mb._blocks[0].end
+        assert isinstance(end.condition, InstanceOfCondition)
+        assert not end.condition.negated
+
+    def test_merge_phi_operands_filled_from_jumps(self):
+        mb = simple_builder(return_type="int")
+        flag = mb.assign_int(1)
+        mb.if_eq(flag, flag, "t", "e")
+        mb.label("t")
+        a = mb.assign_int(10)
+        mb.jump("m", [a])
+        mb.label("e")
+        b = mb.assign_int(20)
+        mb.jump("m", [b])
+        result = mb.merge("m", ["joined"])[0]
+        mb.return_(result)
+        method = mb.build()
+        merge = method.block_by_name("m").begin
+        assert isinstance(merge, Merge)
+        assert len(merge.phis) == 1
+        assert {operand.name for operand in merge.phis[0].operands} == {a.name, b.name}
+
+    def test_invoke_kinds(self):
+        mb = simple_builder()
+        other = mb.assign_new("Widget")
+        mb.invoke_virtual(other, "work")
+        mb.invoke_special(other, "init")
+        mb.invoke_static("Widget", "create")
+        mb.return_void()
+        invokes = list(mb.build().iter_invokes())
+        assert [invoke.kind for invoke in invokes] == [
+            InvokeKind.VIRTUAL, InvokeKind.SPECIAL, InvokeKind.STATIC]
+
+    def test_instruction_count(self):
+        mb = simple_builder()
+        mb.assign_int(1)
+        mb.assign_int(2)
+        mb.return_void()
+        assert mb.build().instruction_count == 3
+
+
+class TestInvokeConstruction:
+    def test_static_invoke_requires_target_class(self):
+        with pytest.raises(ValueError):
+            Invoke(None, "m", kind=InvokeKind.STATIC)
+
+    def test_virtual_invoke_requires_receiver(self):
+        with pytest.raises(ValueError):
+            Invoke(None, "m", kind=InvokeKind.VIRTUAL)
+
+    def test_all_arguments_include_receiver(self):
+        mb = simple_builder()
+        receiver = mb.assign_new("Widget")
+        arg = mb.assign_int(3)
+        mb.invoke_virtual(receiver, "work", [arg])
+        mb.return_void()
+        invoke = next(mb.build().iter_invokes())
+        assert [v.name for v in invoke.all_arguments] == [receiver.name, arg.name]
+
+
+class TestProgramBuilder:
+    def test_finish_method_registers_signature(self):
+        pb = ProgramBuilder()
+        pb.declare_class("Widget")
+        mb = pb.method("Widget", "work")
+        mb.return_void()
+        pb.finish_method(mb)
+        program = pb.build()
+        assert program.has_method("Widget.work")
+        assert "work" in program.hierarchy.get("Widget").declared_methods
+
+    def test_entry_point_must_exist(self):
+        pb = ProgramBuilder()
+        pb.declare_class("Widget")
+        with pytest.raises(Exception):
+            pb.add_entry_point("Widget.missing")
+
+    def test_duplicate_method_rejected(self):
+        pb = ProgramBuilder()
+        pb.declare_class("Widget")
+        for _ in range(1):
+            mb = pb.method("Widget", "work")
+            mb.return_void()
+            pb.finish_method(mb)
+        mb = pb.method("Widget", "work")
+        mb.return_void()
+        with pytest.raises(Exception):
+            pb.finish_method(mb)
+
+
+class TestValidator:
+    def _valid_method(self):
+        mb = simple_builder(return_type="int")
+        flag = mb.assign_int(1)
+        mb.if_eq(flag, flag, "t", "e")
+        mb.label("t")
+        a = mb.assign_int(10)
+        mb.jump("m", [a])
+        mb.label("e")
+        b = mb.assign_int(20)
+        mb.jump("m", [b])
+        result = mb.merge("m", ["joined"])[0]
+        mb.return_(result)
+        return mb.build()
+
+    def test_valid_method_passes(self):
+        validate_method(self._valid_method())
+
+    def test_missing_terminator_detected(self):
+        method = self._valid_method()
+        method.block_by_name("t").end = None
+        with pytest.raises(ValidationError):
+            validate_method(method)
+
+    def test_duplicate_definition_detected(self):
+        method = self._valid_method()
+        entry = method.entry_block
+        first_assign = entry.statements[0]
+        entry.statements.append(Assign(first_assign.result, first_assign.expr))
+        with pytest.raises(ValidationError):
+            validate_method(method)
+
+    def test_use_of_undefined_value_detected(self):
+        from repro.ir.values import Value
+        method = self._valid_method()
+        method.block_by_name("t").end = Jump("m", (Value("ghost"),))
+        with pytest.raises(ValidationError):
+            validate_method(method)
+
+    def test_jump_to_label_block_rejected(self):
+        method = self._valid_method()
+        method.entry_block.end = Jump("t", ())
+        with pytest.raises(ValidationError):
+            validate_method(method)
+
+    def test_phi_argument_count_checked(self):
+        method = self._valid_method()
+        method.block_by_name("t").end = Jump("m", ())
+        with pytest.raises(ValidationError):
+            validate_method(method)
+
+    def test_if_target_must_be_label(self):
+        mb = simple_builder()
+        one = mb.assign_int(1)
+        mb.if_eq(one, one, "m", "m2")
+        mb.merge("m", [])
+        mb.return_void()
+        mb.merge("m2", [])
+        mb.return_void()
+        with pytest.raises(ValidationError):
+            validate_method(mb.build())
+
+    def test_unknown_class_in_new_detected_with_hierarchy(self):
+        pb = ProgramBuilder()
+        pb.declare_class("Known")
+        mb = pb.method("Known", "make")
+        mb.assign_new("Unknown")
+        mb.return_void()
+        pb.finish_method(mb)
+        with pytest.raises(ValidationError):
+            validate_program(pb.build())
+
+    def test_validate_program_checks_entry_points(self, virtual_threads_program):
+        validate_program(virtual_threads_program)
+        virtual_threads_program.entry_points.append("No.such")
+        with pytest.raises(ValidationError):
+            validate_program(virtual_threads_program)

@@ -1,0 +1,115 @@
+"""Tests for the control-flow graph utilities and the textual printer."""
+
+import pytest
+
+from repro.ir.builder import MethodBuilder
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.printer import format_method, format_program
+from repro.ir.types import MethodSignature
+from tests.conftest import build_virtual_threads_program
+
+
+def diamond_method():
+    mb = MethodBuilder(MethodSignature("C", "diamond", ("int",), "int"))
+    x = mb.param(0)
+    ten = mb.assign_int(10)
+    mb.if_lt(x, ten, "small", "big")
+    mb.label("small")
+    a = mb.assign_int(1)
+    mb.jump("join", [a])
+    mb.label("big")
+    b = mb.assign_int(2)
+    mb.jump("join", [b])
+    result = mb.merge("join", ["r"])[0]
+    mb.return_(result)
+    return mb.build()
+
+
+def loop_method():
+    mb = MethodBuilder(MethodSignature("C", "loop", ("int",), "void"))
+    x = mb.param(0)
+    mb.jump("head", [x])
+    current = mb.merge("head", ["i"])[0]
+    limit = mb.assign_int(10)
+    mb.if_lt(current, limit, "body", "exit")
+    mb.label("body")
+    step = mb.assign_any()
+    mb.jump("head", [step])
+    mb.label("exit")
+    mb.return_void()
+    return mb.build()
+
+
+class TestControlFlowGraph:
+    def test_diamond_successors(self):
+        cfg = ControlFlowGraph(diamond_method())
+        assert set(cfg.successors["entry"]) == {"small", "big"}
+        assert cfg.successors["small"] == ["join"]
+        assert cfg.successors["join"] == []
+
+    def test_diamond_predecessors(self):
+        cfg = ControlFlowGraph(diamond_method())
+        assert set(cfg.predecessors["join"]) == {"small", "big"}
+        assert cfg.predecessors["entry"] == []
+
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg = ControlFlowGraph(diamond_method())
+        rpo = cfg.reverse_postorder
+        assert rpo[0] == "entry"
+        assert rpo.index("join") > rpo.index("small")
+        assert rpo.index("join") > rpo.index("big")
+
+    def test_diamond_has_no_loops(self):
+        cfg = ControlFlowGraph(diamond_method())
+        assert not cfg.has_loops
+        assert cfg.back_edges == set()
+
+    def test_loop_back_edge_detected(self):
+        cfg = ControlFlowGraph(loop_method())
+        assert cfg.has_loops
+        assert ("body", "head") in cfg.back_edges
+        assert cfg.is_back_edge("body", "head")
+
+    def test_loop_rpo_places_header_before_body(self):
+        cfg = ControlFlowGraph(loop_method())
+        rpo = cfg.reverse_postorder
+        assert rpo.index("head") < rpo.index("body")
+
+    def test_unreachable_blocks_reported(self):
+        method = diamond_method()
+        # Add an orphan merge block not targeted by anything.
+        from repro.ir.blocks import BasicBlock
+        from repro.ir.instructions import Merge, Return
+        orphan = BasicBlock("orphan", Merge("orphan", ()), [], Return(None))
+        method.blocks.append(orphan)
+        cfg = ControlFlowGraph(method)
+        assert cfg.unreachable_blocks() == ["orphan"]
+
+    def test_jump_to_missing_block_raises(self):
+        method = diamond_method()
+        from repro.ir.instructions import Jump
+        method.block_by_name("small").end = Jump("nowhere", ())
+        with pytest.raises(KeyError):
+            ControlFlowGraph(method)
+
+
+class TestPrinter:
+    def test_format_method_contains_blocks_and_statements(self):
+        text = format_method(diamond_method())
+        assert "C.diamond" in text
+        assert "start(" in text
+        assert "merge [" in text
+        assert "label small" in text
+        assert "return" in text
+
+    def test_format_program_lists_classes_and_methods(self):
+        program = build_virtual_threads_program()
+        text = format_program(program)
+        assert "class Thread" in text
+        assert "class VirtualThread extends BaseVirtualThread" in text
+        assert "ThreadSet virtualThreads;" in text
+        assert "SharedThreadContainer.onExit" in text
+
+    def test_format_program_mentions_summary(self):
+        program = build_virtual_threads_program()
+        assert program.summary() in format_program(program)

@@ -1,0 +1,119 @@
+"""Tests for the concrete interpreter of the base language."""
+
+import pytest
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.interpreter import Interpreter, InterpreterError, execute
+from repro.lang import compile_source
+from tests.conftest import build_virtual_threads_program
+
+
+class TestBasicExecution:
+    def test_motivating_example_skips_remove(self):
+        trace = execute(build_virtual_threads_program(use_virtual_threads=False))
+        assert "SharedThreadContainer.onExit" in trace.executed_methods
+        assert "Thread.isVirtual" in trace.executed_methods
+        assert "ThreadSet.remove" not in trace.executed_methods
+        assert trace.completed
+
+    def test_motivating_example_with_virtual_thread_calls_remove(self):
+        trace = execute(build_virtual_threads_program(use_virtual_threads=True))
+        assert "ThreadSet.remove" in trace.executed_methods
+        assert ("SharedThreadContainer.onExit", "ThreadSet.remove") in trace.call_edges
+
+    def test_allocated_types_recorded(self):
+        trace = execute(build_virtual_threads_program())
+        assert "SharedThreadContainer" in trace.allocated_types
+        assert "VirtualThread" not in trace.allocated_types
+
+    def test_field_round_trip(self):
+        program = compile_source("""
+            class Box { int value; }
+            class Main {
+                static int main() {
+                    Box box = new Box();
+                    box.value = 41;
+                    return box.value;
+                }
+            }
+        """, entry_points=["Main.main"])
+        interpreter = Interpreter(program)
+        trace = interpreter.run("Main.main")
+        main_values = [value for (method, _), values in trace.observed_values.items()
+                       if method == "Main.main" for value in values]
+        assert 41 in main_values
+
+    def test_loop_executes_bounded_number_of_iterations(self):
+        program = compile_source("""
+            class Main {
+                static int main() {
+                    int i = 0;
+                    while (i < 3) { i = i + 7; }
+                    return i;
+                }
+            }
+        """, entry_points=["Main.main"])
+        trace = execute(program)
+        assert trace.completed
+        assert trace.steps > 5
+
+    def test_infinite_loop_hits_budget(self):
+        program = compile_source("""
+            class Main {
+                static void main() {
+                    int i = 0;
+                    while (i < 10) { i = 0; }
+                }
+            }
+        """, entry_points=["Main.main"])
+        trace = execute(program, max_steps=500)
+        assert not trace.completed
+
+    def test_virtual_dispatch_uses_dynamic_type(self):
+        program = compile_source("""
+            class Animal { int speak() { return 0; } }
+            class Dog extends Animal { int speak() { return 1; } }
+            class Main {
+                static void main() {
+                    Animal a = new Dog();
+                    a.speak();
+                }
+            }
+        """, entry_points=["Main.main"])
+        trace = execute(program)
+        assert "Dog.speak" in trace.executed_methods
+        assert "Animal.speak" not in trace.executed_methods
+
+
+class TestRuntimeErrors:
+    def test_null_receiver_raises(self):
+        program = compile_source("""
+            class Service { void go() { } }
+            class Main {
+                static void main() {
+                    Service s = null;
+                    s.go();
+                }
+            }
+        """, entry_points=["Main.main"])
+        with pytest.raises(InterpreterError):
+            execute(program)
+
+    def test_missing_entry_point(self):
+        pb = ProgramBuilder()
+        pb.declare_class("Main")
+        mb = pb.method("Main", "main", is_static=True)
+        mb.return_void()
+        pb.finish_method(mb)
+        with pytest.raises(InterpreterError):
+            Interpreter(pb.build()).run()
+
+    def test_explicit_arguments(self):
+        program = compile_source("""
+            class Main {
+                static int identity(int x) { return x; }
+            }
+        """, entry_points=["Main.identity"])
+        trace = Interpreter(program).run("Main.identity", arguments=[13])
+        assert ("Main.identity", "x") in trace.observed_values
+        assert trace.observed_values[("Main.identity", "x")] == [13]

@@ -1,0 +1,183 @@
+"""Tests for the surface-language lexer and parser."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import LexerError, ParseError
+from repro.lang.lexer import TokenKind, tokenize
+from repro.lang.parser import parse
+
+
+class TestLexer:
+    def test_identifiers_keywords_and_ints(self):
+        tokens = tokenize("class Foo { int x; }")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] is TokenKind.KEYWORD
+        assert tokens[1].text == "Foo"
+        assert tokens[-1].kind is TokenKind.EOF
+
+    def test_multichar_symbols(self):
+        tokens = tokenize("a == b != c <= d >= e")
+        symbols = [t.text for t in tokens if t.kind is TokenKind.SYMBOL]
+        assert symbols == ["==", "!=", "<=", ">="]
+
+    def test_line_comments_skipped(self):
+        tokens = tokenize("a // comment\n b")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_block_comments_skipped(self):
+        tokens = tokenize("a /* multi \n line */ b")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("a /* never closed")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError):
+            tokenize("int x = @;")
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+
+class TestParserDeclarations:
+    def test_class_with_field_and_method(self):
+        unit = parse("""
+            class Point {
+                int x;
+                int getX() { return this.x; }
+            }
+        """)
+        cls = unit.class_named("Point")
+        assert cls.superclass == "Object"
+        assert [f.name for f in cls.fields] == ["x"]
+        assert [m.name for m in cls.methods] == ["getX"]
+
+    def test_extends_clause(self):
+        unit = parse("class A {} class B extends A {}")
+        assert unit.class_named("B").superclass == "A"
+
+    def test_static_method(self):
+        unit = parse("class M { static void main() { } }")
+        assert unit.class_named("M").methods[0].is_static
+
+    def test_parameters(self):
+        unit = parse("class S { int add(int a, int b) { return a + b; } }")
+        method = unit.class_named("S").methods[0]
+        assert [p.name for p in method.parameters] == ["a", "b"]
+        assert [p.declared_type for p in method.parameters] == ["int", "int"]
+
+    def test_missing_class_keyword(self):
+        with pytest.raises(ParseError):
+            parse("klass A {}")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("class A { void m() { int x = 1 } }")
+
+    def test_unknown_class_lookup(self):
+        unit = parse("class A {}")
+        with pytest.raises(KeyError):
+            unit.class_named("B")
+
+
+class TestParserStatements:
+    def _method_body(self, body):
+        unit = parse("class C { void m(int p, C other) { %s } }" % body)
+        return unit.class_named("C").methods[0].body
+
+    def test_if_else(self):
+        (stmt,) = self._method_body("if (p < 1) { p = 1; } else { p = 2; }")
+        assert isinstance(stmt, ast.IfStmt)
+        assert len(stmt.then_body) == 1
+        assert len(stmt.else_body) == 1
+
+    def test_if_without_else(self):
+        (stmt,) = self._method_body("if (p == 0) { p = 1; }")
+        assert isinstance(stmt, ast.IfStmt)
+        assert stmt.else_body == ()
+
+    def test_else_if_chain(self):
+        (stmt,) = self._method_body(
+            "if (p == 0) { p = 1; } else if (p == 1) { p = 2; } else { p = 3; }")
+        assert isinstance(stmt.else_body[0], ast.IfStmt)
+
+    def test_while(self):
+        (stmt,) = self._method_body("while (p < 10) { p = p + 1; }")
+        assert isinstance(stmt, ast.WhileStmt)
+
+    def test_local_declaration_with_initializer(self):
+        (stmt,) = self._method_body("int x = 5;")
+        assert isinstance(stmt, ast.LocalDecl)
+        assert isinstance(stmt.initializer, ast.IntLiteral)
+
+    def test_field_assignment(self):
+        (stmt,) = self._method_body("other.p = 3;")
+        assert isinstance(stmt, ast.AssignStmt)
+        assert isinstance(stmt.target, ast.FieldAccess)
+
+    def test_return_value(self):
+        unit = parse("class C { int m() { return 4; } }")
+        (stmt,) = unit.class_named("C").methods[0].body
+        assert isinstance(stmt, ast.ReturnStmt)
+        assert stmt.value.value == 4
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError):
+            self._method_body("1 = p;")
+
+
+class TestParserExpressions:
+    def _expr(self, text):
+        unit = parse("class C { void m(C other, int p) { x = %s; } }" % text)
+        # the body is a single assignment whose value is the expression
+        return unit.class_named("C").methods[0].body[0].value
+
+    def test_instanceof(self):
+        expr = self._expr("other instanceof C")
+        assert isinstance(expr, ast.InstanceOf)
+        assert expr.class_name == "C"
+
+    def test_comparison_and_arithmetic_precedence(self):
+        expr = self._expr("p + 1 < p * 2")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "<"
+        assert isinstance(expr.left, ast.BinaryOp) and expr.left.op == "+"
+        assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "*"
+
+    def test_method_call_on_expression(self):
+        expr = self._expr("other.helper(1, p)")
+        assert isinstance(expr, ast.MethodCall)
+        assert not expr.is_static
+        assert len(expr.arguments) == 2
+
+    def test_static_call_detected_by_capitalized_receiver(self):
+        expr = self._expr("Library.open()")
+        assert isinstance(expr, ast.MethodCall)
+        assert expr.is_static
+        assert expr.static_class == "Library"
+
+    def test_new_object(self):
+        expr = self._expr("new C()")
+        assert isinstance(expr, ast.NewObject)
+
+    def test_not_and_literals(self):
+        assert isinstance(self._expr("!true"), ast.NotOp)
+        assert isinstance(self._expr("null"), ast.NullLiteral)
+        assert self._expr("false").value is False
+
+    def test_unary_minus(self):
+        expr = self._expr("-p")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "-"
+
+    def test_parenthesized(self):
+        expr = self._expr("(p + 1) * 2")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_field_chain(self):
+        expr = self._expr("other.next")
+        assert isinstance(expr, ast.FieldAccess)

@@ -1,0 +1,81 @@
+"""Tests for short-circuit ``&&`` / ``||`` in the surface language."""
+
+import pytest
+
+from repro.core.analysis import run_baseline, run_skipflow
+from repro.ir.validate import validate_program
+from repro.lang import compile_source
+from repro.lang.parser import parse
+from repro.lang import ast
+
+
+class TestParsing:
+    def _expr(self, text):
+        unit = parse("class C { void m(int a, int b) { x = %s; } }" % text)
+        return unit.class_named("C").methods[0].body[0].value
+
+    def test_and_parsed(self):
+        expr = self._expr("a < 1 && b < 2")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "&&"
+
+    def test_or_parsed(self):
+        expr = self._expr("a < 1 || b < 2")
+        assert expr.op == "||"
+
+    def test_and_binds_tighter_than_or(self):
+        expr = self._expr("a < 1 || a < 2 && b < 3")
+        assert expr.op == "||"
+        assert expr.right.op == "&&"
+
+
+class TestLoweringAndAnalysis:
+    def _program(self, condition):
+        return compile_source("""
+            class Feature { static void activate() { } }
+            class Main {
+                static void check(int a, int b) {
+                    if (%s) { Feature.activate(); }
+                }
+                static void main() { Main.check(1, 5); }
+            }
+        """ % condition)
+
+    def test_lowered_program_is_valid(self):
+        program = self._program("a == 1 && b == 5")
+        validate_program(program)
+
+    def test_and_with_both_true_reaches_feature(self):
+        result = run_skipflow(self._program("a == 1 && b == 5"))
+        assert result.is_method_reachable("Feature.activate")
+
+    def test_and_with_one_false_prunes_feature(self):
+        result = run_skipflow(self._program("a == 1 && b == 7"))
+        assert not result.is_method_reachable("Feature.activate")
+
+    def test_or_with_one_true_reaches_feature(self):
+        result = run_skipflow(self._program("a == 3 || b == 5"))
+        assert result.is_method_reachable("Feature.activate")
+
+    def test_or_with_both_false_prunes_feature(self):
+        result = run_skipflow(self._program("a == 3 || b == 7"))
+        assert not result.is_method_reachable("Feature.activate")
+
+    def test_baseline_always_keeps_feature(self):
+        result = run_baseline(self._program("a == 3 && b == 7"))
+        assert result.is_method_reachable("Feature.activate")
+
+    def test_logical_expression_as_value(self):
+        program = compile_source("""
+            class Main {
+                static boolean both(int a, int b) { return a < 10 && b < 10; }
+                static void main() { Main.both(1, 2); }
+            }
+        """)
+        result = run_skipflow(program)
+        assert result.return_state("Main.both").constant_value == 1
+
+    def test_nested_logical_operators(self):
+        program = self._program("(a == 1 && b == 5) || a == 9")
+        validate_program(program)
+        result = run_skipflow(program)
+        assert result.is_method_reachable("Feature.activate")

@@ -1,0 +1,202 @@
+"""Tests for lowering surface programs to SSA IR and analyzing them."""
+
+import pytest
+
+from repro import AnalysisConfig, SkipFlowAnalysis
+from repro.ir.validate import validate_program
+from repro.lang import compile_source
+from repro.lang.errors import LoweringError
+
+
+def analyze(source, config=None, roots=None):
+    program = compile_source(source)
+    return SkipFlowAnalysis(program, config or AnalysisConfig.skipflow()).run(roots)
+
+
+class TestBasicLowering:
+    def test_produces_valid_ir(self):
+        program = compile_source("""
+            class Counter {
+                int value;
+                void increment() { this.value = this.value + 1; }
+            }
+            class Main {
+                static void main() {
+                    Counter c = new Counter();
+                    c.increment();
+                }
+            }
+        """)
+        validate_program(program)
+        assert program.has_method("Counter.increment")
+        assert program.entry_points == ["Main.main"]
+
+    def test_explicit_entry_points(self):
+        program = compile_source("class A { void m() { } }", entry_points=["A.m"])
+        assert program.entry_points == ["A.m"]
+
+    def test_void_method_gets_implicit_return(self):
+        program = compile_source("class A { void m() { int x = 1; } }",
+                                 entry_points=["A.m"])
+        method = program.method("A.m")
+        assert any(block.end.__class__.__name__ == "Return" for block in method.blocks)
+
+    def test_missing_return_in_non_void_method_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_source("class A { int m() { int x = 1; } }", entry_points=["A.m"])
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_source("class A { void m() { x = 1; } }", entry_points=["A.m"])
+
+    def test_this_in_static_method_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_source("class A { static void m() { this.x = 1; } }",
+                           entry_points=["A.m"])
+
+    def test_unknown_superclass_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_source("class A extends Missing { }")
+
+
+class TestControlFlowLowering:
+    def test_if_else_phi(self):
+        result = analyze("""
+            class Main {
+                static int pick(int x) {
+                    int result = 0;
+                    if (x < 10) { result = 1; } else { result = 2; }
+                    return result;
+                }
+                static void main() { Main.pick(3); }
+            }
+        """)
+        # Constant argument 3: only the then branch is live, result is 1.
+        assert result.return_state("Main.pick").constant_value == 1
+
+    def test_if_without_else_keeps_original_value(self):
+        result = analyze("""
+            class Main {
+                static int pick(int x) {
+                    int result = 7;
+                    if (x < 0) { result = 1; }
+                    return result;
+                }
+                static void main() { Main.pick(5); }
+            }
+        """)
+        assert result.return_state("Main.pick").constant_value == 7
+
+    def test_both_branches_returning(self):
+        result = analyze("""
+            class Main {
+                static int sign(int x) {
+                    if (x < 0) { return 0; } else { return 1; }
+                }
+                static void main() { Main.sign(4); }
+            }
+        """)
+        assert result.return_state("Main.sign").constant_value == 1
+
+    def test_while_loop_terminates_and_joins(self):
+        result = analyze("""
+            class Main {
+                static int spin(int n) {
+                    int i = 0;
+                    while (i < n) { i = i + 1; }
+                    return i;
+                }
+                static void main() { Main.spin(3); }
+            }
+        """)
+        assert result.is_method_reachable("Main.spin")
+        assert result.return_state("Main.spin").has_any
+
+    def test_nested_if_in_loop(self):
+        result = analyze("""
+            class Main {
+                static int run(int n) {
+                    int acc = 0;
+                    int i = 0;
+                    while (i < n) {
+                        if (i < 2) { acc = acc + 1; } else { acc = acc + 2; }
+                        i = i + 1;
+                    }
+                    return acc;
+                }
+                static void main() { Main.run(5); }
+            }
+        """)
+        assert result.is_method_reachable("Main.run")
+
+    def test_boolean_expression_as_value(self):
+        result = analyze("""
+            class Main {
+                static boolean isSmall(int x) { return x < 10; }
+                static void main() { Main.isSmall(3); }
+            }
+        """)
+        assert result.return_state("Main.isSmall").constant_value == 1
+
+    def test_negation_in_condition(self):
+        result = analyze("""
+            class Feature { static void enable() { } }
+            class Main {
+                static void main() {
+                    boolean off = false;
+                    if (!off) { Feature.enable(); }
+                }
+            }
+        """)
+        assert result.is_method_reachable("Feature.enable")
+
+
+class TestInterproceduralLowering:
+    def test_virtual_call_and_field(self):
+        result = analyze("""
+            class Node {
+                Node next;
+                Node tail() {
+                    if (this.next == null) { return this; } else { return this.next.tail(); }
+                }
+            }
+            class Main {
+                static void main() {
+                    Node head = new Node();
+                    head.next = new Node();
+                    head.tail();
+                }
+            }
+        """)
+        assert result.is_method_reachable("Node.tail")
+        assert result.field_state("Node.next").contains_type("Node")
+
+    def test_arithmetic_becomes_any(self):
+        result = analyze("""
+            class Main {
+                static int mix(int a, int b) { return a * b + 3; }
+                static void main() { Main.mix(2, 3); }
+            }
+        """)
+        assert result.return_state("Main.mix").has_any
+
+    def test_instanceof_flag_pruning_matches_paper_example(self):
+        source = """
+            class Item {
+                boolean isSpecial() {
+                    if (this instanceof SpecialItem) { return true; } else { return false; }
+                }
+            }
+            class SpecialItem extends Item { }
+            class Audit { static void record() { } }
+            class Main {
+                static void main() {
+                    Item item = new Item();
+                    if (item.isSpecial()) { Audit.record(); }
+                }
+            }
+        """
+        skipflow = analyze(source)
+        baseline = analyze(source, AnalysisConfig.baseline_pta())
+        assert not skipflow.is_method_reachable("Audit.record")
+        assert baseline.is_method_reachable("Audit.record")

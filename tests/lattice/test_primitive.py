@@ -1,0 +1,80 @@
+"""Tests for the primitive lattice P (Figure 6)."""
+
+from hypothesis import given, strategies as st
+
+from repro.lattice.primitive import ANY, AnyValue, join_all_constants, join_constants, primitive_leq
+
+
+class TestJoin:
+    def test_empty_is_identity(self):
+        assert join_constants(None, 5) == 5
+        assert join_constants(5, None) == 5
+        assert join_constants(None, None) is None
+
+    def test_same_constant(self):
+        assert join_constants(3, 3) == 3
+
+    def test_different_constants_collapse_to_any(self):
+        assert join_constants(0, 1) is ANY
+
+    def test_any_absorbs(self):
+        assert join_constants(ANY, 7) is ANY
+        assert join_constants(7, ANY) is ANY
+        assert join_constants(ANY, ANY) is ANY
+
+    def test_join_all(self):
+        assert join_all_constants([]) is None
+        assert join_all_constants([4, 4, 4]) == 4
+        assert join_all_constants([4, 5]) is ANY
+
+
+class TestOrdering:
+    def test_empty_below_everything(self):
+        assert primitive_leq(None, None)
+        assert primitive_leq(None, 3)
+        assert primitive_leq(None, ANY)
+
+    def test_constant_below_any(self):
+        assert primitive_leq(3, ANY)
+        assert not primitive_leq(ANY, 3)
+
+    def test_constants_incomparable(self):
+        assert not primitive_leq(3, 4)
+        assert primitive_leq(3, 3)
+
+    def test_any_not_below_empty(self):
+        assert not primitive_leq(ANY, None)
+        assert not primitive_leq(3, None)
+
+
+class TestAnySingleton:
+    def test_singleton_identity(self):
+        assert AnyValue() is ANY
+
+    def test_equality_and_hash(self):
+        assert AnyValue() == ANY
+        assert hash(AnyValue()) == hash(ANY)
+        assert repr(ANY) == "Any"
+
+
+_elements = st.one_of(st.none(), st.integers(-5, 5), st.just(ANY))
+
+
+class TestLatticeLaws:
+    @given(_elements, _elements)
+    def test_join_commutative(self, a, b):
+        assert join_constants(a, b) == join_constants(b, a)
+
+    @given(_elements, _elements, _elements)
+    def test_join_associative(self, a, b, c):
+        assert join_constants(join_constants(a, b), c) == join_constants(a, join_constants(b, c))
+
+    @given(_elements)
+    def test_join_idempotent(self, a):
+        assert join_constants(a, a) == a
+
+    @given(_elements, _elements)
+    def test_join_is_upper_bound(self, a, b):
+        joined = join_constants(a, b)
+        assert primitive_leq(a, joined)
+        assert primitive_leq(b, joined)

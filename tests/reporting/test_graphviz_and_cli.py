@@ -1,0 +1,98 @@
+"""Tests for the DOT exporters and the command-line interface."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.analysis import run_skipflow
+from repro.lang import compile_source
+from repro.reporting.graphviz import call_graph_to_dot, pvpg_to_dot
+
+SOURCE = """
+class Greeter {
+    void greet() { Printer.emit(); }
+}
+class Printer {
+    static void emit() { }
+}
+class Unused {
+    void never() { }
+}
+class Main {
+    static void main() {
+        Greeter greeter = new Greeter();
+        greeter.greet();
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_skipflow(compile_source(SOURCE))
+
+
+class TestCallGraphDot:
+    def test_contains_nodes_and_edges(self, result):
+        dot = call_graph_to_dot(result)
+        assert dot.startswith("digraph callgraph")
+        assert '"Main.main"' in dot
+        assert '"Greeter.greet" -> "Printer.emit";' in dot
+
+    def test_entry_point_highlighted(self, result):
+        dot = call_graph_to_dot(result)
+        assert 'fillcolor="lightblue"' in dot
+
+    def test_unreachable_methods_excluded(self, result):
+        assert "Unused.never" not in call_graph_to_dot(result)
+
+
+class TestPvpgDot:
+    def test_single_method_export(self, result):
+        dot = pvpg_to_dot(result, ["Greeter.greet"])
+        assert "cluster_Greeter.greet" in dot
+        assert "pred_on" in dot
+        assert "style=dashed" in dot  # predicate edges
+        assert "color=red" in dot     # enabled flows
+
+    def test_all_methods_export(self, result):
+        dot = pvpg_to_dot(result)
+        assert "cluster_Main.main" in dot
+        assert dot.count("subgraph") == result.reachable_method_count
+
+
+class TestCli:
+    def _write_source(self, tmp_path):
+        path = tmp_path / "app.lang"
+        path.write_text(SOURCE)
+        return str(path)
+
+    def test_analyze_compare(self, tmp_path, capsys):
+        source = self._write_source(tmp_path)
+        assert cli_main(["analyze", source, "--compare", "--optimizations",
+                         "--list-unreachable"]) == 0
+        output = capsys.readouterr().out
+        assert "[PTA]" in output
+        assert "[SkipFlow]" in output
+        assert "reachable methods" in output
+        assert "Unused.never" in output
+
+    def test_analyze_single_config(self, tmp_path, capsys):
+        source = self._write_source(tmp_path)
+        assert cli_main(["analyze", source, "--config", "pta"]) == 0
+        assert "[PTA]" in capsys.readouterr().out
+
+    def test_callgraph_to_file(self, tmp_path):
+        source = self._write_source(tmp_path)
+        output = tmp_path / "graph.dot"
+        assert cli_main(["callgraph", source, "--output", str(output)]) == 0
+        assert output.read_text().startswith("digraph callgraph")
+
+    def test_pvpg_for_method(self, tmp_path, capsys):
+        source = self._write_source(tmp_path)
+        assert cli_main(["pvpg", source, "--method", "Greeter.greet"]) == 0
+        assert "cluster_Greeter.greet" in capsys.readouterr().out
+
+    def test_explicit_entry_points(self, tmp_path, capsys):
+        source = self._write_source(tmp_path)
+        assert cli_main(["analyze", source, "--entry", "Unused.never"]) == 0
+        assert "reachable methods:  1" in capsys.readouterr().out

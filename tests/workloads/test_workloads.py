@@ -1,0 +1,160 @@
+"""Tests for the synthetic workload generator, patterns, and suite definitions."""
+
+import pytest
+
+from repro.core.analysis import AnalysisConfig, run_baseline, run_skipflow
+from repro.ir.builder import ProgramBuilder
+from repro.ir.validate import validate_program
+from repro.workloads.generator import (
+    BenchmarkSpec,
+    GuardedModuleSpec,
+    generate_benchmark,
+    spec_from_reduction,
+)
+from repro.workloads.patterns import GUARD_PATTERNS, add_guarded_module, add_library_module
+from repro.workloads.suites import (
+    all_suites,
+    dacapo_suite,
+    microservices_suite,
+    renaissance_suite,
+    suite_by_name,
+)
+
+
+class TestLibraryModule:
+    def test_module_has_requested_method_count(self):
+        pb = ProgramBuilder()
+        handle = add_library_module(pb, "Demo", 20)
+        assert handle.method_count == 20
+        program = pb.build()
+        for name in handle.method_names:
+            assert program.has_method(name)
+
+    def test_module_program_is_valid(self):
+        pb = ProgramBuilder()
+        handle = add_library_module(pb, "Demo", 12)
+        pb.declare_class("Main")
+        mb = pb.method("Main", "main", is_static=True)
+        mb.invoke_static(handle.entry_class, handle.entry_method)
+        mb.return_void()
+        pb.finish_method(mb)
+        pb.add_entry_point("Main.main")
+        program = pb.build()
+        validate_program(program)
+
+    def test_module_fully_reachable_from_entry(self):
+        pb = ProgramBuilder()
+        handle = add_library_module(pb, "Demo", 15)
+        pb.declare_class("Main")
+        mb = pb.method("Main", "main", is_static=True)
+        mb.invoke_static(handle.entry_class, handle.entry_method)
+        mb.return_void()
+        pb.finish_method(mb)
+        pb.add_entry_point("Main.main")
+        result = run_skipflow(pb.build())
+        workers = [name for name in handle.method_names if "Worker" in name]
+        assert workers
+        for worker in workers:
+            assert result.is_method_reachable(worker)
+
+    def test_minimum_size_enforced(self):
+        pb = ProgramBuilder()
+        handle = add_library_module(pb, "Tiny", 1)
+        assert handle.method_count >= 5
+
+
+class TestGuardPatterns:
+    @pytest.mark.parametrize("pattern", sorted(GUARD_PATTERNS))
+    def test_guarded_module_dead_for_skipflow_live_for_baseline(self, pattern):
+        pb = ProgramBuilder()
+        driver = add_guarded_module(pb, "Lib", 10, pattern)
+        pb.declare_class("Main")
+        mb = pb.method("Main", "main", is_static=True)
+        driver_class, driver_method = driver.split(".", 1)
+        mb.invoke_static(driver_class, driver_method)
+        mb.return_void()
+        pb.finish_method(mb)
+        pb.add_entry_point("Main.main")
+        program = pb.build()
+        validate_program(program)
+
+        skipflow = run_skipflow(program)
+        baseline = run_baseline(program)
+        entry = "LibEntry.enter"
+        assert not skipflow.is_method_reachable(entry), pattern
+        assert baseline.is_method_reachable(entry), pattern
+        # The guard driver itself is reachable in both configurations.
+        assert skipflow.is_method_reachable(driver)
+
+    def test_unknown_pattern_rejected(self):
+        pb = ProgramBuilder()
+        with pytest.raises(ValueError):
+            add_guarded_module(pb, "X", 10, "no_such_pattern")
+
+
+class TestGenerator:
+    def test_spec_from_reduction_sizes(self):
+        spec = spec_from_reduction("demo", "suite", total_methods=200, reduction_percent=10.0)
+        assert spec.guarded_methods == pytest.approx(20, abs=6)
+        assert 0.05 < spec.expected_reduction_fraction < 0.2
+        assert spec.suite == "suite"
+
+    def test_zero_reduction_spec_has_no_guarded_modules(self):
+        spec = spec_from_reduction("tiny", "suite", total_methods=100, reduction_percent=0.0)
+        assert spec.guarded_modules == ()
+
+    def test_generated_program_is_valid_and_sized(self):
+        spec = spec_from_reduction("demo-app", "suite", total_methods=120,
+                                   reduction_percent=15.0)
+        program = generate_benchmark(spec)
+        validate_program(program)
+        assert abs(len(program.methods) - spec.expected_total_methods) <= 5
+        assert program.entry_points == ["Main.main"]
+
+    def test_generation_is_deterministic(self):
+        spec = spec_from_reduction("demo-app", "suite", total_methods=90,
+                                   reduction_percent=12.0)
+        first = generate_benchmark(spec)
+        second = generate_benchmark(spec)
+        assert sorted(first.methods) == sorted(second.methods)
+
+    def test_guarded_module_spec_validates_pattern(self):
+        with pytest.raises(ValueError):
+            GuardedModuleSpec("bogus", 10)
+
+    def test_reduction_close_to_requested(self):
+        spec = spec_from_reduction("calibration", "suite", total_methods=300,
+                                   reduction_percent=20.0)
+        program = generate_benchmark(spec)
+        skipflow = run_skipflow(program)
+        baseline = run_baseline(program)
+        reduction = 100.0 * (1 - skipflow.reachable_method_count
+                             / baseline.reachable_method_count)
+        assert reduction == pytest.approx(20.0, abs=6.0)
+
+
+class TestSuites:
+    def test_suite_sizes_match_paper(self):
+        assert len(dacapo_suite()) == 8
+        assert len(microservices_suite()) == 9
+        assert len(renaissance_suite()) == 18
+
+    def test_all_suites_keys(self):
+        suites = all_suites()
+        assert set(suites) == {"DaCapo", "Microservices", "Renaissance"}
+
+    def test_suite_by_name_case_insensitive(self):
+        assert suite_by_name("dacapo") == dacapo_suite()
+        with pytest.raises(KeyError):
+            suite_by_name("spec2006")
+
+    def test_paper_metadata_attached(self):
+        sunflow = next(s for s in dacapo_suite() if s.name == "sunflow")
+        assert sunflow.paper_reduction_percent == pytest.approx(52.3)
+        assert sunflow.paper_reachable_thousands == pytest.approx(56.7)
+
+    def test_scale_controls_size(self):
+        small = dacapo_suite(scale=1.0)
+        large = dacapo_suite(scale=3.0)
+        for s, l in zip(small, large):
+            assert l.expected_total_methods > s.expected_total_methods
