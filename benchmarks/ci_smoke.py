@@ -1,0 +1,73 @@
+"""CI smoke test for the benchmark engine.
+
+Runs a couple of small specs through :func:`repro.engine.run_specs` on a
+process pool, then repeats the run against the same cache directory and
+asserts that every result is served from the cache with identical numbers.
+Exits non-zero (with a message) on any violation, so it can gate CI::
+
+    python benchmarks/ci_smoke.py --jobs 2 --cache-dir .bench-cache
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+from repro.engine import ResultCache, run_specs
+from repro.workloads.generator import spec_from_reduction
+
+
+def _smoke_specs():
+    return [
+        spec_from_reduction(name="smoke-small", suite="smoke",
+                            total_methods=80, reduction_percent=12.0),
+        spec_from_reduction(name="smoke-medium", suite="smoke",
+                            total_methods=160, reduction_percent=8.0),
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="cache directory (default: a fresh temp dir)")
+    args = parser.parse_args(argv)
+
+    specs = _smoke_specs()
+    with tempfile.TemporaryDirectory() as tempdir:
+        cache_dir = args.cache_dir or tempdir
+        first_cache = ResultCache(cache_dir)
+        first = run_specs(specs, jobs=args.jobs, cache=first_cache)
+
+        second_cache = ResultCache(cache_dir)
+        second = run_specs(specs, jobs=args.jobs, cache=second_cache)
+
+    failures = []
+    if second_cache.hits != len(specs) or second_cache.misses != 0:
+        failures.append(
+            f"expected {len(specs)} cache hits on the second run, got "
+            f"{second_cache.hits} hits / {second_cache.misses} misses")
+    for before, after in zip(first, second):
+        if not after.from_cache:
+            failures.append(f"{after.benchmark}: second run was not served from cache")
+        if before.as_dict() != after.as_dict():
+            failures.append(f"{after.benchmark}: cached result differs from computed")
+    for result in first:
+        if result.skipflow.reachable_methods >= result.baseline.reachable_methods:
+            failures.append(
+                f"{result.benchmark}: SkipFlow did not reduce reachable methods "
+                f"({result.skipflow.reachable_methods} >= "
+                f"{result.baseline.reachable_methods})")
+
+    if failures:
+        for failure in failures:
+            print(f"SMOKE FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"smoke ok: {len(specs)} specs, jobs={args.jobs}, "
+          f"second run {second_cache.hits}/{len(specs)} cache hits")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,23 +19,34 @@ scripts accept ``--scale`` for larger runs.
 
 from __future__ import annotations
 
-from typing import Dict, List
+import os
+from typing import List
 
 import pytest
 
-from repro.reporting.records import BenchmarkComparison, compare_configurations
+from repro.engine import ResultCache, run_specs
+from repro.engine.runner import ComparisonResult
 from repro.workloads.generator import BenchmarkSpec
 
 #: Synthetic methods generated per thousand paper-reported methods during benchmarking.
 BENCH_SCALE = 1.0
 
+#: Environment knobs for the engine-backed harness: worker processes and an
+#: optional shared result cache (both off by default so pytest-benchmark
+#: timings keep measuring actual solves).
+JOBS_ENV = "REPRO_BENCH_JOBS"
+CACHE_ENV = "REPRO_BENCH_CACHE_DIR"
 
-def run_suite(specs: List[BenchmarkSpec]) -> List[BenchmarkComparison]:
+
+def run_suite(specs: List[BenchmarkSpec]) -> List[ComparisonResult]:
     """Run the PTA/SkipFlow comparison for every benchmark of a suite."""
-    return [compare_configurations(spec) for spec in specs]
+    jobs = int(os.environ.get(JOBS_ENV, "1"))
+    cache_dir = os.environ.get(CACHE_ENV)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return run_specs(specs, jobs=jobs, cache=cache)
 
 
-def record_comparisons(benchmark, comparisons: List[BenchmarkComparison]) -> None:
+def record_comparisons(benchmark, comparisons: List[ComparisonResult]) -> None:
     """Attach the per-benchmark reductions to the pytest-benchmark record."""
     benchmark.extra_info["reductions_percent"] = {
         comparison.benchmark: round(comparison.reachable_method_reduction_percent, 2)

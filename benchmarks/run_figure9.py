@@ -2,11 +2,15 @@
 
 Usage::
 
-    python benchmarks/run_figure9.py [--scale 2.0] [--output figure9_output.txt]
+    python benchmarks/run_figure9.py [--scale 2.0] [--jobs 4]
+                                     [--cache-dir .bench-cache]
+                                     [--saturation-threshold N]
+                                     [--output figure9_output.txt]
 
 For every suite the script prints one panel: each benchmark's SkipFlow metrics
 normalized to the PTA baseline (anything below 1.0 is an improvement), plus the
-suite averages quoted in the paper's Figure 9 caption.
+suite averages quoted in the paper's Figure 9 caption.  Comparisons run
+through :mod:`repro.engine` (see ``run_table1.py`` for the shared flags).
 """
 
 from __future__ import annotations
@@ -15,8 +19,10 @@ import argparse
 import sys
 from typing import List
 
+from run_table1 import add_engine_arguments, engine_options
+
+from repro.engine import run_specs
 from repro.reporting.figures import format_figure9, suite_averages
-from repro.reporting.records import compare_configurations
 from repro.workloads.suites import all_suites
 
 
@@ -24,13 +30,15 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=2.0)
     parser.add_argument("--output", type=str, default=None)
+    add_engine_arguments(parser)
     args = parser.parse_args(argv)
+    options = engine_options(args)
 
     sections: List[str] = []
     overall_reductions = []
     for suite_name, specs in all_suites(scale=args.scale).items():
         print(f"running suite {suite_name}...", file=sys.stderr)
-        comparisons = [compare_configurations(spec) for spec in specs]
+        comparisons = run_specs(specs, **options)
         section = format_figure9(comparisons, suite_name)
         sections.append(section)
         print(section)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Deque, Iterable, List, Optional, Set, Tuple
 
 from repro.ir.instructions import Invoke, InvokeKind
 from repro.ir.method import Method

@@ -9,7 +9,7 @@ call sites, the analysis iterates to a fixed point.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Deque, Iterable, List, Optional, Set, Tuple
 
 from repro.baselines.cha import CallGraphResult, ClassHierarchyAnalysis, _allocated_types
 from repro.ir.instructions import Invoke, InvokeKind

@@ -6,8 +6,11 @@ Usage::
     python -m repro analyze app.java --compare               # PTA vs SkipFlow
     python -m repro callgraph app.java --output graph.dot
     python -m repro pvpg app.java --method Scene.render
+    python -m repro bench --scale 1.0 --cache-dir .bench-cache
 
-The input is a file in the Java-like surface language of :mod:`repro.lang`.
+The input is a file in the Java-like surface language of :mod:`repro.lang`;
+``bench`` instead lists the synthetic benchmark specs of the evaluation and
+the benchmark engine's cache status for each.
 """
 
 from __future__ import annotations
@@ -42,6 +45,13 @@ def _load_program(args):
     return program
 
 
+def _selected_config(args) -> AnalysisConfig:
+    config = _CONFIGS[args.config]()
+    if args.saturation_threshold is not None:
+        config = config.with_saturation_threshold(args.saturation_threshold)
+    return config
+
+
 def _write_output(text: str, output: Optional[str]) -> None:
     if output:
         Path(output).write_text(text)
@@ -51,8 +61,13 @@ def _write_output(text: str, output: Optional[str]) -> None:
 
 def _cmd_analyze(args) -> int:
     program = _load_program(args)
-    configs = ([AnalysisConfig.baseline_pta(), AnalysisConfig.skipflow()]
-               if args.compare else [_CONFIGS[args.config]()])
+    if args.compare:
+        configs = [AnalysisConfig.baseline_pta(), AnalysisConfig.skipflow()]
+        if args.saturation_threshold is not None:
+            configs = [c.with_saturation_threshold(args.saturation_threshold)
+                       for c in configs]
+    else:
+        configs = [_selected_config(args)]
     for config in configs:
         report = NativeImageBuilder(program, config, benchmark_name=args.source).build()
         metrics = report.metrics
@@ -78,16 +93,64 @@ def _cmd_analyze(args) -> int:
 
 def _cmd_callgraph(args) -> int:
     program = _load_program(args)
-    result = SkipFlowAnalysis(program, _CONFIGS[args.config]()).run()
+    result = SkipFlowAnalysis(program, _selected_config(args)).run()
     _write_output(call_graph_to_dot(result), args.output)
     return 0
 
 
 def _cmd_pvpg(args) -> int:
     program = _load_program(args)
-    result = SkipFlowAnalysis(program, _CONFIGS[args.config]()).run()
+    result = SkipFlowAnalysis(program, _selected_config(args)).run()
     methods = args.method or None
     _write_output(pvpg_to_dot(result, methods), args.output)
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    """List the benchmark specs of the evaluation with engine cache status."""
+    from repro.engine import ResultCache
+    from repro.engine.scheduler import estimated_cost
+    from repro.workloads.suites import all_suites, suite_by_name
+
+    if args.suite:
+        try:
+            suites = {args.suite: suite_by_name(args.suite, scale=args.scale)}
+        except KeyError as error:
+            print(f"repro bench: {error.args[0]}", file=sys.stderr)
+            return 2
+    else:
+        suites = all_suites(scale=args.scale)
+
+    baseline = AnalysisConfig.baseline_pta()
+    skipflow = AnalysisConfig.skipflow()
+    if args.saturation_threshold is not None:
+        baseline = baseline.with_saturation_threshold(args.saturation_threshold)
+        skipflow = skipflow.with_saturation_threshold(args.saturation_threshold)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+
+    header = (f"{'suite':<14} {'benchmark':<28} {'methods':>7} {'guarded':>7} "
+              f"{'cost':>8}  cache")
+    print(header)
+    print("-" * len(header))
+    cached = total = 0
+    for suite_name, specs in suites.items():
+        for spec in specs:
+            total += 1
+            if cache is None:
+                status = "-"
+            elif cache.contains(cache.key(spec, baseline, skipflow)):
+                status = "hit"
+                cached += 1
+            else:
+                status = "miss"
+            print(f"{suite_name:<14} {spec.name:<28} "
+                  f"{spec.expected_total_methods:>7} {spec.guarded_methods:>7} "
+                  f"{estimated_cost(spec):>8.0f}  {status}")
+    if cache is not None:
+        print(f"\n{cached}/{total} specs cached in {cache.directory} "
+              f"(code version {cache.code_version})")
+    else:
+        print(f"\n{total} specs; pass --cache-dir to check cache status")
     return 0
 
 
@@ -102,6 +165,9 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--config", choices=sorted(_CONFIGS), default="skipflow")
         sub.add_argument("--reflection-config",
                          help="JSON reflection configuration file")
+        sub.add_argument("--saturation-threshold", type=int, default=None,
+                         help="saturate flows whose type set exceeds this size "
+                              "(default: off, exact paper semantics)")
 
     analyze = subparsers.add_parser("analyze", help="run the analysis and print metrics")
     add_common(analyze)
@@ -124,6 +190,18 @@ def build_parser() -> argparse.ArgumentParser:
                       help="restrict to this method (may be repeated)")
     pvpg.add_argument("--output", help="write DOT to this file")
     pvpg.set_defaults(func=_cmd_pvpg)
+
+    bench = subparsers.add_parser(
+        "bench", help="list benchmark specs and engine cache status")
+    bench.add_argument("--scale", type=float, default=2.0,
+                       help="synthetic methods per thousand paper-reported methods")
+    bench.add_argument("--suite", type=str, default=None,
+                       help="restrict to one suite (DaCapo, Microservices, Renaissance)")
+    bench.add_argument("--cache-dir", type=str, default=None,
+                       help="benchmark engine cache directory to inspect")
+    bench.add_argument("--saturation-threshold", type=int, default=None,
+                       help="cache status for configs with this saturation threshold")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

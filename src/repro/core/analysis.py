@@ -6,7 +6,7 @@ import time
 from dataclasses import dataclass, replace
 from typing import Iterable, Optional
 
-from repro.core.results import AnalysisResult
+from repro.core.results import AnalysisResult, SolverStats
 from repro.core.solver import SkipFlowSolver
 from repro.ir.program import Program
 from repro.ir.validate import validate_program
@@ -30,6 +30,12 @@ class AnalysisConfig:
         Apply ``instanceof`` filtering to the value states inside branches.
     ``filter_comparisons``
         Apply null-check and primitive-comparison filtering inside branches.
+    ``saturation_threshold``
+        Optional cutoff for megamorphic flows: a flow whose reference type
+        set grows beyond this many types is collapsed to the conservative
+        any-type sentinel and unlinked from further propagation, as in
+        GraalVM's points-to analysis.  ``None`` (the default) disables the
+        cutoff and preserves the paper's exact semantics.
     """
 
     name: str = "skipflow"
@@ -38,6 +44,7 @@ class AnalysisConfig:
     filter_type_checks: bool = True
     filter_comparisons: bool = True
     validate: bool = False
+    saturation_threshold: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # Canonical configurations
@@ -83,6 +90,9 @@ class AnalysisConfig:
     def with_name(self, name: str) -> "AnalysisConfig":
         return replace(self, name=name)
 
+    def with_saturation_threshold(self, threshold: Optional[int]) -> "AnalysisConfig":
+        return replace(self, saturation_threshold=threshold)
+
 
 class SkipFlowAnalysis:
     """Runs one analysis configuration over a program and packages the result."""
@@ -107,6 +117,12 @@ class SkipFlowAnalysis:
             stub_methods=set(solver.stub_methods),
             analysis_time_seconds=elapsed,
             steps=solver.steps,
+            stats=SolverStats(
+                steps=solver.steps,
+                joins=solver.joins,
+                transfers=solver.transfers,
+                saturated_flows=solver.saturated_flows,
+            ),
         )
 
 

@@ -50,7 +50,7 @@ def _equality_filter(vl: ValueState, vr: ValueState) -> ValueState:
         return vr if vl.has_any else vl
     types = vl.types & vr.types
     primitive = vl.primitive if (vl.primitive is not None and vl.primitive == vr.primitive) else None
-    return ValueState(types=types, primitive=primitive)
+    return ValueState.of(types=types, primitive=primitive)
 
 
 def _inequality_filter(vl: ValueState, vr: ValueState) -> ValueState:
@@ -61,7 +61,7 @@ def _inequality_filter(vl: ValueState, vr: ValueState) -> ValueState:
     primitive = vl.primitive
     if primitive is not None and not vl.has_any and primitive == vr.primitive:
         primitive = None
-    return ValueState(types=types, primitive=primitive)
+    return ValueState.of(types=types, primitive=primitive)
 
 
 def _relational_filter(op: CompareOp, vl: ValueState, vr: ValueState) -> ValueState:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Dict, List, Optional, Set, TYPE_CHECKING
+from typing import List, Optional, Set
 
 from repro.core.compare import compare_states
 from repro.ir.instructions import CompareOp, Invoke
@@ -66,6 +66,9 @@ class Flow:
         "state",
         "input_state",
         "enabled",
+        "in_worklist",
+        "in_link_queue",
+        "saturated",
         "uses",
         "observers",
         "predicate_targets",
@@ -82,6 +85,12 @@ class Flow:
         self.state: ValueState = ValueState.empty()
         self.input_state: ValueState = ValueState.empty()
         self.enabled: bool = False
+        # Intrusive solver flags: membership bits for the worklist and the
+        # invoke-link queue (cheaper than side sets of flow ids), and the
+        # saturation mark of the optional megamorphic-flow cutoff.
+        self.in_worklist: bool = False
+        self.in_link_queue: bool = False
+        self.saturated: bool = False
         self.uses: List["Flow"] = []
         self.observers: List["Flow"] = []
         self.predicate_targets: List["Flow"] = []

@@ -20,7 +20,7 @@ phi flows lazily, which is only sound for acyclic control flow.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from repro.core.flows import (
     FilterCompareFlow,

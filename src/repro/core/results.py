@@ -11,6 +11,30 @@ from repro.ir.program import Program
 from repro.lattice.value_state import ValueState
 
 
+@dataclass(frozen=True)
+class SolverStats:
+    """Machine-independent counters of one fixed-point solve.
+
+    ``steps`` counts worklist events (the paper's cost proxy), ``joins`` the
+    lattice joins attempted against flow input states, ``transfers`` the
+    transfer-function evaluations, and ``saturated_flows`` the flows collapsed
+    by the saturation cutoff (always 0 when the cutoff is disabled).
+    """
+
+    steps: int = 0
+    joins: int = 0
+    transfers: int = 0
+    saturated_flows: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "steps": self.steps,
+            "joins": self.joins,
+            "transfers": self.transfers,
+            "saturated_flows": self.saturated_flows,
+        }
+
+
 @dataclass
 class MethodSummary:
     """Per-method statistics extracted from the solved PVPG."""
@@ -41,6 +65,7 @@ class AnalysisResult:
     stub_methods: Set[str]
     analysis_time_seconds: float
     steps: int
+    stats: Optional[SolverStats] = None
 
     # ------------------------------------------------------------------ #
     # Reachability

@@ -32,7 +32,7 @@ PassThrough    :meth:`~repro.core.flows.Flow.transfer`
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional, Set
+from typing import Deque, Iterable, Optional, Set
 
 from repro.core.flows import (
     FilterCompareFlow,
@@ -48,12 +48,35 @@ from repro.core.pvpg_builder import PVPGBuilder
 from repro.ir.instructions import InvokeKind
 from repro.ir.method import Method
 from repro.ir.program import Program
-from repro.ir.types import INT_TYPE_NAME, MethodSignature, NULL_TYPE_NAME
+from repro.ir.types import (
+    INT_TYPE_NAME,
+    MethodSignature,
+    NULL_TYPE_NAME,
+    OBJECT_TYPE_NAME,
+)
+from repro.lattice.primitive import ANY
 from repro.lattice.value_state import ValueState
 
 
 class SkipFlowSolver:
-    """Interprocedural fixed-point solver over predicated value propagation graphs."""
+    """Interprocedural fixed-point solver over predicated value propagation graphs.
+
+    Two implementation notes on the hot path:
+
+    * Value states are hash-consed (:mod:`repro.lattice.value_state`) and
+      :meth:`ValueState.join` returns the identical left operand when the join
+      adds nothing, so change detection below uses ``is`` instead of ``==``.
+    * Worklist membership is an intrusive ``in_worklist`` / ``in_link_queue``
+      bit on each :class:`Flow` rather than a side set of flow ids.
+
+    When ``config.saturation_threshold`` is set (default: off, preserving the
+    paper's exact semantics), a flow whose reference type set grows beyond the
+    threshold *saturates*, as in GraalVM's points-to analysis: its state is
+    collapsed to the conservative any-type sentinel (every instantiable type,
+    ``null``, and primitive ``Any``) and the flow is unlinked from further
+    propagation — joins into it are skipped because its state is already the
+    top element, which keeps the result a sound over-approximation.
+    """
 
     def __init__(self, program: Program, config) -> None:
         self.program = program
@@ -68,11 +91,19 @@ class SkipFlowSolver:
         self.stub_methods: Set[str] = set()
         #: Number of worklist events processed (a machine-independent cost proxy).
         self.steps: int = 0
+        #: Joins attempted against a flow's input state (delivery + injection).
+        self.joins: int = 0
+        #: Transfer-function evaluations (recomputations of ``VSout``).
+        self.transfers: int = 0
+        #: Flows collapsed by the saturation cutoff (0 when the cutoff is off).
+        self.saturated_flows: int = 0
+
+        self._saturation_threshold: Optional[int] = getattr(
+            config, "saturation_threshold", None)
+        self._saturated_state: Optional[ValueState] = None
 
         self._worklist: Deque[Flow] = deque()
-        self._queued: Set[int] = set()
         self._pending_links: Deque[InvokeFlow] = deque()
-        self._pending_link_ids: Set[int] = set()
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -153,26 +184,26 @@ class SkipFlowSolver:
     # Worklist machinery
     # ------------------------------------------------------------------ #
     def _schedule(self, flow: Flow) -> None:
-        if flow.uid not in self._queued:
-            self._queued.add(flow.uid)
+        if not flow.in_worklist:
+            flow.in_worklist = True
             self._worklist.append(flow)
 
     def _schedule_link(self, flow: InvokeFlow) -> None:
-        if flow.uid not in self._pending_link_ids:
-            self._pending_link_ids.add(flow.uid)
+        if not flow.in_link_queue:
+            flow.in_link_queue = True
             self._pending_links.append(flow)
 
     def _run(self) -> None:
         while self._worklist or self._pending_links:
             if self._pending_links:
                 invoke_flow = self._pending_links.popleft()
-                self._pending_link_ids.discard(invoke_flow.uid)
+                invoke_flow.in_link_queue = False
                 if invoke_flow.enabled:
                     self._link_invoke(invoke_flow)
                 self.steps += 1
                 continue
             flow = self._worklist.popleft()
-            self._queued.discard(flow.uid)
+            flow.in_worklist = False
             self.steps += 1
             self._process(flow)
 
@@ -188,25 +219,66 @@ class SkipFlowSolver:
                 self._enable(target)
 
     def _deliver(self, source: Flow, target: Flow) -> None:
+        if target.saturated:
+            return
+        self.joins += 1
         new_input = target.input_state.join(source.state)
-        if new_input != target.input_state:
+        if new_input is not target.input_state:
             target.input_state = new_input
             self._recompute(target)
 
     def _inject(self, flow: Flow, state: ValueState) -> None:
         """Join an externally produced value into a flow's input (roots, stubs)."""
+        if flow.saturated:
+            return
+        self.joins += 1
         new_input = flow.input_state.join(state)
-        if new_input != flow.input_state:
+        if new_input is not flow.input_state:
             flow.input_state = new_input
             self._recompute(flow)
 
     def _recompute(self, flow: Flow) -> None:
+        self.transfers += 1
         output = flow.transfer(self.hierarchy)
         new_state = flow.state.join(output)
-        if new_state != flow.state:
+        if new_state is not flow.state:
+            threshold = self._saturation_threshold
+            if (threshold is not None
+                    and len(new_state.reference_types) > threshold):
+                self._saturate(flow, new_state)
+                return
             flow.state = new_state
             if flow.enabled:
                 self._schedule(flow)
+
+    # ------------------------------------------------------------------ #
+    # Saturation cutoff (off by default; see the class docstring)
+    # ------------------------------------------------------------------ #
+    def _saturation_state(self) -> ValueState:
+        state = self._saturated_state
+        if state is None:
+            types = set(self.hierarchy.instantiable_subtypes(OBJECT_TYPE_NAME))
+            types.add(NULL_TYPE_NAME)
+            state = ValueState.of_types(types).with_primitive(ANY)
+            self._saturated_state = state
+        return state
+
+    def _saturate(self, flow: Flow, new_state: ValueState) -> None:
+        """Collapse a megamorphic flow to the any-type sentinel.
+
+        The sentinel is the top element of ``L`` restricted to the closed
+        world, so skipping all further joins into the flow (``_deliver`` /
+        ``_inject``) loses nothing: the result stays a sound
+        over-approximation, it is just coarser than the paper's exact
+        semantics.
+        """
+        self.saturated_flows += 1
+        flow.saturated = True
+        sentinel = new_state.join(self._saturation_state())
+        flow.input_state = sentinel
+        flow.state = sentinel
+        if flow.enabled:
+            self._schedule(flow)
 
     def _notify(self, observer: Flow) -> None:
         if isinstance(observer, InvokeFlow):

@@ -1,0 +1,60 @@
+"""The benchmark engine: parallel execution with an on-disk result cache.
+
+The engine decouples *what* the evaluation drivers ask for (a list of
+:class:`~repro.workloads.generator.BenchmarkSpec`, each compared under the
+PTA baseline and SkipFlow) from *how* the comparisons are produced:
+
+* :mod:`repro.engine.runner` fans specs out to a
+  ``concurrent.futures.ProcessPoolExecutor`` (``jobs > 1``) or runs them
+  serially (``jobs == 1``); both paths return identical results because
+  benchmark generation and the solver are fully deterministic.
+* :mod:`repro.engine.scheduler` orders the pending specs largest-first
+  (longest-processing-time heuristic) so the pool stays balanced.
+* :mod:`repro.engine.cache` persists every comparison as one JSON file.
+
+Cache key scheme
+----------------
+A cache entry is keyed by the SHA-256 of three components::
+
+    key = sha256(spec_hash / config_hash / code_version)
+
+``spec_hash``
+    Canonical JSON of the full ``BenchmarkSpec`` dataclass (name, suite,
+    module sizes, guard patterns).  Any change to the generated program
+    changes the key.
+``config_hash``
+    Canonical JSON of *both* ``AnalysisConfig`` dataclasses (baseline and
+    SkipFlow), including ``saturation_threshold``.  Flipping any analysis
+    switch invalidates the entry.
+``code_version``
+    SHA-256 over every ``*.py`` source file of the ``repro`` package, so any
+    code change — a solver fix, a new metric — invalidates *all* entries.
+    Results are therefore never stale; at worst the cache is cold.
+
+Saturation and the paper's monotonicity argument
+------------------------------------------------
+The solver's termination proof (Appendix C) rests on monotonicity: value
+states only grow in the lattice ``L``, flows only switch from disabled to
+enabled, and edges are only added.  The saturation cutoff
+(``AnalysisConfig.saturation_threshold``) preserves exactly that argument:
+saturating a flow *jumps* its state to the top element of ``L`` restricted
+to the closed world (every instantiable type, ``null``, primitive ``Any``),
+which is still a move up the lattice, and subsequently skipped joins into
+the flow are no-ops by definition of top.  The fixed point is reached sooner
+and is a sound over-approximation of the paper's result; with the cutoff
+disabled (the default everywhere) results are bit-identical to the exact
+semantics.  Because the threshold is part of ``config_hash``, cached exact
+and saturated results never mix.
+"""
+
+from repro.engine.cache import ResultCache, compute_code_version
+from repro.engine.runner import ComparisonResult, run_specs
+from repro.engine.scheduler import order_by_cost
+
+__all__ = [
+    "ComparisonResult",
+    "ResultCache",
+    "compute_code_version",
+    "order_by_cost",
+    "run_specs",
+]

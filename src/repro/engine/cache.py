@@ -1,0 +1,112 @@
+"""On-disk JSON cache for benchmark comparison results.
+
+One cache entry per (spec, configs, code version) triple; see the package
+docstring (:mod:`repro.engine`) for the key scheme.  Entries are single JSON
+files written atomically (temp file + rename), so a cache directory can be
+shared between concurrent runs and an interrupted run never leaves a corrupt
+entry behind — unreadable files are simply treated as misses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+_HASH_ABBREV = 16
+
+
+def _canonical_json(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def hash_dataclass(instance: Any) -> str:
+    """Stable hash of a (possibly nested) dataclass instance."""
+    return _sha256(_canonical_json(dataclasses.asdict(instance)))[:_HASH_ABBREV]
+
+
+_code_version_cache: Optional[str] = None
+
+
+def compute_code_version() -> str:
+    """Hash every ``*.py`` file of the ``repro`` package (memoized).
+
+    Including relative paths in the digest means renames invalidate too, not
+    just content edits.
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(path.relative_to(package_root).as_posix().encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _code_version_cache = digest.hexdigest()[:_HASH_ABBREV]
+    return _code_version_cache
+
+
+class ResultCache:
+    """A directory of cached comparison payloads, keyed as described above."""
+
+    def __init__(self, directory, code_version: Optional[str] = None) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.code_version = code_version or compute_code_version()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Keys
+    # ------------------------------------------------------------------ #
+    def key(self, spec, baseline_config, skipflow_config) -> str:
+        """The cache key for one benchmark comparison."""
+        parts = "/".join((
+            hash_dataclass(spec),
+            hash_dataclass(baseline_config),
+            hash_dataclass(skipflow_config),
+            self.code_version,
+        ))
+        return _sha256(parts)[:2 * _HASH_ABBREV]
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    # ------------------------------------------------------------------ #
+    # Entries
+    # ------------------------------------------------------------------ #
+    def contains(self, key: str) -> bool:
+        """Whether an entry exists, without touching the hit/miss counters."""
+        return self.path_for(key).is_file()
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self.path_for(key), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        target = self.path_for(key)
+        temp = target.with_name(target.name + f".tmp{os.getpid()}")
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=1)
+        os.replace(temp, target)
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed

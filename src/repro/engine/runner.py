@@ -1,0 +1,262 @@
+"""Parallel benchmark runner producing cacheable comparison results.
+
+The runner's unit of work is one :class:`~repro.workloads.generator.
+BenchmarkSpec` compared under the baseline and SkipFlow configurations.  A
+worker (possibly in another process) runs the comparison and returns a plain
+JSON-serializable *payload*; the parent wraps payloads — freshly computed or
+loaded from the :class:`~repro.engine.cache.ResultCache` — into
+:class:`ComparisonResult` objects that mirror the read API of
+:class:`~repro.reporting.records.BenchmarkComparison`, so the existing
+Table 1 / Figure 9 formatters work on either unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.analysis import AnalysisConfig
+from repro.engine.cache import ResultCache
+from repro.engine.scheduler import order_by_cost
+from repro.image.builder import ImageBuildReport
+from repro.reporting.records import METRIC_NAMES, compare_configurations
+from repro.workloads.generator import BenchmarkSpec
+
+#: Payload schema version; bump when the payload layout changes so stale
+#: cache entries (same code version would normally prevent this, but cache
+#: directories can outlive wheels) are treated as misses.
+PAYLOAD_VERSION = 1
+
+
+@dataclass(frozen=True)
+class MetricsView:
+    """The counter metrics of one configuration, detached from the solver."""
+
+    reachable_methods: int
+    type_checks: int
+    null_checks: int
+    primitive_checks: int
+    poly_calls: int
+
+
+@dataclass(frozen=True)
+class ReportView:
+    """The serializable slice of an ``ImageBuildReport`` the reporting uses."""
+
+    configuration: str
+    metrics: MetricsView
+    binary_size_bytes: int
+    analysis_time_seconds: float
+    total_time_seconds: float
+    solver_steps: int
+    saturated_flows: int
+
+    @property
+    def reachable_methods(self) -> int:
+        return self.metrics.reachable_methods
+
+    @property
+    def binary_size_megabytes(self) -> float:
+        return self.binary_size_bytes / 1_000_000.0
+
+
+def _metric_value(report: ReportView, metric: str) -> float:
+    if metric == "analysis_time":
+        return report.analysis_time_seconds
+    if metric == "total_time":
+        return report.total_time_seconds
+    if metric == "reachable_methods":
+        return float(report.metrics.reachable_methods)
+    if metric == "type_checks":
+        return float(report.metrics.type_checks)
+    if metric == "null_checks":
+        return float(report.metrics.null_checks)
+    if metric == "prim_checks":
+        return float(report.metrics.primitive_checks)
+    if metric == "poly_calls":
+        return float(report.metrics.poly_calls)
+    if metric == "binary_size":
+        return float(report.binary_size_bytes)
+    raise KeyError(f"unknown metric {metric!r}")
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """One benchmark's baseline-vs-SkipFlow result, reporting-API compatible."""
+
+    benchmark: str
+    suite: str
+    baseline: ReportView
+    skipflow: ReportView
+    elapsed_seconds: float
+    from_cache: bool = False
+
+    def metric(self, name: str, configuration: str = "skipflow") -> float:
+        report = self.skipflow if configuration == "skipflow" else self.baseline
+        return _metric_value(report, name)
+
+    def normalized(self, name: str) -> float:
+        """SkipFlow metric normalized to the baseline (< 1.0 is an improvement)."""
+        base = _metric_value(self.baseline, name)
+        if base == 0:
+            return 1.0
+        return _metric_value(self.skipflow, name) / base
+
+    def reduction_percent(self, name: str) -> float:
+        return (1.0 - self.normalized(name)) * 100.0
+
+    @property
+    def reachable_method_reduction_percent(self) -> float:
+        return self.reduction_percent("reachable_methods")
+
+    def as_dict(self) -> Dict[str, float]:
+        row: Dict[str, Any] = {"benchmark": self.benchmark, "suite": self.suite}
+        for metric in METRIC_NAMES:
+            row[f"pta_{metric}"] = _metric_value(self.baseline, metric)
+            row[f"skipflow_{metric}"] = _metric_value(self.skipflow, metric)
+            row[f"reduction_{metric}_percent"] = self.reduction_percent(metric)
+        return row
+
+
+# ---------------------------------------------------------------------- #
+# Payloads (what workers return and the cache stores)
+# ---------------------------------------------------------------------- #
+def _report_payload(report: ImageBuildReport) -> Dict[str, Any]:
+    stats = report.result.stats
+    return {
+        "configuration": report.configuration,
+        "reachable_methods": report.metrics.reachable_methods,
+        "type_checks": report.metrics.type_checks,
+        "null_checks": report.metrics.null_checks,
+        "primitive_checks": report.metrics.primitive_checks,
+        "poly_calls": report.metrics.poly_calls,
+        "binary_size_bytes": report.binary_size_bytes,
+        "analysis_time_seconds": report.analysis_time_seconds,
+        "total_time_seconds": report.total_time_seconds,
+        "solver_steps": report.result.steps,
+        "saturated_flows": stats.saturated_flows if stats is not None else 0,
+    }
+
+
+def _view_from_payload(payload: Dict[str, Any]) -> ReportView:
+    return ReportView(
+        configuration=payload["configuration"],
+        metrics=MetricsView(
+            reachable_methods=payload["reachable_methods"],
+            type_checks=payload["type_checks"],
+            null_checks=payload["null_checks"],
+            primitive_checks=payload["primitive_checks"],
+            poly_calls=payload["poly_calls"],
+        ),
+        binary_size_bytes=payload["binary_size_bytes"],
+        analysis_time_seconds=payload["analysis_time_seconds"],
+        total_time_seconds=payload["total_time_seconds"],
+        solver_steps=payload["solver_steps"],
+        saturated_flows=payload["saturated_flows"],
+    )
+
+
+def result_from_payload(payload: Dict[str, Any], from_cache: bool = False) -> ComparisonResult:
+    if payload.get("payload_version") != PAYLOAD_VERSION:
+        raise ValueError(
+            f"unsupported payload version {payload.get('payload_version')!r}")
+    return ComparisonResult(
+        benchmark=payload["benchmark"],
+        suite=payload["suite"],
+        baseline=_view_from_payload(payload["baseline"]),
+        skipflow=_view_from_payload(payload["skipflow"]),
+        elapsed_seconds=payload["elapsed_seconds"],
+        from_cache=from_cache,
+    )
+
+
+def solve_spec(spec: BenchmarkSpec,
+               baseline_config: AnalysisConfig,
+               skipflow_config: AnalysisConfig) -> Dict[str, Any]:
+    """Worker entry point: run one comparison, return its payload.
+
+    Must stay a module-level function so ``ProcessPoolExecutor`` can pickle
+    it; specs and configs are frozen dataclasses and pickle cleanly.
+    """
+    started = time.perf_counter()
+    comparison = compare_configurations(
+        spec, baseline_config=baseline_config, skipflow_config=skipflow_config)
+    return {
+        "payload_version": PAYLOAD_VERSION,
+        "benchmark": spec.name,
+        "suite": spec.suite,
+        "baseline": _report_payload(comparison.baseline),
+        "skipflow": _report_payload(comparison.skipflow),
+        "elapsed_seconds": time.perf_counter() - started,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# The driver
+# ---------------------------------------------------------------------- #
+ProgressCallback = Callable[[BenchmarkSpec, ComparisonResult], None]
+
+
+def run_specs(
+    specs: Sequence[BenchmarkSpec],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    baseline_config: Optional[AnalysisConfig] = None,
+    skipflow_config: Optional[AnalysisConfig] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[ComparisonResult]:
+    """Run every spec under both configurations; results follow input order.
+
+    Cached comparisons are returned without re-solving; the remaining specs
+    run serially (``jobs == 1``) or on a process pool, submitted
+    largest-first.  ``progress`` is invoked once per finished spec, in
+    completion order.
+    """
+    baseline_config = baseline_config or AnalysisConfig.baseline_pta()
+    skipflow_config = skipflow_config or AnalysisConfig.skipflow()
+
+    results: List[Optional[ComparisonResult]] = [None] * len(specs)
+    pending: List[int] = []
+    for index, spec in enumerate(specs):
+        payload = None
+        if cache is not None:
+            payload = cache.get(cache.key(spec, baseline_config, skipflow_config))
+            if payload is not None:
+                try:
+                    results[index] = result_from_payload(payload, from_cache=True)
+                except (KeyError, ValueError):
+                    payload = None  # stale layout: recompute
+        if payload is None:
+            pending.append(index)
+        elif progress is not None:
+            progress(spec, results[index])
+
+    def finish(index: int, payload: Dict[str, Any]) -> None:
+        if cache is not None:
+            cache.put(cache.key(specs[index], baseline_config, skipflow_config),
+                      payload)
+        results[index] = result_from_payload(payload)
+        if progress is not None:
+            progress(specs[index], results[index])
+
+    submission_order = [pending[i] for i in order_by_cost([specs[i] for i in pending])]
+    if jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(solve_spec, specs[index], baseline_config,
+                            skipflow_config): index
+                for index in submission_order
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    finish(futures[future], future.result())
+    else:
+        for index in submission_order:
+            finish(index, solve_spec(specs[index], baseline_config, skipflow_config))
+
+    return [result for result in results if result is not None]

@@ -1,0 +1,30 @@
+"""Cost-aware ordering of benchmark specs for the process pool.
+
+Solve time grows superlinearly with program size (more methods mean more
+flows *and* larger type sets per flow), so submitting specs to the pool in
+arbitrary order can leave one worker grinding through the largest benchmark
+long after the others went idle.  Submitting largest-first — the classic
+longest-processing-time heuristic — keeps the tail short without needing
+real runtime measurements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.workloads.generator import BenchmarkSpec
+
+#: Exponent of the size-to-cost model.  Slightly superlinear matches the
+#: observed scaling of the solver on the synthetic suites; the exact value
+#: only matters for tie-breaking between similarly sized specs.
+_COST_EXPONENT = 1.2
+
+
+def estimated_cost(spec: BenchmarkSpec) -> float:
+    """A unitless solve-cost estimate for one spec (higher = slower)."""
+    return float(spec.expected_total_methods) ** _COST_EXPONENT
+
+
+def order_by_cost(specs: Sequence[BenchmarkSpec]) -> List[int]:
+    """Indices into ``specs``, most expensive first (stable for equal costs)."""
+    return sorted(range(len(specs)), key=lambda i: (-estimated_cost(specs[i]), i))

@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.ir.builder import MethodBuilder
 from repro.ir.program import Program, ProgramError

@@ -33,7 +33,6 @@ from repro.ir.instructions import (
     Invoke,
     InvokeKind,
     Jump,
-    Label,
     LoadField,
     Merge,
     Return,

@@ -12,7 +12,7 @@ abstraction of the analysis.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set
 
 from repro.ir.builder import MethodBuilder, ProgramBuilder
 from repro.ir.instructions import CompareOp

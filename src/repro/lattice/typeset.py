@@ -1,15 +1,32 @@
-"""Filtering helpers over the reference (type-set) part of value states.
+"""Type sets: the reference part of value states, plus filtering helpers.
 
-These implement the TypeCheck rule of Appendix C for ``instanceof`` filter
-flows, and the null-comparison convenience used by the frontend tests.
+A *type set* is a ``frozenset`` of type names (``null`` modelled as the
+special type ``"null"``).  The solver joins, compares, and filters type sets
+on its hottest path, so type sets are hash-consed: :func:`intern_types`
+returns one canonical ``frozenset`` instance per distinct set of names, which
+makes the "did the join change anything?" checks in
+:meth:`~repro.lattice.value_state.ValueState.join` O(1) identity comparisons
+in the common no-change case.  The intern tables live in
+:mod:`repro.lattice.value_state` (the lattice core has no further imports);
+this module re-exports them as the public type-set API.
+
+The filtering helpers implement the TypeCheck rule of Appendix C for
+``instanceof`` filter flows, and the null-comparison convenience used by the
+frontend tests.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet
 
 from repro.ir.types import NULL_TYPE_NAME, TypeHierarchy
-from repro.lattice.value_state import ValueState
+from repro.lattice.value_state import TypeSet, ValueState, intern_types
+
+__all__ = [
+    "TypeSet",
+    "intern_types",
+    "filter_instanceof",
+    "filter_null_comparison",
+]
 
 
 def filter_instanceof(

@@ -7,16 +7,52 @@ yields ``Any``, matching the primitive lattice ``P``; joining type sets is
 set union, matching the subset lattice ``S``.
 
 Value states are immutable and hashable so they can be compared cheaply by
-the fixed-point solver to detect changes.
+the fixed-point solver to detect changes.  On top of that, both the type
+sets and the value states themselves are *hash-consed*: every factory and
+every lattice operation routes through intern tables, so structurally equal
+states produced on the solver's hot path are usually the very same object
+and equality checks short-circuit on identity.  Interning is purely an
+optimization — ``__eq__`` stays structural, so directly constructed
+(non-interned) instances still compare correctly — which also means the
+bounded intern tables can be dropped at any time without affecting results.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Iterator, Optional, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple, Union
 
 from repro.lattice.primitive import ANY, AnyValue, PrimitiveElement, join_constants
 
 from repro.ir.types import NULL_TYPE_NAME
+
+#: A canonical (interned) set of type names: the reference part of a state.
+TypeSet = FrozenSet[str]
+
+#: Intern tables are bounded so a long-lived process running many benchmarks
+#: back to back cannot grow them without limit; when full they are simply
+#: cleared (safe: interning is only a fast path, never a correctness need).
+_INTERN_LIMIT = 1 << 16
+
+_TYPE_SET_TABLE: Dict[TypeSet, TypeSet] = {}
+_EMPTY_TYPE_SET: TypeSet = frozenset()
+
+
+def intern_types(types: Iterable[str]) -> TypeSet:
+    """Return the canonical ``frozenset`` for ``types``.
+
+    Two calls with equal contents return the *same* object, so callers can
+    compare interned type sets with ``is`` before falling back to ``==``.
+    """
+    key = types if isinstance(types, frozenset) else frozenset(types)
+    if not key:
+        return _EMPTY_TYPE_SET
+    cached = _TYPE_SET_TABLE.get(key)
+    if cached is not None:
+        return cached
+    if len(_TYPE_SET_TABLE) >= _INTERN_LIMIT:
+        _TYPE_SET_TABLE.clear()
+    _TYPE_SET_TABLE[key] = key
+    return key
 
 
 class ValueState:
@@ -29,44 +65,68 @@ class ValueState:
     flow; keeping both makes the solver uniform and robust.
     """
 
-    __slots__ = ("_types", "_primitive")
+    __slots__ = ("_types", "_primitive", "_ref_types")
 
     def __init__(self, types: Iterable[str] = (), primitive: PrimitiveElement = None):
-        self._types: FrozenSet[str] = frozenset(types)
+        self._types: TypeSet = intern_types(types)
         self._primitive: PrimitiveElement = primitive
+        # Lazily memoized ``types - {null}`` (hot in invoke/field linking).
+        self._ref_types: Optional[TypeSet] = None
+
+    # ------------------------------------------------------------------ #
+    # Hash-consing
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(types: Iterable[str], primitive: PrimitiveElement) -> "ValueState":
+        """The interning constructor every factory and lattice op routes through."""
+        canonical = intern_types(types)
+        key = (canonical, primitive)
+        cached = _STATE_TABLE.get(key)
+        if cached is not None:
+            return cached
+        if len(_STATE_TABLE) >= _INTERN_LIMIT:
+            _STATE_TABLE.clear()
+        state = ValueState(canonical, primitive)
+        _STATE_TABLE[key] = state
+        return state
 
     # ------------------------------------------------------------------ #
     # Constructors
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def of(types: Iterable[str] = (), primitive: PrimitiveElement = None) -> "ValueState":
+        """General interning factory: prefer this over direct construction."""
+        return ValueState._make(types, primitive)
+
     @staticmethod
     def empty() -> "ValueState":
         return _EMPTY
 
     @staticmethod
     def of_type(type_name: str) -> "ValueState":
-        return ValueState(types=(type_name,))
+        return ValueState._make((type_name,), None)
 
     @staticmethod
     def of_types(type_names: Iterable[str]) -> "ValueState":
-        return ValueState(types=type_names)
+        return ValueState._make(type_names, None)
 
     @staticmethod
     def null() -> "ValueState":
-        return ValueState(types=(NULL_TYPE_NAME,))
+        return ValueState._make((NULL_TYPE_NAME,), None)
 
     @staticmethod
     def of_int(constant: int) -> "ValueState":
-        return ValueState(primitive=int(constant))
+        return ValueState._make((), int(constant))
 
     @staticmethod
     def any_primitive() -> "ValueState":
-        return ValueState(primitive=ANY)
+        return ValueState._make((), ANY)
 
     # ------------------------------------------------------------------ #
     # Accessors
     # ------------------------------------------------------------------ #
     @property
-    def types(self) -> FrozenSet[str]:
+    def types(self) -> TypeSet:
         """The reference part of the state (type names, possibly ``null``)."""
         return self._types
 
@@ -104,9 +164,16 @@ class ValueState:
         return NULL_TYPE_NAME in self._types
 
     @property
-    def reference_types(self) -> FrozenSet[str]:
+    def reference_types(self) -> TypeSet:
         """Type names excluding ``null``."""
-        return self._types - {NULL_TYPE_NAME}
+        ref = self._ref_types
+        if ref is None:
+            if NULL_TYPE_NAME in self._types:
+                ref = intern_types(self._types - {NULL_TYPE_NAME})
+            else:
+                ref = self._types
+            self._ref_types = ref
+        return ref
 
     @property
     def is_null_only(self) -> bool:
@@ -119,18 +186,30 @@ class ValueState:
     # Lattice operations
     # ------------------------------------------------------------------ #
     def join(self, other: "ValueState") -> "ValueState":
-        """Least upper bound in ``L``."""
-        if self.is_empty:
-            return other
+        """Least upper bound in ``L``.
+
+        Returns ``self`` (the identical object) whenever the join adds
+        nothing, so the solver's change detection can use ``is``.
+        """
+        if self is other:
+            return self
+        # Check ``other`` first: when both operands are empty this returns
+        # ``self`` unchanged, keeping the "join returned the identical object
+        # iff nothing changed" contract even for non-interned empty states.
         if other.is_empty:
             return self
-        types = self._types | other._types
+        if self.is_empty:
+            return other
+        if self._types is other._types:
+            types = self._types
+        else:
+            types = self._types | other._types
         primitive = join_constants(self._primitive, other._primitive)
         if types == self._types and primitive == self._primitive:
             return self
         if types == other._types and primitive == other._primitive:
             return other
-        return ValueState(types=types, primitive=primitive)
+        return ValueState._make(types, primitive)
 
     def leq(self, other: "ValueState") -> bool:
         """Partial order: ``self <= other`` iff joining adds nothing to ``other``."""
@@ -138,21 +217,21 @@ class ValueState:
 
     def with_types(self, types: Iterable[str]) -> "ValueState":
         """A copy with the reference part replaced (primitive part preserved)."""
-        return ValueState(types=types, primitive=self._primitive)
+        return ValueState._make(types, self._primitive)
 
     def with_primitive(self, primitive: PrimitiveElement) -> "ValueState":
-        return ValueState(types=self._types, primitive=primitive)
+        return ValueState._make(self._types, primitive)
 
     def only_types(self) -> "ValueState":
-        return ValueState(types=self._types)
+        return ValueState._make(self._types, None)
 
     def only_primitive(self) -> "ValueState":
-        return ValueState(primitive=self._primitive)
+        return ValueState._make((), self._primitive)
 
     def without_null(self) -> "ValueState":
         if NULL_TYPE_NAME not in self._types:
             return self
-        return ValueState(types=self._types - {NULL_TYPE_NAME}, primitive=self._primitive)
+        return ValueState._make(self._types - {NULL_TYPE_NAME}, self._primitive)
 
     def widen_primitive(self) -> "ValueState":
         """Collapse any primitive constant to ``Any``.
@@ -162,12 +241,14 @@ class ValueState:
         """
         if self._primitive is None or isinstance(self._primitive, AnyValue):
             return self
-        return ValueState(types=self._types, primitive=ANY)
+        return ValueState._make(self._types, ANY)
 
     # ------------------------------------------------------------------ #
     # Dunder protocol
     # ------------------------------------------------------------------ #
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, ValueState):
             return NotImplemented
         return self._types == other._types and self._primitive == other._primitive
@@ -193,4 +274,7 @@ class ValueState:
         return "ValueState({" + ", ".join(parts) + "})"
 
 
+_STATE_TABLE: Dict[Tuple[TypeSet, PrimitiveElement], ValueState] = {}
+
 _EMPTY = ValueState()
+_STATE_TABLE[(_EMPTY_TYPE_SET, None)] = _EMPTY

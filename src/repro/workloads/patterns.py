@@ -29,8 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
-from repro.ir.builder import MethodBuilder, ProgramBuilder
-from repro.ir.instructions import CompareOp
+from repro.ir.builder import ProgramBuilder
 
 
 @dataclass(frozen=True)

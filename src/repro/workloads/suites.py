@@ -11,7 +11,7 @@ compared directly against the paper.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from repro.workloads.generator import BenchmarkSpec, spec_from_reduction
 

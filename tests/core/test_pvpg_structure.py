@@ -6,12 +6,9 @@ from repro.core.analysis import AnalysisConfig
 from repro.core.flows import (
     FilterCompareFlow,
     FilterTypeFlow,
-    FlowKind,
-    InvokeFlow,
     ParameterFlow,
     PhiFlow,
     PhiPredFlow,
-    ReturnFlow,
     SourceFlow,
 )
 from repro.core.pvpg import BranchKind, ProgramPVPG

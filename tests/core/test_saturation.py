@@ -1,0 +1,113 @@
+"""The saturation cutoff: off by default (seed-identical), sound when on."""
+
+from repro.core.analysis import AnalysisConfig, SkipFlowAnalysis
+from repro.lang import compile_source
+
+#: The quickstart example (examples/quickstart.py): a telemetry feature
+#: guarded by a config method returning the constant ``false``.
+QUICKSTART_SOURCE = """
+class Config {
+    boolean isTelemetryEnabled() {
+        return false;
+    }
+}
+
+class TelemetryService {
+    void start() {
+        MetricsLibrary.initialize();
+    }
+}
+
+class MetricsLibrary {
+    static void initialize() { MetricsLibrary.connect(); }
+    static void connect() { }
+}
+
+class Application {
+    void run(Config config) {
+        if (config.isTelemetryEnabled()) {
+            TelemetryService telemetry = new TelemetryService();
+            telemetry.start();
+        }
+        this.serveRequests();
+    }
+
+    void serveRequests() { }
+}
+
+class Main {
+    static void main() {
+        Application app = new Application();
+        app.run(new Config());
+    }
+}
+"""
+
+#: A megamorphic call site: ten receiver types flow into one parameter.
+_IMPL_COUNT = 10
+MEGAMORPHIC_SOURCE = (
+    "class Base { void visit() { } }\n"
+    + "".join(f"class Impl{i} extends Base {{ void visit() {{ }} }}\n"
+              for i in range(_IMPL_COUNT))
+    + "class Sink { void accept(Base b) { b.visit(); } }\n"
+    + "class Main { static void main() {\n"
+    + "    Sink s = new Sink();\n"
+    + "".join(f"    s.accept(new Impl{i}());\n" for i in range(_IMPL_COUNT))
+    + "} }\n"
+)
+
+
+class TestSaturationOff:
+    """With the cutoff disabled (the default), results equal the seed solver."""
+
+    def test_quickstart_matches_seed_counts(self):
+        program = compile_source(QUICKSTART_SOURCE)
+        baseline = SkipFlowAnalysis(program, AnalysisConfig.baseline_pta()).run()
+        skipflow = SkipFlowAnalysis(
+            compile_source(QUICKSTART_SOURCE), AnalysisConfig.skipflow()).run()
+        # The numbers the seed prints for examples/quickstart.py.
+        assert baseline.reachable_method_count == 7
+        assert skipflow.reachable_method_count == 4
+        assert skipflow.is_method_reachable("Application.serveRequests")
+        assert not skipflow.is_method_reachable("TelemetryService.start")
+        assert not skipflow.is_method_reachable("MetricsLibrary.initialize")
+        assert skipflow.return_state("Config.isTelemetryEnabled").constant_value == 0
+
+    def test_default_config_never_saturates(self):
+        program = compile_source(MEGAMORPHIC_SOURCE)
+        result = SkipFlowAnalysis(program, AnalysisConfig.skipflow()).run()
+        assert result.stats is not None
+        assert result.stats.saturated_flows == 0
+        assert result.stats.joins > 0 and result.stats.transfers > 0
+        assert result.stats.steps == result.steps
+
+    def test_threshold_is_part_of_config_identity(self):
+        exact = AnalysisConfig.skipflow()
+        cut = exact.with_saturation_threshold(4)
+        assert exact.saturation_threshold is None
+        assert cut.saturation_threshold == 4
+        assert exact != cut
+
+
+class TestSaturationOn:
+    def test_megamorphic_flow_saturates(self):
+        program = compile_source(MEGAMORPHIC_SOURCE)
+        config = AnalysisConfig.skipflow().with_saturation_threshold(3)
+        result = SkipFlowAnalysis(program, config).run()
+        assert result.stats.saturated_flows > 0
+
+    def test_saturated_result_is_sound_superset(self):
+        exact = SkipFlowAnalysis(
+            compile_source(MEGAMORPHIC_SOURCE), AnalysisConfig.skipflow()).run()
+        saturated = SkipFlowAnalysis(
+            compile_source(MEGAMORPHIC_SOURCE),
+            AnalysisConfig.skipflow().with_saturation_threshold(3)).run()
+        assert exact.reachable_methods <= saturated.reachable_methods
+
+    def test_quickstart_unaffected_by_generous_threshold(self):
+        # A threshold larger than any type set in the program must not
+        # change anything: the cutoff never fires.
+        config = AnalysisConfig.skipflow().with_saturation_threshold(1000)
+        result = SkipFlowAnalysis(compile_source(QUICKSTART_SOURCE), config).run()
+        assert result.reachable_method_count == 4
+        assert result.stats.saturated_flows == 0

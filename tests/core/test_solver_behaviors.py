@@ -4,7 +4,6 @@ import pytest
 
 from repro import AnalysisConfig, SkipFlowAnalysis
 from repro.ir.builder import ProgramBuilder
-from repro.ir.instructions import CompareOp
 from repro.lattice.value_state import ValueState
 
 

@@ -1,0 +1,88 @@
+"""Cache key stability and invalidation for the benchmark engine."""
+
+from repro.core.analysis import AnalysisConfig
+from repro.engine.cache import ResultCache, compute_code_version, hash_dataclass
+from repro.workloads.generator import spec_from_reduction
+
+
+def _spec(name="cache-spec", total=80, reduction=10.0):
+    return spec_from_reduction(name=name, suite="test",
+                               total_methods=total, reduction_percent=reduction)
+
+
+def _configs():
+    return AnalysisConfig.baseline_pta(), AnalysisConfig.skipflow()
+
+
+class TestKeyStability:
+    def test_same_inputs_same_key(self, tmp_path):
+        baseline, skipflow = _configs()
+        first = ResultCache(tmp_path / "a")
+        second = ResultCache(tmp_path / "b")
+        assert (first.key(_spec(), baseline, skipflow)
+                == second.key(_spec(), baseline, skipflow))
+
+    def test_key_is_filesystem_safe_hex(self, tmp_path):
+        baseline, skipflow = _configs()
+        key = ResultCache(tmp_path).key(_spec(), baseline, skipflow)
+        assert key == key.lower()
+        int(key, 16)  # raises if not hex
+
+    def test_hash_dataclass_is_deterministic(self):
+        assert hash_dataclass(_spec()) == hash_dataclass(_spec())
+
+    def test_code_version_is_memoized_and_stable(self):
+        assert compute_code_version() == compute_code_version()
+
+
+class TestKeyInvalidation:
+    def test_different_spec_different_key(self, tmp_path):
+        baseline, skipflow = _configs()
+        cache = ResultCache(tmp_path)
+        assert (cache.key(_spec(total=80), baseline, skipflow)
+                != cache.key(_spec(total=81), baseline, skipflow))
+
+    def test_config_switch_changes_key(self, tmp_path):
+        baseline, skipflow = _configs()
+        cache = ResultCache(tmp_path)
+        exact = cache.key(_spec(), baseline, skipflow)
+        saturated = cache.key(_spec(), baseline,
+                              skipflow.with_saturation_threshold(8))
+        assert exact != saturated
+
+    def test_code_version_changes_key(self, tmp_path):
+        baseline, skipflow = _configs()
+        old = ResultCache(tmp_path, code_version="aaaa")
+        new = ResultCache(tmp_path, code_version="bbbb")
+        assert (old.key(_spec(), baseline, skipflow)
+                != new.key(_spec(), baseline, skipflow))
+
+
+class TestEntries:
+    def test_put_get_roundtrip_and_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("deadbeef") is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.put("deadbeef", {"value": 42})
+        assert cache.get("deadbeef") == {"value": 42}
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_contains_does_not_touch_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert not cache.contains("deadbeef")
+        cache.put("deadbeef", {})
+        assert cache.contains("deadbeef")
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path_for("deadbeef").write_text("{not json")
+        assert cache.get("deadbeef") is None
+        assert cache.misses == 1
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("aa", {})
+        cache.put("bb", {})
+        assert cache.clear() == 2
+        assert not cache.contains("aa")

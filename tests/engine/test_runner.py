@@ -1,0 +1,87 @@
+"""The parallel benchmark runner: determinism, ordering, and cache behavior."""
+
+import pytest
+
+from repro.core.analysis import AnalysisConfig
+from repro.engine import ResultCache, run_specs
+from repro.engine.runner import PAYLOAD_VERSION, result_from_payload, solve_spec
+from repro.engine.scheduler import estimated_cost, order_by_cost
+from repro.workloads.generator import spec_from_reduction
+
+#: Deliberately out of size order so scheduling and result ordering differ.
+SPECS = [
+    spec_from_reduction(name="runner-mid", suite="test",
+                        total_methods=90, reduction_percent=10.0),
+    spec_from_reduction(name="runner-big", suite="test",
+                        total_methods=140, reduction_percent=8.0),
+    spec_from_reduction(name="runner-small", suite="test",
+                        total_methods=60, reduction_percent=15.0),
+]
+
+
+def _stable_dict(result):
+    """Result metrics without the host-dependent wall-clock values."""
+    return {key: value for key, value in result.as_dict().items()
+            if "time" not in key}
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial(self):
+        serial = run_specs(SPECS, jobs=1)
+        parallel = run_specs(SPECS, jobs=4)
+        assert [_stable_dict(r) for r in serial] == [_stable_dict(r) for r in parallel]
+
+    def test_results_follow_input_order(self):
+        results = run_specs(SPECS, jobs=4)
+        assert [r.benchmark for r in results] == [s.name for s in SPECS]
+
+    def test_reporting_api_compatibility(self):
+        result = run_specs(SPECS[:1])[0]
+        assert result.skipflow.reachable_methods < result.baseline.reachable_methods
+        assert 0.0 < result.normalized("reachable_methods") < 1.0
+        assert result.reachable_method_reduction_percent > 0.0
+        assert result.metric("binary_size", "baseline") > 0.0
+
+
+class TestCacheIntegration:
+    def test_second_run_served_from_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_specs(SPECS, jobs=1, cache=cache)
+        assert cache.misses == len(SPECS) and cache.hits == 0
+        assert all(not r.from_cache for r in first)
+
+        cache_again = ResultCache(tmp_path)
+        second = run_specs(SPECS, jobs=1, cache=cache_again)
+        assert cache_again.hits == len(SPECS) and cache_again.misses == 0
+        assert all(r.from_cache for r in second)
+        assert [r.as_dict() for r in first] == [r.as_dict() for r in second]
+
+    def test_saturation_threshold_misses_exact_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_specs(SPECS[:1], cache=cache)
+        cache_again = ResultCache(tmp_path)
+        run_specs(SPECS[:1], cache=cache_again,
+                  skipflow_config=AnalysisConfig.skipflow().with_saturation_threshold(64))
+        assert cache_again.misses == 1 and cache_again.hits == 0
+
+
+class TestPayloads:
+    def test_unknown_payload_version_rejected(self):
+        payload = solve_spec(SPECS[2], AnalysisConfig.baseline_pta(),
+                             AnalysisConfig.skipflow())
+        assert payload["payload_version"] == PAYLOAD_VERSION
+        payload["payload_version"] = PAYLOAD_VERSION + 1
+        with pytest.raises(ValueError):
+            result_from_payload(payload)
+
+
+class TestScheduler:
+    def test_orders_largest_first(self):
+        order = order_by_cost(SPECS)
+        costs = [estimated_cost(SPECS[i]) for i in order]
+        assert costs == sorted(costs, reverse=True)
+        assert order[0] == 1  # runner-big
+
+    def test_stable_for_equal_costs(self):
+        specs = [SPECS[0], SPECS[0], SPECS[0]]
+        assert order_by_cost(specs) == [0, 1, 2]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.analysis import AnalysisConfig, run_baseline, run_skipflow
+from repro.core.analysis import run_baseline, run_skipflow
 from repro.image.optimizations import collect_optimizations
 from repro.lang import compile_source
 

@@ -2,7 +2,6 @@
 language and pushed through the whole pipeline (frontend, analysis, image
 builder, metrics)."""
 
-import pytest
 
 from repro import AnalysisConfig, SkipFlowAnalysis
 from repro.core.analysis import run_baseline, run_skipflow

@@ -16,7 +16,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.baselines.cha import ClassHierarchyAnalysis
 from repro.baselines.rta import RapidTypeAnalysis
-from repro.core.analysis import AnalysisConfig, SkipFlowAnalysis, run_baseline, run_skipflow
+from repro.core.analysis import run_baseline, run_skipflow
 from repro.ir.interpreter import HeapObject, execute
 from repro.lang import compile_source
 from repro.workloads.generator import BenchmarkSpec, GuardedModuleSpec, generate_benchmark

@@ -13,7 +13,6 @@ from repro.ir.instructions import (
     InvokeKind,
     Jump,
     Merge,
-    Return,
     Start,
 )
 from repro.ir.types import MethodSignature

@@ -1,6 +1,5 @@
 """Tests for short-circuit ``&&`` / ``||`` in the surface language."""
 
-import pytest
 
 from repro.core.analysis import run_baseline, run_skipflow
 from repro.ir.validate import validate_program

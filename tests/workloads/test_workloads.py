@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.core.analysis import AnalysisConfig, run_baseline, run_skipflow
+from repro.core.analysis import run_baseline, run_skipflow
 from repro.ir.builder import ProgramBuilder
 from repro.ir.validate import validate_program
 from repro.workloads.generator import (
-    BenchmarkSpec,
     GuardedModuleSpec,
     generate_benchmark,
     spec_from_reduction,
