@@ -2,8 +2,11 @@
 
 Runs a couple of small specs through :func:`repro.engine.run_specs` on a
 process pool, then repeats the run against the same cache directory and
-asserts that every result is served from the cache with identical numbers.
-Exits non-zero (with a message) on any violation, so it can gate CI::
+asserts that every result is served from the cache — two hits per spec, one
+per configuration half — with identical numbers.  A third run under a
+different SkipFlow configuration must reuse the cached baseline halves and
+the program-store IR blobs while recomputing only the SkipFlow side.  Exits
+non-zero (with a message) on any violation, so it can gate CI::
 
     python benchmarks/ci_smoke.py --jobs 2 --cache-dir .bench-cache
 """
@@ -14,8 +17,12 @@ import argparse
 import sys
 import tempfile
 
+from repro.core.analysis import AnalysisConfig
 from repro.engine import ResultCache, run_specs
 from repro.workloads.generator import spec_from_reduction
+
+#: Configuration halves per comparison (baseline + SkipFlow).
+HALVES = 2
 
 
 def _smoke_specs():
@@ -43,10 +50,24 @@ def main(argv=None) -> int:
         second_cache = ResultCache(cache_dir)
         second = run_specs(specs, jobs=args.jobs, cache=second_cache)
 
+        # Drop any pre-existing entries for the ablation config (the script
+        # may run against a reused --cache-dir) so the recompute assertions
+        # below are deterministic.
+        ablation_config = AnalysisConfig.skipflow().with_saturation_threshold(64)
+        ablation_cache = ResultCache(cache_dir)
+        for spec in specs:
+            stale = ablation_cache.path_for(
+                ablation_cache.config_key(spec, ablation_config))
+            if stale.exists():
+                stale.unlink()
+        ablation = run_specs(specs, jobs=args.jobs, cache=ablation_cache,
+                             skipflow_config=ablation_config)
+
     failures = []
-    if second_cache.hits != len(specs) or second_cache.misses != 0:
+    expected_hits = HALVES * len(specs)
+    if second_cache.hits != expected_hits or second_cache.misses != 0:
         failures.append(
-            f"expected {len(specs)} cache hits on the second run, got "
+            f"expected {expected_hits} cache hits on the second run, got "
             f"{second_cache.hits} hits / {second_cache.misses} misses")
     for before, after in zip(first, second):
         if not after.from_cache:
@@ -60,12 +81,28 @@ def main(argv=None) -> int:
                 f"({result.skipflow.reachable_methods} >= "
                 f"{result.baseline.reachable_methods})")
 
+    # The ablation run varies only the SkipFlow config: every baseline half
+    # must come from the cache, every SkipFlow half must be recomputed.
+    if ablation_cache.hits != len(specs) or ablation_cache.misses != len(specs):
+        failures.append(
+            f"expected the ablation run to hit {len(specs)} baseline halves and "
+            f"miss {len(specs)} SkipFlow halves, got {ablation_cache.hits} hits / "
+            f"{ablation_cache.misses} misses")
+    for result in ablation:
+        if not result.baseline_from_cache:
+            failures.append(
+                f"{result.benchmark}: ablation run recomputed the shared baseline")
+        if result.skipflow_from_cache:
+            failures.append(
+                f"{result.benchmark}: ablation run did not recompute SkipFlow")
+
     if failures:
         for failure in failures:
             print(f"SMOKE FAIL: {failure}", file=sys.stderr)
         return 1
     print(f"smoke ok: {len(specs)} specs, jobs={args.jobs}, "
-          f"second run {second_cache.hits}/{len(specs)} cache hits")
+          f"second run {second_cache.hits}/{expected_hits} half hits, "
+          f"ablation reused {ablation_cache.hits} baseline halves")
     return 0
 
 

@@ -1,0 +1,42 @@
+// A small application in the surface language of `repro.lang`, used by the
+// README quickstart.  The telemetry feature is guarded by a configuration
+// method returning the constant `false`: SkipFlow tracks the constant across
+// the call and proves the whole metrics library unreachable, while the
+// flow-insensitive baseline must keep it.
+
+class Config {
+    boolean isTelemetryEnabled() {
+        return false;
+    }
+}
+
+class TelemetryService {
+    void start() {
+        MetricsLibrary.initialize();
+    }
+}
+
+class MetricsLibrary {
+    static void initialize() { MetricsLibrary.connect(); }
+    static void connect() { MetricsLibrary.handshake(); }
+    static void handshake() { }
+}
+
+class Application {
+    void run(Config config) {
+        if (config.isTelemetryEnabled()) {
+            TelemetryService telemetry = new TelemetryService();
+            telemetry.start();
+        }
+        this.serveRequests();
+    }
+
+    void serveRequests() { }
+}
+
+class Main {
+    static void main() {
+        Application app = new Application();
+        app.run(new Config());
+    }
+}

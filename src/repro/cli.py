@@ -107,10 +107,17 @@ def _cmd_pvpg(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    """List the benchmark specs of the evaluation with engine cache status."""
-    from repro.engine import ResultCache
+    """List the benchmark specs of the evaluation with engine cache status.
+
+    The cache column reflects the engine's per-configuration entries: ``hit``
+    means both halves of the comparison (baseline and SkipFlow) are cached,
+    ``base``/``skip`` that only that half is, ``miss`` that neither is.  The
+    ``ir`` column reports whether the spec's program blob is in the shared
+    program store under the cache directory.
+    """
+    from repro.engine import ProgramStore, ResultCache
     from repro.engine.scheduler import estimated_cost
-    from repro.workloads.suites import all_suites, suite_by_name
+    from repro.workloads.suites import extended_suites, suite_by_name
 
     if args.suite:
         try:
@@ -119,17 +126,21 @@ def _cmd_bench(args) -> int:
             print(f"repro bench: {error.args[0]}", file=sys.stderr)
             return 2
     else:
-        suites = all_suites(scale=args.scale)
+        suites = extended_suites(scale=args.scale)
 
     baseline = AnalysisConfig.baseline_pta()
     skipflow = AnalysisConfig.skipflow()
     if args.saturation_threshold is not None:
         baseline = baseline.with_saturation_threshold(args.saturation_threshold)
         skipflow = skipflow.with_saturation_threshold(args.saturation_threshold)
-    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    cache = store = None
+    if args.cache_dir:
+        cache = ResultCache(args.cache_dir)
+        store = ProgramStore(cache.directory / "programs",
+                             code_version=cache.code_version)
 
     header = (f"{'suite':<14} {'benchmark':<28} {'methods':>7} {'guarded':>7} "
-              f"{'cost':>8}  cache")
+              f"{'cost':>8}  {'cache':<5} ir")
     print(header)
     print("-" * len(header))
     cached = total = 0
@@ -137,17 +148,25 @@ def _cmd_bench(args) -> int:
         for spec in specs:
             total += 1
             if cache is None:
-                status = "-"
-            elif cache.contains(cache.key(spec, baseline, skipflow)):
-                status = "hit"
-                cached += 1
+                status, ir_status = "-", "-"
             else:
-                status = "miss"
+                base_half = cache.contains(cache.config_key(spec, baseline))
+                skip_half = cache.contains(cache.config_key(spec, skipflow))
+                if base_half and skip_half:
+                    status = "hit"
+                    cached += 1
+                elif base_half:
+                    status = "base"
+                elif skip_half:
+                    status = "skip"
+                else:
+                    status = "miss"
+                ir_status = "yes" if store.contains(spec) else "no"
             print(f"{suite_name:<14} {spec.name:<28} "
                   f"{spec.expected_total_methods:>7} {spec.guarded_methods:>7} "
-                  f"{estimated_cost(spec):>8.0f}  {status}")
+                  f"{estimated_cost(spec):>8.0f}  {status:<5} {ir_status}")
     if cache is not None:
-        print(f"\n{cached}/{total} specs cached in {cache.directory} "
+        print(f"\n{cached}/{total} specs fully cached in {cache.directory} "
               f"(code version {cache.code_version})")
     else:
         print(f"\n{total} specs; pass --cache-dir to check cache status")
@@ -196,7 +215,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--scale", type=float, default=2.0,
                        help="synthetic methods per thousand paper-reported methods")
     bench.add_argument("--suite", type=str, default=None,
-                       help="restrict to one suite (DaCapo, Microservices, Renaissance)")
+                       help="restrict to one suite (DaCapo, Microservices, "
+                            "Renaissance, WideHierarchy)")
     bench.add_argument("--cache-dir", type=str, default=None,
                        help="benchmark engine cache directory to inspect")
     bench.add_argument("--saturation-threshold", type=int, default=None,

@@ -1,4 +1,20 @@
-"""Public facade: analysis configurations and the :class:`SkipFlowAnalysis` driver."""
+"""Public facade: analysis configurations and the :class:`SkipFlowAnalysis` driver.
+
+This module is the stable entry point into the analysis core: construct an
+:class:`AnalysisConfig` (or one of its canonical factory configurations),
+hand it to :class:`SkipFlowAnalysis` together with a
+:class:`~repro.ir.program.Program`, and receive an
+:class:`~repro.core.results.AnalysisResult`.
+
+Invariant: with every switch at its default (``AnalysisConfig.skipflow()``
+for SkipFlow, ``AnalysisConfig.baseline_pta()`` for the baseline, and
+``saturation_threshold=None``) results are bit-identical to the seed
+implementation of the paper — the same reachable sets, value states, and
+solver step counts.  Optional features (the saturation cutoff, validation)
+only change results when explicitly enabled, and the benchmark engine keys
+its caches on the full config so non-default results are never confused
+with default ones.
+"""
 
 from __future__ import annotations
 
@@ -95,7 +111,17 @@ class AnalysisConfig:
 
 
 class SkipFlowAnalysis:
-    """Runs one analysis configuration over a program and packages the result."""
+    """Runs one analysis configuration over a program and packages the result.
+
+    The driver is deterministic: for a fixed program and configuration every
+    run produces the same reachable set, value states, and solver counters
+    (only wall-clock ``analysis_time_seconds`` varies), which is what makes
+    the engine's result cache and the CI solver-steps gate sound.  The
+    program is treated as read-only input; analyzing the same ``Program``
+    object under two configurations is supported but callers that mutate
+    programs (e.g. reflection configs) should hand each analysis its own
+    copy, as the benchmark engine does via the program store.
+    """
 
     def __init__(self, program: Program, config: Optional[AnalysisConfig] = None):
         self.program = program

@@ -18,6 +18,12 @@ definition, with one soundness guard documented below:
    the left operand unchanged.
 6. Relational operators on two known constants keep the left value only when
    the comparison holds.
+
+``Compare`` is a *filter*: its result is always ``<=`` the left operand in
+the lattice, so it composes with the solver's monotonicity argument — and
+with the saturation cutoff, since filtering a saturated (closed-world-top)
+state can only shrink it, never grow it.  See ``docs/architecture.md`` for
+how saturation interacts with filtering precision.
 """
 
 from __future__ import annotations

@@ -1,4 +1,12 @@
-"""Analysis results: reachable methods, value states, and call-graph queries."""
+"""Analysis results: reachable methods, value states, and call-graph queries.
+
+An :class:`AnalysisResult` is a read-only view over the solved PVPG.  Its
+counters are deterministic for a fixed (program, configuration) pair —
+:class:`SolverStats` carries exact machine-independent numbers, not samples
+— so downstream consumers (the benchmark engine's cache, the CI regression
+gate) may compare them with ``==`` across processes, hosts, and runs.  Only
+``analysis_time_seconds`` is wall-clock and excluded from such comparisons.
+"""
 
 from __future__ import annotations
 

@@ -50,9 +50,9 @@ from repro.ir.method import Method
 from repro.ir.program import Program
 from repro.ir.types import (
     INT_TYPE_NAME,
-    MethodSignature,
     NULL_TYPE_NAME,
     OBJECT_TYPE_NAME,
+    MethodSignature,
 )
 from repro.lattice.primitive import ANY
 from repro.lattice.value_state import ValueState

@@ -1,35 +1,57 @@
-"""The benchmark engine: parallel execution with an on-disk result cache.
+"""The benchmark engine: parallel execution with per-configuration caching.
 
 The engine decouples *what* the evaluation drivers ask for (a list of
 :class:`~repro.workloads.generator.BenchmarkSpec`, each compared under the
 PTA baseline and SkipFlow) from *how* the comparisons are produced:
 
-* :mod:`repro.engine.runner` fans specs out to a
-  ``concurrent.futures.ProcessPoolExecutor`` (``jobs > 1``) or runs them
-  serially (``jobs == 1``); both paths return identical results because
-  benchmark generation and the solver are fully deterministic.
+* :mod:`repro.engine.runner` fans *halves* — one (spec, configuration)
+  analysis each — out to a ``concurrent.futures.ProcessPoolExecutor``
+  (``jobs > 1``) or runs them serially (``jobs == 1``); both paths return
+  identical results because benchmark generation and the solver are fully
+  deterministic.
 * :mod:`repro.engine.scheduler` orders the pending specs largest-first
   (longest-processing-time heuristic) so the pool stays balanced.
-* :mod:`repro.engine.cache` persists every comparison as one JSON file.
+* :mod:`repro.engine.cache` persists every configuration half as one JSON
+  file, so comparisons compose from independently cached halves.
+* :mod:`repro.engine.program_store` shares built IR between halves, workers,
+  and runs: the first solve of a spec pickles the generated program into the
+  cache directory and every later solve unpickles the blob instead of
+  regenerating and re-lowering it.
+
+Invariant: with both configurations at their defaults the engine's numbers
+are bit-identical to running :class:`~repro.image.builder.NativeImageBuilder`
+directly on a freshly generated program, whether a result was computed
+serially, on a pool, loaded from the cache, or solved over a program from
+the store (verified down to solver step counts by the engine tests).
 
 Cache key scheme
 ----------------
-A cache entry is keyed by the SHA-256 of three components::
+A *result* entry holds one configuration half and is keyed by the SHA-256 of
+three components::
 
-    key = sha256(spec_hash / config_hash / code_version)
+    key = sha256("result/" + spec_hash / config_hash / code_version)
 
 ``spec_hash``
     Canonical JSON of the full ``BenchmarkSpec`` dataclass (name, suite,
-    module sizes, guard patterns).  Any change to the generated program
-    changes the key.
+    module sizes, guard patterns, wide-hierarchy shapes).  Any change to the
+    generated program changes the key.
 ``config_hash``
-    Canonical JSON of *both* ``AnalysisConfig`` dataclasses (baseline and
-    SkipFlow), including ``saturation_threshold``.  Flipping any analysis
-    switch invalidates the entry.
+    Canonical JSON of *one* ``AnalysisConfig`` dataclass, including
+    ``saturation_threshold``.  Flipping any analysis switch invalidates the
+    entry — but only for that configuration: an ablation sweep over
+    SkipFlow variants keeps hitting the shared baseline half, which is what
+    lets a 5-point saturation sweep analyze the unsaturated baseline exactly
+    once.
 ``code_version``
     SHA-256 over every ``*.py`` source file of the ``repro`` package, so any
     code change — a solver fix, a new metric — invalidates *all* entries.
     Results are therefore never stale; at worst the cache is cold.
+
+A *program store* entry holds the pickled IR of one spec under
+``<cache dir>/programs`` and is keyed by ``(spec_hash, code_version)`` only:
+the program depends on the generator but not on any analysis configuration,
+which is exactly why both halves of a comparison (and every sweep point) can
+share one blob.
 
 Saturation and the paper's monotonicity argument
 ------------------------------------------------
@@ -44,15 +66,19 @@ the flow are no-ops by definition of top.  The fixed point is reached sooner
 and is a sound over-approximation of the paper's result; with the cutoff
 disabled (the default everywhere) results are bit-identical to the exact
 semantics.  Because the threshold is part of ``config_hash``, cached exact
-and saturated results never mix.
+and saturated results never mix.  ``docs/architecture.md`` spells the
+argument out in full; ``benchmarks/run_saturation_study.py`` measures the
+precision/cost trade-off on the wide-hierarchy workload family.
 """
 
 from repro.engine.cache import ResultCache, compute_code_version
+from repro.engine.program_store import ProgramStore
 from repro.engine.runner import ComparisonResult, run_specs
 from repro.engine.scheduler import order_by_cost
 
 __all__ = [
     "ComparisonResult",
+    "ProgramStore",
     "ResultCache",
     "compute_code_version",
     "order_by_cost",

@@ -1,10 +1,12 @@
-"""On-disk JSON cache for benchmark comparison results.
+"""On-disk JSON cache for per-configuration analysis results.
 
-One cache entry per (spec, configs, code version) triple; see the package
-docstring (:mod:`repro.engine`) for the key scheme.  Entries are single JSON
-files written atomically (temp file + rename), so a cache directory can be
-shared between concurrent runs and an interrupted run never leaves a corrupt
-entry behind — unreadable files are simply treated as misses.
+One cache entry per ``(spec, configuration, code version)`` triple — one
+*half* of a baseline-vs-SkipFlow comparison; see the package docstring
+(:mod:`repro.engine`) for the key scheme and why halves (rather than whole
+comparisons) are the cache unit.  Entries are single JSON files written
+atomically (temp file + rename), so a cache directory can be shared between
+concurrent runs and an interrupted run never leaves a corrupt entry behind —
+unreadable files are simply treated as misses.
 """
 
 from __future__ import annotations
@@ -54,7 +56,13 @@ def compute_code_version() -> str:
 
 
 class ResultCache:
-    """A directory of cached comparison payloads, keyed as described above."""
+    """A directory of cached per-configuration payloads, keyed as described above.
+
+    ``hits``/``misses`` count :meth:`get` outcomes on this instance; a
+    comparison served entirely from the cache therefore scores one hit per
+    configuration half, which is what lets tests assert that an ablation
+    sweep recomputed the shared baseline exactly once.
+    """
 
     def __init__(self, directory, code_version: Optional[str] = None) -> None:
         self.directory = Path(directory)
@@ -66,15 +74,14 @@ class ResultCache:
     # ------------------------------------------------------------------ #
     # Keys
     # ------------------------------------------------------------------ #
-    def key(self, spec, baseline_config, skipflow_config) -> str:
-        """The cache key for one benchmark comparison."""
+    def config_key(self, spec, config) -> str:
+        """The cache key for one (spec, configuration) analysis result."""
         parts = "/".join((
             hash_dataclass(spec),
-            hash_dataclass(baseline_config),
-            hash_dataclass(skipflow_config),
+            hash_dataclass(config),
             self.code_version,
         ))
-        return _sha256(parts)[:2 * _HASH_ABBREV]
+        return _sha256("result/" + parts)[:2 * _HASH_ABBREV]
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.json"

@@ -1,0 +1,115 @@
+"""Shared read-only store of built benchmark IR.
+
+Generating a benchmark program from its :class:`~repro.workloads.generator.
+BenchmarkSpec` is deterministic but not free: every worker process used to
+rebuild (and re-lower) the same IR from scratch, once per configuration it
+analyzed.  The :class:`ProgramStore` removes that cost by pickling the built
+:class:`~repro.ir.program.Program` into the cache directory the first time a
+spec is seen; every later solve — another configuration of the same spec, a
+worker in another process, or a whole later run — unpickles the blob instead.
+
+Blobs are written *before* any analysis runs over the program, so the stored
+IR is pristine; unpickling hands every solve its own fresh object graph, which
+preserves the engine's isolation guarantee (two configurations never share a
+mutable program).  Analysis results obtained from an unpickled program are
+bit-identical to results from a freshly generated one (covered by
+``tests/engine/test_program_store.py``).
+
+Store entries are keyed by ``(spec hash, code version)`` — the same
+``code_version`` used by :class:`~repro.engine.cache.ResultCache` — so any
+change to the generator or the IR invalidates every blob.  Writes are atomic
+(temp file + rename) and unreadable blobs are treated as misses, mirroring the
+result cache's crash-safety story.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.engine.cache import compute_code_version, hash_dataclass
+from repro.ir.program import Program
+from repro.workloads.generator import BenchmarkSpec, generate_benchmark
+
+_KEY_ABBREV = 32
+
+
+class ProgramStore:
+    """A directory of pickled benchmark programs, one blob per spec.
+
+    ``hits`` counts blob loads and ``misses`` counts generate-and-store
+    fallbacks; both are in-process counters (workers on a pool keep their
+    own), so tests that assert on them should run the engine serially or use
+    the per-payload ``program_from_store`` flag instead.
+    """
+
+    def __init__(self, directory, code_version: Optional[str] = None) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.code_version = code_version or compute_code_version()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Keys
+    # ------------------------------------------------------------------ #
+    def key(self, spec: BenchmarkSpec) -> str:
+        """The store key for one spec (spec hash + code version)."""
+        text = f"program/{hash_dataclass(spec)}/{self.code_version}"
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:_KEY_ABBREV]
+
+    def path_for(self, spec: BenchmarkSpec) -> Path:
+        return self.directory / f"{self.key(spec)}.pickle"
+
+    # ------------------------------------------------------------------ #
+    # Blobs
+    # ------------------------------------------------------------------ #
+    def contains(self, spec: BenchmarkSpec) -> bool:
+        """Whether a blob exists, without touching the hit/miss counters."""
+        return self.path_for(spec).is_file()
+
+    def load(self, spec: BenchmarkSpec) -> Optional[Program]:
+        """Unpickle the stored program, or ``None`` on a missing/corrupt blob."""
+        try:
+            blob = self.path_for(spec).read_bytes()
+            return pickle.loads(blob)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, KeyError, TypeError, ValueError):
+            # pickle.loads raises a wide range of exceptions on truncated or
+            # corrupt input (e.g. plain ValueError for an unknown protocol).
+            return None
+
+    def store(self, spec: BenchmarkSpec, program: Program) -> None:
+        """Atomically pickle ``program`` as the blob for ``spec``."""
+        target = self.path_for(spec)
+        temp = target.with_name(target.name + f".tmp{os.getpid()}")
+        temp.write_bytes(pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL))
+        os.replace(temp, target)
+
+    def load_or_build(self, spec: BenchmarkSpec) -> Tuple[Program, bool]:
+        """The program for ``spec`` plus whether it came from the store.
+
+        On a miss the program is generated, stored (pre-analysis, so the blob
+        stays pristine), and returned; the build itself then runs on the
+        freshly generated object, while every later solve of the same spec
+        gets its own unpickled copy.
+        """
+        program = self.load(spec)
+        if program is not None:
+            self.hits += 1
+            return program, True
+        self.misses += 1
+        program = generate_benchmark(spec)
+        self.store(spec, program)
+        return program, False
+
+    def clear(self) -> int:
+        """Delete every blob; returns the number of files removed."""
+        removed = 0
+        for path in self.directory.glob("*.pickle"):
+            path.unlink()
+            removed += 1
+        return removed

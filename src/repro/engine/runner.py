@@ -1,13 +1,28 @@
-"""Parallel benchmark runner producing cacheable comparison results.
+"""Parallel benchmark runner producing per-configuration, cacheable results.
 
-The runner's unit of work is one :class:`~repro.workloads.generator.
-BenchmarkSpec` compared under the baseline and SkipFlow configurations.  A
-worker (possibly in another process) runs the comparison and returns a plain
-JSON-serializable *payload*; the parent wraps payloads — freshly computed or
-loaded from the :class:`~repro.engine.cache.ResultCache` — into
-:class:`ComparisonResult` objects that mirror the read API of
+The runner's unit of work is one *half* of a comparison: a single
+:class:`~repro.workloads.generator.BenchmarkSpec` analyzed under a single
+:class:`~repro.core.analysis.AnalysisConfig`.  A worker (possibly in another
+process) solves one half and returns a plain JSON-serializable *payload*; the
+parent composes two halves — freshly computed or loaded independently from
+the :class:`~repro.engine.cache.ResultCache` — into a
+:class:`ComparisonResult` that mirrors the read API of
 :class:`~repro.reporting.records.BenchmarkComparison`, so the existing
 Table 1 / Figure 9 formatters work on either unchanged.
+
+Caching halves instead of whole comparisons is what makes ablation sweeps
+cheap: five ``run_specs`` calls that vary only the SkipFlow configuration
+(say, saturation thresholds 2/4/8/16/off) share one cached baseline half per
+spec, so the unsaturated baseline is analyzed exactly once.  Halves also
+double the available parallelism — the baseline and SkipFlow solves of the
+same spec run on different pool workers.
+
+Workers obtain their program from the shared
+:class:`~repro.engine.program_store.ProgramStore` when one is available
+(derived automatically from the result cache directory): the first solve of a
+spec pickles the built IR, every later solve — including the other half of
+the same comparison — unpickles it instead of regenerating and re-lowering
+the program.
 """
 
 from __future__ import annotations
@@ -15,19 +30,24 @@ from __future__ import annotations
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.analysis import AnalysisConfig
 from repro.engine.cache import ResultCache
+from repro.engine.program_store import ProgramStore
 from repro.engine.scheduler import order_by_cost
-from repro.image.builder import ImageBuildReport
-from repro.reporting.records import METRIC_NAMES, compare_configurations
-from repro.workloads.generator import BenchmarkSpec
+from repro.image.builder import ImageBuildReport, NativeImageBuilder
+from repro.reporting.records import METRIC_NAMES
+from repro.workloads.generator import BenchmarkSpec, generate_benchmark
 
 #: Payload schema version; bump when the payload layout changes so stale
 #: cache entries (same code version would normally prevent this, but cache
-#: directories can outlive wheels) are treated as misses.
-PAYLOAD_VERSION = 1
+#: directories can outlive wheels) are treated as misses.  Version 2 switched
+#: from whole-comparison payloads to per-configuration halves.
+PAYLOAD_VERSION = 2
+
+#: The two sides of a comparison, in the order they are assembled.
+_SIDES = ("baseline", "skipflow")
 
 
 @dataclass(frozen=True)
@@ -51,6 +71,8 @@ class ReportView:
     analysis_time_seconds: float
     total_time_seconds: float
     solver_steps: int
+    solver_joins: int
+    solver_transfers: int
     saturated_flows: int
 
     @property
@@ -84,14 +106,25 @@ def _metric_value(report: ReportView, metric: str) -> float:
 
 @dataclass(frozen=True)
 class ComparisonResult:
-    """One benchmark's baseline-vs-SkipFlow result, reporting-API compatible."""
+    """One benchmark's baseline-vs-SkipFlow result, reporting-API compatible.
+
+    Composed from two independently cached configuration halves;
+    ``baseline_from_cache`` / ``skipflow_from_cache`` record the provenance of
+    each half and ``from_cache`` is true only when *both* halves were served
+    from the cache (i.e. no solver ran for this result at all).
+    """
 
     benchmark: str
     suite: str
     baseline: ReportView
     skipflow: ReportView
     elapsed_seconds: float
-    from_cache: bool = False
+    baseline_from_cache: bool = False
+    skipflow_from_cache: bool = False
+
+    @property
+    def from_cache(self) -> bool:
+        return self.baseline_from_cache and self.skipflow_from_cache
 
     def metric(self, name: str, configuration: str = "skipflow") -> float:
         report = self.skipflow if configuration == "skipflow" else self.baseline
@@ -121,7 +154,7 @@ class ComparisonResult:
 
 
 # ---------------------------------------------------------------------- #
-# Payloads (what workers return and the cache stores)
+# Payloads (what workers return and the cache stores, one per half)
 # ---------------------------------------------------------------------- #
 def _report_payload(report: ImageBuildReport) -> Dict[str, Any]:
     stats = report.result.stats
@@ -136,6 +169,8 @@ def _report_payload(report: ImageBuildReport) -> Dict[str, Any]:
         "analysis_time_seconds": report.analysis_time_seconds,
         "total_time_seconds": report.total_time_seconds,
         "solver_steps": report.result.steps,
+        "solver_joins": stats.joins if stats is not None else 0,
+        "solver_transfers": stats.transfers if stats is not None else 0,
         "saturated_flows": stats.saturated_flows if stats is not None else 0,
     }
 
@@ -154,41 +189,64 @@ def _view_from_payload(payload: Dict[str, Any]) -> ReportView:
         analysis_time_seconds=payload["analysis_time_seconds"],
         total_time_seconds=payload["total_time_seconds"],
         solver_steps=payload["solver_steps"],
+        solver_joins=payload["solver_joins"],
+        solver_transfers=payload["solver_transfers"],
         saturated_flows=payload["saturated_flows"],
     )
 
 
-def result_from_payload(payload: Dict[str, Any], from_cache: bool = False) -> ComparisonResult:
+def view_from_half(payload: Dict[str, Any]) -> ReportView:
+    """Validate one per-configuration payload and extract its report view."""
     if payload.get("payload_version") != PAYLOAD_VERSION:
         raise ValueError(
             f"unsupported payload version {payload.get('payload_version')!r}")
+    return _view_from_payload(payload["report"])
+
+
+def result_from_halves(baseline_payload: Dict[str, Any],
+                       skipflow_payload: Dict[str, Any],
+                       baseline_from_cache: bool = False,
+                       skipflow_from_cache: bool = False) -> ComparisonResult:
+    """Compose two per-configuration payloads into one ``ComparisonResult``."""
+    if baseline_payload["benchmark"] != skipflow_payload["benchmark"]:
+        raise ValueError(
+            f"cannot compose halves of different benchmarks: "
+            f"{baseline_payload['benchmark']!r} vs {skipflow_payload['benchmark']!r}")
     return ComparisonResult(
-        benchmark=payload["benchmark"],
-        suite=payload["suite"],
-        baseline=_view_from_payload(payload["baseline"]),
-        skipflow=_view_from_payload(payload["skipflow"]),
-        elapsed_seconds=payload["elapsed_seconds"],
-        from_cache=from_cache,
+        benchmark=baseline_payload["benchmark"],
+        suite=baseline_payload["suite"],
+        baseline=view_from_half(baseline_payload),
+        skipflow=view_from_half(skipflow_payload),
+        elapsed_seconds=(baseline_payload["elapsed_seconds"]
+                         + skipflow_payload["elapsed_seconds"]),
+        baseline_from_cache=baseline_from_cache,
+        skipflow_from_cache=skipflow_from_cache,
     )
 
 
-def solve_spec(spec: BenchmarkSpec,
-               baseline_config: AnalysisConfig,
-               skipflow_config: AnalysisConfig) -> Dict[str, Any]:
-    """Worker entry point: run one comparison, return its payload.
+def solve_config(spec: BenchmarkSpec,
+                 config: AnalysisConfig,
+                 store: Optional[ProgramStore] = None) -> Dict[str, Any]:
+    """Worker entry point: analyze one (spec, configuration) pair.
 
     Must stay a module-level function so ``ProcessPoolExecutor`` can pickle
-    it; specs and configs are frozen dataclasses and pickle cleanly.
+    it; specs, configs, and the program store all pickle cleanly.  When a
+    store is provided the program is loaded from (or freshly pickled into)
+    it; ``program_from_store`` records which happened.
     """
     started = time.perf_counter()
-    comparison = compare_configurations(
-        spec, baseline_config=baseline_config, skipflow_config=skipflow_config)
+    if store is not None:
+        program, from_store = store.load_or_build(spec)
+    else:
+        program, from_store = generate_benchmark(spec), False
+    report = NativeImageBuilder(program, config, benchmark_name=spec.name).build()
     return {
         "payload_version": PAYLOAD_VERSION,
         "benchmark": spec.name,
         "suite": spec.suite,
-        "baseline": _report_payload(comparison.baseline),
-        "skipflow": _report_payload(comparison.skipflow),
+        "config_name": config.name,
+        "program_from_store": from_store,
+        "report": _report_payload(report),
         "elapsed_seconds": time.perf_counter() - started,
     }
 
@@ -207,56 +265,115 @@ def run_specs(
     baseline_config: Optional[AnalysisConfig] = None,
     skipflow_config: Optional[AnalysisConfig] = None,
     progress: Optional[ProgressCallback] = None,
+    program_store: Optional[ProgramStore] = None,
 ) -> List[ComparisonResult]:
     """Run every spec under both configurations; results follow input order.
 
-    Cached comparisons are returned without re-solving; the remaining specs
-    run serially (``jobs == 1``) or on a process pool, submitted
-    largest-first.  ``progress`` is invoked once per finished spec, in
-    completion order.
+    Each (spec, configuration) half is looked up in the cache independently,
+    so a sweep that varies only one configuration reuses the other side's
+    cached halves.  The remaining halves run serially (``jobs == 1``, each
+    spec's halves adjacent so comparisons complete — and report progress —
+    incrementally) or on a process pool (baseline halves first, largest
+    specs leading, so program blobs are usually stored before the sibling
+    SkipFlow halves start).  ``progress`` is invoked once per *completed
+    comparison* (both halves available), in completion order.
+
+    When ``program_store`` is omitted but a ``cache`` is given, a store is
+    derived automatically under ``<cache dir>/programs`` so result entries
+    and IR blobs share one directory tree (and one code version).
     """
     baseline_config = baseline_config or AnalysisConfig.baseline_pta()
     skipflow_config = skipflow_config or AnalysisConfig.skipflow()
+    configs = {"baseline": baseline_config, "skipflow": skipflow_config}
+    if program_store is None and cache is not None:
+        program_store = ProgramStore(cache.directory / "programs",
+                                     code_version=cache.code_version)
 
+    # halves[index][side] is the payload once available; cached[index][side]
+    # records whether it came from the result cache.
+    halves: List[Dict[str, Dict[str, Any]]] = [{} for _ in specs]
+    cached: List[Dict[str, bool]] = [{} for _ in specs]
     results: List[Optional[ComparisonResult]] = [None] * len(specs)
-    pending: List[int] = []
-    for index, spec in enumerate(specs):
-        payload = None
-        if cache is not None:
-            payload = cache.get(cache.key(spec, baseline_config, skipflow_config))
-            if payload is not None:
-                try:
-                    results[index] = result_from_payload(payload, from_cache=True)
-                except (KeyError, ValueError):
-                    payload = None  # stale layout: recompute
-        if payload is None:
-            pending.append(index)
-        elif progress is not None:
-            progress(spec, results[index])
+    pending: List[Tuple[int, str]] = []
 
-    def finish(index: int, payload: Dict[str, Any]) -> None:
+    for index, spec in enumerate(specs):
+        for side in _SIDES:
+            payload = None
+            if cache is not None:
+                payload = cache.get(cache.config_key(spec, configs[side]))
+                if payload is not None:
+                    try:
+                        view_from_half(payload)
+                    except (KeyError, TypeError, ValueError):
+                        # Stale layout: recompute, and reclassify the lookup
+                        # as a miss so the counters match what actually ran.
+                        payload = None
+                        cache.hits -= 1
+                        cache.misses += 1
+            if payload is None:
+                pending.append((index, side))
+            else:
+                halves[index][side] = payload
+                cached[index][side] = True
+
+    def finish(index: int, side: str, payload: Dict[str, Any]) -> None:
         if cache is not None:
-            cache.put(cache.key(specs[index], baseline_config, skipflow_config),
-                      payload)
-        results[index] = result_from_payload(payload)
+            cache.put(cache.config_key(specs[index], configs[side]), payload)
+        halves[index][side] = payload
+        cached[index][side] = False
+        _maybe_assemble(index)
+
+    def _maybe_assemble(index: int) -> None:
+        if len(halves[index]) < len(_SIDES) or results[index] is not None:
+            return
+        results[index] = result_from_halves(
+            halves[index]["baseline"], halves[index]["skipflow"],
+            baseline_from_cache=cached[index].get("baseline", False),
+            skipflow_from_cache=cached[index].get("skipflow", False),
+        )
         if progress is not None:
             progress(specs[index], results[index])
 
-    submission_order = [pending[i] for i in order_by_cost([specs[i] for i in pending])]
-    if jobs > 1 and len(pending) > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+    # Fully cached comparisons are assembled (and reported) first.
+    for index in range(len(specs)):
+        _maybe_assemble(index)
+
+    pending_indices = sorted({index for index, _ in pending})
+    spec_rank = {index: rank for rank, index in enumerate(
+        pending_indices[i] for i in order_by_cost([specs[i] for i in pending_indices]))}
+    parallel = jobs > 1 and len(pending) > 1
+    if parallel:
+        # All baseline halves first (expensive specs leading), then all
+        # SkipFlow halves: a spec's program then usually lands in the store
+        # before its sibling half starts.  (When workers outnumber pending
+        # baseline halves the sibling can still race on a cold store;
+        # results stay correct — generation is deterministic and blob
+        # writes atomic — the race only duplicates generation work.)
+        submission_order = sorted(
+            pending, key=lambda item: (_SIDES.index(item[1]), spec_rank[item[0]]))
+    else:
+        # Serially there is no race: keep a spec's halves adjacent (baseline
+        # first) so each comparison completes — and reports progress — before
+        # the next spec starts.
+        submission_order = sorted(
+            pending, key=lambda item: (spec_rank[item[0]], _SIDES.index(item[1])))
+
+    if parallel:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(submission_order))) as pool:
             futures = {
-                pool.submit(solve_spec, specs[index], baseline_config,
-                            skipflow_config): index
-                for index in submission_order
+                pool.submit(solve_config, specs[index], configs[side],
+                            program_store): (index, side)
+                for index, side in submission_order
             }
             remaining = set(futures)
             while remaining:
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in done:
-                    finish(futures[future], future.result())
+                    index, side = futures[future]
+                    finish(index, side, future.result())
     else:
-        for index in submission_order:
-            finish(index, solve_spec(specs[index], baseline_config, skipflow_config))
+        for index, side in submission_order:
+            finish(index, side, solve_config(specs[index], configs[side],
+                                             program_store))
 
     return [result for result in results if result is not None]

@@ -7,12 +7,12 @@ Section 6, a binary-size estimate), performs dead-code elimination based on
 the disabled flows, and handles reflection configuration files.
 """
 
-from repro.image.metrics import CounterMetrics, ImageMetrics, collect_metrics
 from repro.image.binary import BinarySizeModel
+from repro.image.builder import ImageBuildReport, NativeImageBuilder
 from repro.image.dce import DeadCodeReport, eliminate_dead_code
+from repro.image.metrics import CounterMetrics, ImageMetrics, collect_metrics
 from repro.image.optimizations import OptimizationReport, collect_optimizations
 from repro.image.reflection import ReflectionConfig
-from repro.image.builder import ImageBuildReport, NativeImageBuilder
 
 __all__ = [
     "BinarySizeModel",

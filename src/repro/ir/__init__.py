@@ -7,18 +7,13 @@ method invocations, and ``if`` terminators restricted to ``=``, ``<`` and
 ``instanceof`` conditions.
 """
 
-from repro.ir.types import (
-    ClassType,
-    FieldDecl,
-    MethodSignature,
-    TypeHierarchy,
-    NULL_TYPE_NAME,
-)
-from repro.ir.values import Value, ConstantExpr, ConstKind
+from repro.ir.blocks import BasicBlock
+from repro.ir.builder import MethodBuilder, ProgramBuilder
+from repro.ir.cfg import ControlFlowGraph
 from repro.ir.instructions import (
     Assign,
-    BlockEnd,
     BlockBegin,
+    BlockEnd,
     CompareOp,
     Condition,
     If,
@@ -34,16 +29,21 @@ from repro.ir.instructions import (
     Start,
     Statement,
     StoreField,
-    invert_compare_op,
     flip_compare_op,
+    invert_compare_op,
 )
-from repro.ir.blocks import BasicBlock
 from repro.ir.method import Method
-from repro.ir.program import Program
-from repro.ir.builder import MethodBuilder, ProgramBuilder
-from repro.ir.validate import ValidationError, validate_method, validate_program
 from repro.ir.printer import format_method, format_program
-from repro.ir.cfg import ControlFlowGraph
+from repro.ir.program import Program
+from repro.ir.types import (
+    NULL_TYPE_NAME,
+    ClassType,
+    FieldDecl,
+    MethodSignature,
+    TypeHierarchy,
+)
+from repro.ir.validate import ValidationError, validate_method, validate_program
+from repro.ir.values import ConstantExpr, ConstKind, Value
 
 __all__ = [
     "Assign",

@@ -8,8 +8,8 @@ tracked, matching the scalability-driven design of the paper.
 """
 
 from repro.lattice.primitive import ANY, AnyValue, join_constants, primitive_leq
-from repro.lattice.value_state import ValueState
 from repro.lattice.typeset import filter_instanceof, filter_null_comparison
+from repro.lattice.value_state import ValueState
 
 __all__ = [
     "ANY",

@@ -21,9 +21,8 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple, Union
 
-from repro.lattice.primitive import ANY, AnyValue, PrimitiveElement, join_constants
-
 from repro.ir.types import NULL_TYPE_NAME
+from repro.lattice.primitive import ANY, AnyValue, PrimitiveElement, join_constants
 
 #: A canonical (interned) set of type names: the reference part of a state.
 TypeSet = FrozenSet[str]

@@ -1,17 +1,28 @@
-"""Rendering of the evaluation artifacts: Table 1, Figure 9, and DOT exports."""
+"""Rendering of the evaluation artifacts: Table 1, Figure 9, the saturation
+study, and DOT exports."""
 
-from repro.reporting.records import BenchmarkComparison, compare_configurations
-from repro.reporting.table import format_table1, table1_rows
 from repro.reporting.figures import figure9_series, format_figure9
 from repro.reporting.graphviz import call_graph_to_dot, pvpg_to_dot
+from repro.reporting.records import BenchmarkComparison, compare_configurations
+from repro.reporting.saturation import (
+    SaturationPoint,
+    format_saturation_study,
+    saturation_series,
+    summarize_sweep,
+)
+from repro.reporting.table import format_table1, table1_rows
 
 __all__ = [
     "BenchmarkComparison",
+    "SaturationPoint",
     "call_graph_to_dot",
     "compare_configurations",
     "figure9_series",
     "format_figure9",
+    "format_saturation_study",
     "format_table1",
     "pvpg_to_dot",
+    "saturation_series",
+    "summarize_sweep",
     "table1_rows",
 ]

@@ -1,0 +1,147 @@
+"""The saturation study: precision loss vs solver-cost savings per threshold.
+
+The saturation cutoff (``AnalysisConfig.saturation_threshold``) trades
+precision for solver effort, and this module renders that trade for one
+benchmark swept over several thresholds.  Every sweep point is the SkipFlow
+half of one engine :class:`~repro.engine.runner.ComparisonResult`; the
+``None`` threshold (cutoff off — the paper's exact semantics) is the
+reference everything else is measured against:
+
+* **precision loss** — extra reachable methods and extra linked polymorphic
+  call targets relative to the exact run (saturated flows jump to the
+  closed-world top, so guards over them stop discharging);
+* **solver savings** — fewer lattice joins and less analysis wall time on
+  sufficiently wide flows.  All three cost counters can move either way:
+  saturation skips joins into collapsed flows, yet the over-approximated
+  reachable set adds flows (and joins, and steps) of its own, so narrow
+  specs can get *more* expensive under the cutoff while the widest specs
+  see the largest savings.  The table reports signed deltas so both regimes
+  are visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # import-time cycle: engine.runner renders via this module
+    from repro.engine.runner import ComparisonResult
+
+#: Default sweep, smallest cutoff first; ``None`` is the exact reference.
+DEFAULT_THRESHOLDS: Sequence[Optional[int]] = (2, 4, 8, 16, None)
+
+
+@dataclass(frozen=True)
+class SaturationPoint:
+    """The SkipFlow-side measurements of one sweep point."""
+
+    threshold: Optional[int]
+    reachable_methods: int
+    poly_calls: int
+    solver_steps: int
+    solver_joins: int
+    saturated_flows: int
+    analysis_time_seconds: float
+
+    @property
+    def threshold_label(self) -> str:
+        return "off" if self.threshold is None else str(self.threshold)
+
+
+def saturation_point(threshold: Optional[int],
+                     result: ComparisonResult) -> SaturationPoint:
+    """Extract the sweep-point measurements from one comparison result."""
+    skipflow = result.skipflow
+    return SaturationPoint(
+        threshold=threshold,
+        reachable_methods=skipflow.metrics.reachable_methods,
+        poly_calls=skipflow.metrics.poly_calls,
+        solver_steps=skipflow.solver_steps,
+        solver_joins=skipflow.solver_joins,
+        saturated_flows=skipflow.saturated_flows,
+        analysis_time_seconds=skipflow.analysis_time_seconds,
+    )
+
+
+def saturation_series(results_by_threshold: Dict[Optional[int], ComparisonResult]
+                      ) -> List[SaturationPoint]:
+    """Sweep points ordered smallest threshold first, exact (``None``) last."""
+    ordered = sorted(results_by_threshold,
+                     key=lambda t: (t is None, t if t is not None else 0))
+    return [saturation_point(t, results_by_threshold[t]) for t in ordered]
+
+
+def _percent_change(value: float, reference: float) -> float:
+    if reference == 0:
+        return 0.0
+    return 100.0 * (value - reference) / reference
+
+
+def format_saturation_study(benchmark: str,
+                            points: Sequence[SaturationPoint]) -> str:
+    """Render one benchmark's sweep as a fixed-width text table.
+
+    Deltas are relative to the exact (``off``) point, which must be present;
+    positive reachable/poly-call deltas are precision losses, negative
+    join/time deltas are savings.
+    """
+    exact = next((p for p in points if p.threshold is None), None)
+    if exact is None:
+        raise ValueError("saturation sweep needs the exact (threshold=None) point")
+
+    headers = ["Threshold", "Reach.Methods", "PolyCalls", "Sat.Flows",
+               "Steps", "Joins", "Analysis[ms]"]
+    table: List[List[str]] = [headers]
+    for point in points:
+        reach_delta = _percent_change(point.reachable_methods, exact.reachable_methods)
+        poly_delta = _percent_change(point.poly_calls, exact.poly_calls)
+        joins_delta = _percent_change(point.solver_joins, exact.solver_joins)
+        time_delta = _percent_change(point.analysis_time_seconds,
+                                     exact.analysis_time_seconds)
+        if point.threshold is None:
+            reach = f"{point.reachable_methods}"
+            poly = f"{point.poly_calls}"
+            joins = f"{point.solver_joins}"
+            elapsed = f"{point.analysis_time_seconds * 1000:.1f}"
+        else:
+            reach = f"{point.reachable_methods} ({reach_delta:+.1f}%)"
+            poly = f"{point.poly_calls} ({poly_delta:+.1f}%)"
+            joins = f"{point.solver_joins} ({joins_delta:+.1f}%)"
+            elapsed = f"{point.analysis_time_seconds * 1000:.1f} ({time_delta:+.1f}%)"
+        table.append([point.threshold_label, reach, poly,
+                      f"{point.saturated_flows}", f"{point.solver_steps}",
+                      joins, elapsed])
+
+    widths = [max(len(row[col]) for row in table) for col in range(len(headers))]
+    lines = [f"Saturation study: {benchmark} "
+             "(deltas vs exact; +reach/+poly = precision loss, "
+             "-joins/-time = savings)"]
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.rjust(width)
+                               for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def summarize_sweep(points: Sequence[SaturationPoint]) -> Dict[str, float]:
+    """Aggregate trade-off numbers for the most aggressive cutoff in a sweep.
+
+    Returns the precision loss and savings of the *smallest* threshold
+    relative to the exact point — the extreme ends of the trade-off curve.
+    """
+    exact = next(p for p in points if p.threshold is None)
+    cutoffs = [p for p in points if p.threshold is not None]
+    if not cutoffs:
+        return {"reachable_loss_percent": 0.0, "joins_savings_percent": 0.0,
+                "time_savings_percent": 0.0, "saturated_flows": 0.0}
+    smallest = min(cutoffs, key=lambda p: p.threshold)
+    return {
+        "reachable_loss_percent": _percent_change(
+            smallest.reachable_methods, exact.reachable_methods),
+        "joins_savings_percent": -_percent_change(
+            smallest.solver_joins, exact.solver_joins),
+        "time_savings_percent": -_percent_change(
+            smallest.analysis_time_seconds, exact.analysis_time_seconds),
+        "saturated_flows": float(smallest.saturated_flows),
+    }

@@ -12,40 +12,59 @@ with the same structural characteristics:
   patterns of Section 2 — optional ``null`` default arguments, interprocedural
   boolean flags, ``instanceof``-based feature tests, and never-returning
   guard methods.  A flow-insensitive analysis must keep these libraries
-  reachable; SkipFlow proves them dead.
+  reachable; SkipFlow proves them dead;
+* wide type hierarchies (the ``wide-hierarchy`` family) whose flows carry
+  hundreds of allocated leaf types, stressing the saturation cutoff in a way
+  the paper-mirroring specs never do.
 
-Each benchmark of the three suites is represented by a
+Each benchmark of the three paper suites is represented by a
 :class:`~repro.workloads.generator.BenchmarkSpec` whose guarded fraction is
 taken from the reduction the paper reports for that benchmark, so that the
-*shape* of Table 1 and Figure 9 is preserved.
+*shape* of Table 1 and Figure 9 is preserved; the extra ``WideHierarchy``
+suite parameterizes :class:`~repro.workloads.generator.HierarchySpec` knobs
+(depth, fanout, call-site polymorphism) instead.
 """
 
-from repro.workloads.generator import BenchmarkSpec, GuardedModuleSpec, generate_benchmark
+from repro.workloads.generator import (
+    BenchmarkSpec,
+    GuardedModuleSpec,
+    HierarchySpec,
+    generate_benchmark,
+)
 from repro.workloads.patterns import (
     GUARD_PATTERNS,
+    HierarchyHandle,
+    ModuleHandle,
     add_guarded_module,
     add_library_module,
-    ModuleHandle,
+    add_wide_hierarchy_module,
 )
 from repro.workloads.suites import (
     all_suites,
     dacapo_suite,
+    extended_suites,
     microservices_suite,
     renaissance_suite,
     suite_by_name,
+    wide_hierarchy_suite,
 )
 
 __all__ = [
     "BenchmarkSpec",
     "GUARD_PATTERNS",
     "GuardedModuleSpec",
+    "HierarchyHandle",
+    "HierarchySpec",
     "ModuleHandle",
     "add_guarded_module",
     "add_library_module",
+    "add_wide_hierarchy_module",
     "all_suites",
     "dacapo_suite",
+    "extended_suites",
     "generate_benchmark",
     "microservices_suite",
     "renaissance_suite",
     "suite_by_name",
+    "wide_hierarchy_suite",
 ]

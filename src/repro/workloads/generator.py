@@ -20,8 +20,10 @@ from repro.ir.builder import ProgramBuilder
 from repro.ir.program import Program
 from repro.workloads.patterns import (
     GUARD_PATTERNS,
+    POPULATE_CHUNK,
     add_guarded_module,
     add_library_module,
+    add_wide_hierarchy_module,
 )
 
 #: Minimum size of one generated module (the dispatch hierarchy plus entry).
@@ -52,6 +54,52 @@ class GuardedModuleSpec:
 
 
 @dataclass(frozen=True)
+class HierarchySpec:
+    """One wide type hierarchy: the saturation-cutoff stress knobs.
+
+    ``depth`` and ``fanout`` shape the class tree (``fanout ** depth``
+    allocated leaf types all flowing into one shared field), ``call_sites``
+    controls how many megamorphic call sites dispatch over that field, and
+    ``guarded_methods`` sizes the payload module hidden behind the
+    never-instantiated rare-type guard (the part that becomes reachable — a
+    measurable precision loss — once the cutoff saturates the guarded flow).
+    See :func:`repro.workloads.patterns.add_wide_hierarchy_module`.
+    """
+
+    depth: int = 2
+    fanout: int = 8
+    call_sites: int = 4
+    guarded_methods: int = 10
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError(f"hierarchy depth must be >= 1, got {self.depth}")
+        if self.fanout < 2:
+            raise ValueError(f"hierarchy fanout must be >= 2, got {self.fanout}")
+        if self.call_sites < 1:
+            raise ValueError(
+                f"hierarchy needs at least one call site, got {self.call_sites}")
+
+    @property
+    def leaf_count(self) -> int:
+        """Allocated leaf types — the width of the shared field's type set."""
+        return self.fanout ** self.depth
+
+    @property
+    def type_count(self) -> int:
+        """All hierarchy classes: the tree plus the never-allocated rare type."""
+        return sum(self.fanout ** d for d in range(self.depth + 1)) + 1
+
+    @property
+    def method_count(self) -> int:
+        """Methods the hierarchy module adds to the program."""
+        fills = -(-self.leaf_count // POPULATE_CHUNK)  # ceil division
+        payload = max(self.guarded_methods, _MIN_MODULE_METHODS)
+        # run per type + fills + dispatches + audit + drive + payload module.
+        return self.type_count + fills + self.call_sites + 2 + payload
+
+
+@dataclass(frozen=True)
 class BenchmarkSpec:
     """Description of one synthetic benchmark application.
 
@@ -59,6 +107,9 @@ class BenchmarkSpec:
     PTA reachable-method count (in thousands) and the SkipFlow reduction the
     paper reports for the corresponding real benchmark; they are used for the
     paper-vs-measured comparison in EXPERIMENTS.md, not for generation.
+    ``hierarchies`` attaches wide-hierarchy modules (hundreds of types per
+    flow) for the saturation-cutoff study; the paper-mirroring Table 1 specs
+    leave it empty.
     """
 
     name: str
@@ -67,16 +118,26 @@ class BenchmarkSpec:
     guarded_modules: Tuple[GuardedModuleSpec, ...]
     paper_reachable_thousands: Optional[float] = None
     paper_reduction_percent: Optional[float] = None
+    hierarchies: Tuple[HierarchySpec, ...] = ()
 
     @property
     def guarded_methods(self) -> int:
         return sum(module.methods for module in self.guarded_modules)
 
     @property
+    def hierarchy_methods(self) -> int:
+        return sum(hierarchy.method_count for hierarchy in self.hierarchies)
+
+    @property
+    def hierarchy_types(self) -> int:
+        return sum(hierarchy.type_count for hierarchy in self.hierarchies)
+
+    @property
     def expected_total_methods(self) -> int:
         """Approximate number of methods reachable by the baseline analysis."""
         overhead = sum(GUARD_OVERHEAD_METHODS[m.pattern] for m in self.guarded_modules)
-        return self.core_methods + self.guarded_methods + overhead + 1  # + main
+        return (self.core_methods + self.guarded_methods + overhead
+                + self.hierarchy_methods + 1)  # + main
 
     @property
     def expected_reduction_fraction(self) -> float:
@@ -155,6 +216,16 @@ def generate_benchmark(spec: BenchmarkSpec) -> Program:
             pb, f"{prefix}Lib{index}", module_spec.methods, module_spec.pattern
         )
         guard_drivers.append(driver)
+
+    # Wide-hierarchy modules (saturation stress; empty for Table 1 specs).
+    for index, hierarchy in enumerate(spec.hierarchies):
+        handle = add_wide_hierarchy_module(
+            pb, f"{prefix}Hier{index}",
+            depth=hierarchy.depth, fanout=hierarchy.fanout,
+            call_sites=hierarchy.call_sites,
+            guarded_methods=hierarchy.guarded_methods,
+        )
+        guard_drivers.append(handle.driver)
 
     # Main entry point.
     pb.declare_class("Main")

@@ -324,6 +324,181 @@ def _add_never_returns_guard(pb: ProgramBuilder, prefix: str, module: ModuleHand
     return f"{driver}.drive"
 
 
+# --------------------------------------------------------------------------- #
+# Wide type hierarchies (saturation stress)
+# --------------------------------------------------------------------------- #
+#: Leaf allocations per ``fill`` method, so populate CFGs stay bounded.
+POPULATE_CHUNK = 24
+
+
+@dataclass(frozen=True)
+class HierarchyHandle:
+    """Handle to a generated wide-hierarchy module."""
+
+    prefix: str
+    driver: str
+    root_class: str
+    rare_class: str
+    leaf_classes: tuple
+    class_names: tuple
+    method_names: tuple
+    payload_entry: str
+
+    @property
+    def type_count(self) -> int:
+        return len(self.class_names)
+
+    @property
+    def leaf_count(self) -> int:
+        return len(self.leaf_classes)
+
+    @property
+    def method_count(self) -> int:
+        return len(self.method_names)
+
+
+def add_wide_hierarchy_module(pb: ProgramBuilder, prefix: str, depth: int,
+                              fanout: int, call_sites: int = 4,
+                              guarded_methods: int = 10) -> HierarchyHandle:
+    """Add a module whose flows carry ``fanout ** depth`` receiver types.
+
+    The module stresses the saturation cutoff with realistically wide type
+    hierarchies:
+
+    * a class tree of the given ``depth`` and ``fanout`` rooted at
+      ``<prefix>Node``, every class concrete and overriding ``run`` — only
+      the leaves are ever allocated;
+    * a registry whose ``current`` field receives an allocation of *every*
+      leaf, so the field flow (and everything downstream) holds the full
+      leaf set — hundreds of types for the larger suite entries;
+    * ``call_sites`` dispatch methods, each loading the field and invoking
+      ``run`` on it, giving the solver that many megamorphic call sites;
+    * an audit method guarding a payload library module behind
+      ``current instanceof <prefix>Rare``, where ``Rare`` is a concrete but
+      never-allocated subclass of the root.
+
+    The ``Rare`` guard is what makes the cutoff's precision loss observable
+    in reachable methods: the exact analysis sees that ``Rare`` is not among
+    the leaf types flowing into ``current`` and proves the payload dead, but
+    a saturated flow jumps to the closed-world top — which contains every
+    *instantiable* (declared concrete) type, including ``Rare`` — so the
+    ``instanceof`` filter can no longer discharge the guard and the payload
+    (plus the ``run`` methods of the never-allocated inner nodes) becomes
+    reachable.  Solver effort drops in exchange, because saturated flows
+    skip all further joins.  ``benchmarks/run_saturation_study.py`` measures
+    both sides of that trade.
+    """
+    if depth < 1:
+        raise ValueError(f"hierarchy depth must be >= 1, got {depth}")
+    if fanout < 2:
+        raise ValueError(f"hierarchy fanout must be >= 2, got {fanout}")
+    if call_sites < 1:
+        raise ValueError(f"hierarchy needs at least one call site, got {call_sites}")
+
+    methods: List[str] = []
+    class_names: List[str] = []
+
+    def _add_run_method(class_name: str) -> None:
+        mb = pb.method(class_name, "run", return_type="int")
+        value = mb.assign_any()
+        mb.return_(value)
+        pb.finish_method(mb)
+        methods.append(f"{class_name}.run")
+
+    root = f"{prefix}Node"
+    pb.declare_class(root)
+    class_names.append(root)
+    _add_run_method(root)
+
+    # Breadth-first levels: every class is concrete; only leaves get allocated.
+    level = [root]
+    for d in range(1, depth + 1):
+        next_level: List[str] = []
+        for parent_index, parent in enumerate(level):
+            for child_index in range(fanout):
+                child = f"{prefix}L{d}N{parent_index * fanout + child_index}"
+                pb.declare_class(child, superclass=parent)
+                class_names.append(child)
+                _add_run_method(child)
+                next_level.append(child)
+        level = next_level
+    leaves = tuple(level)
+
+    rare = f"{prefix}Rare"
+    pb.declare_class(rare, superclass=root)
+    class_names.append(rare)
+    _add_run_method(rare)
+
+    payload = add_library_module(pb, f"{prefix}Payload", guarded_methods)
+
+    registry = f"{prefix}Registry"
+    pb.declare_class(registry)
+    pb.declare_field(registry, "current", root)
+
+    # Populate methods: allocate every leaf into the shared field, chunked so
+    # no single CFG grows with the hierarchy.
+    fill_methods: List[str] = []
+    for chunk_index in range(0, len(leaves), POPULATE_CHUNK):
+        name = f"fill{chunk_index // POPULATE_CHUNK}"
+        mb = pb.method(registry, name)
+        for leaf in leaves[chunk_index:chunk_index + POPULATE_CHUNK]:
+            obj = mb.assign_new(leaf)
+            mb.store_field(mb.receiver, "current", obj)
+        mb.return_void()
+        pb.finish_method(mb)
+        fill_methods.append(name)
+        methods.append(f"{registry}.{name}")
+
+    # Megamorphic dispatch: every call site sees the whole leaf set.
+    dispatch_methods: List[str] = []
+    for site in range(call_sites):
+        name = f"dispatch{site}"
+        mb = pb.method(registry, name)
+        current = mb.load_field(mb.receiver, "current", root)
+        mb.invoke_virtual(current, "run", result_type="int")
+        mb.return_void()
+        pb.finish_method(mb)
+        dispatch_methods.append(name)
+        methods.append(f"{registry}.{name}")
+
+    # The rare-type guard in front of the payload module.
+    mb = pb.method(registry, "audit")
+    current = mb.load_field(mb.receiver, "current", root)
+    mb.if_instanceof(current, rare, "rare", "common")
+    mb.label("rare")
+    mb.invoke_static(payload.entry_class, payload.entry_method)
+    mb.jump("end", [])
+    mb.label("common")
+    mb.jump("end", [])
+    mb.merge("end", [])
+    mb.return_void()
+    pb.finish_method(mb)
+    methods.append(f"{registry}.audit")
+
+    mb = pb.method(registry, "drive", is_static=True)
+    reg = mb.assign_new(registry)
+    for name in fill_methods:
+        mb.invoke_virtual(reg, name)
+    for name in dispatch_methods:
+        mb.invoke_virtual(reg, name)
+    mb.invoke_virtual(reg, "audit")
+    mb.return_void()
+    pb.finish_method(mb)
+    methods.append(f"{registry}.drive")
+
+    methods.extend(payload.method_names)
+    return HierarchyHandle(
+        prefix=prefix,
+        driver=f"{registry}.drive",
+        root_class=root,
+        rare_class=rare,
+        leaf_classes=leaves,
+        class_names=tuple(class_names),
+        method_names=tuple(methods),
+        payload_entry=payload.entry_qualified_name,
+    )
+
+
 #: Guard pattern name -> function adding the guard in front of a module.
 GUARD_PATTERNS: Dict[str, Callable[[ProgramBuilder, str, ModuleHandle], str]] = {
     "null_default": _add_null_default_guard,

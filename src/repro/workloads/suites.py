@@ -1,19 +1,32 @@
-"""The three benchmark suites of the evaluation (Table 1).
+"""The benchmark suites: the paper's Table 1 plus the saturation stress suite.
 
-Each suite mirrors the benchmarks of the paper: 8 DaCapo benchmarks,
-9 microservice applications, and 18 Renaissance benchmarks.  For every
-benchmark we record the PTA reachable-method count and the SkipFlow reduction
-reported in Table 1; the synthetic benchmark is sized as ``scale`` methods
-per thousand reported methods and its guarded fraction is set to the reported
-reduction, so the relative results (who wins, by roughly how much) can be
-compared directly against the paper.
+The three paper suites mirror the benchmarks of the evaluation: 8 DaCapo
+benchmarks, 9 microservice applications, and 18 Renaissance benchmarks.  For
+every benchmark we record the PTA reachable-method count and the SkipFlow
+reduction reported in Table 1; the synthetic benchmark is sized as ``scale``
+methods per thousand reported methods and its guarded fraction is set to the
+reported reduction, so the relative results (who wins, by roughly how much)
+can be compared directly against the paper.
+
+The additional ``WideHierarchy`` suite goes beyond the paper: its specs carry
+type hierarchies of hundreds of allocated leaf types flowing into shared
+fields and megamorphic call sites, which the Table 1 specs (a handful of
+types per flow) never produce.  It exists to measure the saturation cutoff
+(``benchmarks/run_saturation_study.py``) and is deliberately *not* part of
+:func:`all_suites`, so the Table 1 / Figure 9 reproductions keep mirroring
+the paper exactly.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.workloads.generator import BenchmarkSpec, spec_from_reduction
+from repro.workloads.generator import (
+    BenchmarkSpec,
+    GuardedModuleSpec,
+    HierarchySpec,
+    spec_from_reduction,
+)
 
 #: Default number of synthetic methods generated per thousand reported methods.
 DEFAULT_SCALE = 3.0
@@ -95,8 +108,48 @@ def renaissance_suite(scale: float = DEFAULT_SCALE) -> List[BenchmarkSpec]:
     return _build_suite("Renaissance", _RENAISSANCE_ROWS, scale)
 
 
+#: (benchmark, hierarchy depth, fanout, call sites) — leaf counts from 64 to
+#: 512 allocated types per flow, far beyond the Table 1 specs.
+_WIDE_HIERARCHY_ROWS = [
+    ("wide-flat-64", 1, 64, 6),
+    ("wide-mid-144", 2, 12, 8),
+    ("wide-deep-216", 3, 6, 8),
+    ("wide-broad-324", 2, 18, 10),
+    ("wide-huge-512", 3, 8, 12),
+]
+
+WIDE_HIERARCHY_SUITE = "WideHierarchy"
+
+
+def wide_hierarchy_suite() -> List[BenchmarkSpec]:
+    """The saturation stress suite: hundreds of receiver types per flow.
+
+    Sizes are structural (hierarchy depth and fanout), so unlike the paper
+    suites there is no ``scale`` knob.  Every spec keeps a small
+    always-reachable core and one conventionally guarded module, so the
+    standard baseline-vs-SkipFlow comparison stays meaningful; the precision
+    the saturation cutoff gives up is measured against the *exact* SkipFlow
+    run by ``benchmarks/run_saturation_study.py``.
+    """
+    specs: List[BenchmarkSpec] = []
+    for name, depth, fanout, call_sites in _WIDE_HIERARCHY_ROWS:
+        specs.append(
+            BenchmarkSpec(
+                name=name,
+                suite=WIDE_HIERARCHY_SUITE,
+                core_methods=40,
+                guarded_modules=(GuardedModuleSpec("boolean_flag", 12),),
+                hierarchies=(
+                    HierarchySpec(depth=depth, fanout=fanout,
+                                  call_sites=call_sites, guarded_methods=24),
+                ),
+            )
+        )
+    return specs
+
+
 def all_suites(scale: float = DEFAULT_SCALE) -> Dict[str, List[BenchmarkSpec]]:
-    """All three suites keyed by suite name."""
+    """The three paper suites keyed by suite name (Table 1 / Figure 9 scope)."""
     return {
         "DaCapo": dacapo_suite(scale),
         "Microservices": microservices_suite(scale),
@@ -104,9 +157,16 @@ def all_suites(scale: float = DEFAULT_SCALE) -> Dict[str, List[BenchmarkSpec]]:
     }
 
 
-def suite_by_name(name: str, scale: float = DEFAULT_SCALE) -> List[BenchmarkSpec]:
-    """Look up one suite by (case-insensitive) name."""
+def extended_suites(scale: float = DEFAULT_SCALE) -> Dict[str, List[BenchmarkSpec]]:
+    """Every suite, paper and beyond: ``all_suites`` plus ``WideHierarchy``."""
     suites = all_suites(scale)
+    suites[WIDE_HIERARCHY_SUITE] = wide_hierarchy_suite()
+    return suites
+
+
+def suite_by_name(name: str, scale: float = DEFAULT_SCALE) -> List[BenchmarkSpec]:
+    """Look up one suite (paper or extended) by case-insensitive name."""
+    suites = extended_suites(scale)
     for suite_name, specs in suites.items():
         if suite_name.lower() == name.lower():
             return specs

@@ -1,4 +1,4 @@
-"""Cache key stability and invalidation for the benchmark engine."""
+"""Cache key stability and invalidation for the per-configuration cache."""
 
 from repro.core.analysis import AnalysisConfig
 from repro.engine.cache import ResultCache, compute_code_version, hash_dataclass
@@ -16,15 +16,15 @@ def _configs():
 
 class TestKeyStability:
     def test_same_inputs_same_key(self, tmp_path):
-        baseline, skipflow = _configs()
+        baseline, _ = _configs()
         first = ResultCache(tmp_path / "a")
         second = ResultCache(tmp_path / "b")
-        assert (first.key(_spec(), baseline, skipflow)
-                == second.key(_spec(), baseline, skipflow))
+        assert (first.config_key(_spec(), baseline)
+                == second.config_key(_spec(), baseline))
 
     def test_key_is_filesystem_safe_hex(self, tmp_path):
-        baseline, skipflow = _configs()
-        key = ResultCache(tmp_path).key(_spec(), baseline, skipflow)
+        baseline, _ = _configs()
+        key = ResultCache(tmp_path).config_key(_spec(), baseline)
         assert key == key.lower()
         int(key, 16)  # raises if not hex
 
@@ -37,25 +37,32 @@ class TestKeyStability:
 
 class TestKeyInvalidation:
     def test_different_spec_different_key(self, tmp_path):
-        baseline, skipflow = _configs()
+        baseline, _ = _configs()
         cache = ResultCache(tmp_path)
-        assert (cache.key(_spec(total=80), baseline, skipflow)
-                != cache.key(_spec(total=81), baseline, skipflow))
+        assert (cache.config_key(_spec(total=80), baseline)
+                != cache.config_key(_spec(total=81), baseline))
 
     def test_config_switch_changes_key(self, tmp_path):
-        baseline, skipflow = _configs()
+        _, skipflow = _configs()
         cache = ResultCache(tmp_path)
-        exact = cache.key(_spec(), baseline, skipflow)
-        saturated = cache.key(_spec(), baseline,
-                              skipflow.with_saturation_threshold(8))
+        exact = cache.config_key(_spec(), skipflow)
+        saturated = cache.config_key(_spec(),
+                                     skipflow.with_saturation_threshold(8))
         assert exact != saturated
 
-    def test_code_version_changes_key(self, tmp_path):
+    def test_configs_cached_independently(self, tmp_path):
+        """The two halves of one comparison have distinct keys."""
         baseline, skipflow = _configs()
+        cache = ResultCache(tmp_path)
+        assert (cache.config_key(_spec(), baseline)
+                != cache.config_key(_spec(), skipflow))
+
+    def test_code_version_changes_key(self, tmp_path):
+        baseline, _ = _configs()
         old = ResultCache(tmp_path, code_version="aaaa")
         new = ResultCache(tmp_path, code_version="bbbb")
-        assert (old.key(_spec(), baseline, skipflow)
-                != new.key(_spec(), baseline, skipflow))
+        assert (old.config_key(_spec(), baseline)
+                != new.config_key(_spec(), baseline))
 
 
 class TestEntries:

@@ -1,0 +1,178 @@
+"""The shared program store: round-trip determinism and engine integration."""
+
+import pytest
+
+from repro.core.analysis import AnalysisConfig, SkipFlowAnalysis
+from repro.engine import ProgramStore, ResultCache, run_specs
+from repro.engine.runner import solve_config
+from repro.workloads.generator import generate_benchmark, spec_from_reduction
+
+
+def _spec(name="store-spec", total=90):
+    return spec_from_reduction(name=name, suite="test",
+                               total_methods=total, reduction_percent=10.0)
+
+
+def _stable(result):
+    return {key: value for key, value in result.as_dict().items()
+            if "time" not in key}
+
+
+class TestRoundTrip:
+    def test_first_load_builds_and_stores(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        program, from_store = store.load_or_build(_spec())
+        assert not from_store
+        assert (store.hits, store.misses) == (0, 1)
+        assert store.contains(_spec())
+        assert program.has_method("Main.main")
+
+    def test_second_load_comes_from_store(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        store.load_or_build(_spec())
+        _, from_store = store.load_or_build(_spec())
+        assert from_store
+        assert (store.hits, store.misses) == (1, 1)
+
+    def test_roundtrip_analysis_is_bit_identical(self, tmp_path):
+        """Solving an unpickled program matches a freshly generated one exactly."""
+        store = ProgramStore(tmp_path)
+        store.load_or_build(_spec())
+        stored = store.load(_spec())
+        fresh = generate_benchmark(_spec())
+        for config in (AnalysisConfig.baseline_pta(), AnalysisConfig.skipflow()):
+            from_store = SkipFlowAnalysis(store.load(_spec()), config).run()
+            from_fresh = SkipFlowAnalysis(generate_benchmark(_spec()), config).run()
+            assert from_store.reachable_methods == from_fresh.reachable_methods
+            assert from_store.steps == from_fresh.steps
+            assert from_store.stats.joins == from_fresh.stats.joins
+            assert from_store.stats.transfers == from_fresh.stats.transfers
+        assert sorted(stored.methods) == sorted(fresh.methods)
+
+    def test_loads_are_isolated_object_graphs(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        store.load_or_build(_spec())
+        first = store.load(_spec())
+        second = store.load(_spec())
+        assert first is not second
+
+    @pytest.mark.parametrize("blob", [
+        b"not a pickle",
+        b"\x80\x0f.",   # unknown pickle protocol -> plain ValueError
+        b"\x80\x05",    # truncated header
+        b"",
+    ])
+    def test_corrupt_blob_is_rebuilt(self, tmp_path, blob):
+        store = ProgramStore(tmp_path)
+        store.load_or_build(_spec())
+        store.path_for(_spec()).write_bytes(blob)
+        program, from_store = store.load_or_build(_spec())
+        assert not from_store
+        assert program.has_method("Main.main")
+
+    def test_code_version_isolates_blobs(self, tmp_path):
+        old = ProgramStore(tmp_path, code_version="aaaa")
+        new = ProgramStore(tmp_path, code_version="bbbb")
+        old.load_or_build(_spec())
+        assert old.contains(_spec())
+        assert not new.contains(_spec())
+
+    def test_clear_removes_blobs(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        store.load_or_build(_spec())
+        assert store.clear() == 1
+        assert not store.contains(_spec())
+
+
+class TestEngineIntegration:
+    def test_cache_run_populates_store(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_specs([_spec()], cache=cache)
+        store = ProgramStore(tmp_path / "programs",
+                             code_version=cache.code_version)
+        assert store.contains(_spec())
+
+    def test_sibling_half_reuses_stored_program(self, tmp_path):
+        """Within one run, the second configuration loads the first's blob."""
+        store = ProgramStore(tmp_path)
+        first = solve_config(_spec(), AnalysisConfig.baseline_pta(), store)
+        second = solve_config(_spec(), AnalysisConfig.skipflow(), store)
+        assert not first["program_from_store"]
+        assert second["program_from_store"]
+        assert (store.hits, store.misses) == (1, 1)
+
+    def test_second_engine_run_loads_ir_from_store(self, tmp_path):
+        """A later run of the same spec skips program generation entirely."""
+        cache = ResultCache(tmp_path)
+        run_specs([_spec()], cache=cache)
+        store = ProgramStore(tmp_path / "programs",
+                             code_version=cache.code_version)
+        # A configuration the result cache has not seen forces a solve, which
+        # must take its program from the store.
+        payload = solve_config(
+            _spec(), AnalysisConfig.skipflow().with_saturation_threshold(64),
+            store)
+        assert payload["program_from_store"]
+        assert store.hits == 1
+
+    def test_store_results_bit_identical_to_cold_run(self, tmp_path):
+        """Store-backed engine results match a run without any cache/store."""
+        cold = run_specs([_spec()])
+        cache = ResultCache(tmp_path)
+        run_specs([_spec()], cache=cache)  # populates store + result cache
+        warm_cache = ResultCache(tmp_path)
+        warm = run_specs([_spec()], cache=warm_cache)
+        assert warm[0].from_cache
+        assert _stable(cold[0]) == _stable(warm[0])
+
+    def test_explicit_store_without_cache(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        results = run_specs([_spec()], program_store=store)
+        assert store.misses == 1
+        assert _stable(results[0]) == _stable(run_specs([_spec()])[0])
+
+    def test_parallel_run_with_store_matches_serial(self, tmp_path):
+        specs = [_spec(name=f"store-par-{i}", total=60 + 20 * i) for i in range(3)]
+        serial = run_specs(specs, jobs=1)
+        cache = ResultCache(tmp_path)
+        parallel = run_specs(specs, jobs=4, cache=cache)
+        assert [_stable(r) for r in serial] == [_stable(r) for r in parallel]
+
+    def test_roundtrip_preserves_solver_steps(self, tmp_path):
+        """Engine payloads solved over stored IR carry identical step counts."""
+        store = ProgramStore(tmp_path)
+        config = AnalysisConfig.skipflow()
+        cold = solve_config(_spec(), config)
+        store.load_or_build(_spec())
+        warm = solve_config(_spec(), config, store)
+        assert warm["program_from_store"]
+        assert warm["report"]["solver_steps"] == cold["report"]["solver_steps"]
+        assert warm["report"]["solver_joins"] == cold["report"]["solver_joins"]
+        assert (warm["report"]["reachable_methods"]
+                == cold["report"]["reachable_methods"])
+
+
+class TestKeying:
+    def test_key_is_filesystem_safe_hex(self, tmp_path):
+        key = ProgramStore(tmp_path).key(_spec())
+        assert key == key.lower()
+        int(key, 16)
+
+    def test_different_specs_different_blobs(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        assert store.key(_spec(total=90)) != store.key(_spec(total=120))
+
+    def test_missing_blob_loads_none(self, tmp_path):
+        assert ProgramStore(tmp_path).load(_spec()) is None
+
+
+@pytest.mark.parametrize("config_name", ["baseline_pta", "skipflow",
+                                         "predicates_only", "primitives_only"])
+def test_every_canonical_config_identical_over_stored_ir(tmp_path, config_name):
+    store = ProgramStore(tmp_path)
+    store.load_or_build(_spec())
+    config = getattr(AnalysisConfig, config_name)()
+    from_store = SkipFlowAnalysis(store.load(_spec()), config).run()
+    from_fresh = SkipFlowAnalysis(generate_benchmark(_spec()), config).run()
+    assert from_store.reachable_methods == from_fresh.reachable_methods
+    assert from_store.steps == from_fresh.steps

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.ir.types import (
-    MethodSignature,
     NULL_TYPE_NAME,
+    MethodSignature,
     TypeHierarchy,
     TypeSystemError,
 )

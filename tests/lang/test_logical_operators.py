@@ -3,9 +3,8 @@
 
 from repro.core.analysis import run_baseline, run_skipflow
 from repro.ir.validate import validate_program
-from repro.lang import compile_source
+from repro.lang import ast, compile_source
 from repro.lang.parser import parse
-from repro.lang import ast
 
 
 class TestParsing:

@@ -1,0 +1,68 @@
+"""The saturation-study reporting: series extraction and table rendering."""
+
+import pytest
+
+from repro.core.analysis import AnalysisConfig
+from repro.engine import run_specs
+from repro.reporting.saturation import (
+    format_saturation_study,
+    saturation_series,
+    summarize_sweep,
+)
+from repro.workloads.generator import BenchmarkSpec, HierarchySpec
+
+
+def _sweep(thresholds=(4, None)):
+    spec = BenchmarkSpec(name="sweep-spec", suite="test", core_methods=20,
+                         guarded_modules=(),
+                         hierarchies=(HierarchySpec(depth=1, fanout=8,
+                                                    call_sites=2),))
+    baseline = AnalysisConfig.baseline_pta()
+    return {
+        threshold: run_specs(
+            [spec], baseline_config=baseline,
+            skipflow_config=AnalysisConfig.skipflow()
+            .with_saturation_threshold(threshold))[0]
+        for threshold in thresholds
+    }
+
+
+class TestSeries:
+    def test_points_ordered_exact_last(self):
+        points = saturation_series(_sweep((None, 4)))
+        assert [p.threshold for p in points] == [4, None]
+        assert points[-1].threshold_label == "off"
+
+    def test_exact_point_has_no_saturation(self):
+        points = saturation_series(_sweep())
+        exact = points[-1]
+        assert exact.saturated_flows == 0
+
+    def test_cutoff_point_saturates_and_loses_precision(self):
+        points = saturation_series(_sweep())
+        cutoff, exact = points
+        assert cutoff.saturated_flows > 0
+        assert cutoff.reachable_methods >= exact.reachable_methods
+
+
+class TestFormatting:
+    def test_table_contains_every_threshold(self):
+        points = saturation_series(_sweep())
+        text = format_saturation_study("sweep-spec", points)
+        assert "sweep-spec" in text
+        assert "off" in text
+        lines = text.splitlines()
+        assert len(lines) == 2 + len(points) + 1  # title, header, rule, rows
+
+    def test_missing_exact_point_rejected(self):
+        points = [p for p in saturation_series(_sweep()) if p.threshold is not None]
+        with pytest.raises(ValueError):
+            format_saturation_study("sweep-spec", points)
+
+    def test_summary_reports_loss_and_savings(self):
+        points = saturation_series(_sweep())
+        summary = summarize_sweep(points)
+        assert summary["reachable_loss_percent"] >= 0.0
+        assert summary["saturated_flows"] > 0
+        assert set(summary) == {"reachable_loss_percent", "joins_savings_percent",
+                                "time_savings_percent", "saturated_flows"}
