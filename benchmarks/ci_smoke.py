@@ -5,8 +5,12 @@ process pool, then repeats the run against the same cache directory and
 asserts that every result is served from the cache — two hits per spec, one
 per configuration half — with identical numbers.  A third run under a
 different SkipFlow configuration must reuse the cached baseline halves and
-the program-store IR blobs while recomputing only the SkipFlow side.  Exits
-non-zero (with a message) on any violation, so it can gate CI::
+the program-store IR blobs while recomputing only the SkipFlow side.
+Finally a 3-way matrix (pta, skipflow, skipflow+saturation) over the same
+specs must be assembled *entirely* from the halves those earlier runs
+cached — every shared half solved exactly once across the whole session —
+with numbers identical to the pairwise runs.  Exits non-zero (with a
+message) on any violation, so it can gate CI::
 
     python benchmarks/ci_smoke.py --jobs 2 --cache-dir .bench-cache
 """
@@ -18,7 +22,7 @@ import sys
 import tempfile
 
 from repro.core.analysis import AnalysisConfig
-from repro.engine import ResultCache, run_specs
+from repro.engine import ResultCache, run_config_matrix, run_specs
 from repro.workloads.generator import spec_from_reduction
 
 #: Configuration halves per comparison (baseline + SkipFlow).
@@ -63,6 +67,17 @@ def main(argv=None) -> int:
         ablation = run_specs(specs, jobs=args.jobs, cache=ablation_cache,
                              skipflow_config=ablation_config)
 
+        # 3-way matrix over the same specs: every half (pta, skipflow, and
+        # the saturated skipflow) was cached by the runs above, so the
+        # matrix must recompute nothing.
+        matrix_cache = ResultCache(cache_dir)
+        matrix = run_config_matrix(
+            specs,
+            [AnalysisConfig.baseline_pta(), AnalysisConfig.skipflow(),
+             ablation_config],
+            names=("pta", "skipflow", "skipflow-sat"),
+            jobs=args.jobs, cache=matrix_cache)
+
     failures = []
     expected_hits = HALVES * len(specs)
     if second_cache.hits != expected_hits or second_cache.misses != 0:
@@ -96,13 +111,37 @@ def main(argv=None) -> int:
             failures.append(
                 f"{result.benchmark}: ablation run did not recompute SkipFlow")
 
+    # The 3-way matrix shares every half with the earlier runs: each half
+    # must have been solved exactly once in this whole session, so the
+    # matrix itself is assembled purely from cache hits.
+    expected_matrix_hits = 3 * len(specs)
+    if matrix_cache.hits != expected_matrix_hits or matrix_cache.misses != 0:
+        failures.append(
+            f"expected the 3-way matrix to hit all {expected_matrix_hits} "
+            f"shared halves, got {matrix_cache.hits} hits / "
+            f"{matrix_cache.misses} misses")
+    for pairwise, sat, row in zip(first, ablation, matrix):
+        if not row.from_cache:
+            failures.append(f"{row.benchmark}: 3-way matrix re-solved a shared half")
+        if row.names != ("pta", "skipflow", "skipflow-sat"):
+            failures.append(f"{row.benchmark}: unexpected matrix columns {row.names}")
+        expectations = (
+            ("pta", pairwise.baseline), ("skipflow", pairwise.skipflow),
+            ("skipflow-sat", sat.skipflow))
+        for column, report in expectations:
+            if row.report(column).metrics != report.metrics:
+                failures.append(
+                    f"{row.benchmark}: matrix column {column!r} differs from "
+                    f"the pairwise result")
+
     if failures:
         for failure in failures:
             print(f"SMOKE FAIL: {failure}", file=sys.stderr)
         return 1
     print(f"smoke ok: {len(specs)} specs, jobs={args.jobs}, "
           f"second run {second_cache.hits}/{expected_hits} half hits, "
-          f"ablation reused {ablation_cache.hits} baseline halves")
+          f"ablation reused {ablation_cache.hits} baseline halves, "
+          f"3-way matrix reused {matrix_cache.hits}/{expected_matrix_hits} halves")
     return 0
 
 

@@ -6,17 +6,35 @@ Precision of Points-to Analysis using Primitive Values and Predicate Edges"
 (by type) and primitive constants, and that uses *predicate edges* to prune
 branches whose conditions can never hold.
 
-Typical usage::
+Typical usage — the session API runs any registered analysis by name and
+compares several in one call::
+
+    from repro import AnalysisSession
+
+    session = AnalysisSession.from_source(JAVA_LIKE_SOURCE)
+    skipflow = session.run("skipflow")
+    ladder = session.compare(["cha", "rta", "pta", "skipflow"])
+    print(skipflow.reachable_method_count, ladder.reachable_counts())
+
+The lower-level configuration API remains available (and is what the
+session's engine-backed analyzers run)::
 
     from repro import AnalysisConfig, SkipFlowAnalysis
     from repro.lang import compile_source
 
     program = compile_source(JAVA_LIKE_SOURCE, entry_points=["Main.main"])
     skipflow = SkipFlowAnalysis(program, AnalysisConfig.skipflow()).run()
-    baseline = SkipFlowAnalysis(program, AnalysisConfig.baseline_pta()).run()
-    print(skipflow.reachable_method_count, baseline.reachable_method_count)
 """
 
+from repro.api import (
+    AnalysisReport,
+    AnalysisSession,
+    NoEntryPointError,
+    SessionComparison,
+    available_analyzers,
+    get_analyzer,
+    register_analyzer,
+)
 from repro.core.analysis import (
     AnalysisConfig,
     SkipFlowAnalysis,
@@ -29,17 +47,24 @@ from repro.ir.program import Program
 from repro.ir.types import TypeHierarchy
 from repro.lattice.value_state import ValueState
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnalysisConfig",
+    "AnalysisReport",
     "AnalysisResult",
+    "AnalysisSession",
     "MethodBuilder",
+    "NoEntryPointError",
     "Program",
     "ProgramBuilder",
+    "SessionComparison",
     "SkipFlowAnalysis",
     "TypeHierarchy",
     "ValueState",
+    "available_analyzers",
+    "get_analyzer",
+    "register_analyzer",
     "run_baseline",
     "run_skipflow",
     "__version__",

@@ -1,0 +1,152 @@
+"""The common analysis report: one facade over every analyzer's result.
+
+The codebase grows results in two shapes: the propagation engine (PTA,
+SkipFlow, and the ablations) produces a rich
+:class:`~repro.core.results.AnalysisResult` with value states and solver
+counters, while the classical call-graph baselines (CHA, RTA) produce a
+lean :class:`~repro.baselines.cha.CallGraphResult`.  :class:`AnalysisReport`
+wraps both behind one call-graph/metrics interface — reachable methods,
+call edges, poly-call counts and solver statistics where available — so the
+session API, the N-way comparison tables, and the CLI never need to know
+which algorithm ran.
+
+Fields that only the propagation engine can produce (``poly_calls``,
+``solver_stats``) are ``None`` for the call-graph baselines; the original
+result object stays reachable through ``raw`` for callers that need the
+full shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.baselines.cha import CallGraphResult
+from repro.core.results import AnalysisResult, SolverStats
+from repro.image.metrics import collect_counter_metrics
+
+
+@runtime_checkable
+class CallGraphView(Protocol):
+    """The call-graph slice every analysis result can answer for.
+
+    Structural typing only: :class:`AnalysisReport` satisfies it, and so does
+    any object exposing reachable methods and (caller, callee) edges.
+    """
+
+    @property
+    def reachable_methods(self) -> FrozenSet[str]: ...
+
+    @property
+    def call_edges(self) -> Tuple[Tuple[str, str], ...]: ...
+
+    def is_method_reachable(self, qualified_name: str) -> bool: ...
+
+    def callees_of(self, qualified_name: str) -> FrozenSet[str]: ...
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """What one analyzer computed for one program, algorithm-agnostic.
+
+    ``analyzer`` is the registry name of the analysis that produced the
+    report.  ``poly_calls`` and ``solver_stats`` are ``None`` when the
+    algorithm does not produce them (CHA/RTA); everything else is defined
+    for every analyzer, which is what makes N-way comparisons and precision
+    ladders uniform.
+    """
+
+    analyzer: str
+    reachable_methods: FrozenSet[str]
+    stub_methods: FrozenSet[str]
+    call_edges: Tuple[Tuple[str, str], ...]
+    analysis_time_seconds: float
+    poly_calls: Optional[int] = None
+    solver_stats: Optional[SolverStats] = None
+    raw: object = None
+
+    # ------------------------------------------------------------------ #
+    # CallGraphView
+    # ------------------------------------------------------------------ #
+    @property
+    def reachable_method_count(self) -> int:
+        return len(self.reachable_methods)
+
+    @property
+    def call_edge_count(self) -> int:
+        return len(self.call_edges)
+
+    def is_method_reachable(self, qualified_name: str) -> bool:
+        return qualified_name in self.reachable_methods
+
+    def callees_of(self, qualified_name: str) -> FrozenSet[str]:
+        return frozenset(callee for caller, callee in self.call_edges
+                         if caller == qualified_name)
+
+    def callers_of(self, qualified_name: str) -> FrozenSet[str]:
+        return frozenset(caller for caller, callee in self.call_edges
+                         if callee == qualified_name)
+
+    @property
+    def solver_steps(self) -> Optional[int]:
+        return self.solver_stats.steps if self.solver_stats is not None else None
+
+    def as_dict(self) -> dict:
+        """The scalar metrics of this report (for tables and JSON dumps)."""
+        return {
+            "analyzer": self.analyzer,
+            "reachable_methods": self.reachable_method_count,
+            "call_edges": self.call_edge_count,
+            "stub_methods": len(self.stub_methods),
+            "poly_calls": self.poly_calls,
+            "solver_steps": self.solver_steps,
+            "analysis_time_seconds": self.analysis_time_seconds,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_analysis_result(result: AnalysisResult,
+                             analyzer: Optional[str] = None) -> "AnalysisReport":
+        """Wrap a propagation-engine result (PTA, SkipFlow, ablations)."""
+        return AnalysisReport(
+            analyzer=analyzer or getattr(result.config, "name", "unknown"),
+            reachable_methods=frozenset(result.reachable_methods),
+            stub_methods=frozenset(result.stub_methods),
+            call_edges=tuple(result.call_edges()),
+            analysis_time_seconds=result.analysis_time_seconds,
+            poly_calls=collect_counter_metrics(result).poly_calls,
+            solver_stats=result.stats,
+            raw=result,
+        )
+
+    @staticmethod
+    def from_call_graph_result(result: CallGraphResult,
+                               analyzer: Optional[str] = None,
+                               analysis_time_seconds: float = 0.0
+                               ) -> "AnalysisReport":
+        """Wrap a call-graph baseline result (CHA, RTA)."""
+        return AnalysisReport(
+            analyzer=analyzer or result.algorithm,
+            reachable_methods=frozenset(result.reachable_methods),
+            stub_methods=frozenset(result.stub_methods),
+            call_edges=tuple(sorted(result.call_edges)),
+            analysis_time_seconds=analysis_time_seconds,
+            poly_calls=None,
+            solver_stats=None,
+            raw=result,
+        )
+
+
+def wrap_result(result: object, analyzer: Optional[str] = None,
+                analysis_time_seconds: float = 0.0) -> AnalysisReport:
+    """Wrap either result shape into an :class:`AnalysisReport`."""
+    if isinstance(result, AnalysisResult):
+        return AnalysisReport.from_analysis_result(result, analyzer=analyzer)
+    if isinstance(result, CallGraphResult):
+        return AnalysisReport.from_call_graph_result(
+            result, analyzer=analyzer,
+            analysis_time_seconds=analysis_time_seconds)
+    raise TypeError(f"cannot wrap {type(result).__name__}: expected an "
+                    f"AnalysisResult or a CallGraphResult")

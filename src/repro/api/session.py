@@ -1,0 +1,239 @@
+"""The analysis session: one program, any number of named analyses.
+
+An :class:`AnalysisSession` owns the three things every analysis run needs
+and that used to be scattered across the CLI, the benchmark engine, and the
+per-analysis wrappers:
+
+* **program loading** — from surface-language source (:meth:`AnalysisSession.
+  from_source` / :meth:`~AnalysisSession.from_file`), from an already-built
+  :class:`~repro.ir.program.Program`, or from a benchmark spec with stored
+  IR through the engine's :class:`~repro.engine.program_store.ProgramStore`
+  (:meth:`~AnalysisSession.from_spec`);
+* **root resolution** — :func:`resolve_roots` is the single place that turns
+  "explicit roots / program entry points / the ``Main.main`` convention"
+  into a validated root list, raising :class:`NoEntryPointError` instead of
+  silently analyzing nothing (the historical ``compile_source`` fallback
+  made a program without entry points look like an empty-but-successful
+  analysis);
+* **running and comparing** — :meth:`~AnalysisSession.run` resolves an
+  analyzer by registry name, :meth:`~AnalysisSession.compare` runs any
+  number of them over the same program and roots and returns one
+  :class:`SessionComparison`, e.g. the classic precision ladder
+  ``session.compare(["cha", "rta", "pta", "skipflow"])``.
+
+The program is treated as read-only by every registered analyzer, so one
+session can run arbitrarily many analyses over the same object (reflection
+configs are applied once, at load time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.api.registry import get_analyzer
+from repro.api.report import AnalysisReport
+from repro.ir.program import Program
+from repro.lang.api import compile_source
+
+#: The conventional entry point used when nothing else is specified.
+DEFAULT_ENTRY_POINT = "Main.main"
+
+
+class NoEntryPointError(ValueError):
+    """No analysis roots could be resolved for a program.
+
+    Raised instead of silently analyzing nothing: a program without roots
+    has an empty reachable set under every analysis, which historically
+    masked misspelled ``--entry`` names and missing ``Main.main`` methods.
+    """
+
+
+def resolve_roots(program: Program,
+                  roots: Optional[Iterable[str]] = None) -> List[str]:
+    """The analysis roots for ``program``, validated against its methods.
+
+    Resolution order: explicit ``roots`` if given, else the program's
+    declared entry points, else the ``Main.main`` convention.  Every
+    resolved root must name a method the program defines; anything else
+    raises :class:`NoEntryPointError` with the offending names.
+    """
+    if roots is not None:
+        resolved = list(roots)
+        origin = "explicit roots"
+        if not resolved:
+            raise NoEntryPointError(
+                "an empty roots list was given; pass at least one "
+                "qualified method name (Class.method)")
+    elif program.entry_points:
+        resolved = list(program.entry_points)
+        origin = "program entry points"
+    elif program.has_method(DEFAULT_ENTRY_POINT):
+        return [DEFAULT_ENTRY_POINT]
+    else:
+        raise NoEntryPointError(
+            f"no entry point: the program defines neither entry points nor "
+            f"{DEFAULT_ENTRY_POINT}; pass explicit roots (CLI: --entry)")
+    missing = [name for name in resolved if not program.has_method(name)]
+    if missing:
+        raise NoEntryPointError(
+            f"{origin} name methods the program does not define: "
+            f"{', '.join(missing)}")
+    return resolved
+
+
+@dataclass(frozen=True)
+class SessionComparison:
+    """N analyses of one program over the same roots, in request order."""
+
+    program_name: str
+    reports: Tuple[AnalysisReport, ...]
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(report.analyzer for report in self.reports)
+
+    def report(self, analyzer: str) -> AnalysisReport:
+        """The report for one analyzer, accepting registry aliases too."""
+        wanted = analyzer
+        try:
+            wanted = get_analyzer(analyzer).name
+        except KeyError:
+            pass  # Not (or no longer) registered: match the literal name.
+        for report in self.reports:
+            if report.analyzer == wanted:
+                return report
+        raise KeyError(f"no report for {analyzer!r}; "
+                       f"available: {', '.join(self.names)}")
+
+    def reachable_counts(self) -> Dict[str, int]:
+        return {report.analyzer: report.reachable_method_count
+                for report in self.reports}
+
+    def is_monotone_precision_ladder(self) -> bool:
+        """Whether reachable methods never *grow* along the request order.
+
+        With analyses ordered least-precise-first (``cha, rta, pta,
+        skipflow``) a sound implementation must produce a non-increasing
+        reachable-method sequence — each rung only removes spurious targets.
+        """
+        counts = [report.reachable_method_count for report in self.reports]
+        return all(left >= right for left, right in zip(counts, counts[1:]))
+
+    def table(self, title: Optional[str] = None) -> str:
+        """Render the comparison as an N-column text table."""
+        from repro.reporting.table import format_analysis_comparison
+
+        return format_analysis_comparison(
+            self.reports, title=title or f"Comparison ({self.program_name})")
+
+
+class AnalysisSession:
+    """Run named analyses over one program with shared root resolution."""
+
+    def __init__(self, program: Program, *, name: str = "program",
+                 roots: Optional[Iterable[str]] = None) -> None:
+        self.program = program
+        self.name = name
+        self._default_roots = list(roots) if roots is not None else None
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_program(cls, program: Program, *, name: str = "program",
+                     roots: Optional[Iterable[str]] = None) -> "AnalysisSession":
+        return cls(program, name=name, roots=roots)
+
+    @classmethod
+    def from_source(cls, source: str, *,
+                    entry_points: Optional[Iterable[str]] = None,
+                    reflection=None, name: str = "source",
+                    validate: bool = True) -> "AnalysisSession":
+        """Compile surface-language source and wrap it in a session.
+
+        ``reflection`` is an optional :class:`~repro.image.reflection.
+        ReflectionConfig`; it is applied once here so that every analysis of
+        the session sees the same (augmented) program.
+        """
+        program = compile_source(source, entry_points=entry_points,
+                                 validate=validate)
+        if reflection is not None:
+            reflection.apply_to(program)
+        return cls(program, name=name)
+
+    @classmethod
+    def from_file(cls, path, *, entry_points: Optional[Iterable[str]] = None,
+                  reflection=None, validate: bool = True) -> "AnalysisSession":
+        path = Path(path)
+        return cls.from_source(path.read_text(), entry_points=entry_points,
+                               reflection=reflection, name=path.name,
+                               validate=validate)
+
+    @classmethod
+    def from_spec(cls, spec, *, store=None) -> "AnalysisSession":
+        """A session over a benchmark spec's generated program.
+
+        With an engine :class:`~repro.engine.program_store.ProgramStore`,
+        the IR is unpickled from (or freshly stored into) the shared blob
+        store instead of being regenerated — results are bit-identical
+        either way.
+        """
+        if store is not None:
+            program, _ = store.load_or_build(spec)
+        else:
+            from repro.workloads.generator import generate_benchmark
+
+            program = generate_benchmark(spec)
+        return cls(program, name=spec.name)
+
+    # ------------------------------------------------------------------ #
+    # Running
+    # ------------------------------------------------------------------ #
+    def resolve_roots(self, roots: Optional[Iterable[str]] = None) -> List[str]:
+        """This session's validated analysis roots (see :func:`resolve_roots`)."""
+        return resolve_roots(
+            self.program, roots if roots is not None else self._default_roots)
+
+    def run(self, analysis: str, *, roots: Optional[Iterable[str]] = None,
+            **options) -> AnalysisReport:
+        """Run one registered analysis by name and return its report."""
+        analyzer = get_analyzer(analysis)
+        return analyzer.analyze(self.program, self.resolve_roots(roots),
+                                **options)
+
+    def compare(self, analyses: Sequence[str], *,
+                roots: Optional[Iterable[str]] = None,
+                **options) -> SessionComparison:
+        """Run N registered analyses over the same roots and collect them.
+
+        ``analyses`` must name at least two distinct analyzers.  ``options``
+        (e.g. ``saturation_threshold``) are routed per analyzer: each one
+        receives only the options it declares in ``supported_options``, so
+        a ladder mixing CHA/RTA with engine configurations can still sweep
+        engine-only knobs.  An option no requested analyzer supports is an
+        error (it would otherwise be silently ignored everywhere); analyzers
+        that declare no ``supported_options`` attribute receive everything.
+        """
+        names = list(analyses)
+        if len(names) < 2:
+            raise ValueError(
+                f"compare needs at least two analyses, got {names}")
+        analyzers = [get_analyzer(name) for name in names]
+        canonical = [analyzer.name for analyzer in analyzers]
+        if len(set(canonical)) != len(canonical):
+            raise ValueError(f"duplicate analyses in comparison: {names}")
+        for option in options:
+            if not any(option in getattr(analyzer, "supported_options", {option})
+                       for analyzer in analyzers):
+                raise ValueError(
+                    f"option {option!r} is not supported by any of the "
+                    f"requested analyses ({', '.join(canonical)})")
+        resolved = self.resolve_roots(roots)
+        reports = tuple(
+            analyzer.analyze(self.program, resolved, **{
+                key: value for key, value in options.items()
+                if key in getattr(analyzer, "supported_options", options)})
+            for analyzer in analyzers)
+        return SessionComparison(program_name=self.name, reports=reports)

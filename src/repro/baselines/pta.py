@@ -29,5 +29,9 @@ def baseline_config() -> AnalysisConfig:
 
 
 def run_pta(program: Program, roots: Optional[Iterable[str]] = None) -> AnalysisResult:
-    """Run the baseline points-to analysis over ``program``."""
+    """Deprecated shim: run the baseline points-to analysis over ``program``.
+
+    Prefer ``AnalysisSession.from_program(program).run("pta")`` (see
+    :mod:`repro.api` and ``docs/api.md``); kept for existing callers.
+    """
     return SkipFlowAnalysis(program, baseline_config()).run(roots)

@@ -2,15 +2,18 @@
 
 Usage::
 
-    python -m repro analyze app.java --config skipflow --entry Main.main
+    python -m repro analyze app.java --analysis skipflow --entry Main.main
     python -m repro analyze app.java --compare               # PTA vs SkipFlow
+    python -m repro compare app.java cha rta pta skipflow    # N-way ladder
     python -m repro callgraph app.java --output graph.dot
     python -m repro pvpg app.java --method Scene.render
-    python -m repro bench --scale 1.0 --cache-dir .bench-cache
+    python -m repro bench --scale 1.0 --cache-dir .bench-cache [--gc]
 
 The input is a file in the Java-like surface language of :mod:`repro.lang`;
 ``bench`` instead lists the synthetic benchmark specs of the evaluation and
-the benchmark engine's cache status for each.
+the benchmark engine's cache status for each.  Analyses are resolved by name
+through the :mod:`repro.api` registry, so newly registered analyzers appear
+in ``--analysis`` and ``compare`` without CLI changes.
 """
 
 from __future__ import annotations
@@ -20,36 +23,51 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.core.analysis import AnalysisConfig, SkipFlowAnalysis
+from repro.api import (
+    AnalysisSession,
+    NoEntryPointError,
+    available_analyzers,
+    config_backed_analyzers,
+    get_analyzer,
+    has_engine_config,
+    require_config_analyzer,
+)
+from repro.core.analysis import AnalysisConfig
 from repro.image.builder import NativeImageBuilder
 from repro.image.optimizations import collect_optimizations
 from repro.image.reflection import ReflectionConfig
-from repro.lang import compile_source
+from repro.ir.program import ProgramError
+from repro.lang.errors import LangError
 from repro.reporting.graphviz import call_graph_to_dot, pvpg_to_dot
 
-_CONFIGS = {
-    "skipflow": AnalysisConfig.skipflow,
-    "pta": AnalysisConfig.baseline_pta,
-    "predicates-only": AnalysisConfig.predicates_only,
-    "primitives-only": AnalysisConfig.primitives_only,
-}
 
-
-def _load_program(args):
+def _load_session(args) -> AnalysisSession:
     source = Path(args.source).read_text()
-    entry_points = args.entry or None
-    program = compile_source(source, entry_points=entry_points)
+    reflection = None
     if args.reflection_config:
         reflection = ReflectionConfig.from_file(Path(args.reflection_config))
-        reflection.apply_to(program)
-    return program
+    return AnalysisSession.from_source(
+        source, entry_points=args.entry or None, reflection=reflection,
+        name=args.source)
 
 
-def _selected_config(args) -> AnalysisConfig:
-    config = _CONFIGS[args.config]()
-    if args.saturation_threshold is not None:
-        config = config.with_saturation_threshold(args.saturation_threshold)
-    return config
+def _selected_analysis(args) -> str:
+    """The requested analyzer name (``--analysis``, legacy ``--config``)."""
+    if args.analysis and args.config and args.analysis != args.config:
+        raise ValueError(
+            f"conflicting flags: --analysis {args.analysis} and --config "
+            f"{args.config}; --config is a deprecated alias of --analysis, "
+            f"pass only one")
+    return args.analysis or args.config or "skipflow"
+
+
+def _engine_result(session: AnalysisSession, args, purpose: str):
+    """Run the selected config-backed analysis; returns the AnalysisResult."""
+    name = _selected_analysis(args)
+    require_config_analyzer(name, purpose=purpose)
+    report = session.run(name,
+                         saturation_threshold=args.saturation_threshold)
+    return report.raw
 
 
 def _write_output(text: str, output: Optional[str]) -> None:
@@ -59,50 +77,100 @@ def _write_output(text: str, output: Optional[str]) -> None:
         print(text)
 
 
+def _print_build_report(session: AnalysisSession, config: AnalysisConfig,
+                        args) -> None:
+    report = NativeImageBuilder(session.program, config,
+                                benchmark_name=args.source).build(
+                                    session.resolve_roots())
+    metrics = report.metrics
+    print(f"[{config.name}]")
+    print(f"  reachable methods:  {metrics.reachable_methods}")
+    print(f"  type checks:        {metrics.type_checks}")
+    print(f"  null checks:        {metrics.null_checks}")
+    print(f"  primitive checks:   {metrics.primitive_checks}")
+    print(f"  poly calls:         {metrics.poly_calls}")
+    print(f"  binary size:        {report.binary_size_megabytes:.2f} MB")
+    print(f"  analysis time:      {report.analysis_time_seconds * 1000:.1f} ms")
+    if args.optimizations:
+        summary = collect_optimizations(report.result).summary()
+        print(f"  optimization opportunities: {summary}")
+    if args.list_unreachable:
+        analyzed = set(report.result.reachable_methods)
+        dead = sorted(set(session.program.methods) - analyzed)
+        print(f"  unreachable methods ({len(dead)}):")
+        for name in dead:
+            print(f"    {name}")
+
+
+def _print_call_graph_report(session: AnalysisSession, name: str,
+                             args) -> None:
+    # Passing the threshold through (even for CHA/RTA) means an unsupported
+    # sweep errors out loudly instead of printing unchanged numbers.
+    report = session.run(name,
+                         saturation_threshold=args.saturation_threshold)
+    print(f"[{report.analyzer}]")
+    print(f"  reachable methods:  {report.reachable_method_count}")
+    print(f"  call edges:         {report.call_edge_count}")
+    print(f"  stub methods:       {len(report.stub_methods)}")
+    print(f"  analysis time:      {report.analysis_time_seconds * 1000:.1f} ms")
+    if args.list_unreachable:
+        dead = sorted(set(session.program.methods) - set(report.reachable_methods))
+        print(f"  unreachable methods ({len(dead)}):")
+        for method in dead:
+            print(f"    {method}")
+
+
 def _cmd_analyze(args) -> int:
-    program = _load_program(args)
+    session = _load_session(args)
     if args.compare:
         configs = [AnalysisConfig.baseline_pta(), AnalysisConfig.skipflow()]
         if args.saturation_threshold is not None:
             configs = [c.with_saturation_threshold(args.saturation_threshold)
                        for c in configs]
-    else:
-        configs = [_selected_config(args)]
-    for config in configs:
-        report = NativeImageBuilder(program, config, benchmark_name=args.source).build()
-        metrics = report.metrics
-        print(f"[{config.name}]")
-        print(f"  reachable methods:  {metrics.reachable_methods}")
-        print(f"  type checks:        {metrics.type_checks}")
-        print(f"  null checks:        {metrics.null_checks}")
-        print(f"  primitive checks:   {metrics.primitive_checks}")
-        print(f"  poly calls:         {metrics.poly_calls}")
-        print(f"  binary size:        {report.binary_size_megabytes:.2f} MB")
-        print(f"  analysis time:      {report.analysis_time_seconds * 1000:.1f} ms")
+        for config in configs:
+            _print_build_report(session, config, args)
+        return 0
+    name = _selected_analysis(args)
+    analyzer = get_analyzer(name)
+    if not has_engine_config(analyzer):
         if args.optimizations:
-            summary = collect_optimizations(report.result).summary()
-            print(f"  optimization opportunities: {summary}")
-        if args.list_unreachable:
-            analyzed = set(report.result.reachable_methods)
-            dead = sorted(set(program.methods) - analyzed)
-            print(f"  unreachable methods ({len(dead)}):")
-            for name in dead:
-                print(f"    {name}")
+            raise ValueError(
+                f"--optimizations needs a propagation-engine analysis, not "
+                f"{analyzer.name!r}; use one of: "
+                f"{', '.join(config_backed_analyzers())}")
+        _print_call_graph_report(session, name, args)
+        return 0
+    config = analyzer.config(saturation_threshold=args.saturation_threshold)
+    _print_build_report(session, config, args)
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    session = _load_session(args)
+    options = {}
+    if args.saturation_threshold is not None:
+        # Routed per analyzer by the session: engine-backed columns get the
+        # cutoff, CHA/RTA columns (which have no engine) are unaffected.
+        options["saturation_threshold"] = args.saturation_threshold
+    comparison = session.compare(args.analyses, **options)
+    print(comparison.table())
+    if not comparison.is_monotone_precision_ladder():
+        print("note: reachable methods are not monotone in the given order "
+              "(columns are not a precision ladder)", file=sys.stderr)
     return 0
 
 
 def _cmd_callgraph(args) -> int:
-    program = _load_program(args)
-    result = SkipFlowAnalysis(program, _selected_config(args)).run()
+    session = _load_session(args)
+    result = _engine_result(session, args, purpose="the call-graph export")
     _write_output(call_graph_to_dot(result), args.output)
     return 0
 
 
 def _cmd_pvpg(args) -> int:
-    program = _load_program(args)
-    result = SkipFlowAnalysis(program, _selected_config(args)).run()
-    methods = args.method or None
-    _write_output(pvpg_to_dot(result, methods), args.output)
+    session = _load_session(args)
+    result = _engine_result(session, args, purpose="the PVPG export")
+    _write_output(pvpg_to_dot(result, args.method or None), args.output)
     return 0
 
 
@@ -113,7 +181,8 @@ def _cmd_bench(args) -> int:
     means both halves of the comparison (baseline and SkipFlow) are cached,
     ``base``/``skip`` that only that half is, ``miss`` that neither is.  The
     ``ir`` column reports whether the spec's program blob is in the shared
-    program store under the cache directory.
+    program store under the cache directory.  ``--gc`` first drops result
+    entries and IR blobs written by other code versions.
     """
     from repro.engine import ProgramStore, ResultCache
     from repro.engine.scheduler import estimated_cost
@@ -138,6 +207,15 @@ def _cmd_bench(args) -> int:
         cache = ResultCache(args.cache_dir)
         store = ProgramStore(cache.directory / "programs",
                              code_version=cache.code_version)
+    if args.gc:
+        if cache is None:
+            print("repro bench: --gc needs --cache-dir", file=sys.stderr)
+            return 2
+        stale_results = cache.gc()
+        stale_blobs = store.gc()
+        print(f"gc: removed {stale_results} stale result entries and "
+              f"{stale_blobs} stale IR blobs from {cache.directory} "
+              f"(kept code version {cache.code_version})")
 
     header = (f"{'suite':<14} {'benchmark':<28} {'methods':>7} {'guarded':>7} "
               f"{'cost':>8}  {'cache':<5} ir")
@@ -177,11 +255,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(sub):
+    def add_common(sub, analysis_flags=True):
         sub.add_argument("source", help="surface-language source file")
         sub.add_argument("--entry", action="append",
                          help="entry point (Class.method); may be repeated")
-        sub.add_argument("--config", choices=sorted(_CONFIGS), default="skipflow")
+        if analysis_flags:
+            sub.add_argument("--analysis", choices=available_analyzers(),
+                             default=None,
+                             help="registered analysis to run "
+                                  "(default: skipflow)")
+            sub.add_argument("--config", choices=sorted(
+                                 config_backed_analyzers()),
+                             default=None,
+                             help="deprecated alias of --analysis (engine "
+                                  "configurations only)")
         sub.add_argument("--reflection-config",
                          help="JSON reflection configuration file")
         sub.add_argument("--saturation-threshold", type=int, default=None,
@@ -197,6 +284,22 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--list-unreachable", action="store_true",
                          help="list methods proven unreachable")
     analyze.set_defaults(func=_cmd_analyze)
+
+    compare = subparsers.add_parser(
+        "compare", help="compare N named analyses over one program")
+    compare.add_argument("source", help="surface-language source file")
+    compare.add_argument("analyses", nargs="*",
+                         default=["cha", "rta", "pta", "skipflow"],
+                         help="analyses to compare, least precise first "
+                              "(default: the cha rta pta skipflow ladder)")
+    compare.add_argument("--entry", action="append",
+                         help="entry point (Class.method); may be repeated")
+    compare.add_argument("--reflection-config",
+                         help="JSON reflection configuration file")
+    compare.add_argument("--saturation-threshold", type=int, default=None,
+                         help="saturate flows whose type set exceeds this size "
+                              "(engine-backed analyses only)")
+    compare.set_defaults(func=_cmd_compare)
 
     callgraph = subparsers.add_parser("callgraph", help="export the call graph as DOT")
     add_common(callgraph)
@@ -221,6 +324,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="benchmark engine cache directory to inspect")
     bench.add_argument("--saturation-threshold", type=int, default=None,
                        help="cache status for configs with this saturation threshold")
+    bench.add_argument("--gc", action="store_true",
+                       help="drop cache entries and IR blobs from old code "
+                            "versions (needs --cache-dir)")
     bench.set_defaults(func=_cmd_bench)
     return parser
 
@@ -228,7 +334,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (NoEntryPointError, ProgramError, LangError, ValueError) as error:
+        # Unknown analysis names arrive as UnknownAnalyzerError, a ValueError
+        # subclass — a genuine internal KeyError still produces a traceback.
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

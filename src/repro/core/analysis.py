@@ -153,10 +153,19 @@ class SkipFlowAnalysis:
 
 
 def run_skipflow(program: Program, roots: Optional[Iterable[str]] = None) -> AnalysisResult:
-    """Convenience wrapper: run the full SkipFlow configuration."""
+    """Deprecated shim: run the full SkipFlow configuration.
+
+    Prefer ``AnalysisSession.from_program(program).run("skipflow")`` (see
+    :mod:`repro.api` and ``docs/api.md``); this wrapper is kept so existing
+    callers — and the seed tests — stay bit-identical.
+    """
     return SkipFlowAnalysis(program, AnalysisConfig.skipflow()).run(roots)
 
 
 def run_baseline(program: Program, roots: Optional[Iterable[str]] = None) -> AnalysisResult:
-    """Convenience wrapper: run the baseline points-to analysis."""
+    """Deprecated shim: run the baseline points-to analysis.
+
+    Prefer ``AnalysisSession.from_program(program).run("pta")`` (see
+    :mod:`repro.api` and ``docs/api.md``).
+    """
     return SkipFlowAnalysis(program, AnalysisConfig.baseline_pta()).run(roots)

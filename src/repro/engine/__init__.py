@@ -1,14 +1,17 @@
 """The benchmark engine: parallel execution with per-configuration caching.
 
 The engine decouples *what* the evaluation drivers ask for (a list of
-:class:`~repro.workloads.generator.BenchmarkSpec`, each compared under the
-PTA baseline and SkipFlow) from *how* the comparisons are produced:
+:class:`~repro.workloads.generator.BenchmarkSpec`, each analyzed under a
+list of named configurations — the classic PTA-vs-SkipFlow pair or an
+arbitrary N-way matrix) from *how* the results are produced:
 
 * :mod:`repro.engine.runner` fans *halves* — one (spec, configuration)
   analysis each — out to a ``concurrent.futures.ProcessPoolExecutor``
   (``jobs > 1``) or runs them serially (``jobs == 1``); both paths return
   identical results because benchmark generation and the solver are fully
-  deterministic.
+  deterministic.  :func:`~repro.engine.runner.run_config_matrix` is the
+  general N-configuration driver; :func:`~repro.engine.runner.run_specs`
+  is its two-column specialization for the Table 1 / Figure 9 reporting.
 * :mod:`repro.engine.scheduler` orders the pending specs largest-first
   (longest-processing-time heuristic) so the pool stays balanced.
 * :mod:`repro.engine.cache` persists every configuration half as one JSON
@@ -46,6 +49,10 @@ three components::
     SHA-256 over every ``*.py`` source file of the ``repro`` package, so any
     code change — a solver fix, a new metric — invalidates *all* entries.
     Results are therefore never stale; at worst the cache is cold.
+    Invalidated entries linger on disk (their keys are simply never looked
+    up again) until ``repro bench --gc`` — backed by ``ResultCache.gc`` and
+    ``ProgramStore.gc`` — deletes every file whose code-version filename
+    prefix does not match the running code.
 
 A *program store* entry holds the pickled IR of one spec under
 ``<cache dir>/programs`` and is keyed by ``(spec_hash, code_version)`` only:
@@ -73,14 +80,23 @@ precision/cost trade-off on the wide-hierarchy workload family.
 
 from repro.engine.cache import ResultCache, compute_code_version
 from repro.engine.program_store import ProgramStore
-from repro.engine.runner import ComparisonResult, run_specs
+from repro.engine.runner import (
+    ComparisonResult,
+    ConfigRunView,
+    MatrixRow,
+    run_config_matrix,
+    run_specs,
+)
 from repro.engine.scheduler import order_by_cost
 
 __all__ = [
     "ComparisonResult",
+    "ConfigRunView",
+    "MatrixRow",
     "ProgramStore",
     "ResultCache",
     "compute_code_version",
     "order_by_cost",
+    "run_config_matrix",
     "run_specs",
 ]

@@ -1,12 +1,19 @@
 """On-disk JSON cache for per-configuration analysis results.
 
 One cache entry per ``(spec, configuration, code version)`` triple — one
-*half* of a baseline-vs-SkipFlow comparison; see the package docstring
+*half* of an N-way comparison; see the package docstring
 (:mod:`repro.engine`) for the key scheme and why halves (rather than whole
 comparisons) are the cache unit.  Entries are single JSON files written
 atomically (temp file + rename), so a cache directory can be shared between
 concurrent runs and an interrupted run never leaves a corrupt entry behind —
 unreadable files are simply treated as misses.
+
+Entry filenames are prefixed with the code version
+(``<code_version>-<key>.json``).  The key already embeds the code version,
+so the prefix adds no correctness — it exists so that :meth:`ResultCache.gc`
+can identify entries written by *other* code versions from the filename
+alone and drop them (``repro bench --gc``); without it stale entries would
+accumulate forever, since a key is an opaque hash.
 """
 
 from __future__ import annotations
@@ -84,7 +91,7 @@ class ResultCache:
         return _sha256("result/" + parts)[:2 * _HASH_ABBREV]
 
     def path_for(self, key: str) -> Path:
-        return self.directory / f"{key}.json"
+        return self.directory / f"{self.code_version}-{key}.json"
 
     # ------------------------------------------------------------------ #
     # Entries
@@ -116,4 +123,24 @@ class ResultCache:
         for path in self.directory.glob("*.json"):
             path.unlink()
             removed += 1
+        return removed
+
+    def gc(self) -> int:
+        """Drop entries written by other code versions; returns files removed.
+
+        An entry's filename starts with the code version that wrote it, so
+        anything not matching this cache's version — including pre-versioning
+        flat-named entries, which can never be read again either — is stale
+        by construction and safe to delete.  The same rule reclaims ``.tmp``
+        files orphaned by crashed writers; entries and in-flight ``.tmp``
+        files of the *current* version are left alone (a concurrent run may
+        be mid-write).
+        """
+        prefix = f"{self.code_version}-"
+        removed = 0
+        for pattern in ("*.json", "*.json.tmp*"):
+            for path in self.directory.glob(pattern):
+                if not path.name.startswith(prefix):
+                    path.unlink()
+                    removed += 1
         return removed

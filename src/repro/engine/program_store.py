@@ -62,7 +62,10 @@ class ProgramStore:
         return hashlib.sha256(text.encode("utf-8")).hexdigest()[:_KEY_ABBREV]
 
     def path_for(self, spec: BenchmarkSpec) -> Path:
-        return self.directory / f"{self.key(spec)}.pickle"
+        # The code-version prefix mirrors the result cache's filename scheme:
+        # it lets gc() spot blobs from other code versions without having to
+        # unpickle anything (the key itself is an opaque hash).
+        return self.directory / f"{self.code_version}-{self.key(spec)}.pickle"
 
     # ------------------------------------------------------------------ #
     # Blobs
@@ -112,4 +115,21 @@ class ProgramStore:
         for path in self.directory.glob("*.pickle"):
             path.unlink()
             removed += 1
+        return removed
+
+    def gc(self) -> int:
+        """Drop blobs written by other code versions; returns files removed.
+
+        Mirrors :meth:`repro.engine.cache.ResultCache.gc`: blob filenames are
+        prefixed with the code version that wrote them, so mismatched (and
+        pre-versioning flat-named) blobs are stale by construction, as are
+        ``.tmp`` files orphaned by crashed writers of other versions.
+        """
+        prefix = f"{self.code_version}-"
+        removed = 0
+        for pattern in ("*.pickle", "*.pickle.tmp*"):
+            for path in self.directory.glob(pattern):
+                if not path.name.startswith(prefix):
+                    path.unlink()
+                    removed += 1
         return removed

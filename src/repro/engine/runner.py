@@ -4,18 +4,26 @@ The runner's unit of work is one *half* of a comparison: a single
 :class:`~repro.workloads.generator.BenchmarkSpec` analyzed under a single
 :class:`~repro.core.analysis.AnalysisConfig`.  A worker (possibly in another
 process) solves one half and returns a plain JSON-serializable *payload*; the
-parent composes two halves — freshly computed or loaded independently from
-the :class:`~repro.engine.cache.ResultCache` — into a
+parent composes N halves — freshly computed or loaded independently from
+the :class:`~repro.engine.cache.ResultCache` — into result rows.
+
+:func:`run_config_matrix` is the general driver: it takes a *list of named
+configurations* and produces one :class:`MatrixRow` per spec with one
+:class:`ConfigRunView` column per configuration, enabling arbitrary N-way
+comparisons (e.g. PTA vs SkipFlow vs SkipFlow+saturation).
+:func:`run_specs` is the two-column specialization that the Table 1 /
+Figure 9 drivers use; it composes the matrix columns into a
 :class:`ComparisonResult` that mirrors the read API of
 :class:`~repro.reporting.records.BenchmarkComparison`, so the existing
-Table 1 / Figure 9 formatters work on either unchanged.
+formatters work on either unchanged.
 
 Caching halves instead of whole comparisons is what makes ablation sweeps
-cheap: five ``run_specs`` calls that vary only the SkipFlow configuration
-(say, saturation thresholds 2/4/8/16/off) share one cached baseline half per
-spec, so the unsaturated baseline is analyzed exactly once.  Halves also
-double the available parallelism — the baseline and SkipFlow solves of the
-same spec run on different pool workers.
+and N-way matrices cheap: five runs that vary only the SkipFlow
+configuration (say, saturation thresholds 2/4/8/16/off) share one cached
+baseline half per spec, so the unsaturated baseline is analyzed exactly
+once, and an N-way matrix reuses every half any previous run cached.
+Halves also multiply the available parallelism — the N configuration solves
+of the same spec run on different pool workers.
 
 Workers obtain their program from the shared
 :class:`~repro.engine.program_store.ProgramStore` when one is available
@@ -46,8 +54,6 @@ from repro.workloads.generator import BenchmarkSpec, generate_benchmark
 #: from whole-comparison payloads to per-configuration halves.
 PAYLOAD_VERSION = 2
 
-#: The two sides of a comparison, in the order they are assembled.
-_SIDES = ("baseline", "skipflow")
 
 
 @dataclass(frozen=True)
@@ -252,52 +258,137 @@ def solve_config(spec: BenchmarkSpec,
 
 
 # ---------------------------------------------------------------------- #
-# The driver
+# N-way matrix rows
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ConfigRunView:
+    """One column of a matrix row: a named configuration's result for a spec."""
+
+    name: str
+    report: ReportView
+    from_cache: bool
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class MatrixRow:
+    """One benchmark's results under N named configurations.
+
+    Columns keep the order of the ``configs`` passed to
+    :func:`run_config_matrix`; by convention the first column is the
+    reference that :meth:`normalized` / :meth:`reduction_percent` compare
+    against (matching :class:`ComparisonResult`, whose reference is the
+    baseline half).
+    """
+
+    benchmark: str
+    suite: str
+    runs: Tuple[ConfigRunView, ...]
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(run.name for run in self.runs)
+
+    def run(self, name: str) -> ConfigRunView:
+        for run in self.runs:
+            if run.name == name:
+                return run
+        raise KeyError(f"no configuration {name!r} in this row; "
+                       f"available: {', '.join(self.names)}")
+
+    def report(self, name: str) -> ReportView:
+        return self.run(name).report
+
+    def metric(self, metric: str, name: str) -> float:
+        return _metric_value(self.run(name).report, metric)
+
+    def normalized(self, metric: str, name: str) -> float:
+        """A column's metric normalized to the first (reference) column."""
+        reference = _metric_value(self.runs[0].report, metric)
+        if reference == 0:
+            return 1.0
+        return self.metric(metric, name) / reference
+
+    def reduction_percent(self, metric: str, name: str) -> float:
+        return (1.0 - self.normalized(metric, name)) * 100.0
+
+    @property
+    def from_cache(self) -> bool:
+        """True only when every column was served from the cache."""
+        return all(run.from_cache for run in self.runs)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return sum(run.elapsed_seconds for run in self.runs)
+
+    def as_dict(self) -> Dict[str, Any]:
+        row: Dict[str, Any] = {"benchmark": self.benchmark, "suite": self.suite}
+        for run in self.runs:
+            for metric in METRIC_NAMES:
+                row[f"{run.name}_{metric}"] = _metric_value(run.report, metric)
+        return row
+
+
+# ---------------------------------------------------------------------- #
+# The drivers
 # ---------------------------------------------------------------------- #
 ProgressCallback = Callable[[BenchmarkSpec, ComparisonResult], None]
+MatrixProgressCallback = Callable[[BenchmarkSpec, MatrixRow], None]
 
 
-def run_specs(
+def run_config_matrix(
     specs: Sequence[BenchmarkSpec],
+    configs: Sequence[AnalysisConfig],
     *,
+    names: Optional[Sequence[str]] = None,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
-    baseline_config: Optional[AnalysisConfig] = None,
-    skipflow_config: Optional[AnalysisConfig] = None,
-    progress: Optional[ProgressCallback] = None,
+    progress: Optional[MatrixProgressCallback] = None,
     program_store: Optional[ProgramStore] = None,
-) -> List[ComparisonResult]:
-    """Run every spec under both configurations; results follow input order.
+) -> List[MatrixRow]:
+    """Run every spec under every named configuration; rows follow input order.
 
     Each (spec, configuration) half is looked up in the cache independently,
-    so a sweep that varies only one configuration reuses the other side's
-    cached halves.  The remaining halves run serially (``jobs == 1``, each
-    spec's halves adjacent so comparisons complete — and report progress —
-    incrementally) or on a process pool (baseline halves first, largest
-    specs leading, so program blobs are usually stored before the sibling
-    SkipFlow halves start).  ``progress`` is invoked once per *completed
-    comparison* (both halves available), in completion order.
+    so a matrix whose columns were already computed by earlier runs — in any
+    combination — recomputes nothing.  The remaining halves run serially
+    (``jobs == 1``, each spec's halves adjacent so rows complete — and report
+    progress — incrementally) or on a process pool (column-major, first
+    column's halves first with the largest specs leading, so program blobs
+    are usually stored before the sibling halves start).  ``progress`` is
+    invoked once per *completed row* (all columns available), in completion
+    order.
+
+    ``names`` labels the columns (defaults to each config's ``name``) and
+    must be unique — a saturation sweep over otherwise same-named SkipFlow
+    configs needs explicit labels.
 
     When ``program_store`` is omitted but a ``cache`` is given, a store is
     derived automatically under ``<cache dir>/programs`` so result entries
     and IR blobs share one directory tree (and one code version).
     """
-    baseline_config = baseline_config or AnalysisConfig.baseline_pta()
-    skipflow_config = skipflow_config or AnalysisConfig.skipflow()
-    configs = {"baseline": baseline_config, "skipflow": skipflow_config}
+    configs = list(configs)
+    if not configs:
+        raise ValueError("run_config_matrix needs at least one configuration")
+    column_names = list(names) if names is not None else [c.name for c in configs]
+    if len(column_names) != len(configs):
+        raise ValueError(f"{len(configs)} configs but {len(column_names)} names")
+    if len(set(column_names)) != len(column_names):
+        raise ValueError(f"column names must be unique, got {column_names}")
     if program_store is None and cache is not None:
         program_store = ProgramStore(cache.directory / "programs",
                                      code_version=cache.code_version)
+    sides = range(len(configs))
 
     # halves[index][side] is the payload once available; cached[index][side]
     # records whether it came from the result cache.
-    halves: List[Dict[str, Dict[str, Any]]] = [{} for _ in specs]
-    cached: List[Dict[str, bool]] = [{} for _ in specs]
-    results: List[Optional[ComparisonResult]] = [None] * len(specs)
-    pending: List[Tuple[int, str]] = []
+    halves: List[List[Optional[Dict[str, Any]]]] = [
+        [None] * len(configs) for _ in specs]
+    cached: List[List[bool]] = [[False] * len(configs) for _ in specs]
+    results: List[Optional[MatrixRow]] = [None] * len(specs)
+    pending: List[Tuple[int, int]] = []
 
     for index, spec in enumerate(specs):
-        for side in _SIDES:
+        for side in sides:
             payload = None
             if cache is not None:
                 payload = cache.get(cache.config_key(spec, configs[side]))
@@ -316,25 +407,33 @@ def run_specs(
                 halves[index][side] = payload
                 cached[index][side] = True
 
-    def finish(index: int, side: str, payload: Dict[str, Any]) -> None:
+    def _maybe_assemble(index: int) -> None:
+        if any(half is None for half in halves[index]) or results[index] is not None:
+            return
+        results[index] = MatrixRow(
+            benchmark=specs[index].name,
+            suite=specs[index].suite,
+            runs=tuple(
+                ConfigRunView(
+                    name=column_names[side],
+                    report=view_from_half(halves[index][side]),
+                    from_cache=cached[index][side],
+                    elapsed_seconds=halves[index][side]["elapsed_seconds"],
+                )
+                for side in sides
+            ),
+        )
+        if progress is not None:
+            progress(specs[index], results[index])
+
+    def finish(index: int, side: int, payload: Dict[str, Any]) -> None:
         if cache is not None:
             cache.put(cache.config_key(specs[index], configs[side]), payload)
         halves[index][side] = payload
         cached[index][side] = False
         _maybe_assemble(index)
 
-    def _maybe_assemble(index: int) -> None:
-        if len(halves[index]) < len(_SIDES) or results[index] is not None:
-            return
-        results[index] = result_from_halves(
-            halves[index]["baseline"], halves[index]["skipflow"],
-            baseline_from_cache=cached[index].get("baseline", False),
-            skipflow_from_cache=cached[index].get("skipflow", False),
-        )
-        if progress is not None:
-            progress(specs[index], results[index])
-
-    # Fully cached comparisons are assembled (and reported) first.
+    # Fully cached rows are assembled (and reported) first.
     for index in range(len(specs)):
         _maybe_assemble(index)
 
@@ -343,20 +442,21 @@ def run_specs(
         pending_indices[i] for i in order_by_cost([specs[i] for i in pending_indices]))}
     parallel = jobs > 1 and len(pending) > 1
     if parallel:
-        # All baseline halves first (expensive specs leading), then all
-        # SkipFlow halves: a spec's program then usually lands in the store
-        # before its sibling half starts.  (When workers outnumber pending
-        # baseline halves the sibling can still race on a cold store;
-        # results stay correct — generation is deterministic and blob
-        # writes atomic — the race only duplicates generation work.)
+        # Column-major: all first-column halves first (expensive specs
+        # leading), then the next column, and so on — a spec's program then
+        # usually lands in the store before its sibling halves start.  (When
+        # workers outnumber the pending first-column halves a sibling can
+        # still race on a cold store; results stay correct — generation is
+        # deterministic and blob writes atomic — the race only duplicates
+        # generation work.)
         submission_order = sorted(
-            pending, key=lambda item: (_SIDES.index(item[1]), spec_rank[item[0]]))
+            pending, key=lambda item: (item[1], spec_rank[item[0]]))
     else:
-        # Serially there is no race: keep a spec's halves adjacent (baseline
-        # first) so each comparison completes — and reports progress — before
-        # the next spec starts.
+        # Serially there is no race: keep a spec's halves adjacent (first
+        # column first) so each row completes — and reports progress —
+        # before the next spec starts.
         submission_order = sorted(
-            pending, key=lambda item: (spec_rank[item[0]], _SIDES.index(item[1])))
+            pending, key=lambda item: (spec_rank[item[0]], item[1]))
 
     if parallel:
         with ProcessPoolExecutor(max_workers=min(jobs, len(submission_order))) as pool:
@@ -377,3 +477,46 @@ def run_specs(
                                              program_store))
 
     return [result for result in results if result is not None]
+
+
+def _comparison_from_row(row: MatrixRow) -> ComparisonResult:
+    baseline, skipflow = row.runs
+    return ComparisonResult(
+        benchmark=row.benchmark,
+        suite=row.suite,
+        baseline=baseline.report,
+        skipflow=skipflow.report,
+        elapsed_seconds=baseline.elapsed_seconds + skipflow.elapsed_seconds,
+        baseline_from_cache=baseline.from_cache,
+        skipflow_from_cache=skipflow.from_cache,
+    )
+
+
+def run_specs(
+    specs: Sequence[BenchmarkSpec],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    baseline_config: Optional[AnalysisConfig] = None,
+    skipflow_config: Optional[AnalysisConfig] = None,
+    progress: Optional[ProgressCallback] = None,
+    program_store: Optional[ProgramStore] = None,
+) -> List[ComparisonResult]:
+    """Run every spec under both configurations; results follow input order.
+
+    The two-column specialization of :func:`run_config_matrix` (see there for
+    the caching, ordering, and progress semantics): the baseline config is
+    the reference column, and each row is folded into a
+    :class:`ComparisonResult` for the Table 1 / Figure 9 reporting API.
+    """
+    baseline_config = baseline_config or AnalysisConfig.baseline_pta()
+    skipflow_config = skipflow_config or AnalysisConfig.skipflow()
+    adapter: Optional[MatrixProgressCallback] = None
+    if progress is not None:
+        adapter = lambda spec, row: progress(spec, _comparison_from_row(row))  # noqa: E731
+    rows = run_config_matrix(
+        specs, [baseline_config, skipflow_config],
+        names=("baseline", "skipflow"), jobs=jobs, cache=cache,
+        progress=adapter, program_store=program_store,
+    )
+    return [_comparison_from_row(row) for row in rows]

@@ -10,7 +10,7 @@ compilation cost proportional to the live code that remains after DCE.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Union
 
 from repro.core.analysis import AnalysisConfig, SkipFlowAnalysis
 from repro.core.results import AnalysisResult
@@ -51,18 +51,38 @@ class ImageBuildReport:
         return self.binary_size_bytes / 1_000_000.0
 
 
+def _config_from_analyzer_name(name: str) -> AnalysisConfig:
+    """Resolve a registry analyzer name to its engine configuration.
+
+    Only propagation-engine analyzers qualify: the image pipeline needs the
+    solved PVPG (value states, branch records) for DCE and the size model,
+    which the call-graph baselines (CHA, RTA) never produce.
+    """
+    # Imported lazily: the registry sits above the image layer.
+    from repro.api.registry import require_config_analyzer
+
+    return require_config_analyzer(name, purpose="the image builder").config()
+
+
 class NativeImageBuilder:
-    """Builds a (simulated) native image for one program and configuration."""
+    """Builds a (simulated) native image for one program and configuration.
+
+    ``config`` accepts either an :class:`~repro.core.analysis.AnalysisConfig`
+    or the registry name of a propagation-engine analyzer (``"skipflow"``,
+    ``"pta"``, ``"predicates-only"``, ...).
+    """
 
     def __init__(
         self,
         program: Program,
-        config: Optional[AnalysisConfig] = None,
+        config: Union[AnalysisConfig, str, None] = None,
         reflection: Optional[ReflectionConfig] = None,
         size_model: Optional[BinarySizeModel] = None,
         benchmark_name: str = "program",
     ) -> None:
         self.program = program
+        if isinstance(config, str):
+            config = _config_from_analyzer_name(config)
         self.config = config or AnalysisConfig.skipflow()
         self.reflection = reflection
         self.size_model = size_model or BinarySizeModel()

@@ -10,7 +10,13 @@ from repro.reporting.saturation import (
     saturation_series,
     summarize_sweep,
 )
-from repro.reporting.table import format_table1, table1_rows
+from repro.reporting.table import (
+    format_analysis_comparison,
+    format_matrix_table,
+    format_table1,
+    matrix_table_rows,
+    table1_rows,
+)
 
 __all__ = [
     "BenchmarkComparison",
@@ -18,9 +24,12 @@ __all__ = [
     "call_graph_to_dot",
     "compare_configurations",
     "figure9_series",
+    "format_analysis_comparison",
     "format_figure9",
+    "format_matrix_table",
     "format_saturation_study",
     "format_table1",
+    "matrix_table_rows",
     "pvpg_to_dot",
     "saturation_series",
     "summarize_sweep",

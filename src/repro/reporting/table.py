@@ -1,8 +1,23 @@
-"""Rendering of Table 1: per-benchmark results for PTA and SkipFlow."""
+"""Rendering of comparison tables: Table 1 and its N-way generalizations.
+
+Three renderers live here:
+
+* :func:`format_table1` — the paper's two-configuration table (PTA row,
+  SkipFlow row with percentage deltas) over
+  :class:`~repro.reporting.records.BenchmarkComparison` records;
+* :func:`format_matrix_table` — the N-configuration generalization over
+  engine :class:`~repro.engine.runner.MatrixRow` objects (duck-typed): one
+  line per (benchmark, configuration), deltas against the first — the
+  reference — configuration;
+* :func:`format_analysis_comparison` — one program under N analyzers
+  (:class:`~repro.api.report.AnalysisReport` columns, duck-typed): metrics
+  as rows, analyzers as columns, used by ``AnalysisSession.compare`` and
+  ``repro compare``.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.reporting.records import METRIC_NAMES, BenchmarkComparison
 
@@ -57,14 +72,105 @@ def format_table1(comparisons: Sequence[BenchmarkComparison],
              row["configuration"]]
             + [row[m] for m in METRIC_NAMES]
         )
-    widths = [max(len(line[col]) for line in table) for col in range(len(headers))]
+    return _render_fixed_width(table, title)
+
+
+def _render_fixed_width(table: List[List[str]], title: str) -> str:
+    """Left-justified fixed-width rendering with a rule under the header."""
+    widths = [max(len(line[col]) for line in table)
+              for col in range(len(table[0]))]
     lines = [title, ""]
     for line_index, line in enumerate(table):
-        rendered = "  ".join(cell.ljust(widths[col]) for col, cell in enumerate(line))
+        rendered = "  ".join(cell.ljust(widths[col])
+                             for col, cell in enumerate(line))
         lines.append(rendered.rstrip())
         if line_index == 0:
             lines.append("-" * len(rendered))
     return "\n".join(lines)
+
+
+def matrix_table_rows(results: Sequence) -> List[Dict[str, str]]:
+    """Structured rows for N-way engine results (one row per configuration).
+
+    ``results`` are :class:`~repro.engine.runner.MatrixRow`-shaped objects
+    (``benchmark``, ``suite``, ``names``, ``metric``, ``reduction_percent``).
+    The first configuration is the reference: its rows carry plain values,
+    every other configuration's rows carry values with percentage deltas
+    against it, mirroring the PTA/SkipFlow layout of Table 1.
+    """
+    rows: List[Dict[str, str]] = []
+    for result in results:
+        reference = result.names[0]
+        for name in result.names:
+            row = {"suite": result.suite, "benchmark": result.benchmark,
+                   "configuration": name}
+            for metric in METRIC_NAMES:
+                value = _format_value(metric, result.metric(metric, name))
+                if name == reference:
+                    row[metric] = value
+                else:
+                    delta = -result.reduction_percent(metric, name)
+                    row[metric] = f"{value} ({delta:+.1f}%)"
+            rows.append(row)
+    return rows
+
+
+def format_matrix_table(results: Sequence,
+                        title: str = "N-way comparison") -> str:
+    """Render N-way engine results as a fixed-width text table."""
+    rows = matrix_table_rows(results)
+    headers = ["Benchmark", "Config"] + [_COLUMN_TITLES[m] for m in METRIC_NAMES]
+    table: List[List[str]] = [headers]
+    previous_benchmark = None
+    for row in rows:
+        benchmark = row["benchmark"] if row["benchmark"] != previous_benchmark else ""
+        previous_benchmark = row["benchmark"]
+        table.append([benchmark, row["configuration"]]
+                     + [row[m] for m in METRIC_NAMES])
+    return _render_fixed_width(table, title)
+
+
+#: The rows of an analyzer-comparison table: (label, extractor) pairs over
+#: :class:`~repro.api.report.AnalysisReport`-shaped objects.  ``None``
+#: values (metrics an algorithm cannot produce) render as ``n/a``.
+_REPORT_ROWS = (
+    ("reachable methods", lambda r: r.reachable_method_count),
+    ("call edges", lambda r: r.call_edge_count),
+    ("stub methods", lambda r: len(r.stub_methods)),
+    ("poly calls", lambda r: r.poly_calls),
+    ("solver steps", lambda r: r.solver_steps),
+    ("analysis time [ms]", lambda r: f"{r.analysis_time_seconds * 1000:.1f}"),
+)
+
+
+def format_analysis_comparison(reports: Sequence,
+                               title: Optional[str] = None) -> str:
+    """Render N analyzer reports over one program, analyzers as columns.
+
+    The first report is the reference: the reachable-methods row annotates
+    every other column with its delta against it, which makes precision
+    ladders (``cha → rta → pta → skipflow``) read directly off the table.
+    """
+    reports = list(reports)
+    if not reports:
+        raise ValueError("format_analysis_comparison needs at least one report")
+    headers = ["Metric"] + [report.analyzer for report in reports]
+    table: List[List[str]] = [headers]
+    reference = reports[0].reachable_method_count
+    for label, extract in _REPORT_ROWS:
+        cells = [label]
+        for report in reports:
+            value = extract(report)
+            if value is None:
+                cells.append("n/a")
+                continue
+            text = str(value)
+            if label == "reachable methods" and report is not reports[0] and reference:
+                delta = (value / reference - 1.0) * 100.0
+                text = f"{text} ({delta:+.1f}%)"
+            cells.append(text)
+        table.append(cells)
+    return _render_fixed_width(table, title or "Analysis comparison")
 
 
 def summarize_reductions(comparisons: Sequence[BenchmarkComparison]) -> Dict[str, float]:

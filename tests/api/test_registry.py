@@ -1,0 +1,165 @@
+"""The analyzer registry: discovery, lookup, aliases, and registration."""
+
+import pytest
+
+from repro.api import (
+    AnalysisReport,
+    Analyzer,
+    CallGraphAnalyzer,
+    ConfigAnalyzer,
+    available_analyzers,
+    config_backed_analyzers,
+    get_analyzer,
+    register_analyzer,
+    unregister_analyzer,
+)
+from repro.core.analysis import AnalysisConfig
+
+
+class TestDiscovery:
+    def test_available_analyzers_is_the_precision_ladder(self):
+        names = available_analyzers()
+        assert names == ("cha", "rta", "pta", "predicates-only",
+                         "primitives-only", "skipflow")
+
+    def test_config_backed_analyzers_excludes_call_graph_baselines(self):
+        names = config_backed_analyzers()
+        assert "cha" not in names and "rta" not in names
+        assert {"pta", "skipflow", "predicates-only",
+                "primitives-only"} == set(names)
+
+    def test_every_builtin_satisfies_the_protocol(self):
+        for name in available_analyzers():
+            analyzer = get_analyzer(name)
+            assert isinstance(analyzer, Analyzer)
+            assert analyzer.name == name
+            assert analyzer.description
+
+
+class TestLookup:
+    def test_lookup_is_case_insensitive(self):
+        assert get_analyzer("SkipFlow") is get_analyzer("skipflow")
+        assert get_analyzer("CHA") is get_analyzer("cha")
+
+    def test_aliases_resolve_to_canonical_analyzers(self):
+        assert get_analyzer("baseline") is get_analyzer("pta")
+        assert get_analyzer("skipflow-predicates-only") is get_analyzer(
+            "predicates-only")
+        assert get_analyzer("skipflow-primitives-only") is get_analyzer(
+            "primitives-only")
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="cha, rta, pta"):
+            get_analyzer("points-to-2000")
+
+    def test_unknown_name_is_also_a_value_error_without_quoting(self):
+        """CLI-friendly: catchable as ValueError, str() is the plain message."""
+        from repro.api import UnknownAnalyzerError
+
+        with pytest.raises(ValueError):
+            get_analyzer("points-to-2000")
+        try:
+            get_analyzer("points-to-2000")
+        except UnknownAnalyzerError as error:
+            assert str(error).startswith("unknown analysis")
+
+    def test_require_config_analyzer_guards_call_graph_baselines(self):
+        from repro.api import require_config_analyzer
+
+        assert require_config_analyzer("skipflow") is get_analyzer("skipflow")
+        with pytest.raises(ValueError, match="call graph only"):
+            require_config_analyzer("cha", purpose="the image builder")
+
+
+class TestRegistration:
+    def test_register_and_unregister_custom_analyzer(self):
+        custom = ConfigAnalyzer(
+            name="skipflow-sat8",
+            description="SkipFlow with an 8-type saturation cutoff",
+            config_factory=lambda: AnalysisConfig.skipflow()
+            .with_saturation_threshold(8),
+            precision_rank=35,
+        )
+        register_analyzer(custom, aliases=("sat8",))
+        try:
+            assert get_analyzer("sat8") is custom
+            assert "skipflow-sat8" in available_analyzers()
+            assert custom.config().saturation_threshold == 8
+        finally:
+            unregister_analyzer("skipflow-sat8")
+        assert "skipflow-sat8" not in available_analyzers()
+        with pytest.raises(KeyError):
+            get_analyzer("sat8")
+
+    def test_duplicate_name_rejected_without_replace(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_analyzer(CallGraphAnalyzer(
+                name="cha", description="imposter", algorithm=None))
+
+    def test_replace_overrides_and_restores(self):
+        original = get_analyzer("cha")
+        replacement = CallGraphAnalyzer(
+            name="cha", description="replacement",
+            algorithm=original.algorithm)
+        register_analyzer(replacement, replace=True)
+        try:
+            assert get_analyzer("cha") is replacement
+        finally:
+            register_analyzer(original, replace=True)
+        assert get_analyzer("cha") is original
+
+    def test_replace_under_an_alias_clears_the_stale_alias(self):
+        """Replacing an analyzer whose name was another's alias must make the
+        replacement reachable under that name (not the old alias target)."""
+        pta = get_analyzer("pta")
+        usurper = ConfigAnalyzer(
+            name="baseline", description="claims the pta alias",
+            config_factory=pta.config_factory, precision_rank=21)
+        register_analyzer(usurper, replace=True)
+        try:
+            assert get_analyzer("baseline") is usurper
+            assert get_analyzer("pta") is pta
+            assert "baseline" in available_analyzers()
+        finally:
+            unregister_analyzer("baseline")
+            register_analyzer(pta, aliases=("baseline",), replace=True)
+        assert get_analyzer("baseline") is pta
+        assert "baseline" not in available_analyzers()
+
+
+class TestAnalyzerOptions:
+    def test_config_analyzer_threads_saturation_through(self):
+        config = get_analyzer("pta").config(saturation_threshold=16)
+        assert config.saturation_threshold == 16
+        assert config.name == "PTA"
+
+    def test_default_configs_match_the_canonical_factories(self):
+        assert get_analyzer("skipflow").config() == AnalysisConfig.skipflow()
+        assert get_analyzer("pta").config() == AnalysisConfig.baseline_pta()
+        assert (get_analyzer("predicates-only").config()
+                == AnalysisConfig.predicates_only())
+        assert (get_analyzer("primitives-only").config()
+                == AnalysisConfig.primitives_only())
+
+    def test_call_graph_analyzer_rejects_saturation(self, tiny_program):
+        with pytest.raises(ValueError, match="saturation_threshold"):
+            get_analyzer("cha").analyze(tiny_program, ["Main.main"],
+                                        saturation_threshold=4)
+
+
+@pytest.fixture
+def tiny_program():
+    from repro.lang import compile_source
+
+    return compile_source("""
+class Main {
+    static void main() { }
+}
+""")
+
+
+def test_analyze_returns_report(tiny_program):
+    report = get_analyzer("skipflow").analyze(tiny_program, ["Main.main"])
+    assert isinstance(report, AnalysisReport)
+    assert report.analyzer == "skipflow"
+    assert report.is_method_reachable("Main.main")

@@ -176,3 +176,31 @@ def test_every_canonical_config_identical_over_stored_ir(tmp_path, config_name):
     from_fresh = SkipFlowAnalysis(generate_benchmark(_spec()), config).run()
     assert from_store.reachable_methods == from_fresh.reachable_methods
     assert from_store.steps == from_fresh.steps
+
+
+class TestGc:
+    def test_gc_drops_other_versions_and_keeps_current(self, tmp_path):
+        current = ProgramStore(tmp_path, code_version="aaaa")
+        current.load_or_build(_spec())
+        stale = ProgramStore(tmp_path, code_version="bbbb")
+        stale.load_or_build(_spec())
+        # Pre-versioning flat-named blobs are unidentifiable, hence stale.
+        (tmp_path / "deadbeef.pickle").write_bytes(b"x")
+
+        assert current.gc() == 2
+        assert current.contains(_spec())
+        assert not stale.contains(_spec())
+
+    def test_blob_filenames_carry_the_code_version(self, tmp_path):
+        store = ProgramStore(tmp_path, code_version="cafe")
+        assert store.path_for(_spec()).name.startswith("cafe-")
+
+    def test_gc_reclaims_orphaned_tmp_files_of_other_versions(self, tmp_path):
+        store = ProgramStore(tmp_path, code_version="aaaa")
+        stale_tmp = tmp_path / "bbbb-22.pickle.tmp999"
+        stale_tmp.write_bytes(b"x")
+        live_tmp = tmp_path / "aaaa-33.pickle.tmp999"
+        live_tmp.write_bytes(b"x")
+        assert store.gc() == 1
+        assert not stale_tmp.exists()
+        assert live_tmp.exists()

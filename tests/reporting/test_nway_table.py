@@ -1,0 +1,57 @@
+"""The N-column analyzer-comparison table renderer."""
+
+import pytest
+
+from repro.api.report import AnalysisReport
+from repro.core.results import SolverStats
+from repro.reporting.table import format_analysis_comparison
+
+
+def _report(analyzer, reachable, edges=5, poly=None, stats=None):
+    return AnalysisReport(
+        analyzer=analyzer,
+        reachable_methods=frozenset(f"C.m{i}" for i in range(reachable)),
+        stub_methods=frozenset(),
+        call_edges=tuple((f"C.m{i}", f"C.m{i + 1}") for i in range(edges)),
+        analysis_time_seconds=0.001,
+        poly_calls=poly,
+        solver_stats=stats,
+    )
+
+
+class TestFormatAnalysisComparison:
+    def test_columns_follow_report_order(self):
+        table = format_analysis_comparison(
+            [_report("cha", 10), _report("pta", 8, poly=2,
+                                         stats=SolverStats(steps=7))])
+        header = table.splitlines()[2]
+        assert header.index("cha") < header.index("pta")
+
+    def test_reference_deltas_on_reachable_methods(self):
+        table = format_analysis_comparison(
+            [_report("cha", 10), _report("skipflow", 5, poly=0,
+                                         stats=SolverStats(steps=3))])
+        reachable_line = next(line for line in table.splitlines()
+                              if line.startswith("reachable methods"))
+        assert "(-50.0%)" in reachable_line
+        # The reference column itself carries no delta.
+        assert reachable_line.count("%") == 1
+
+    def test_unavailable_metrics_render_as_na(self):
+        table = format_analysis_comparison([_report("rta", 4)])
+        poly_line = next(line for line in table.splitlines()
+                         if line.startswith("poly calls"))
+        steps_line = next(line for line in table.splitlines()
+                          if line.startswith("solver steps"))
+        assert "n/a" in poly_line and "n/a" in steps_line
+
+    def test_title_defaults_and_overrides(self):
+        reports = [_report("cha", 3), _report("rta", 3)]
+        assert format_analysis_comparison(reports).startswith(
+            "Analysis comparison")
+        assert format_analysis_comparison(
+            reports, title="Ladder").startswith("Ladder")
+
+    def test_empty_reports_rejected(self):
+        with pytest.raises(ValueError):
+            format_analysis_comparison([])
