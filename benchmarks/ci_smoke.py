@@ -6,11 +6,16 @@ asserts that every result is served from the cache — two hits per spec, one
 per configuration half — with identical numbers.  A third run under a
 different SkipFlow configuration must reuse the cached baseline halves and
 the program-store IR blobs while recomputing only the SkipFlow side.
-Finally a 3-way matrix (pta, skipflow, skipflow+saturation) over the same
-specs must be assembled *entirely* from the halves those earlier runs
-cached — every shared half solved exactly once across the whole session —
-with numbers identical to the pairwise runs.  Exits non-zero (with a
-message) on any violation, so it can gate CI::
+A 3-way matrix (pta, skipflow, skipflow+saturation) over the same specs
+must be assembled *entirely* from the halves those earlier runs cached —
+every shared half solved exactly once across the whole session — with
+numbers identical to the pairwise runs.  Finally a solver-kernel *policy
+matrix* (fifo/lifo/degree scheduling × off/declared-type saturation) checks
+the policy-aware cache keying: every policy half is keyed distinctly, the
+``fifo``/``off`` column is served from the halves the first run cached (it
+*is* the default SkipFlow config), a repeat run hits every policy half, and
+all policies agree on the fixed point.  Exits non-zero (with a message) on
+any violation, so it can gate CI::
 
     python benchmarks/ci_smoke.py --jobs 2 --cache-dir .bench-cache
 """
@@ -27,6 +32,24 @@ from repro.workloads.generator import spec_from_reduction
 
 #: Configuration halves per comparison (baseline + SkipFlow).
 HALVES = 2
+
+#: The solver-kernel policy grid of the policy-matrix phase.  The threshold
+#: is far above any type-set width the smoke specs produce, so saturation
+#: never fires and every column must land on the identical fixed point.
+POLICY_SCHEDULINGS = ("fifo", "lifo", "degree")
+POLICY_SATURATIONS = (("off", None), ("declared-type", 64))
+
+
+def _policy_grid():
+    """(label, config) pairs; ``fifo/off`` is the default SkipFlow config."""
+    grid = []
+    for saturation, threshold in POLICY_SATURATIONS:
+        for scheduling in POLICY_SCHEDULINGS:
+            config = AnalysisConfig.skipflow().with_scheduling(scheduling)
+            if threshold is not None:
+                config = config.with_saturation_policy(saturation, threshold)
+            grid.append((f"{scheduling}/{saturation}", config))
+    return grid
 
 
 def _smoke_specs():
@@ -77,6 +100,31 @@ def main(argv=None) -> int:
              ablation_config],
             names=("pta", "skipflow", "skipflow-sat"),
             jobs=args.jobs, cache=matrix_cache)
+
+        # Policy matrix: 3 schedulings x 2 saturation policies.  Drop any
+        # pre-existing non-default policy entries (reused --cache-dir) so
+        # the hit/miss assertions below are deterministic; the fifo/off
+        # column is the default SkipFlow config and *must* stay cached.
+        policy_grid = _policy_grid()
+        policy_cache = ResultCache(cache_dir)
+        for spec in specs:
+            for label, config in policy_grid:
+                if label == "fifo/off":
+                    continue
+                stale = policy_cache.path_for(
+                    policy_cache.config_key(spec, config))
+                if stale.exists():
+                    stale.unlink()
+        policy_matrix = run_config_matrix(
+            specs, [config for _, config in policy_grid],
+            names=[label for label, _ in policy_grid],
+            jobs=args.jobs, cache=policy_cache)
+
+        policy_rerun_cache = ResultCache(cache_dir)
+        policy_rerun = run_config_matrix(
+            specs, [config for _, config in policy_grid],
+            names=[label for label, _ in policy_grid],
+            jobs=args.jobs, cache=policy_rerun_cache)
 
     failures = []
     expected_hits = HALVES * len(specs)
@@ -134,6 +182,55 @@ def main(argv=None) -> int:
                     f"{row.benchmark}: matrix column {column!r} differs from "
                     f"the pairwise result")
 
+    # Policy matrix: every (scheduling, saturation) half is keyed
+    # distinctly, the default fifo/off column reuses the halves the first
+    # run cached, and only the five non-default policies solve.
+    grid_size = len(policy_grid)
+    for spec in specs:
+        keys = {policy_cache.config_key(spec, config)
+                for _, config in policy_grid}
+        if len(keys) != grid_size:
+            failures.append(
+                f"{spec.name}: expected {grid_size} distinct policy cache "
+                f"keys, got {len(keys)}")
+    expected_policy_misses = (grid_size - 1) * len(specs)
+    if (policy_cache.hits != len(specs)
+            or policy_cache.misses != expected_policy_misses):
+        failures.append(
+            f"expected the policy matrix to hit {len(specs)} fifo/off halves "
+            f"and miss {expected_policy_misses} policy halves, got "
+            f"{policy_cache.hits} hits / {policy_cache.misses} misses")
+    expected_policy_hits = grid_size * len(specs)
+    if (policy_rerun_cache.hits != expected_policy_hits
+            or policy_rerun_cache.misses != 0):
+        failures.append(
+            f"expected the policy re-run to hit all {expected_policy_hits} "
+            f"policy halves, got {policy_rerun_cache.hits} hits / "
+            f"{policy_rerun_cache.misses} misses")
+    for row, rerun_row in zip(policy_matrix, policy_rerun):
+        if not row.run("fifo/off").from_cache:
+            failures.append(
+                f"{row.benchmark}: policy matrix re-solved the default "
+                f"fifo/off half")
+        reachable = {run.report.metrics.reachable_methods for run in row.runs}
+        if len(reachable) != 1:
+            failures.append(
+                f"{row.benchmark}: policies disagree on the fixed point "
+                f"(reachable methods {sorted(reachable)})")
+        for scheduling in POLICY_SCHEDULINGS:
+            # The threshold never fires on the smoke specs, so each
+            # scheduling's off and declared-type columns are bit-identical.
+            off = row.report(f"{scheduling}/off")
+            sat = row.report(f"{scheduling}/declared-type")
+            if (off.solver_steps != sat.solver_steps
+                    or off.metrics != sat.metrics):
+                failures.append(
+                    f"{row.benchmark}: {scheduling} off vs declared-type "
+                    f"columns differ although saturation never fired")
+        if row.as_dict() != rerun_row.as_dict():
+            failures.append(
+                f"{row.benchmark}: cached policy result differs from computed")
+
     if failures:
         for failure in failures:
             print(f"SMOKE FAIL: {failure}", file=sys.stderr)
@@ -141,7 +238,9 @@ def main(argv=None) -> int:
     print(f"smoke ok: {len(specs)} specs, jobs={args.jobs}, "
           f"second run {second_cache.hits}/{expected_hits} half hits, "
           f"ablation reused {ablation_cache.hits} baseline halves, "
-          f"3-way matrix reused {matrix_cache.hits}/{expected_matrix_hits} halves")
+          f"3-way matrix reused {matrix_cache.hits}/{expected_matrix_hits} halves, "
+          f"policy matrix {grid_size}x{len(specs)} keyed distinctly "
+          f"(re-run {policy_rerun_cache.hits}/{expected_policy_hits} hits)")
     return 0
 
 

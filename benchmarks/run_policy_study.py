@@ -1,0 +1,181 @@
+"""Standalone runner: the solver-kernel policy study on the wide-hierarchy suite.
+
+Usage::
+
+    python benchmarks/run_policy_study.py [--schedulings fifo,lifo,degree,rpo]
+                                          [--saturations off,closed-world,declared-type]
+                                          [--threshold 16]
+                                          [--benchmark composed-duo-112]
+                                          [--jobs 4] [--cache-dir .bench-cache]
+                                          [--output policy_study.txt] [--quick]
+
+For every benchmark of the ``WideHierarchy`` suite — the five single-tree
+wide specs plus the composed multi-hierarchy specs — the script runs the
+SkipFlow configuration under every requested scheduling×saturation
+combination through the benchmark engine and prints one table per benchmark
+(:mod:`repro.reporting.policy`): solver steps/joins/wall-time deltas against
+the bit-identical ``fifo``/``off`` reference, plus the reachable-method
+precision loss each saturation sentinel costs.
+
+Two questions the study answers directly:
+
+* **scheduling** — which worklist order reaches the (identical) fixed point
+  cheapest on megamorphic workloads;
+* **saturation** — whether the ``declared-type`` sentinel keeps the
+  reachable-set re-inflation (and the solver-steps *increase* the
+  closed-world sentinel shows on this suite) smaller than ``closed-world``.
+
+Every combination is one engine configuration, so each (spec, policy) half
+is cached independently under ``--cache-dir`` and the whole grid reuses any
+halves earlier runs (or the saturation study) already computed.  ``--quick``
+shrinks the grid to a CI-sized smoke (two cheap specs, fifo/lifo/degree ×
+off/declared-type).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.core.analysis import AnalysisConfig
+from repro.core.kernel import (
+    SolverPolicy,
+    available_saturation_policies,
+    available_scheduling_policies,
+)
+from repro.engine import ResultCache, run_config_matrix
+from repro.engine.scheduler import estimated_cost
+from repro.reporting.policy import (
+    format_policy_study,
+    policy_points,
+    summarize_policy_sweep,
+)
+from repro.workloads.suites import wide_hierarchy_suite
+
+DEFAULT_SCHEDULINGS = ("fifo", "lifo", "degree", "rpo")
+DEFAULT_SATURATIONS = ("off", "closed-world", "declared-type")
+DEFAULT_THRESHOLD = 16
+
+QUICK_SCHEDULINGS = ("fifo", "lifo", "degree")
+QUICK_SATURATIONS = ("off", "declared-type")
+QUICK_SPECS = 2
+
+
+def _parse_names(text: str, kind: str, available) -> List[str]:
+    names = [part.strip() for part in text.split(",") if part.strip()]
+    if not names:
+        raise ValueError(f"no {kind} policies given")
+    for name in names:
+        if name not in available:
+            raise ValueError(f"unknown {kind} policy {name!r}; available: "
+                             f"{', '.join(available)}")
+    return names
+
+
+def build_policies(schedulings: List[str], saturations: List[str],
+                   threshold: int) -> List[SolverPolicy]:
+    """The policy grid, ``fifo``/``off`` (the reference) always first."""
+    policies = []
+    for saturation in saturations:
+        for scheduling in schedulings:
+            policies.append(SolverPolicy(
+                scheduling=scheduling, saturation=saturation,
+                saturation_threshold=None if saturation == "off" else threshold))
+    reference = SolverPolicy()
+    if reference in policies:
+        policies.remove(reference)
+    policies.insert(0, reference)
+    return policies
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--schedulings", type=str, default=None,
+                        help="comma-separated worklist policies "
+                             f"(default: {','.join(DEFAULT_SCHEDULINGS)})")
+    parser.add_argument("--saturations", type=str, default=None,
+                        help="comma-separated saturation policies "
+                             f"(default: {','.join(DEFAULT_SATURATIONS)})")
+    parser.add_argument("--threshold", type=int, default=DEFAULT_THRESHOLD,
+                        help="saturation threshold for the non-off policies "
+                             f"(default: {DEFAULT_THRESHOLD})")
+    parser.add_argument("--benchmark", type=str, default=None,
+                        help="restrict to one wide-hierarchy benchmark")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the benchmark engine")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="directory for the on-disk result cache")
+    parser.add_argument("--output", type=str, default=None,
+                        help="also write the tables to this file")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized grid: the two cheapest specs, "
+                             f"{'/'.join(QUICK_SCHEDULINGS)} x "
+                             f"{'/'.join(QUICK_SATURATIONS)}")
+    args = parser.parse_args(argv)
+
+    try:
+        schedulings = _parse_names(
+            args.schedulings or ",".join(
+                QUICK_SCHEDULINGS if args.quick else DEFAULT_SCHEDULINGS),
+            "scheduling", available_scheduling_policies())
+        saturations = _parse_names(
+            args.saturations or ",".join(
+                QUICK_SATURATIONS if args.quick else DEFAULT_SATURATIONS),
+            "saturation", available_saturation_policies())
+        if args.threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {args.threshold}")
+    except ValueError as error:
+        print(f"run_policy_study: {error}", file=sys.stderr)
+        return 2
+
+    specs = wide_hierarchy_suite()
+    if args.benchmark:
+        specs = [spec for spec in specs if spec.name == args.benchmark]
+        if not specs:
+            names = ", ".join(spec.name for spec in wide_hierarchy_suite())
+            print(f"run_policy_study: unknown benchmark {args.benchmark!r}; "
+                  f"expected one of: {names}", file=sys.stderr)
+            return 2
+    elif args.quick:
+        specs = sorted(specs, key=estimated_cost)[:QUICK_SPECS]
+
+    policies = build_policies(schedulings, saturations, args.threshold)
+    configs = [AnalysisConfig.skipflow().with_policy(policy)
+               for policy in policies]
+    labels = [policy.label for policy in policies]
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    print(f"policy grid: {len(policies)} combinations x {len(specs)} "
+          f"benchmarks (threshold {args.threshold})...", file=sys.stderr)
+    rows = run_config_matrix(specs, configs, names=labels,
+                             jobs=max(args.jobs, 1), cache=cache)
+
+    sections: List[str] = []
+    for spec, row in zip(specs, rows):
+        points = policy_points(row)
+        section = format_policy_study(spec.name, points)
+        summary = summarize_policy_sweep(points)
+        losses = ", ".join(
+            f"{saturation}: {loss:+.1f}%" for saturation, loss in
+            summary["reachable_loss_percent_by_saturation"].items())
+        section += (
+            f"\n\ncheapest: {summary['cheapest_label']} "
+            f"({summary['cheapest_steps_delta_percent']:+.1f}% steps); "
+            f"reachable loss by sentinel: {losses}\n"
+        )
+        sections.append(section)
+        print(section)
+
+    if cache is not None:
+        print(f"cache: {cache.hits} hits, {cache.misses} misses "
+              f"({cache.directory})", file=sys.stderr)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write("\n\n".join(sections))
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

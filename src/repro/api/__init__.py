@@ -45,6 +45,11 @@ from repro.api.session import (
     SessionComparison,
     resolve_roots,
 )
+from repro.core.kernel import (
+    SolverPolicy,
+    available_saturation_policies,
+    available_scheduling_policies,
+)
 
 __all__ = [
     "AnalysisReport",
@@ -55,8 +60,11 @@ __all__ = [
     "ConfigAnalyzer",
     "NoEntryPointError",
     "SessionComparison",
+    "SolverPolicy",
     "UnknownAnalyzerError",
     "available_analyzers",
+    "available_saturation_policies",
+    "available_scheduling_policies",
     "config_backed_analyzers",
     "get_analyzer",
     "has_engine_config",

@@ -39,6 +39,7 @@ from repro.api.report import AnalysisReport
 from repro.baselines.cha import ClassHierarchyAnalysis
 from repro.baselines.rta import RapidTypeAnalysis
 from repro.core.analysis import AnalysisConfig, SkipFlowAnalysis
+from repro.core.kernel.policy import SolverPolicy
 from repro.ir.program import Program
 
 
@@ -59,8 +60,12 @@ class Analyzer(Protocol):
 class ConfigAnalyzer:
     """An analyzer backed by the propagation engine and one configuration.
 
-    ``options`` accepted by :meth:`analyze`: ``saturation_threshold`` (the
-    megamorphic-flow cutoff; ``None`` keeps the exact paper semantics).
+    ``options`` accepted by :meth:`analyze`: the solver-kernel knobs — either
+    a bundled ``policy`` (:class:`~repro.core.kernel.policy.SolverPolicy`)
+    *or* the individual ``saturation_threshold`` (the megamorphic-flow
+    cutoff; ``None`` keeps the exact paper semantics), ``saturation_policy``
+    (the sentinel a saturated flow collapses to), and ``scheduling`` (the
+    worklist order) — but not both forms at once.
     """
 
     name: str
@@ -70,19 +75,38 @@ class ConfigAnalyzer:
 
     #: Keyword options ``analyze`` understands; ``AnalysisSession.compare``
     #: uses this to route an option only to the analyzers that support it.
-    supported_options = frozenset({"saturation_threshold"})
+    supported_options = frozenset(
+        {"saturation_threshold", "saturation_policy", "scheduling", "policy"})
 
-    def config(self, saturation_threshold: Optional[int] = None) -> AnalysisConfig:
-        """The analyzer's engine configuration (optionally saturated)."""
+    def config(self, saturation_threshold: Optional[int] = None,
+               saturation_policy: Optional[str] = None,
+               scheduling: Optional[str] = None,
+               policy: Optional[SolverPolicy] = None) -> AnalysisConfig:
+        """The analyzer's engine configuration under the requested kernel knobs."""
         config = self.config_factory()
+        if policy is not None:
+            if (saturation_threshold is not None or saturation_policy is not None
+                    or scheduling is not None):
+                raise ValueError(
+                    "pass either a bundled policy or the individual "
+                    "scheduling/saturation knobs, not both")
+            return config.with_policy(policy)
         if saturation_threshold is not None:
             config = config.with_saturation_threshold(saturation_threshold)
+        if saturation_policy is not None:
+            config = config.with_saturation_policy(saturation_policy)
+        if scheduling is not None:
+            config = config.with_scheduling(scheduling)
         return config
 
     def analyze(self, program: Program,
                 roots: Optional[Iterable[str]] = None,
-                *, saturation_threshold: Optional[int] = None) -> AnalysisReport:
-        config = self.config(saturation_threshold)
+                *, saturation_threshold: Optional[int] = None,
+                saturation_policy: Optional[str] = None,
+                scheduling: Optional[str] = None,
+                policy: Optional[SolverPolicy] = None) -> AnalysisReport:
+        config = self.config(saturation_threshold, saturation_policy,
+                             scheduling, policy)
         result = SkipFlowAnalysis(program, config).run(roots)
         return AnalysisReport.from_analysis_result(result, analyzer=self.name)
 
@@ -101,11 +125,21 @@ class CallGraphAnalyzer:
 
     def analyze(self, program: Program,
                 roots: Optional[Iterable[str]] = None,
-                *, saturation_threshold: Optional[int] = None) -> AnalysisReport:
-        if saturation_threshold is not None:
+                *, saturation_threshold: Optional[int] = None,
+                saturation_policy: Optional[str] = None,
+                scheduling: Optional[str] = None,
+                policy: Optional[SolverPolicy] = None) -> AnalysisReport:
+        rejected = next(
+            (label for label, value in (
+                ("saturation_threshold", saturation_threshold),
+                ("saturation_policy", saturation_policy),
+                ("scheduling", scheduling),
+                ("policy", policy))
+             if value is not None), None)
+        if rejected is not None:
             raise ValueError(
                 f"the {self.name!r} analyzer has no propagation engine and "
-                f"does not support saturation_threshold")
+                f"does not support {rejected}")
         started = time.perf_counter()
         result = self.algorithm(program).run(roots)
         elapsed = time.perf_counter() - started

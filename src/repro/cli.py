@@ -4,6 +4,9 @@ Usage::
 
     python -m repro analyze app.java --analysis skipflow --entry Main.main
     python -m repro analyze app.java --compare               # PTA vs SkipFlow
+    python -m repro analyze app.java --scheduling degree \
+                                     --saturation-policy declared-type \
+                                     --saturation-threshold 16
     python -m repro compare app.java cha rta pta skipflow    # N-way ladder
     python -m repro callgraph app.java --output graph.dot
     python -m repro pvpg app.java --method Scene.render
@@ -27,6 +30,8 @@ from repro.api import (
     AnalysisSession,
     NoEntryPointError,
     available_analyzers,
+    available_saturation_policies,
+    available_scheduling_policies,
     config_backed_analyzers,
     get_analyzer,
     has_engine_config,
@@ -61,12 +66,23 @@ def _selected_analysis(args) -> str:
     return args.analysis or args.config or "skipflow"
 
 
+def _policy_options(args) -> dict:
+    """The solver-kernel options of the shared CLI flags (set flags only)."""
+    options = {}
+    if args.saturation_threshold is not None:
+        options["saturation_threshold"] = args.saturation_threshold
+    if args.saturation_policy is not None:
+        options["saturation_policy"] = args.saturation_policy
+    if args.scheduling is not None:
+        options["scheduling"] = args.scheduling
+    return options
+
+
 def _engine_result(session: AnalysisSession, args, purpose: str):
     """Run the selected config-backed analysis; returns the AnalysisResult."""
     name = _selected_analysis(args)
     require_config_analyzer(name, purpose=purpose)
-    report = session.run(name,
-                         saturation_threshold=args.saturation_threshold)
+    report = session.run(name, **_policy_options(args))
     return report.raw
 
 
@@ -104,10 +120,10 @@ def _print_build_report(session: AnalysisSession, config: AnalysisConfig,
 
 def _print_call_graph_report(session: AnalysisSession, name: str,
                              args) -> None:
-    # Passing the threshold through (even for CHA/RTA) means an unsupported
-    # sweep errors out loudly instead of printing unchanged numbers.
-    report = session.run(name,
-                         saturation_threshold=args.saturation_threshold)
+    # Passing set kernel flags through (even for CHA/RTA) means an
+    # unsupported sweep errors out loudly instead of printing unchanged
+    # numbers.
+    report = session.run(name, **_policy_options(args))
     print(f"[{report.analyzer}]")
     print(f"  reachable methods:  {report.reachable_method_count}")
     print(f"  call edges:         {report.call_edge_count}")
@@ -123,11 +139,10 @@ def _print_call_graph_report(session: AnalysisSession, name: str,
 def _cmd_analyze(args) -> int:
     session = _load_session(args)
     if args.compare:
-        configs = [AnalysisConfig.baseline_pta(), AnalysisConfig.skipflow()]
-        if args.saturation_threshold is not None:
-            configs = [c.with_saturation_threshold(args.saturation_threshold)
-                       for c in configs]
-        for config in configs:
+        # ConfigAnalyzer.config is the one place that applies kernel knobs
+        # to an engine configuration; the CLI only collects the flags.
+        for name in ("pta", "skipflow"):
+            config = get_analyzer(name).config(**_policy_options(args))
             _print_build_report(session, config, args)
         return 0
     name = _selected_analysis(args)
@@ -140,19 +155,16 @@ def _cmd_analyze(args) -> int:
                 f"{', '.join(config_backed_analyzers())}")
         _print_call_graph_report(session, name, args)
         return 0
-    config = analyzer.config(saturation_threshold=args.saturation_threshold)
+    config = analyzer.config(**_policy_options(args))
     _print_build_report(session, config, args)
     return 0
 
 
 def _cmd_compare(args) -> int:
     session = _load_session(args)
-    options = {}
-    if args.saturation_threshold is not None:
-        # Routed per analyzer by the session: engine-backed columns get the
-        # cutoff, CHA/RTA columns (which have no engine) are unaffected.
-        options["saturation_threshold"] = args.saturation_threshold
-    comparison = session.compare(args.analyses, **options)
+    # Routed per analyzer by the session: engine-backed columns get the
+    # kernel knobs, CHA/RTA columns (which have no engine) are unaffected.
+    comparison = session.compare(args.analyses, **_policy_options(args))
     print(comparison.table())
     if not comparison.is_monotone_precision_ladder():
         print("note: reachable methods are not monotone in the given order "
@@ -271,9 +283,21 @@ def build_parser() -> argparse.ArgumentParser:
                                   "configurations only)")
         sub.add_argument("--reflection-config",
                          help="JSON reflection configuration file")
+        add_policy_flags(sub)
+
+    def add_policy_flags(sub):
         sub.add_argument("--saturation-threshold", type=int, default=None,
                          help="saturate flows whose type set exceeds this size "
                               "(default: off, exact paper semantics)")
+        sub.add_argument("--saturation-policy", default=None,
+                         choices=available_saturation_policies(),
+                         help="sentinel a saturated flow collapses to "
+                              "(needs --saturation-threshold; default: "
+                              "closed-world once a threshold is set)")
+        sub.add_argument("--scheduling", default=None,
+                         choices=available_scheduling_policies(),
+                         help="solver worklist policy (default: fifo, the "
+                              "bit-identical seed order)")
 
     analyze = subparsers.add_parser("analyze", help="run the analysis and print metrics")
     add_common(analyze)
@@ -296,9 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="entry point (Class.method); may be repeated")
     compare.add_argument("--reflection-config",
                          help="JSON reflection configuration file")
-    compare.add_argument("--saturation-threshold", type=int, default=None,
-                         help="saturate flows whose type set exceeds this size "
-                              "(engine-backed analyses only)")
+    add_policy_flags(compare)
     compare.set_defaults(func=_cmd_compare)
 
     callgraph = subparsers.add_parser("callgraph", help="export the call graph as DOT")

@@ -29,12 +29,23 @@ from repro.core.flows import (
     SourceFlow,
     StoreFieldFlow,
 )
+from repro.core.kernel import (
+    DEFAULT_POLICY,
+    SaturationPolicy,
+    SchedulingPolicy,
+    SolverPolicy,
+    available_saturation_policies,
+    available_scheduling_policies,
+    register_saturation_policy,
+    register_scheduling_policy,
+)
 from repro.core.pvpg import BranchKind, BranchRecord, MethodPVPG, ProgramPVPG
 from repro.core.pvpg_builder import PVPGBuilder
 from repro.core.results import AnalysisResult, MethodSummary
 from repro.core.solver import SkipFlowSolver
 
 __all__ = [
+    "DEFAULT_POLICY",
     "AnalysisConfig",
     "AnalysisResult",
     "BranchKind",
@@ -55,9 +66,16 @@ __all__ = [
     "ProgramPVPG",
     "PVPGBuilder",
     "ReturnFlow",
+    "SaturationPolicy",
+    "SchedulingPolicy",
     "SkipFlowAnalysis",
     "SkipFlowSolver",
+    "SolverPolicy",
     "SourceFlow",
     "StoreFieldFlow",
+    "available_saturation_policies",
+    "available_scheduling_policies",
     "compare_states",
+    "register_saturation_policy",
+    "register_scheduling_policy",
 ]

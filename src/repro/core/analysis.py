@@ -22,6 +22,8 @@ import time
 from dataclasses import dataclass, replace
 from typing import Iterable, Optional
 
+from repro.core.kernel.policy import SolverPolicy
+from repro.core.kernel.saturation import OFF
 from repro.core.results import AnalysisResult, SolverStats
 from repro.core.solver import SkipFlowSolver
 from repro.ir.program import Program
@@ -48,10 +50,22 @@ class AnalysisConfig:
         Apply null-check and primitive-comparison filtering inside branches.
     ``saturation_threshold``
         Optional cutoff for megamorphic flows: a flow whose reference type
-        set grows beyond this many types is collapsed to the conservative
-        any-type sentinel and unlinked from further propagation, as in
-        GraalVM's points-to analysis.  ``None`` (the default) disables the
-        cutoff and preserves the paper's exact semantics.
+        set grows beyond this many types is collapsed to a conservative
+        sentinel and unlinked from further propagation, as in GraalVM's
+        points-to analysis.  ``None`` (the default) disables the cutoff and
+        preserves the paper's exact semantics.
+    ``scheduling`` / ``saturation_policy``
+        The solver-kernel policies (:mod:`repro.core.kernel`): which
+        worklist order the fixed-point iteration uses, and which sentinel a
+        saturated flow collapses to.  The two saturation fields are kept
+        coherent automatically: a bare threshold engages the classic
+        ``closed-world`` sentinel, and dropping the threshold resets the
+        policy to ``off`` — so ``(saturation_policy, saturation_threshold)``
+        is canonical, which matters because the benchmark engine hashes the
+        whole config into its cache keys.  The defaults (``fifo`` + ``off``)
+        are the seed solver, bit-identical down to step counts; see
+        :attr:`solver_policy` / :meth:`with_policy` for the bundled
+        :class:`~repro.core.kernel.policy.SolverPolicy` view.
     """
 
     name: str = "skipflow"
@@ -61,6 +75,18 @@ class AnalysisConfig:
     filter_comparisons: bool = True
     validate: bool = False
     saturation_threshold: Optional[int] = None
+    scheduling: str = "fifo"
+    saturation_policy: str = OFF
+
+    def __post_init__(self) -> None:
+        # Canonicalize the saturation half (see the class docstring), then
+        # validate the whole policy eagerly so a typo fails where the config
+        # is written down, not deep inside a solve.
+        if self.saturation_threshold is not None and self.saturation_policy == OFF:
+            object.__setattr__(self, "saturation_policy", "closed-world")
+        elif self.saturation_threshold is None and self.saturation_policy != OFF:
+            object.__setattr__(self, "saturation_policy", OFF)
+        self.solver_policy  # noqa: B018 — constructing it validates the names
 
     # ------------------------------------------------------------------ #
     # Canonical configurations
@@ -107,7 +133,47 @@ class AnalysisConfig:
         return replace(self, name=name)
 
     def with_saturation_threshold(self, threshold: Optional[int]) -> "AnalysisConfig":
+        """This config with the cutoff at ``threshold`` (``None`` turns it off).
+
+        A threshold on a config whose policy is ``off`` engages the classic
+        ``closed-world`` sentinel (the pre-kernel behaviour); an explicit
+        policy is preserved.
+        """
         return replace(self, saturation_threshold=threshold)
+
+    def with_scheduling(self, scheduling: str) -> "AnalysisConfig":
+        """This config solved under a different worklist policy."""
+        return replace(self, scheduling=scheduling)
+
+    def with_saturation_policy(self, saturation: str,
+                               threshold: Optional[int] = None) -> "AnalysisConfig":
+        """This config with a different cutoff sentinel (and optional threshold).
+
+        ``off`` drops the threshold; any other policy needs one — either
+        passed here or already present on the config.
+        """
+        if saturation == OFF:
+            return replace(self, saturation_policy=OFF, saturation_threshold=None)
+        threshold = threshold if threshold is not None else self.saturation_threshold
+        if threshold is None:
+            raise ValueError(
+                f"saturation policy {saturation!r} needs a threshold; pass "
+                f"threshold=... or set one with with_saturation_threshold first")
+        return replace(self, saturation_policy=saturation,
+                       saturation_threshold=threshold)
+
+    def with_policy(self, policy: SolverPolicy) -> "AnalysisConfig":
+        """This config solved under the given kernel policy bundle."""
+        return replace(self, scheduling=policy.scheduling,
+                       saturation_policy=policy.saturation,
+                       saturation_threshold=policy.saturation_threshold)
+
+    @property
+    def solver_policy(self) -> SolverPolicy:
+        """The kernel policy bundle this config solves under."""
+        return SolverPolicy(scheduling=self.scheduling,
+                            saturation=self.saturation_policy,
+                            saturation_threshold=self.saturation_threshold)
 
 
 class SkipFlowAnalysis:

@@ -1,0 +1,228 @@
+"""Saturation policies: what "megamorphic" means and which top a flow jumps to.
+
+The saturation cutoff collapses a flow whose reference-type set grows past a
+threshold, GraalVM-style: the flow's state jumps to a *sentinel* — a top
+element for everything that could still arrive — and all further joins into
+the flow are skipped (they would be no-ops against top by definition).  A
+:class:`SaturationPolicy` decides two things: when a freshly joined state
+counts as over the threshold, and which sentinel the flow collapses to.
+
+Both decisions preserve the solver's monotone-termination argument (see
+:mod:`repro.core.kernel`): the sentinel is always joined *over* the state
+that triggered the collapse, so saturation is a move up the lattice, and
+skipping joins into a flow already at its top loses nothing.
+
+Built-ins:
+
+``off``
+    No cutoff; the paper's exact semantics.  Represented as ``threshold is
+    None`` — :func:`make_saturation_policy` returns ``None`` so the solver's
+    hot path pays nothing for the feature being pluggable.
+``closed-world``
+    The original sentinel: every instantiable type of the closed world,
+    ``null``, and primitive ``Any``.  Trivially sound, maximally coarse —
+    an ``instanceof Rare`` guard over a saturated flow can never be
+    discharged again, because the closed-world top contains every declared
+    concrete type whether it is ever allocated or not.
+``declared-type``
+    A per-declared-type top: a flow that knows its declared reference type
+    collapses to the instantiable *subtypes of that declaration* plus
+    ``null`` and primitive ``Any``, memoized per declared type.
+    Parameters and field flows carry their declaration directly; load and
+    store flows collapse to the union of the tops of *every* same-named
+    field declaration in the program — a static set, so the sentinel
+    dominates whatever declaration the access resolves to later, no matter
+    how the receiver's type set grows after the collapse.  Flows without
+    any declaration fall back to the closed-world top.  This keeps
+    saturation from re-inflating the reachable set with types that could
+    never legally flow here, at the cost of assuming type-compatible
+    assignments — every value reaching a declared-``T`` flow is a subtype
+    of ``T`` — which holds for the surface language and the workload
+    generator (stores and calls respect declared types).  Under that
+    assumption the sentinel still dominates every future join, so the
+    result remains a sound over-approximation.
+
+New policies plug in with :func:`register_saturation_policy`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.core.flows import (
+    FieldFlow,
+    Flow,
+    LoadFieldFlow,
+    ParameterFlow,
+    StoreFieldFlow,
+)
+from repro.ir.types import NULL_TYPE_NAME, OBJECT_TYPE_NAME, TypeHierarchy
+from repro.lattice.primitive import ANY
+from repro.lattice.value_state import ValueState
+
+#: The policy name meaning "no cutoff" (threshold ``None``, exact semantics).
+OFF = "off"
+
+
+@runtime_checkable
+class SaturationPolicy(Protocol):
+    """What the solver consults after every state-growing transfer.
+
+    ``collapse`` returns the sentinel state the flow should jump to, or
+    ``None`` when the freshly joined ``new_state`` is still below the
+    threshold.  A policy instance belongs to exactly one solve (it memoizes
+    sentinels against that solve's type hierarchy).
+    """
+
+    name: str
+
+    def collapse(self, flow: Flow, new_state: ValueState) -> Optional[ValueState]: ...
+
+
+class ClosedWorldSaturation:
+    """The original cutoff: collapse to the closed world's any-type sentinel."""
+
+    name = "closed-world"
+
+    def __init__(self, hierarchy: TypeHierarchy, threshold: int) -> None:
+        self.hierarchy = hierarchy
+        self.threshold = threshold
+        self._top: Optional[ValueState] = None
+
+    def _closed_world_top(self) -> ValueState:
+        top = self._top
+        if top is None:
+            types = set(self.hierarchy.instantiable_subtypes(OBJECT_TYPE_NAME))
+            types.add(NULL_TYPE_NAME)
+            top = ValueState.of_types(types).with_primitive(ANY)
+            self._top = top
+        return top
+
+    def _sentinel(self, flow: Flow) -> ValueState:
+        return self._closed_world_top()
+
+    def collapse(self, flow: Flow, new_state: ValueState) -> Optional[ValueState]:
+        if len(new_state.reference_types) <= self.threshold:
+            return None
+        # Joining over the triggering state keeps the collapse a move *up*
+        # the lattice even if the sentinel itself is narrower in some
+        # component (e.g. a declared-type top under ill-typed input).
+        return new_state.join(self._sentinel(flow))
+
+
+class DeclaredTypeSaturation(ClosedWorldSaturation):
+    """Per-declared-type top: saturate within the flow's declared subtree."""
+
+    name = "declared-type"
+
+    def __init__(self, hierarchy: TypeHierarchy, threshold: int) -> None:
+        super().__init__(hierarchy, threshold)
+        self._declared_tops: Dict[str, ValueState] = {}
+        self._field_tops: Dict[str, ValueState] = {}
+
+    @staticmethod
+    def declared_reference_type(flow: Flow) -> Optional[str]:
+        """The flow's *directly recorded* declared reference type, if any."""
+        if isinstance(flow, ParameterFlow):
+            return flow.declared_type
+        if isinstance(flow, FieldFlow):
+            return flow.declaration.declared_type
+        return None
+
+    def field_declared_types(self, field_name: str) -> Tuple[str, ...]:
+        """The declared types of every program field named ``field_name``."""
+        return tuple(sorted({
+            cls.fields[field_name].declared_type
+            for cls in self.hierarchy
+            if field_name in cls.fields}))
+
+    def _declared_top(self, declared: str) -> Optional[ValueState]:
+        if declared not in self.hierarchy:
+            return None
+        top = self._declared_tops.get(declared)
+        if top is None:
+            types = set(self.hierarchy.instantiable_subtypes(declared))
+            types.add(NULL_TYPE_NAME)
+            top = ValueState.of_types(types).with_primitive(ANY)
+            self._declared_tops[declared] = top
+        return top
+
+    def _field_top(self, field_name: str) -> Optional[ValueState]:
+        """Union of the declared tops of every same-named field declaration.
+
+        Which declaration a load/store resolves to depends on the receiver's
+        type set, which keeps growing after the collapse — so the sentinel
+        must dominate *every* declaration the access could ever resolve to,
+        not just the ones visible when the flow saturates.  The set of
+        same-named declarations is static, which makes this sound; shadowed
+        or reused field names simply widen the top to the union.
+        """
+        if field_name in self._field_tops:
+            return self._field_tops[field_name]
+        top: Optional[ValueState] = None
+        for declared in self.field_declared_types(field_name):
+            declared_top = self._declared_top(declared)
+            if declared_top is None:
+                top = None  # a non-class declared type: fall back
+                break
+            top = declared_top if top is None else top.join(declared_top)
+        self._field_tops[field_name] = top
+        return top
+
+    def _sentinel(self, flow: Flow) -> ValueState:
+        top: Optional[ValueState] = None
+        declared = self.declared_reference_type(flow)
+        if declared is not None:
+            top = self._declared_top(declared)
+        elif isinstance(flow, (LoadFieldFlow, StoreFieldFlow)):
+            top = self._field_top(flow.field_name)
+        return top if top is not None else self._closed_world_top()
+
+
+# ---------------------------------------------------------------------- #
+# The registry
+# ---------------------------------------------------------------------- #
+SaturationFactory = Callable[[TypeHierarchy, int], SaturationPolicy]
+
+_SATURATION_POLICIES: Dict[str, SaturationFactory] = {}
+
+
+def register_saturation_policy(name: str, factory: SaturationFactory,
+                               *, replace: bool = False) -> None:
+    """Register a cutoff policy under ``name`` (one fresh instance per solve)."""
+    key = name.strip().lower()
+    if key == OFF:
+        raise ValueError(f"{OFF!r} is the reserved no-cutoff policy")
+    if not replace and key in _SATURATION_POLICIES:
+        raise ValueError(f"saturation policy {key!r} is already registered; "
+                         f"pass replace=True to override it")
+    _SATURATION_POLICIES[key] = factory
+
+
+def make_saturation_policy(name: str, hierarchy: TypeHierarchy,
+                           threshold: Optional[int]) -> Optional[SaturationPolicy]:
+    """A fresh cutoff policy for one solve, or ``None`` for ``off``.
+
+    Returning ``None`` (rather than a never-fires object) lets the solver
+    skip the whole saturation branch on its hot path when the cutoff is
+    disabled — which is how the default stays bit-identical to the seed.
+    """
+    key = name.strip().lower()
+    if key == OFF or threshold is None:
+        return None
+    try:
+        factory = _SATURATION_POLICIES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown saturation policy {name!r}; available: "
+            f"{', '.join(available_saturation_policies())}") from None
+    return factory(hierarchy, threshold)
+
+
+def available_saturation_policies() -> Tuple[str, ...]:
+    """Registered cutoff names, ``off`` (the exact default) first."""
+    return (OFF,) + tuple(sorted(_SATURATION_POLICIES))
+
+
+register_saturation_policy("closed-world", ClosedWorldSaturation)
+register_saturation_policy("declared-type", DeclaredTypeSaturation)

@@ -43,6 +43,9 @@ from repro.core.flows import (
     SourceFlow,
     StoreFieldFlow,
 )
+from repro.core.kernel.policy import DEFAULT_POLICY, SolverPolicy
+from repro.core.kernel.saturation import make_saturation_policy
+from repro.core.kernel.scheduling import make_scheduling_policy
 from repro.core.pvpg import MethodPVPG, ProgramPVPG
 from repro.core.pvpg_builder import PVPGBuilder
 from repro.ir.instructions import InvokeKind
@@ -51,15 +54,29 @@ from repro.ir.program import Program
 from repro.ir.types import (
     INT_TYPE_NAME,
     NULL_TYPE_NAME,
-    OBJECT_TYPE_NAME,
     MethodSignature,
 )
-from repro.lattice.primitive import ANY
 from repro.lattice.value_state import ValueState
 
 
 class SkipFlowSolver:
     """Interprocedural fixed-point solver over predicated value propagation graphs.
+
+    The class is the propagation/linking *core* of the solver kernel
+    (:mod:`repro.core.kernel`): it owns delivery, predicate enabling, and
+    invoke/field linking, while two pluggable policies — resolved from
+    ``config.solver_policy`` — own the rest:
+
+    * a *scheduling policy* owns the worklist container and pop order
+      (``fifo``, the bit-identical seed default; ``lifo``; ``degree``;
+      ``rpo``).  Every fair order reaches the same fixed point; only the
+      effort counters differ.
+    * a *saturation policy* decides when a megamorphic flow collapses and
+      which top it collapses to (``off`` — the exact default, represented
+      as no policy object at all so the hot path pays nothing;
+      ``closed-world``; ``declared-type``).  A saturated flow's joins are
+      skipped because its state already dominates anything that could
+      arrive, which keeps the result a sound over-approximation.
 
     Two implementation notes on the hot path:
 
@@ -67,15 +84,8 @@ class SkipFlowSolver:
       :meth:`ValueState.join` returns the identical left operand when the join
       adds nothing, so change detection below uses ``is`` instead of ``==``.
     * Worklist membership is an intrusive ``in_worklist`` / ``in_link_queue``
-      bit on each :class:`Flow` rather than a side set of flow ids.
-
-    When ``config.saturation_threshold`` is set (default: off, preserving the
-    paper's exact semantics), a flow whose reference type set grows beyond the
-    threshold *saturates*, as in GraalVM's points-to analysis: its state is
-    collapsed to the conservative any-type sentinel (every instantiable type,
-    ``null``, and primitive ``Any``) and the flow is unlinked from further
-    propagation — joins into it are skipped because its state is already the
-    top element, which keeps the result a sound over-approximation.
+      bit on each :class:`Flow` rather than a side set of flow ids; the
+      scheduling policy therefore never sees duplicates.
     """
 
     def __init__(self, program: Program, config) -> None:
@@ -98,11 +108,14 @@ class SkipFlowSolver:
         #: Flows collapsed by the saturation cutoff (0 when the cutoff is off).
         self.saturated_flows: int = 0
 
-        self._saturation_threshold: Optional[int] = getattr(
-            config, "saturation_threshold", None)
-        self._saturated_state: Optional[ValueState] = None
-
-        self._worklist: Deque[Flow] = deque()
+        #: The kernel policies this solve runs under (``config.solver_policy``;
+        #: bare config objects without one get the seed default).
+        self.policy: SolverPolicy = getattr(config, "solver_policy", DEFAULT_POLICY)
+        self._worklist = make_scheduling_policy(self.policy.scheduling)
+        #: ``None`` when the cutoff is off — the hot path skips the feature.
+        self._saturation = make_saturation_policy(
+            self.policy.saturation, self.hierarchy,
+            self.policy.saturation_threshold)
         self._pending_links: Deque[InvokeFlow] = deque()
 
     # ------------------------------------------------------------------ #
@@ -186,7 +199,7 @@ class SkipFlowSolver:
     def _schedule(self, flow: Flow) -> None:
         if not flow.in_worklist:
             flow.in_worklist = True
-            self._worklist.append(flow)
+            self._worklist.push(flow)
 
     def _schedule_link(self, flow: InvokeFlow) -> None:
         if not flow.in_link_queue:
@@ -202,7 +215,7 @@ class SkipFlowSolver:
                     self._link_invoke(invoke_flow)
                 self.steps += 1
                 continue
-            flow = self._worklist.popleft()
+            flow = self._worklist.pop()
             flow.in_worklist = False
             self.steps += 1
             self._process(flow)
@@ -242,39 +255,30 @@ class SkipFlowSolver:
         output = flow.transfer(self.hierarchy)
         new_state = flow.state.join(output)
         if new_state is not flow.state:
-            threshold = self._saturation_threshold
-            if (threshold is not None
-                    and len(new_state.reference_types) > threshold):
-                self._saturate(flow, new_state)
-                return
+            saturation = self._saturation
+            if saturation is not None:
+                sentinel = saturation.collapse(flow, new_state)
+                if sentinel is not None:
+                    self._saturate(flow, sentinel)
+                    return
             flow.state = new_state
             if flow.enabled:
                 self._schedule(flow)
 
     # ------------------------------------------------------------------ #
-    # Saturation cutoff (off by default; see the class docstring)
+    # Saturation cutoff (off by default; see repro.core.kernel.saturation)
     # ------------------------------------------------------------------ #
-    def _saturation_state(self) -> ValueState:
-        state = self._saturated_state
-        if state is None:
-            types = set(self.hierarchy.instantiable_subtypes(OBJECT_TYPE_NAME))
-            types.add(NULL_TYPE_NAME)
-            state = ValueState.of_types(types).with_primitive(ANY)
-            self._saturated_state = state
-        return state
+    def _saturate(self, flow: Flow, sentinel: ValueState) -> None:
+        """Collapse a megamorphic flow to its policy's sentinel.
 
-    def _saturate(self, flow: Flow, new_state: ValueState) -> None:
-        """Collapse a megamorphic flow to the any-type sentinel.
-
-        The sentinel is the top element of ``L`` restricted to the closed
-        world, so skipping all further joins into the flow (``_deliver`` /
-        ``_inject``) loses nothing: the result stays a sound
+        The sentinel dominates everything that can still arrive at the flow
+        (the policy's contract), so skipping all further joins into it
+        (``_deliver`` / ``_inject``) loses nothing: the result stays a sound
         over-approximation, it is just coarser than the paper's exact
         semantics.
         """
         self.saturated_flows += 1
         flow.saturated = True
-        sentinel = new_state.join(self._saturation_state())
         flow.input_state = sentinel
         flow.state = sentinel
         if flow.enabled:

@@ -30,7 +30,12 @@ Workers obtain their program from the shared
 (derived automatically from the result cache directory): the first solve of a
 spec pickles the built IR, every later solve — including the other half of
 the same comparison — unpickles it instead of regenerating and re-lowering
-the program.
+the program.  On top of the store, each worker *process* memoizes the
+unpickled programs it has already loaded (:func:`_program_for`), so an
+N-configuration matrix over one spec deserializes the IR once per process,
+not once per half — safe because the analysis treats programs as read-only
+(the solver builds its PVPG beside the IR, never into it) and the engine
+never applies reflection mutations.
 """
 
 from __future__ import annotations
@@ -45,6 +50,7 @@ from repro.engine.cache import ResultCache
 from repro.engine.program_store import ProgramStore
 from repro.engine.scheduler import order_by_cost
 from repro.image.builder import ImageBuildReport, NativeImageBuilder
+from repro.ir.program import Program
 from repro.reporting.records import METRIC_NAMES
 from repro.workloads.generator import BenchmarkSpec, generate_benchmark
 
@@ -230,6 +236,46 @@ def result_from_halves(baseline_payload: Dict[str, Any],
     )
 
 
+#: Per-process memo of programs already obtained from a store, keyed by the
+#: store blob path (which embeds the spec hash *and* the code version, so a
+#: stale entry is unreachable by construction).  Worker processes on a pool
+#: each hold their own copy; an N-configuration matrix over one spec
+#: therefore unpickles the IR once per process instead of once per half.
+#: Sharing one ``Program`` object across solves is safe because every
+#: registered analyzer treats the program as read-only and the engine never
+#: applies reflection mutations (callers that do must bypass the engine).
+_WORKER_PROGRAMS: Dict[str, Program] = {}
+
+#: Memo capacity: oldest entries are evicted beyond this, so a long-lived
+#: process sweeping many specs holds a handful of programs, not all of them.
+#: Serial runs solve a spec's halves adjacently and pool tasks are submitted
+#: column-major over at most ``jobs`` in-flight specs per worker, so a small
+#: window captures effectively all of the reuse.
+_WORKER_PROGRAM_CAPACITY = 8
+
+
+def _program_for(spec: BenchmarkSpec,
+                 store: Optional[ProgramStore]) -> Tuple[Program, bool]:
+    """The program for one half, via the process memo and the store.
+
+    Returns the program plus whether it came from shared storage (the memo
+    or the store's blob).  Memo hits count as store hits so the store's
+    counters keep meaning "solves that skipped program generation".
+    """
+    if store is None:
+        return generate_benchmark(spec), False
+    memo_key = str(store.path_for(spec))
+    program = _WORKER_PROGRAMS.get(memo_key)
+    if program is not None:
+        store.hits += 1
+        return program, True
+    program, from_store = store.load_or_build(spec)
+    _WORKER_PROGRAMS[memo_key] = program
+    while len(_WORKER_PROGRAMS) > _WORKER_PROGRAM_CAPACITY:
+        _WORKER_PROGRAMS.pop(next(iter(_WORKER_PROGRAMS)))
+    return program, from_store
+
+
 def solve_config(spec: BenchmarkSpec,
                  config: AnalysisConfig,
                  store: Optional[ProgramStore] = None) -> Dict[str, Any]:
@@ -237,14 +283,12 @@ def solve_config(spec: BenchmarkSpec,
 
     Must stay a module-level function so ``ProcessPoolExecutor`` can pickle
     it; specs, configs, and the program store all pickle cleanly.  When a
-    store is provided the program is loaded from (or freshly pickled into)
-    it; ``program_from_store`` records which happened.
+    store is provided the program is loaded from the per-process memo, the
+    on-disk blob, or freshly generated (and pickled), in that order;
+    ``program_from_store`` records whether generation was skipped.
     """
     started = time.perf_counter()
-    if store is not None:
-        program, from_store = store.load_or_build(spec)
-    else:
-        program, from_store = generate_benchmark(spec), False
+    program, from_store = _program_for(spec, store)
     report = NativeImageBuilder(program, config, benchmark_name=spec.name).build()
     return {
         "payload_version": PAYLOAD_VERSION,

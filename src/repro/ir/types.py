@@ -122,6 +122,7 @@ class TypeHierarchy:
         self._classes: Dict[str, ClassType] = {}
         self._subtype_cache: Dict[Tuple[str, str], bool] = {}
         self._instantiable_subtypes_cache: Dict[str, Tuple[str, ...]] = {}
+        self._instantiable_cache_complete = False
         self.declare_class(OBJECT_TYPE_NAME, superclass=None)
 
     # ------------------------------------------------------------------ #
@@ -170,6 +171,7 @@ class TypeHierarchy:
     def _invalidate_caches(self) -> None:
         self._subtype_cache.clear()
         self._instantiable_subtypes_cache.clear()
+        self._instantiable_cache_complete = False
 
     # ------------------------------------------------------------------ #
     # Subtyping
@@ -225,19 +227,32 @@ class TypeHierarchy:
         return [cls.name for cls in self._classes.values() if self.is_subtype(cls.name, name)]
 
     def instantiable_subtypes(self, name: str) -> Tuple[str, ...]:
-        """Concrete (non-abstract, non-interface) subtypes of ``name``."""
+        """Concrete (non-abstract, non-interface) subtypes of ``name``.
+
+        The first query fills the cache for *every* declared name in one
+        declaration-order pass (each concrete class is bucketed under all of
+        its supertypes), so N distinct queries cost one hierarchy walk
+        instead of N full scans — the declared-type saturation policy asks
+        for hundreds of distinct subtrees per solve.  Result tuples keep the
+        classes' declaration order, exactly as the per-name scan produced.
+        """
         cached = self._instantiable_subtypes_cache.get(name)
         if cached is not None:
             return cached
-        result = tuple(
-            cls.name
-            for cls in self._classes.values()
-            if not cls.is_interface
-            and not cls.is_abstract
-            and self.is_subtype(cls.name, name)
-        )
-        self._instantiable_subtypes_cache[name] = result
-        return result
+        if self._instantiable_cache_complete:
+            return ()
+        buckets: Dict[str, List[str]] = {cls: [] for cls in self._classes}
+        for cls in self._classes.values():
+            if cls.is_interface or cls.is_abstract:
+                continue
+            for supertype in self.supertypes(cls.name):
+                bucket = buckets.get(supertype)
+                if bucket is not None:
+                    bucket.append(cls.name)
+        self._instantiable_subtypes_cache = {
+            cls: tuple(subs) for cls, subs in buckets.items()}
+        self._instantiable_cache_complete = True
+        return self._instantiable_subtypes_cache.get(name, ())
 
     # ------------------------------------------------------------------ #
     # LookUp and Resolve (Appendix C auxiliary functions)

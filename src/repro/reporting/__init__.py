@@ -1,8 +1,14 @@
 """Rendering of the evaluation artifacts: Table 1, Figure 9, the saturation
-study, and DOT exports."""
+and policy studies, and DOT exports."""
 
 from repro.reporting.figures import figure9_series, format_figure9
 from repro.reporting.graphviz import call_graph_to_dot, pvpg_to_dot
+from repro.reporting.policy import (
+    PolicyPoint,
+    format_policy_study,
+    policy_points,
+    summarize_policy_sweep,
+)
 from repro.reporting.records import BenchmarkComparison, compare_configurations
 from repro.reporting.saturation import (
     SaturationPoint,
@@ -20,6 +26,7 @@ from repro.reporting.table import (
 
 __all__ = [
     "BenchmarkComparison",
+    "PolicyPoint",
     "SaturationPoint",
     "call_graph_to_dot",
     "compare_configurations",
@@ -27,11 +34,14 @@ __all__ = [
     "format_analysis_comparison",
     "format_figure9",
     "format_matrix_table",
+    "format_policy_study",
     "format_saturation_study",
     "format_table1",
     "matrix_table_rows",
+    "policy_points",
     "pvpg_to_dot",
     "saturation_series",
+    "summarize_policy_sweep",
     "summarize_sweep",
     "table1_rows",
 ]

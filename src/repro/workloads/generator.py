@@ -19,8 +19,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.ir.builder import ProgramBuilder
 from repro.ir.program import Program
 from repro.workloads.patterns import (
+    COMPOSED_GUARD_METHODS,
+    COMPOSED_GUARD_ROTATION,
     GUARD_PATTERNS,
     POPULATE_CHUNK,
+    add_composed_hierarchies_module,
     add_guarded_module,
     add_library_module,
     add_wide_hierarchy_module,
@@ -109,7 +112,12 @@ class BenchmarkSpec:
     paper-vs-measured comparison in EXPERIMENTS.md, not for generation.
     ``hierarchies`` attaches wide-hierarchy modules (hundreds of types per
     flow) for the saturation-cutoff study; the paper-mirroring Table 1 specs
-    leave it empty.
+    leave it empty.  With ``compose_hierarchies`` set, the 2–4 hierarchies
+    are not generated as independent modules but *interleaved* below one
+    common ancestor through a shared router field whose type set becomes the
+    union of every leaf set, with the hierarchies cross-guarding each
+    other's payloads (see :func:`repro.workloads.patterns.
+    add_composed_hierarchies_module`).
     """
 
     name: str
@@ -119,6 +127,13 @@ class BenchmarkSpec:
     paper_reachable_thousands: Optional[float] = None
     paper_reduction_percent: Optional[float] = None
     hierarchies: Tuple[HierarchySpec, ...] = ()
+    compose_hierarchies: bool = False
+
+    def __post_init__(self) -> None:
+        if self.compose_hierarchies and not 2 <= len(self.hierarchies) <= 4:
+            raise ValueError(
+                f"compose_hierarchies interleaves 2-4 hierarchies, got "
+                f"{len(self.hierarchies)}")
 
     @property
     def guarded_methods(self) -> int:
@@ -133,11 +148,33 @@ class BenchmarkSpec:
         return sum(hierarchy.type_count for hierarchy in self.hierarchies)
 
     @property
+    def composition_methods(self) -> int:
+        """Methods the composed-module glue adds on top of the hierarchies.
+
+        Mirrors :func:`~repro.workloads.patterns.
+        add_composed_hierarchies_module` exactly: the common ancestor's
+        ``run``, the router (one ``absorb`` and one ``audit`` per hierarchy,
+        ``max(call_sites)`` routes, one ``drive``), and one rotating
+        cross-guard library module per hierarchy.
+        """
+        if not self.compose_hierarchies:
+            return 0
+        count = len(self.hierarchies)
+        router = 2 * count + max(h.call_sites for h in self.hierarchies) + 1
+        guards = sum(
+            max(COMPOSED_GUARD_METHODS, _MIN_MODULE_METHODS)
+            + GUARD_OVERHEAD_METHODS[
+                COMPOSED_GUARD_ROTATION[i % len(COMPOSED_GUARD_ROTATION)]]
+            for i in range(count))
+        return 1 + router + guards
+
+    @property
     def expected_total_methods(self) -> int:
         """Approximate number of methods reachable by the baseline analysis."""
         overhead = sum(GUARD_OVERHEAD_METHODS[m.pattern] for m in self.guarded_modules)
         return (self.core_methods + self.guarded_methods + overhead
-                + self.hierarchy_methods + 1)  # + main
+                + self.hierarchy_methods + self.composition_methods
+                + 1)  # + main
 
     @property
     def expected_reduction_fraction(self) -> float:
@@ -217,15 +254,23 @@ def generate_benchmark(spec: BenchmarkSpec) -> Program:
         )
         guard_drivers.append(driver)
 
-    # Wide-hierarchy modules (saturation stress; empty for Table 1 specs).
-    for index, hierarchy in enumerate(spec.hierarchies):
-        handle = add_wide_hierarchy_module(
-            pb, f"{prefix}Hier{index}",
-            depth=hierarchy.depth, fanout=hierarchy.fanout,
-            call_sites=hierarchy.call_sites,
-            guarded_methods=hierarchy.guarded_methods,
-        )
-        guard_drivers.append(handle.driver)
+    # Wide-hierarchy modules (saturation stress; empty for Table 1 specs):
+    # independent subtrees by default, or one interleaved composed module.
+    if spec.compose_hierarchies:
+        composed = add_composed_hierarchies_module(
+            pb, f"{prefix}Mix",
+            [(h.depth, h.fanout, h.call_sites, h.guarded_methods)
+             for h in spec.hierarchies])
+        guard_drivers.append(composed.driver)
+    else:
+        for index, hierarchy in enumerate(spec.hierarchies):
+            handle = add_wide_hierarchy_module(
+                pb, f"{prefix}Hier{index}",
+                depth=hierarchy.depth, fanout=hierarchy.fanout,
+                call_sites=hierarchy.call_sites,
+                guarded_methods=hierarchy.guarded_methods,
+            )
+            guard_drivers.append(handle.driver)
 
     # Main entry point.
     pb.declare_class("Main")

@@ -27,7 +27,7 @@ Two kinds of building blocks are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.ir.builder import ProgramBuilder
 
@@ -359,7 +359,8 @@ class HierarchyHandle:
 
 def add_wide_hierarchy_module(pb: ProgramBuilder, prefix: str, depth: int,
                               fanout: int, call_sites: int = 4,
-                              guarded_methods: int = 10) -> HierarchyHandle:
+                              guarded_methods: int = 10,
+                              superclass: str = "Object") -> HierarchyHandle:
     """Add a module whose flows carry ``fanout ** depth`` receiver types.
 
     The module stresses the saturation cutoff with realistically wide type
@@ -405,8 +406,12 @@ def add_wide_hierarchy_module(pb: ProgramBuilder, prefix: str, depth: int,
         pb.finish_method(mb)
         methods.append(f"{class_name}.run")
 
+    # ``superclass`` roots the whole tree under an existing class (the
+    # builder's default is ``Object``), which is how composed modules
+    # interleave several hierarchies below one common ancestor; it adds no
+    # classes or methods of its own.
     root = f"{prefix}Node"
-    pb.declare_class(root)
+    pb.declare_class(root, superclass=superclass)
     class_names.append(root)
     _add_run_method(root)
 
@@ -496,6 +501,180 @@ def add_wide_hierarchy_module(pb: ProgramBuilder, prefix: str, depth: int,
         class_names=tuple(class_names),
         method_names=tuple(methods),
         payload_entry=payload.entry_qualified_name,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Composed multi-hierarchy modules (interleaved megamorphism)
+# --------------------------------------------------------------------------- #
+#: Guard patterns rotated across a composed module's cross-guard libraries.
+COMPOSED_GUARD_ROTATION = ("instanceof_flag", "boolean_flag",
+                           "null_default", "never_returns")
+
+#: Library-module size behind each of a composed module's cross guards.
+COMPOSED_GUARD_METHODS = 10
+
+
+@dataclass(frozen=True)
+class ComposedHandle:
+    """Handle to a composed multi-hierarchy module."""
+
+    prefix: str
+    driver: str
+    common_class: str
+    router_class: str
+    hierarchies: Tuple[HierarchyHandle, ...]
+    cross_guard_drivers: Tuple[str, ...]
+    method_names: Tuple[str, ...]
+
+    @property
+    def hierarchy_count(self) -> int:
+        return len(self.hierarchies)
+
+    @property
+    def mixed_leaf_count(self) -> int:
+        """Width of the router's ``mixed`` field: the union of every leaf set."""
+        return sum(handle.leaf_count for handle in self.hierarchies)
+
+    @property
+    def method_count(self) -> int:
+        return len(self.method_names)
+
+
+def add_composed_hierarchies_module(
+        pb: ProgramBuilder, prefix: str,
+        shapes: Sequence[Tuple[int, int, int, int]]) -> ComposedHandle:
+    """Add 2–4 wide hierarchies interleaved below one common ancestor.
+
+    ``shapes`` lists one ``(depth, fanout, call_sites, guarded_methods)``
+    tuple per hierarchy.  A single wide hierarchy keeps all of its
+    megamorphism inside one subtree; real megamorphic workloads mix *several
+    unrelated* hierarchies through shared infrastructure.  The composed
+    module models that:
+
+    * every hierarchy is rooted under one ``<prefix>Common`` class, so their
+      values are type-compatible with shared slots;
+    * a ``<prefix>Router`` *absorbs* each hierarchy's registry field into
+      its own ``mixed`` field (declared ``Common``), whose type set becomes
+      the union of every hierarchy's leaf set — megamorphism no single
+      hierarchy produces — and dispatches ``run`` over it from
+      ``max(call_sites)`` route methods;
+    * the router cross-guards the hierarchies against each other: ``audit_i``
+      tests ``mixed instanceof Rare_i`` (hierarchy *i*'s never-allocated
+      type) and, inside the guard, calls hierarchy *i+1*'s payload module,
+      so discharging each guard requires precision about the *interleaved*
+      field, not just about one hierarchy;
+    * one conventionally guarded library module per hierarchy rides along,
+      rotating through :data:`COMPOSED_GUARD_ROTATION`, so the composed
+      specs exercise every guard pattern of Section 2 next to the wide
+      flows.
+
+    The exact analysis proves every cross payload and guard module dead
+    (no ``Rare`` is ever allocated, the guards never fire); a saturated
+    ``mixed`` flow jumps to a top that contains every ``Rare``, so all of
+    them re-inflate at once — which is what makes the composed specs the
+    interesting half of the policy study.
+
+    Returns a handle whose ``driver`` is the static method the benchmark
+    ``main`` must call.
+    """
+    if not 2 <= len(shapes) <= 4:
+        raise ValueError(
+            f"a composed module interleaves 2-4 hierarchies, got {len(shapes)}")
+
+    methods: List[str] = []
+
+    common = f"{prefix}Common"
+    pb.declare_class(common)
+    mb = pb.method(common, "run", return_type="int")
+    value = mb.assign_any()
+    mb.return_(value)
+    pb.finish_method(mb)
+    methods.append(f"{common}.run")
+
+    hierarchies: List[HierarchyHandle] = []
+    for index, (depth, fanout, call_sites, guarded_methods) in enumerate(shapes):
+        handle = add_wide_hierarchy_module(
+            pb, f"{prefix}H{index}", depth=depth, fanout=fanout,
+            call_sites=call_sites, guarded_methods=guarded_methods,
+            superclass=common)
+        hierarchies.append(handle)
+        methods.extend(handle.method_names)
+
+    router = f"{prefix}Router"
+    pb.declare_class(router)
+    pb.declare_field(router, "mixed", common)
+
+    # Absorb: pull every hierarchy's (program-wide) registry field into the
+    # shared mixed field, interleaving the leaf sets.
+    for index, handle in enumerate(hierarchies):
+        registry = handle.driver.split(".", 1)[0]
+        mb = pb.method(router, f"absorb{index}")
+        registry_obj = mb.assign_new(registry)
+        current = mb.load_field(registry_obj, "current", handle.root_class)
+        mb.store_field(mb.receiver, "mixed", current)
+        mb.return_void()
+        pb.finish_method(mb)
+        methods.append(f"{router}.absorb{index}")
+
+    # Route: megamorphic dispatch over the interleaved field.
+    route_sites = max(call_sites for _, _, call_sites, _ in shapes)
+    for site in range(route_sites):
+        mb = pb.method(router, f"route{site}")
+        mixed = mb.load_field(mb.receiver, "mixed", common)
+        mb.invoke_virtual(mixed, "run", result_type="int")
+        mb.return_void()
+        pb.finish_method(mb)
+        methods.append(f"{router}.route{site}")
+
+    # Cross audits: hierarchy i's rare type guards hierarchy i+1's payload.
+    for index, handle in enumerate(hierarchies):
+        payload_entry = hierarchies[(index + 1) % len(hierarchies)].payload_entry
+        mb = pb.method(router, f"audit{index}")
+        mixed = mb.load_field(mb.receiver, "mixed", common)
+        mb.if_instanceof(mixed, handle.rare_class, "rare", "common")
+        mb.label("rare")
+        mb.invoke_static(*payload_entry.split(".", 1))
+        mb.jump("end", [])
+        mb.label("common")
+        mb.jump("end", [])
+        mb.merge("end", [])
+        mb.return_void()
+        pb.finish_method(mb)
+        methods.append(f"{router}.audit{index}")
+
+    # One conventionally guarded library per hierarchy, rotating patterns.
+    cross_drivers: List[str] = []
+    for index in range(len(hierarchies)):
+        pattern = COMPOSED_GUARD_ROTATION[index % len(COMPOSED_GUARD_ROTATION)]
+        driver = add_guarded_module(pb, f"{prefix}X{index}",
+                                    COMPOSED_GUARD_METHODS, pattern)
+        cross_drivers.append(driver)
+
+    mb = pb.method(router, "drive", is_static=True)
+    for handle in hierarchies:
+        mb.invoke_static(*handle.driver.split(".", 1))
+    router_obj = mb.assign_new(router)
+    for index in range(len(hierarchies)):
+        mb.invoke_virtual(router_obj, f"absorb{index}")
+    for site in range(route_sites):
+        mb.invoke_virtual(router_obj, f"route{site}")
+    for index in range(len(hierarchies)):
+        mb.invoke_virtual(router_obj, f"audit{index}")
+    for driver in cross_drivers:
+        mb.invoke_static(*driver.split(".", 1))
+    mb.return_void()
+    pb.finish_method(mb)
+    methods.append(f"{router}.drive")
+
+    return ComposedHandle(
+        prefix=prefix,
+        driver=f"{router}.drive",
+        common_class=common,
+        router_class=router,
+        hierarchies=tuple(hierarchies),
+        cross_guard_drivers=tuple(cross_drivers),
+        method_names=tuple(methods),
     )
 
 

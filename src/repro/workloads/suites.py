@@ -118,6 +118,16 @@ _WIDE_HIERARCHY_ROWS = [
     ("wide-huge-512", 3, 8, 12),
 ]
 
+#: (benchmark, hierarchy shapes) — 2–4 hierarchies interleaved below one
+#: common ancestor; the router's mixed field carries the *union* of the leaf
+#: sets (the name's number), megamorphism no single subtree produces.
+_COMPOSED_HIERARCHY_ROWS = [
+    ("composed-duo-112", ((1, 48, 4, 16), (2, 8, 6, 16))),
+    ("composed-trio-196", ((2, 10, 6, 16), (1, 60, 4, 16), (2, 6, 8, 16))),
+    ("composed-quad-232", ((1, 40, 4, 12), (2, 8, 6, 12),
+                           (1, 64, 4, 12), (2, 8, 8, 12))),
+]
+
 WIDE_HIERARCHY_SUITE = "WideHierarchy"
 
 
@@ -130,6 +140,12 @@ def wide_hierarchy_suite() -> List[BenchmarkSpec]:
     standard baseline-vs-SkipFlow comparison stays meaningful; the precision
     the saturation cutoff gives up is measured against the *exact* SkipFlow
     run by ``benchmarks/run_saturation_study.py``.
+
+    The ``composed-*`` specs interleave several hierarchies below a common
+    ancestor (``compose_hierarchies``): their megamorphic width lives in a
+    shared router field mixing every subtree's leaves, and the hierarchies
+    cross-guard each other's payloads, so saturation policies that respect
+    declared types have something to win there.
     """
     specs: List[BenchmarkSpec] = []
     for name, depth, fanout, call_sites in _WIDE_HIERARCHY_ROWS:
@@ -143,6 +159,21 @@ def wide_hierarchy_suite() -> List[BenchmarkSpec]:
                     HierarchySpec(depth=depth, fanout=fanout,
                                   call_sites=call_sites, guarded_methods=24),
                 ),
+            )
+        )
+    for name, shapes in _COMPOSED_HIERARCHY_ROWS:
+        specs.append(
+            BenchmarkSpec(
+                name=name,
+                suite=WIDE_HIERARCHY_SUITE,
+                core_methods=40,
+                guarded_modules=(GuardedModuleSpec("boolean_flag", 12),),
+                hierarchies=tuple(
+                    HierarchySpec(depth=depth, fanout=fanout,
+                                  call_sites=call_sites,
+                                  guarded_methods=guarded)
+                    for depth, fanout, call_sites, guarded in shapes),
+                compose_hierarchies=True,
             )
         )
     return specs

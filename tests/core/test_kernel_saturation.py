@@ -1,0 +1,151 @@
+"""The declared-type saturation sentinel: narrower top, still sound."""
+
+from repro.core.analysis import AnalysisConfig, SkipFlowAnalysis
+from repro.core.kernel.saturation import DeclaredTypeSaturation
+from repro.core.solver import SkipFlowSolver
+from repro.ir.builder import ProgramBuilder
+from repro.ir.types import NULL_TYPE_NAME
+from repro.workloads.generator import BenchmarkSpec, HierarchySpec, generate_benchmark
+from repro.workloads.patterns import add_wide_hierarchy_module
+
+
+def _hierarchy_program(depth=2, fanout=4, call_sites=3):
+    pb = ProgramBuilder()
+    handle = add_wide_hierarchy_module(pb, "Demo", depth=depth, fanout=fanout,
+                                       call_sites=call_sites, guarded_methods=8)
+    pb.declare_class("Main")
+    mb = pb.method("Main", "main", is_static=True)
+    mb.invoke_static(*handle.driver.split("."))
+    mb.return_void()
+    pb.finish_method(mb)
+    pb.add_entry_point("Main.main")
+    return pb.build(), handle
+
+
+def _composed_spec():
+    return BenchmarkSpec(
+        name="sat-composed", suite="test", core_methods=20, guarded_modules=(),
+        hierarchies=(HierarchySpec(depth=1, fanout=12, call_sites=3),
+                     HierarchySpec(depth=1, fanout=10, call_sites=3)),
+        compose_hierarchies=True)
+
+
+class TestDeclaredTypeSentinel:
+    def test_field_flow_saturates_within_its_declared_subtree(self):
+        """The registry field (declared ``<root>``) must not pick up types
+        outside the hierarchy, unlike the closed-world top."""
+        program, handle = _hierarchy_program()
+        config = AnalysisConfig.skipflow().with_saturation_policy(
+            "declared-type", 4)
+        solver = SkipFlowSolver(program, config)
+        solver.solve()
+        assert solver.saturated_flows > 0
+        field_flow = solver.pvpg.field_flows[
+            f"{handle.driver.split('.')[0]}.current"]
+        assert field_flow.saturated
+        allowed = set(program.hierarchy.instantiable_subtypes(
+            handle.root_class))
+        allowed.add(NULL_TYPE_NAME)
+        assert set(field_flow.state.reference_types) <= allowed
+        # The closed-world sentinel is strictly wider on the same flow.
+        closed = SkipFlowSolver(
+            program, AnalysisConfig.skipflow().with_saturation_threshold(4))
+        closed.solve()
+        closed_field = closed.pvpg.field_flows[
+            f"{handle.driver.split('.')[0]}.current"]
+        assert (set(field_flow.state.reference_types)
+                < set(closed_field.state.reference_types))
+
+    def test_sound_superset_of_exact(self):
+        program, handle = _hierarchy_program()
+        exact = SkipFlowAnalysis(program, AnalysisConfig.skipflow()).run()
+        saturated = SkipFlowAnalysis(
+            _hierarchy_program()[0],
+            AnalysisConfig.skipflow().with_saturation_policy(
+                "declared-type", 4)).run()
+        assert exact.reachable_methods <= saturated.reachable_methods
+        # The rare-type guard still re-inflates: Rare is a declared subtype
+        # of the saturating field's declared type, so no sentinel that
+        # respects declarations can discharge the guard.
+        assert saturated.is_method_reachable(handle.payload_entry)
+
+    def test_never_coarser_than_closed_world(self):
+        for make_program in (lambda: _hierarchy_program()[0],
+                             lambda: generate_benchmark(_composed_spec())):
+            declared = SkipFlowAnalysis(
+                make_program(),
+                AnalysisConfig.skipflow().with_saturation_policy(
+                    "declared-type", 8)).run()
+            closed = SkipFlowAnalysis(
+                make_program(),
+                AnalysisConfig.skipflow().with_saturation_policy(
+                    "closed-world", 8)).run()
+            assert declared.reachable_methods <= closed.reachable_methods
+
+    def test_strictly_more_precise_on_composed_hierarchies(self):
+        """Interleaved hierarchies are where the declared subtree pays off:
+        a saturated registry field stops dragging in the payload/core types
+        the closed-world top contains."""
+        declared = SkipFlowAnalysis(
+            generate_benchmark(_composed_spec()),
+            AnalysisConfig.skipflow().with_saturation_policy(
+                "declared-type", 8)).run()
+        closed = SkipFlowAnalysis(
+            generate_benchmark(_composed_spec()),
+            AnalysisConfig.skipflow().with_saturation_policy(
+                "closed-world", 8)).run()
+        assert (declared.reachable_method_count
+                < closed.reachable_method_count)
+
+    def test_declared_type_resolution(self):
+        program, handle = _hierarchy_program()
+        policy = DeclaredTypeSaturation(program.hierarchy, threshold=4)
+        solver = SkipFlowSolver(program, AnalysisConfig.skipflow())
+        solver.solve()
+        registry = handle.driver.split(".")[0]
+        field_flow = solver.pvpg.field_flows[f"{registry}.current"]
+        assert policy.declared_reference_type(field_flow) == handle.root_class
+        # A load flow collapses to the union of every same-named field
+        # declaration's top — here "current" is declared once, on the root.
+        assert policy.field_declared_types("current") == (handle.root_class,)
+        dispatch = solver.pvpg.method_graph(f"{registry}.dispatch0")
+        load = next(f for f in dispatch.flows
+                    if f.kind.value == "load_field")
+        allowed = set(program.hierarchy.instantiable_subtypes(
+            handle.root_class))
+        assert set(policy._sentinel(load).reference_types) == allowed
+
+    def test_field_top_is_receiver_independent_and_unions_same_names(self):
+        """Two unrelated classes declaring a same-named field: the load/store
+        sentinel must cover both declarations (which declaration an access
+        resolves to depends on receiver types that keep growing after the
+        collapse), so it is the union of both subtrees."""
+        pb = ProgramBuilder()
+        pb.declare_class("ARoot")
+        pb.declare_class("ALeaf", superclass="ARoot")
+        pb.declare_class("BRoot")
+        pb.declare_class("BLeaf", superclass="BRoot")
+        pb.declare_class("HolderA")
+        pb.declare_field("HolderA", "slot", "ARoot")
+        pb.declare_class("HolderB")
+        pb.declare_field("HolderB", "slot", "BRoot")
+        pb.declare_class("Main")
+        mb = pb.method("Main", "main", is_static=True)
+        mb.return_void()
+        pb.finish_method(mb)
+        pb.add_entry_point("Main.main")
+        program = pb.build()
+        policy = DeclaredTypeSaturation(program.hierarchy, threshold=1)
+        assert policy.field_declared_types("slot") == ("ARoot", "BRoot")
+        top = policy._field_top("slot")
+        assert set(top.reference_types) == {"ARoot", "ALeaf", "BRoot", "BLeaf"}
+
+    def test_generous_threshold_stays_exact(self):
+        program, _ = _hierarchy_program(depth=1, fanout=4)
+        exact = SkipFlowAnalysis(program, AnalysisConfig.skipflow()).run()
+        high = SkipFlowAnalysis(
+            _hierarchy_program(depth=1, fanout=4)[0],
+            AnalysisConfig.skipflow().with_saturation_policy(
+                "declared-type", 1000)).run()
+        assert high.reachable_methods == exact.reachable_methods
+        assert high.stats.saturated_flows == 0
