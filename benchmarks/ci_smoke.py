@@ -9,13 +9,17 @@ the program-store IR blobs while recomputing only the SkipFlow side.
 A 3-way matrix (pta, skipflow, skipflow+saturation) over the same specs
 must be assembled *entirely* from the halves those earlier runs cached —
 every shared half solved exactly once across the whole session — with
-numbers identical to the pairwise runs.  Finally a solver-kernel *policy
+numbers identical to the pairwise runs.  A solver-kernel *policy
 matrix* (fifo/lifo/degree scheduling × off/declared-type saturation) checks
 the policy-aware cache keying: every policy half is keyed distinctly, the
 ``fifo``/``off`` column is served from the halves the first run cached (it
 *is* the default SkipFlow config), a repeat run hits every policy half, and
-all policies agree on the fixed point.  Exits non-zero (with a message) on
-any violation, so it can gate CI::
+all policies agree on the fixed point.  Finally the *incremental* phase
+covers warm re-analysis: an additive edit resumed from the base fixpoint
+must land on the cold fixpoint for strictly fewer steps, the resumed state
+must round-trip through the snapshot store, and a second pass must serve
+the snapshot from the store (a hit) and resume it to the same fixpoint.
+Exits non-zero (with a message) on any violation, so it can gate CI::
 
     python benchmarks/ci_smoke.py --jobs 2 --cache-dir .bench-cache
 """
@@ -25,10 +29,12 @@ from __future__ import annotations
 import argparse
 import sys
 import tempfile
+from pathlib import Path
 
-from repro.core.analysis import AnalysisConfig
-from repro.engine import ResultCache, run_config_matrix, run_specs
-from repro.workloads.generator import spec_from_reduction
+from repro.core.analysis import AnalysisConfig, SkipFlowAnalysis
+from repro.engine import ResultCache, SnapshotStore, run_config_matrix, run_specs
+from repro.workloads.edits import build_edit_delta, default_edit_script
+from repro.workloads.generator import generate_benchmark, spec_from_reduction
 
 #: Configuration halves per comparison (baseline + SkipFlow).
 HALVES = 2
@@ -59,6 +65,69 @@ def _smoke_specs():
         spec_from_reduction(name="smoke-medium", suite="smoke",
                             total_methods=160, reduction_percent=8.0),
     ]
+
+
+def _incremental_phase(cache_dir: str) -> list:
+    """Warm re-analysis smoke: edit → resume beats cold, snapshots round-trip.
+
+    Returns a list of failure messages (empty = phase green).  Uses the
+    engine's snapshot store under the shared cache directory, so the GC
+    smoke downstream also exercises snapshot files.
+    """
+    failures = []
+    spec = _smoke_specs()[0]
+    config = AnalysisConfig.skipflow()
+    script = default_edit_script(spec, steps=1)
+    program = generate_benchmark(spec)
+
+    snapshots = SnapshotStore(Path(cache_dir) / "snapshots")
+    # Drop any entries a previous run against a reused --cache-dir left, so
+    # the hit/miss assertions below stay deterministic.
+    for prefix in (script.prefix(0), script.prefix(1)):
+        path = snapshots.path_for(prefix, config)
+        if path.exists():
+            path.unlink()
+
+    cold_base = SkipFlowAnalysis(program, config).run()
+    chain = cold_base.solver_state
+    snapshots.store(script.prefix(0), config, chain, program)
+
+    delta = build_edit_delta(spec, script.steps[0])
+    delta.apply_to(program, require_monotone=True)
+    before = chain.counters()
+    warm = SkipFlowAnalysis(program, config, state=chain).run()
+    warm_steps = warm.steps - before["steps"]
+    cold = SkipFlowAnalysis(program, config).run()
+    if warm.reachable_methods != cold.reachable_methods or \
+            sorted(warm.call_edges()) != sorted(cold.call_edges()):
+        failures.append(
+            f"{spec.name}: resumed fixpoint differs from the cold fixpoint "
+            f"after a monotone edit")
+    if warm_steps >= cold.steps:
+        failures.append(
+            f"{spec.name}: warm resume was not cheaper than the cold solve "
+            f"({warm_steps} >= {cold.steps} steps)")
+    snapshots.store(script.prefix(1), config, warm.solver_state, program)
+
+    # Second pass: the stored snapshot must be a hit and resume to the
+    # identical fixpoint without extra solver work.
+    reread = SnapshotStore(Path(cache_dir) / "snapshots")
+    restored = reread.load(script.prefix(1), config)
+    if restored is None or reread.hits != 1 or reread.misses != 0:
+        failures.append(
+            f"{spec.name}: snapshot store did not serve the stored state "
+            f"({reread.hits} hits / {reread.misses} misses)")
+        return failures
+    resumed_before = restored.counters()
+    resumed = SkipFlowAnalysis(program, config, state=restored).run()
+    if resumed.steps - resumed_before["steps"] != 0:
+        failures.append(
+            f"{spec.name}: resuming the stored fixpoint was not a no-op "
+            f"({resumed.steps - resumed_before['steps']} steps)")
+    if resumed.reachable_methods != cold.reachable_methods:
+        failures.append(
+            f"{spec.name}: restored snapshot disagrees with the cold fixpoint")
+    return failures
 
 
 def main(argv=None) -> int:
@@ -126,7 +195,9 @@ def main(argv=None) -> int:
             names=[label for label, _ in policy_grid],
             jobs=args.jobs, cache=policy_rerun_cache)
 
-    failures = []
+        incremental_failures = _incremental_phase(cache_dir)
+
+    failures = list(incremental_failures)
     expected_hits = HALVES * len(specs)
     if second_cache.hits != expected_hits or second_cache.misses != 0:
         failures.append(
@@ -240,7 +311,8 @@ def main(argv=None) -> int:
           f"ablation reused {ablation_cache.hits} baseline halves, "
           f"3-way matrix reused {matrix_cache.hits}/{expected_matrix_hits} halves, "
           f"policy matrix {grid_size}x{len(specs)} keyed distinctly "
-          f"(re-run {policy_rerun_cache.hits}/{expected_policy_hits} hits)")
+          f"(re-run {policy_rerun_cache.hits}/{expected_policy_hits} hits), "
+          f"incremental edit resumed warm + snapshot round-trip")
     return 0
 
 

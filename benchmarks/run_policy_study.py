@@ -2,8 +2,8 @@
 
 Usage::
 
-    python benchmarks/run_policy_study.py [--schedulings fifo,lifo,degree,rpo]
-                                          [--saturations off,closed-world,declared-type]
+    python benchmarks/run_policy_study.py [--schedulings fifo,lifo,degree,rpo,hybrid]
+                                          [--saturations off,closed-world,declared-type,allocated-type]
                                           [--threshold 16]
                                           [--benchmark composed-duo-112]
                                           [--jobs 4] [--cache-dir .bench-cache]
@@ -23,7 +23,10 @@ Two questions the study answers directly:
   cheapest on megamorphic workloads;
 * **saturation** — whether the ``declared-type`` sentinel keeps the
   reachable-set re-inflation (and the solver-steps *increase* the
-  closed-world sentinel shows on this suite) smaller than ``closed-world``.
+  closed-world sentinel shows on this suite) smaller than ``closed-world``,
+  and whether the RTA-style ``allocated-type`` sentinel — whose top
+  excludes declared-but-never-allocated types — finally discharges the
+  rare guards and erases most of the re-inflation.
 
 Every combination is one engine configuration, so each (spec, policy) half
 is cached independently under ``--cache-dir`` and the whole grid reuses any
@@ -53,8 +56,9 @@ from repro.reporting.policy import (
 )
 from repro.workloads.suites import wide_hierarchy_suite
 
-DEFAULT_SCHEDULINGS = ("fifo", "lifo", "degree", "rpo")
-DEFAULT_SATURATIONS = ("off", "closed-world", "declared-type")
+DEFAULT_SCHEDULINGS = ("fifo", "lifo", "degree", "rpo", "hybrid")
+DEFAULT_SATURATIONS = ("off", "closed-world", "declared-type",
+                       "allocated-type")
 DEFAULT_THRESHOLD = 16
 
 QUICK_SCHEDULINGS = ("fifo", "lifo", "degree")

@@ -42,7 +42,9 @@ from repro.api.report import AnalysisReport, CallGraphView, wrap_result
 from repro.api.session import (
     AnalysisSession,
     NoEntryPointError,
+    ResumeFallbackWarning,
     SessionComparison,
+    SessionUpdate,
     resolve_roots,
 )
 from repro.core.kernel import (
@@ -59,7 +61,9 @@ __all__ = [
     "CallGraphView",
     "ConfigAnalyzer",
     "NoEntryPointError",
+    "ResumeFallbackWarning",
     "SessionComparison",
+    "SessionUpdate",
     "SolverPolicy",
     "UnknownAnalyzerError",
     "available_analyzers",

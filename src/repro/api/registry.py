@@ -40,6 +40,7 @@ from repro.baselines.cha import ClassHierarchyAnalysis
 from repro.baselines.rta import RapidTypeAnalysis
 from repro.core.analysis import AnalysisConfig, SkipFlowAnalysis
 from repro.core.kernel.policy import SolverPolicy
+from repro.core.state import SolverState
 from repro.ir.program import Program
 
 
@@ -65,7 +66,11 @@ class ConfigAnalyzer:
     *or* the individual ``saturation_threshold`` (the megamorphic-flow
     cutoff; ``None`` keeps the exact paper semantics), ``saturation_policy``
     (the sentinel a saturated flow collapses to), and ``scheduling`` (the
-    worklist order) — but not both forms at once.
+    worklist order) — but not both forms at once.  ``resume`` additionally
+    accepts the :class:`~repro.core.state.SolverState` of a previous solve
+    to warm-start from instead of solving cold; it is deliberately *not* in
+    ``supported_options`` because one state cannot back several analyzers of
+    a comparison (``AnalysisSession.run`` routes it explicitly).
     """
 
     name: str
@@ -104,10 +109,11 @@ class ConfigAnalyzer:
                 *, saturation_threshold: Optional[int] = None,
                 saturation_policy: Optional[str] = None,
                 scheduling: Optional[str] = None,
-                policy: Optional[SolverPolicy] = None) -> AnalysisReport:
+                policy: Optional[SolverPolicy] = None,
+                resume: Optional[SolverState] = None) -> AnalysisReport:
         config = self.config(saturation_threshold, saturation_policy,
                              scheduling, policy)
-        result = SkipFlowAnalysis(program, config).run(roots)
+        result = SkipFlowAnalysis(program, config, state=resume).run(roots)
         return AnalysisReport.from_analysis_result(result, analyzer=self.name)
 
 
@@ -128,13 +134,15 @@ class CallGraphAnalyzer:
                 *, saturation_threshold: Optional[int] = None,
                 saturation_policy: Optional[str] = None,
                 scheduling: Optional[str] = None,
-                policy: Optional[SolverPolicy] = None) -> AnalysisReport:
+                policy: Optional[SolverPolicy] = None,
+                resume: Optional[SolverState] = None) -> AnalysisReport:
         rejected = next(
             (label for label, value in (
                 ("saturation_threshold", saturation_threshold),
                 ("saturation_policy", saturation_policy),
                 ("scheduling", scheduling),
-                ("policy", policy))
+                ("policy", policy),
+                ("resume", resume))
              if value is not None), None)
         if rejected is not None:
             raise ValueError(

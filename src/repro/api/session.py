@@ -19,21 +19,36 @@ per-analysis wrappers:
   analyzer by registry name, :meth:`~AnalysisSession.compare` runs any
   number of them over the same program and roots and returns one
   :class:`SessionComparison`, e.g. the classic precision ladder
-  ``session.compare(["cha", "rta", "pta", "skipflow"])``.
+  ``session.compare(["cha", "rta", "pta", "skipflow"])``;
+* **evolving and re-analyzing** — :meth:`~AnalysisSession.update` applies a
+  :class:`~repro.ir.delta.ProgramDelta` to the session's program, and
+  ``run(name, resume=previous_report)`` warm-starts the solve from the
+  previous fixpoint instead of solving cold.  The session tracks whether
+  every update since the resumed state was monotone; when one was not (or
+  the state does not fit — different configuration, foreign snapshot whose
+  fingerprint rejects the program), the run falls back to a cold solve and
+  says so with a :class:`ResumeFallbackWarning` rather than failing or,
+  worse, resuming unsoundly.
 
 The program is treated as read-only by every registered analyzer, so one
 session can run arbitrarily many analyses over the same object (reflection
-configs are applied once, at load time).
+configs are applied once at load time; :meth:`~AnalysisSession.update` is
+the one sanctioned mutation path, and it bumps the session's generation
+counter so resumable states can be told apart from stale ones).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.api.registry import get_analyzer
+from repro.api.registry import get_analyzer, has_engine_config
 from repro.api.report import AnalysisReport
+from repro.core.results import AnalysisResult
+from repro.core.state import SolverState, SolverStateError
+from repro.ir.delta import AppliedDelta, ProgramDelta
 from repro.ir.program import Program
 from repro.lang.api import compile_source
 
@@ -48,6 +63,23 @@ class NoEntryPointError(ValueError):
     has an empty reachable set under every analysis, which historically
     masked misspelled ``--entry`` names and missing ``Main.main`` methods.
     """
+
+
+class ResumeFallbackWarning(UserWarning):
+    """A requested warm resume was not sound; the session ran cold instead.
+
+    Emitted — never silently swallowed — whenever ``run(..., resume=...)``
+    cannot honor the resume: a non-monotone update happened since the state
+    was produced, the state was solved under a different configuration, the
+    analyzer has no propagation engine, or a stamped snapshot rejects the
+    current program.  The cold result is correct either way; the warning
+    exists so the *cost* surprise is visible.
+    """
+
+
+#: What ``run(..., resume=...)`` accepts: a report or result of a previous
+#: session run, or a bare solver state (e.g. restored from a snapshot).
+ResumeSource = Union[AnalysisReport, AnalysisResult, SolverState]
 
 
 def resolve_roots(program: Program,
@@ -129,6 +161,19 @@ class SessionComparison:
             self.reports, title=title or f"Comparison ({self.program_name})")
 
 
+@dataclass(frozen=True)
+class SessionUpdate:
+    """The record of one :meth:`AnalysisSession.update` application."""
+
+    generation: int
+    monotone: bool
+    reasons: Tuple[str, ...]
+    applied: AppliedDelta
+
+    def summary(self) -> str:
+        return f"generation {self.generation}: {self.applied.summary()}"
+
+
 class AnalysisSession:
     """Run named analyses over one program with shared root resolution."""
 
@@ -137,6 +182,11 @@ class AnalysisSession:
         self.program = program
         self.name = name
         self._default_roots = list(roots) if roots is not None else None
+        #: Bumped by every update(); stamped onto the states run() produces.
+        self._generation = 0
+        #: Generation of the most recent non-monotone update: states from
+        #: before it cannot be resumed (the warm barrier).
+        self._warm_barrier = 0
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -189,6 +239,36 @@ class AnalysisSession:
         return cls(program, name=spec.name)
 
     # ------------------------------------------------------------------ #
+    # Program evolution
+    # ------------------------------------------------------------------ #
+    @property
+    def generation(self) -> int:
+        """How many updates this session's program has absorbed."""
+        return self._generation
+
+    def update(self, delta: ProgramDelta) -> SessionUpdate:
+        """Apply an edit script to the session's program in place.
+
+        Structurally invalid deltas raise (:class:`~repro.ir.delta.
+        DeltaError`) without touching the program.  Valid deltas are applied
+        whether or not they are monotone; a non-monotone application moves
+        the session's *warm barrier*, after which earlier states resume
+        cold (with a :class:`ResumeFallbackWarning`) instead of unsoundly
+        warm.  Returns the application record, including the monotonicity
+        verdict and its reasons.
+        """
+        applied = delta.apply_to(self.program, require_monotone=False)
+        self._generation += 1
+        if not applied.monotone:
+            self._warm_barrier = self._generation
+        return SessionUpdate(
+            generation=self._generation,
+            monotone=applied.monotone,
+            reasons=applied.reasons,
+            applied=applied,
+        )
+
+    # ------------------------------------------------------------------ #
     # Running
     # ------------------------------------------------------------------ #
     def resolve_roots(self, roots: Optional[Iterable[str]] = None) -> List[str]:
@@ -196,12 +276,83 @@ class AnalysisSession:
         return resolve_roots(
             self.program, roots if roots is not None else self._default_roots)
 
+    def _resolve_resume(self, resume: ResumeSource,
+                        analyzer) -> Tuple[Optional[SolverState], str]:
+        """The state to resume from, or (None, why a cold run is needed)."""
+        if not has_engine_config(analyzer):
+            return None, (f"analysis {analyzer.name!r} has no propagation "
+                          f"engine to resume")
+        state: Optional[SolverState]
+        if isinstance(resume, SolverState):
+            state = resume
+        elif isinstance(resume, AnalysisReport):
+            raw = resume.raw
+            state = getattr(raw, "solver_state", None)
+        elif isinstance(resume, AnalysisResult):
+            state = resume.solver_state
+        else:
+            raise TypeError(
+                f"resume must be an AnalysisReport, AnalysisResult, or "
+                f"SolverState, not {type(resume).__name__}")
+        if state is None:
+            return None, "the previous result carries no solver state"
+        generation = getattr(state, "session_generation", None)
+        if generation is not None and generation < self._warm_barrier:
+            return None, ("a non-monotone update was applied after this "
+                          "state was produced")
+        if (generation is None and self._warm_barrier > 0
+                and state.fingerprint is None):
+            # A foreign, unstamped state in a session whose program has seen
+            # a non-monotone update: nothing can prove the state predates or
+            # postdates the break, so warm is not defensible.
+            return None, ("the session's program had a non-monotone update "
+                          "and the state carries neither a session "
+                          "generation nor a fingerprint to prove it is "
+                          "still valid")
+        return state, ""
+
     def run(self, analysis: str, *, roots: Optional[Iterable[str]] = None,
+            resume: Optional[ResumeSource] = None,
             **options) -> AnalysisReport:
-        """Run one registered analysis by name and return its report."""
+        """Run one registered analysis by name and return its report.
+
+        With ``resume``, the solve warm-starts from a previous state (a
+        report/result of an earlier run, or a restored snapshot) instead of
+        starting cold — sound because the session refuses states from
+        before the last non-monotone update and the state itself refuses
+        foreign programs (see :class:`ResumeFallbackWarning`).  Resuming
+        *consumes* the state: it is mutated in place, and the previous
+        report's deep PVPG views (``raw``) follow the continued solve while
+        its scalar fields stay as captured.  Fork the state first to keep a
+        reusable branch point.  Counters on a resumed report are cumulative
+        across the state's solves.
+        """
         analyzer = get_analyzer(analysis)
-        return analyzer.analyze(self.program, self.resolve_roots(roots),
-                                **options)
+        resolved = self.resolve_roots(roots)
+        if resume is not None:
+            state, reason = self._resolve_resume(resume, analyzer)
+            if state is None:
+                warnings.warn(f"falling back to a cold solve: {reason}",
+                              ResumeFallbackWarning, stacklevel=2)
+            else:
+                try:
+                    report = analyzer.analyze(self.program, resolved,
+                                              resume=state, **options)
+                except SolverStateError as error:
+                    warnings.warn(f"falling back to a cold solve: {error}",
+                                  ResumeFallbackWarning, stacklevel=2)
+                else:
+                    self._stamp(report)
+                    return report
+        report = analyzer.analyze(self.program, resolved, **options)
+        self._stamp(report)
+        return report
+
+    def _stamp(self, report: AnalysisReport) -> None:
+        """Tag the report's state with the session generation it solved."""
+        state = getattr(report.raw, "solver_state", None)
+        if state is not None:
+            state.session_generation = self._generation
 
     def compare(self, analyses: Sequence[str], *,
                 roots: Optional[Iterable[str]] = None,

@@ -7,7 +7,10 @@ Usage::
     python -m repro analyze app.java --scheduling degree \
                                      --saturation-policy declared-type \
                                      --saturation-threshold 16
+    python -m repro analyze app.java --save-state app.state  # snapshot the solve
+    python -m repro analyze app2.java --resume-from app.state  # warm re-analysis
     python -m repro compare app.java cha rta pta skipflow    # N-way ladder
+    python -m repro delta app.java app2.java                 # diff + monotone check
     python -m repro callgraph app.java --output graph.dot
     python -m repro pvpg app.java --method Scene.render
     python -m repro bench --scale 1.0 --cache-dir .bench-cache [--gc]
@@ -16,19 +19,26 @@ The input is a file in the Java-like surface language of :mod:`repro.lang`;
 ``bench`` instead lists the synthetic benchmark specs of the evaluation and
 the benchmark engine's cache status for each.  Analyses are resolved by name
 through the :mod:`repro.api` registry, so newly registered analyzers appear
-in ``--analysis`` and ``compare`` without CLI changes.
+in ``--analysis`` and ``compare`` without CLI changes.  ``--save-state`` /
+``--resume-from`` persist and warm-start solver-state snapshots: resuming
+against a program that is not a monotone extension of the snapshotted one
+falls back to a cold solve with a warning on stderr (``repro delta`` shows
+the diff and the monotonicity verdict ahead of time; it exits 1 when the
+edit is non-monotone).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from pathlib import Path
 from typing import List, Optional
 
 from repro.api import (
     AnalysisSession,
     NoEntryPointError,
+    ResumeFallbackWarning,
     available_analyzers,
     available_saturation_policies,
     available_scheduling_policies,
@@ -38,10 +48,13 @@ from repro.api import (
     require_config_analyzer,
 )
 from repro.core.analysis import AnalysisConfig
+from repro.core.state import SolverState
 from repro.image.builder import NativeImageBuilder
 from repro.image.optimizations import collect_optimizations
 from repro.image.reflection import ReflectionConfig
+from repro.ir.delta import diff_programs
 from repro.ir.program import ProgramError
+from repro.lang.api import compile_source
 from repro.lang.errors import LangError
 from repro.reporting.graphviz import call_graph_to_dot, pvpg_to_dot
 
@@ -136,8 +149,56 @@ def _print_call_graph_report(session: AnalysisSession, name: str,
             print(f"    {method}")
 
 
+def _analyze_with_state(session: AnalysisSession, args) -> int:
+    """``analyze --resume-from/--save-state``: warm runs over snapshots.
+
+    Runs through the session (not the image builder): the point of a
+    snapshot is the solver state, so the output is the call-graph report
+    plus the cumulative solver counters, and the mode line says whether the
+    solve actually resumed or fell back cold (the fallback reasons go to
+    stderr either way).
+    """
+    name = _selected_analysis(args)
+    require_config_analyzer(name, purpose="solver-state snapshots")
+    resume_state = None
+    if args.resume_from:
+        resume_state = SolverState.from_bytes(
+            Path(args.resume_from).read_bytes())
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", ResumeFallbackWarning)
+        report = session.run(name, resume=resume_state,
+                             **_policy_options(args))
+    fallbacks = [str(entry.message) for entry in caught
+                 if issubclass(entry.category, ResumeFallbackWarning)]
+    for message in fallbacks:
+        print(f"repro analyze: {message}", file=sys.stderr)
+    if args.resume_from:
+        mode = "cold (resume fell back)" if fallbacks else "warm (resumed)"
+    else:
+        mode = "cold"
+    stats = report.solver_stats
+    print(f"[{report.analyzer}]")
+    print(f"  mode:               {mode}")
+    print(f"  reachable methods:  {report.reachable_method_count}")
+    print(f"  call edges:         {report.call_edge_count}")
+    print(f"  solver steps:       {stats.steps} (cumulative across resumes)")
+    print(f"  solver joins:       {stats.joins}")
+    print(f"  analysis time:      {report.analysis_time_seconds * 1000:.1f} ms")
+    if args.save_state:
+        state = report.raw.solver_state
+        Path(args.save_state).write_bytes(state.to_bytes(session.program))
+        print(f"  saved state:        {args.save_state}")
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     session = _load_session(args)
+    if args.resume_from or args.save_state:
+        if args.compare:
+            raise ValueError(
+                "--compare cannot be combined with --resume-from/--save-state "
+                "(one snapshot backs one configuration)")
+        return _analyze_with_state(session, args)
     if args.compare:
         # ConfigAnalyzer.config is the one place that applies kernel knobs
         # to an engine configuration; the CLI only collects the flags.
@@ -172,6 +233,44 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_delta(args) -> int:
+    """Diff two source files structurally and report monotonicity.
+
+    Exit code 0 means the new program is a monotone extension of the old
+    one (a snapshot of the old program can be warm-resumed over the new);
+    exit code 1 means it is not, and the violations say why.
+    """
+    old_program = compile_source(Path(args.old).read_text())
+    new_program = compile_source(Path(args.new).read_text())
+    delta = diff_programs(old_program, new_program)
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "monotone": delta.is_monotone,
+            "added_classes": list(delta.added_classes),
+            "added_methods": list(delta.added_methods),
+            "added_fields": list(delta.added_fields),
+            "added_entry_points": list(delta.added_entry_points),
+            "violations": list(delta.violations),
+        }, indent=2))
+        return 0 if delta.is_monotone else 1
+    print(f"delta {args.old} -> {args.new}: {delta.summary()}")
+    for label, names in (("classes", delta.added_classes),
+                         ("methods", delta.added_methods),
+                         ("fields", delta.added_fields),
+                         ("entry points", delta.added_entry_points)):
+        if names:
+            print(f"  added {label}:")
+            for name in names:
+                print(f"    + {name}")
+    if delta.violations:
+        print("  violations (warm resume would be unsound):")
+        for violation in delta.violations:
+            print(f"    ! {violation}")
+    return 0 if delta.is_monotone else 1
+
+
 def _cmd_callgraph(args) -> int:
     session = _load_session(args)
     result = _engine_result(session, args, purpose="the call-graph export")
@@ -194,9 +293,10 @@ def _cmd_bench(args) -> int:
     ``base``/``skip`` that only that half is, ``miss`` that neither is.  The
     ``ir`` column reports whether the spec's program blob is in the shared
     program store under the cache directory.  ``--gc`` first drops result
-    entries and IR blobs written by other code versions.
+    entries, IR blobs, and solver-state snapshots written by other code
+    versions.
     """
-    from repro.engine import ProgramStore, ResultCache
+    from repro.engine import ProgramStore, ResultCache, SnapshotStore
     from repro.engine.scheduler import estimated_cost
     from repro.workloads.suites import extended_suites, suite_by_name
 
@@ -214,19 +314,23 @@ def _cmd_bench(args) -> int:
     if args.saturation_threshold is not None:
         baseline = baseline.with_saturation_threshold(args.saturation_threshold)
         skipflow = skipflow.with_saturation_threshold(args.saturation_threshold)
-    cache = store = None
+    cache = store = snapshots = None
     if args.cache_dir:
         cache = ResultCache(args.cache_dir)
         store = ProgramStore(cache.directory / "programs",
                              code_version=cache.code_version)
+        snapshots = SnapshotStore(cache.directory / "snapshots",
+                                  code_version=cache.code_version)
     if args.gc:
         if cache is None:
             print("repro bench: --gc needs --cache-dir", file=sys.stderr)
             return 2
         stale_results = cache.gc()
         stale_blobs = store.gc()
-        print(f"gc: removed {stale_results} stale result entries and "
-              f"{stale_blobs} stale IR blobs from {cache.directory} "
+        stale_snapshots = snapshots.gc()
+        print(f"gc: removed {stale_results} stale result entries, "
+              f"{stale_blobs} stale IR blobs, and {stale_snapshots} stale "
+              f"snapshots from {cache.directory} "
               f"(kept code version {cache.code_version})")
 
     header = (f"{'suite':<14} {'benchmark':<28} {'methods':>7} {'guarded':>7} "
@@ -307,6 +411,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print optimization opportunities")
     analyze.add_argument("--list-unreachable", action="store_true",
                          help="list methods proven unreachable")
+    analyze.add_argument("--save-state", metavar="PATH",
+                         help="write the solver-state snapshot after the "
+                              "solve (for later --resume-from)")
+    analyze.add_argument("--resume-from", metavar="PATH",
+                         help="warm-start from a solver-state snapshot; "
+                              "falls back to a cold solve (with a warning) "
+                              "when the program is not a monotone extension "
+                              "of the snapshotted one")
     analyze.set_defaults(func=_cmd_analyze)
 
     compare = subparsers.add_parser(
@@ -322,6 +434,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="JSON reflection configuration file")
     add_policy_flags(compare)
     compare.set_defaults(func=_cmd_compare)
+
+    delta = subparsers.add_parser(
+        "delta", help="diff two sources and check monotonicity for resume")
+    delta.add_argument("old", help="the previously analyzed source file")
+    delta.add_argument("new", help="the edited source file")
+    delta.add_argument("--json", action="store_true",
+                       help="print the delta as JSON")
+    delta.set_defaults(func=_cmd_delta)
 
     callgraph = subparsers.add_parser("callgraph", help="export the call graph as DOT")
     add_common(callgraph)

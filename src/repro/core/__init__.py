@@ -43,6 +43,7 @@ from repro.core.pvpg import BranchKind, BranchRecord, MethodPVPG, ProgramPVPG
 from repro.core.pvpg_builder import PVPGBuilder
 from repro.core.results import AnalysisResult, MethodSummary
 from repro.core.solver import SkipFlowSolver
+from repro.core.state import SolverState, SolverStateError
 
 __all__ = [
     "DEFAULT_POLICY",
@@ -71,6 +72,8 @@ __all__ = [
     "SkipFlowAnalysis",
     "SkipFlowSolver",
     "SolverPolicy",
+    "SolverState",
+    "SolverStateError",
     "SourceFlow",
     "StoreFieldFlow",
     "available_saturation_policies",

@@ -26,6 +26,7 @@ from repro.core.kernel.policy import SolverPolicy
 from repro.core.kernel.saturation import OFF
 from repro.core.results import AnalysisResult, SolverStats
 from repro.core.solver import SkipFlowSolver
+from repro.core.state import SolverState
 from repro.ir.program import Program
 from repro.ir.validate import validate_program
 
@@ -187,17 +188,29 @@ class SkipFlowAnalysis:
     object under two configurations is supported but callers that mutate
     programs (e.g. reflection configs) should hand each analysis its own
     copy, as the benchmark engine does via the program store.
+
+    ``state`` resumes a previous solve instead of starting cold: pass the
+    ``solver_state`` of an earlier :class:`~repro.core.results.
+    AnalysisResult` (or a restored snapshot) after growing the program
+    monotonically, and only the new parts are propagated.  The state's
+    counters are cumulative across resumed solves, so a resumed result's
+    ``stats`` report total effort; diff them against the previous result to
+    get the warm increment.  Resuming consumes the state (it is mutated in
+    place); :meth:`~repro.core.state.SolverState.fork` first to keep a
+    branch point.
     """
 
-    def __init__(self, program: Program, config: Optional[AnalysisConfig] = None):
+    def __init__(self, program: Program, config: Optional[AnalysisConfig] = None,
+                 *, state: Optional[SolverState] = None):
         self.program = program
         self.config = config or AnalysisConfig.skipflow()
+        self.state = state
 
     def run(self, roots: Optional[Iterable[str]] = None) -> AnalysisResult:
         """Solve to a fixed point and return an :class:`AnalysisResult`."""
         if self.config.validate:
             validate_program(self.program)
-        solver = SkipFlowSolver(self.program, self.config)
+        solver = SkipFlowSolver(self.program, self.config, state=self.state)
         started = time.perf_counter()
         solver.solve(roots)
         elapsed = time.perf_counter() - started
@@ -215,6 +228,7 @@ class SkipFlowAnalysis:
                 transfers=solver.transfers,
                 saturated_flows=solver.saturated_flows,
             ),
+            solver_state=solver.state,
         )
 
 

@@ -23,7 +23,6 @@ PassThrough rules).
 from __future__ import annotations
 
 import enum
-import itertools
 from typing import List, Optional, Set
 
 from repro.core.compare import compare_states
@@ -51,7 +50,37 @@ class FlowKind(enum.Enum):
     FIELD = "field"
 
 
-_flow_ids = itertools.count()
+class _UidAllocator:
+    """Monotone uid source for flows, with a raisable floor.
+
+    Flow uids back the O(1) duplicate-edge sets and the worklist policies'
+    visited sets, so they must be unique *within any one PVPG*.  A solver
+    state restored from a snapshot carries flows with their original uids;
+    :func:`ensure_uid_floor` raises the allocator past them so that flows
+    built while resuming can never collide with restored ones.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def allocate(self) -> int:
+        uid = self._next
+        self._next += 1
+        return uid
+
+    def ensure_floor(self, floor: int) -> None:
+        if floor > self._next:
+            self._next = floor
+
+
+_flow_ids = _UidAllocator()
+
+
+def ensure_uid_floor(floor: int) -> None:
+    """Guarantee that future flow uids are ``>= floor`` (snapshot restore)."""
+    _flow_ids.ensure_floor(floor)
 
 
 class Flow:
@@ -79,7 +108,7 @@ class Flow:
     )
 
     def __init__(self, label: str, method: Optional[str] = None):
-        self.uid: int = next(_flow_ids)
+        self.uid: int = _flow_ids.allocate()
         self.label = label
         self.method = method
         self.state: ValueState = ValueState.empty()

@@ -42,9 +42,12 @@ call edges, and final value states under every scheduling policy, and with
 
 from repro.core.kernel.policy import DEFAULT_POLICY, SolverPolicy
 from repro.core.kernel.saturation import (
+    AllocatedTypeSaturation,
     ClosedWorldSaturation,
     DeclaredTypeSaturation,
+    SaturationContext,
     SaturationPolicy,
+    allocated_types,
     available_saturation_policies,
     make_saturation_policy,
     register_saturation_policy,
@@ -52,6 +55,7 @@ from repro.core.kernel.saturation import (
 from repro.core.kernel.scheduling import (
     DegreeScheduling,
     FifoScheduling,
+    HybridScheduling,
     LifoScheduling,
     RpoScheduling,
     SchedulingPolicy,
@@ -62,15 +66,19 @@ from repro.core.kernel.scheduling import (
 
 __all__ = [
     "DEFAULT_POLICY",
+    "AllocatedTypeSaturation",
     "ClosedWorldSaturation",
     "DeclaredTypeSaturation",
     "DegreeScheduling",
     "FifoScheduling",
+    "HybridScheduling",
     "LifoScheduling",
     "RpoScheduling",
+    "SaturationContext",
     "SaturationPolicy",
     "SchedulingPolicy",
     "SolverPolicy",
+    "allocated_types",
     "available_saturation_policies",
     "available_scheduling_policies",
     "make_saturation_policy",

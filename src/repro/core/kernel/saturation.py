@@ -40,14 +40,51 @@ Built-ins:
     of ``T`` — which holds for the surface language and the workload
     generator (stores and calls respect declared types).  Under that
     assumption the sentinel still dominates every future join, so the
-    result remains a sound over-approximation.
+    result remains a sound over-approximation.  One place the assumption
+    does *not* hold is ``this`` parameters, which receive a call site's
+    unfiltered receiver set: there the collapse keeps whatever arrived
+    before it (joined over the sentinel, so still sound), which makes a
+    saturated flow's exact state history-dependent — reachability and call
+    edges stay canonical, but warm-resumed and cold solves may differ in
+    that residue (see ``tests/core/test_solver_state.py``).
+``allocated-type``
+    An RTA-style top: saturated flows collapse to the set of types that can
+    ever *originate* in a value state — types with an allocation site
+    anywhere in the closed world, plus the instantiable subtypes of the
+    root methods' reference parameter types (conservative root seeding can
+    inject those even without an allocation).  Declared-but-never-allocated
+    types are excluded, so an ``instanceof Rare`` guard over a saturated
+    flow is still discharged when ``Rare`` is never instantiated — the
+    precision loss the closed-world and declared-type sentinels cannot
+    avoid.  Soundness rests on the closed-world origin argument: reference
+    types enter value states only through ``new`` sources, conservative
+    root seeds, and the stub effects of declared-but-bodyless callees —
+    and :func:`allocated_types` unions all three origin sets, computed
+    statically over the whole program text, so the sentinel dominates
+    every arrival independent of reachability and of the schedule, and
+    only grows under monotone program deltas.  This policy needs the
+    program (and the solve's roots), so it is registered with a
+    context-aware factory; see :class:`SaturationContext`.
 
-New policies plug in with :func:`register_saturation_policy`.
+New policies plug in with :func:`register_saturation_policy`; factories
+registered with ``needs_context=True`` receive a :class:`SaturationContext`
+(hierarchy, threshold, program, roots) instead of the bare
+``(hierarchy, threshold)`` pair.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Protocol, Tuple, runtime_checkable
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.core.flows import (
     FieldFlow,
@@ -56,9 +93,14 @@ from repro.core.flows import (
     ParameterFlow,
     StoreFieldFlow,
 )
+from repro.ir.instructions import Assign
 from repro.ir.types import NULL_TYPE_NAME, OBJECT_TYPE_NAME, TypeHierarchy
+from repro.ir.values import ConstKind
 from repro.lattice.primitive import ANY
 from repro.lattice.value_state import ValueState
+
+if TYPE_CHECKING:
+    from repro.ir.program import Program
 
 #: The policy name meaning "no cutoff" (threshold ``None``, exact semantics).
 OFF = "off"
@@ -70,13 +112,18 @@ class SaturationPolicy(Protocol):
 
     ``collapse`` returns the sentinel state the flow should jump to, or
     ``None`` when the freshly joined ``new_state`` is still below the
-    threshold.  A policy instance belongs to exactly one solve (it memoizes
-    sentinels against that solve's type hierarchy).
+    threshold.  ``sentinel_for`` exposes the flow's top directly; the solver
+    uses it when *resuming* a solve to re-collapse already-saturated flows
+    against the current program's (possibly wider) sentinel.  A policy
+    instance belongs to exactly one solve (it memoizes sentinels against
+    that solve's type hierarchy).
     """
 
     name: str
 
     def collapse(self, flow: Flow, new_state: ValueState) -> Optional[ValueState]: ...
+
+    def sentinel_for(self, flow: Flow) -> ValueState: ...
 
 
 class ClosedWorldSaturation:
@@ -100,6 +147,10 @@ class ClosedWorldSaturation:
 
     def _sentinel(self, flow: Flow) -> ValueState:
         return self._closed_world_top()
+
+    def sentinel_for(self, flow: Flow) -> ValueState:
+        """The top this flow would collapse to (resume-time re-collapse)."""
+        return self._sentinel(flow)
 
     def collapse(self, flow: Flow, new_state: ValueState) -> Optional[ValueState]:
         if len(new_state.reference_types) <= self.threshold:
@@ -179,43 +230,137 @@ class DeclaredTypeSaturation(ClosedWorldSaturation):
         return top if top is not None else self._closed_world_top()
 
 
+class AllocatedTypeSaturation(ClosedWorldSaturation):
+    """RTA-style top: only types that can ever originate in a value state."""
+
+    name = "allocated-type"
+
+    def __init__(self, hierarchy: TypeHierarchy, threshold: int,
+                 allocated: FrozenSet[str]) -> None:
+        super().__init__(hierarchy, threshold)
+        self._allocated = allocated
+        self._allocated_top: Optional[ValueState] = None
+
+    def _sentinel(self, flow: Flow) -> ValueState:
+        top = self._allocated_top
+        if top is None:
+            types = set(self._allocated)
+            types.add(NULL_TYPE_NAME)
+            top = ValueState.of_types(types).with_primitive(ANY)
+            self._allocated_top = top
+        return top
+
+
+def allocated_types(program: "Program",
+                    roots: Tuple[str, ...] = ()) -> FrozenSet[str]:
+    """Every type that can originate in a reference state of ``program``.
+
+    The union of three origin sets, each computed over the whole program
+    text — reachability-independent on purpose, so the set is stable under
+    any schedule and only grows under monotone deltas:
+
+    (a) types with a ``new`` site anywhere in the closed world;
+    (b) the instantiable subtypes of the root methods' declared reference
+        parameter types, which conservative root seeding injects without an
+        allocation (mirrors ``SkipFlowSolver._conservative_state``; roots
+        default to the program's entry points);
+    (c) the instantiable subtypes of the reference *return* types of
+        declared-but-bodyless methods (native/opaque stubs): the solver's
+        stub effects inject exactly that conservative state when such a
+        callee is linked, so the sentinel must dominate it too.
+    """
+    allocated = set()
+    for method in program.methods.values():
+        for block in method.blocks:
+            for statement in block.statements:
+                if (isinstance(statement, Assign)
+                        and statement.expr.kind is ConstKind.NEW):
+                    allocated.add(statement.expr.type_name)
+    hierarchy = program.hierarchy
+    for root in roots or tuple(program.entry_points):
+        method = program.methods.get(root)
+        if method is None:
+            continue
+        signature = method.signature
+        declared = list(signature.param_types)
+        if not signature.is_static:
+            declared.append(signature.declaring_class)
+        for type_name in declared:
+            if type_name in hierarchy:
+                allocated.update(hierarchy.instantiable_subtypes(type_name))
+    for cls in hierarchy:
+        for signature in cls.declared_methods.values():
+            if signature.qualified_name in program.methods:
+                continue
+            if (signature.returns_reference
+                    and signature.return_type in hierarchy):
+                allocated.update(
+                    hierarchy.instantiable_subtypes(signature.return_type))
+    return frozenset(allocated)
+
+
 # ---------------------------------------------------------------------- #
 # The registry
 # ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SaturationContext:
+    """Everything a program-aware saturation factory may need for one solve."""
+
+    hierarchy: TypeHierarchy
+    threshold: int
+    program: Optional["Program"] = None
+    roots: Tuple[str, ...] = ()
+
+
 SaturationFactory = Callable[[TypeHierarchy, int], SaturationPolicy]
 
-_SATURATION_POLICIES: Dict[str, SaturationFactory] = {}
+_SATURATION_POLICIES: Dict[str, Tuple[Callable, bool]] = {}
 
 
-def register_saturation_policy(name: str, factory: SaturationFactory,
-                               *, replace: bool = False) -> None:
-    """Register a cutoff policy under ``name`` (one fresh instance per solve)."""
+def register_saturation_policy(name: str, factory: Callable,
+                               *, needs_context: bool = False,
+                               replace: bool = False) -> None:
+    """Register a cutoff policy under ``name`` (one fresh instance per solve).
+
+    Plain factories take ``(hierarchy, threshold)``; factories registered
+    with ``needs_context=True`` take one :class:`SaturationContext` and may
+    inspect the program and the solve's roots (e.g. ``allocated-type``).
+    """
     key = name.strip().lower()
     if key == OFF:
         raise ValueError(f"{OFF!r} is the reserved no-cutoff policy")
     if not replace and key in _SATURATION_POLICIES:
         raise ValueError(f"saturation policy {key!r} is already registered; "
                          f"pass replace=True to override it")
-    _SATURATION_POLICIES[key] = factory
+    _SATURATION_POLICIES[key] = (factory, needs_context)
 
 
 def make_saturation_policy(name: str, hierarchy: TypeHierarchy,
-                           threshold: Optional[int]) -> Optional[SaturationPolicy]:
+                           threshold: Optional[int],
+                           *, program: Optional["Program"] = None,
+                           roots: Tuple[str, ...] = ()
+                           ) -> Optional[SaturationPolicy]:
     """A fresh cutoff policy for one solve, or ``None`` for ``off``.
 
     Returning ``None`` (rather than a never-fires object) lets the solver
     skip the whole saturation branch on its hot path when the cutoff is
     disabled — which is how the default stays bit-identical to the seed.
+    ``program``/``roots`` are forwarded to context-aware factories; plain
+    factories never see them.
     """
     key = name.strip().lower()
     if key == OFF or threshold is None:
         return None
     try:
-        factory = _SATURATION_POLICIES[key]
+        factory, needs_context = _SATURATION_POLICIES[key]
     except KeyError:
         raise ValueError(
             f"unknown saturation policy {name!r}; available: "
             f"{', '.join(available_saturation_policies())}") from None
+    if needs_context:
+        return factory(SaturationContext(hierarchy=hierarchy,
+                                         threshold=threshold,
+                                         program=program, roots=roots))
     return factory(hierarchy, threshold)
 
 
@@ -224,5 +369,18 @@ def available_saturation_policies() -> Tuple[str, ...]:
     return (OFF,) + tuple(sorted(_SATURATION_POLICIES))
 
 
+def _make_allocated_type(context: SaturationContext) -> AllocatedTypeSaturation:
+    if context.program is None:
+        raise ValueError(
+            "the 'allocated-type' saturation policy needs the program; "
+            "it is constructed per solve by the solver (or pass a "
+            "SaturationContext with a program)")
+    return AllocatedTypeSaturation(
+        context.hierarchy, context.threshold,
+        allocated_types(context.program, context.roots))
+
+
 register_saturation_policy("closed-world", ClosedWorldSaturation)
 register_saturation_policy("declared-type", DeclaredTypeSaturation)
+register_saturation_policy("allocated-type", _make_allocated_type,
+                           needs_context=True)

@@ -39,6 +39,13 @@ Built-ins:
     and become the next batch.  This approximates the round-robin
     topological schedule of classic dataflow solvers on a graph that is
     still growing while it is being solved.
+``hybrid``
+    ``degree`` priority inside ``rpo`` batches: pending flows still gather
+    into rounds, but within a round hub flows pop first (ties broken by the
+    round's reverse-postorder rank).  Priorities are computed when the
+    round *forms*, not when a flow is pushed, so edges the linker added
+    while the flow waited are reflected — the "priority refresh on edge
+    addition" that push-time keying (``degree``) cannot afford per edge.
 
 New policies plug in with :func:`register_scheduling_policy`; the CLI, the
 engine, and :class:`~repro.core.kernel.policy.SolverPolicy` validation all
@@ -171,6 +178,47 @@ class RpoScheduling:
         return len(self._pending) + len(self._batch)
 
 
+class HybridScheduling:
+    """Degree priority within reverse-postorder batches, refreshed per round.
+
+    Each round is the set of flows pushed while the previous round drained
+    (exactly :class:`RpoScheduling`'s batching).  When a round forms, every
+    member's fan-out is measured *at that moment* and the round is popped
+    highest-degree first, with the round's reverse-postorder rank breaking
+    ties deterministically.  Measuring at round formation is the priority
+    refresh: a flow that gained edges while pending is promoted, where
+    ``degree`` would still pop it at its stale push-time priority.
+    """
+
+    name = "hybrid"
+
+    def __init__(self) -> None:
+        self._pending: List[Flow] = []
+        #: The current round, ordered so ``list.pop()`` yields highest
+        #: degree first (reverse of the desired pop order).
+        self._batch: List[Flow] = []
+
+    def push(self, flow: Flow) -> None:
+        self._pending.append(flow)
+
+    def pop(self) -> Flow:
+        if not self._batch:
+            postorder = _postorder(self._pending)
+            rank = {flow.uid: position
+                    for position, flow in enumerate(reversed(postorder))}
+            ordered = sorted(
+                postorder,
+                key=lambda flow: (-DegreeScheduling._degree(flow),
+                                  rank[flow.uid]))
+            ordered.reverse()
+            self._batch = ordered
+            self._pending = []
+        return self._batch.pop()
+
+    def __len__(self) -> int:
+        return len(self._pending) + len(self._batch)
+
+
 def _postorder(flows: List[Flow]) -> List[Flow]:
     """DFS postorder of ``flows`` over use edges restricted to ``flows``.
 
@@ -242,3 +290,4 @@ register_scheduling_policy("fifo", FifoScheduling)
 register_scheduling_policy("lifo", LifoScheduling)
 register_scheduling_policy("degree", DegreeScheduling)
 register_scheduling_policy("rpo", RpoScheduling)
+register_scheduling_policy("hybrid", HybridScheduling)

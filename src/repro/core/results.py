@@ -74,6 +74,11 @@ class AnalysisResult:
     analysis_time_seconds: float
     steps: int
     stats: Optional[SolverStats] = None
+    #: The live :class:`~repro.core.state.SolverState` behind this result.
+    #: ``pvpg`` above *is* this state's graph; resuming a later solve from
+    #: the state continues mutating it (the scalar fields of this result —
+    #: counts, sets, stats — are copies taken at solve time and stay put).
+    solver_state: Optional[object] = None
 
     # ------------------------------------------------------------------ #
     # Reachability

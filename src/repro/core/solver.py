@@ -46,8 +46,9 @@ from repro.core.flows import (
 from repro.core.kernel.policy import DEFAULT_POLICY, SolverPolicy
 from repro.core.kernel.saturation import make_saturation_policy
 from repro.core.kernel.scheduling import make_scheduling_policy
-from repro.core.pvpg import MethodPVPG, ProgramPVPG
+from repro.core.pvpg import MethodPVPG
 from repro.core.pvpg_builder import PVPGBuilder
+from repro.core.state import SolverState, SolverStateError
 from repro.ir.instructions import InvokeKind
 from repro.ir.method import Method
 from repro.ir.program import Program
@@ -86,43 +87,97 @@ class SkipFlowSolver:
     * Worklist membership is an intrusive ``in_worklist`` / ``in_link_queue``
       bit on each :class:`Flow` rather than a side set of flow ids; the
       scheduling policy therefore never sees duplicates.
+
+    The *mutable* half of the solve — the PVPG, reachability, counters, and
+    the injection record — lives in a :class:`~repro.core.state.SolverState`
+    that the solver borrows rather than owns.  A fresh solver gets the empty
+    state (the seed-identical cold path); constructing a solver around the
+    state of a previous solve *resumes* the Kleene iteration, which is sound
+    whenever the program only grew monotonically in between (see
+    :mod:`repro.core.state` and :mod:`repro.ir.delta`).  A state belongs to
+    at most one live solver at a time; use :meth:`SolverState.fork` to
+    branch.
     """
 
-    def __init__(self, program: Program, config) -> None:
+    def __init__(self, program: Program, config,
+                 state: Optional[SolverState] = None) -> None:
         self.program = program
         self.hierarchy = program.hierarchy
         self.config = config
-        self.pvpg = ProgramPVPG()
-        self.builder = PVPGBuilder(program, self.pvpg, config)
-
-        #: Qualified names of methods with bodies that have been marked reachable.
-        self.reachable: Set[str] = set()
-        #: Qualified names of called methods without a body (treated conservatively).
-        self.stub_methods: Set[str] = set()
-        #: Number of worklist events processed (a machine-independent cost proxy).
-        self.steps: int = 0
-        #: Joins attempted against a flow's input state (delivery + injection).
-        self.joins: int = 0
-        #: Transfer-function evaluations (recomputations of ``VSout``).
-        self.transfers: int = 0
-        #: Flows collapsed by the saturation cutoff (0 when the cutoff is off).
-        self.saturated_flows: int = 0
 
         #: The kernel policies this solve runs under (``config.solver_policy``;
         #: bare config objects without one get the seed default).
         self.policy: SolverPolicy = getattr(config, "solver_policy", DEFAULT_POLICY)
+        if state is None:
+            state = SolverState.empty(config)
+        elif state.config is not None and state.config != config:
+            raise SolverStateError(
+                f"cannot resume: the state was solved under configuration "
+                f"{getattr(state.config, 'name', state.config)!r}, not "
+                f"{getattr(config, 'name', config)!r}")
+        if state.config is None:
+            state.config = config
+        #: The borrowed mutable fixpoint state (see the class docstring).
+        self.state = state
+        self.pvpg = state.pvpg
+        self.builder = PVPGBuilder(program, self.pvpg, config)
         self._worklist = make_scheduling_policy(self.policy.scheduling)
         #: ``None`` when the cutoff is off — the hot path skips the feature.
-        self._saturation = make_saturation_policy(
-            self.policy.saturation, self.hierarchy,
-            self.policy.saturation_threshold)
+        #: Built per solve (not here): program-aware policies need the roots.
+        self._saturation = None
         self._pending_links: Deque[InvokeFlow] = deque()
+
+    # ------------------------------------------------------------------ #
+    # State views (the mutable fixpoint state lives on ``self.state``)
+    # ------------------------------------------------------------------ #
+    @property
+    def reachable(self) -> Set[str]:
+        """Qualified names of methods with bodies marked reachable."""
+        return self.state.reachable
+
+    @property
+    def stub_methods(self) -> Set[str]:
+        """Qualified names of called methods without a body (conservative)."""
+        return self.state.stub_methods
+
+    @property
+    def steps(self) -> int:
+        """Worklist events processed (a machine-independent cost proxy)."""
+        return self.state.steps
+
+    @property
+    def joins(self) -> int:
+        """Joins attempted against a flow's input state (delivery + injection)."""
+        return self.state.joins
+
+    @property
+    def transfers(self) -> int:
+        """Transfer-function evaluations (recomputations of ``VSout``)."""
+        return self.state.transfers
+
+    @property
+    def saturated_flows(self) -> int:
+        """Flows collapsed by the saturation cutoff (0 when the cutoff is off)."""
+        return self.state.saturated_flows
 
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
     def solve(self, roots: Optional[Iterable[str]] = None) -> None:
-        """Run the analysis to a fixed point starting from the root methods."""
+        """Run the analysis to a fixed point starting from the root methods.
+
+        On a fresh state this is the seed-identical cold solve.  On a state
+        that has already been solved, the iteration *resumes*: the restored
+        worklist residue is rescheduled, saturated flows are re-collapsed
+        against the current program's (possibly wider) sentinels, previous
+        conservative injections are re-played, and only then are the roots
+        seeded — so new roots, new classes, and new methods propagate into
+        the existing fixpoint instead of re-deriving it.
+        """
+        state = self.state
+        resuming = not state.is_fresh
+        if resuming:
+            state.validate_resume(self.program)
         pred_on = self.pvpg.pred_on
         pred_on.enabled = True
         pred_on.state = pred_on.artificial_on_enable
@@ -130,11 +185,70 @@ class SkipFlowSolver:
         root_names = list(roots) if roots is not None else list(self.program.entry_points)
         if not root_names:
             raise ValueError("no root methods: provide roots or program entry points")
+        self._saturation = make_saturation_policy(
+            self.policy.saturation, self.hierarchy,
+            self.policy.saturation_threshold,
+            program=self.program, roots=tuple(root_names))
+        previously_seeded = set(state.seeded_roots)
+        if resuming:
+            self._reattach(state.seeded_roots)
         for root in root_names:
             graph = self._make_reachable(root)
+            if graph is None:
+                continue
+            if resuming and root in previously_seeded:
+                continue  # _reattach already re-played this root's seed.
+            self._seed_root_parameters(graph)
+            if root not in previously_seeded:
+                state.seeded_roots.append(root)
+                previously_seeded.add(root)
+        state.solve_count += 1
+        self._run()
+
+    # ------------------------------------------------------------------ #
+    # Resumption
+    # ------------------------------------------------------------------ #
+    def _reattach(self, seeded_roots: Iterable[str]) -> None:
+        """Prepare a previously solved state for a warm continuation.
+
+        Three things can be stale after a monotone program change:
+
+        * the worklist residue — flows whose intrusive membership bits were
+          set when the state was snapshotted mid-solve (empty at a fixpoint)
+          must re-enter the fresh scheduling container;
+        * saturated flows — their sentinel was computed against the *old*
+          program, and every sentinel only widens as the world grows
+          (closed-world and allocated tops gain types, declared subtrees
+          gain subclasses).  Joins into a saturated flow are skipped, so the
+          flow must first be re-collapsed to the current sentinel or a cold
+          solve of the grown program would see more than the resumed one;
+        * conservative injections — root parameter seeds and stub-callee
+          effects inject ``instantiable_subtypes`` of declared types, which
+          also grow with the hierarchy.  Re-playing them is a no-op join
+          whenever nothing changed.
+        """
+        for flow in self.pvpg.all_flows():
+            if flow.in_worklist:
+                self._worklist.push(flow)
+            if isinstance(flow, InvokeFlow) and flow.in_link_queue:
+                self._pending_links.append(flow)
+        saturation = self._saturation
+        if saturation is not None:
+            for flow in self.pvpg.all_flows():
+                if not flow.saturated:
+                    continue
+                refreshed = flow.state.join(saturation.sentinel_for(flow))
+                if refreshed is not flow.state:
+                    flow.input_state = refreshed
+                    flow.state = refreshed
+                    if flow.enabled:
+                        self._schedule(flow)
+        for root in seeded_roots:
+            graph = self.pvpg.method_graph(root)
             if graph is not None:
                 self._seed_root_parameters(graph)
-        self._run()
+        for invoke_flow, signature in list(self.state.stub_links):
+            self._apply_stub_effects(invoke_flow, signature)
 
     # ------------------------------------------------------------------ #
     # Reachability
@@ -207,17 +321,18 @@ class SkipFlowSolver:
             self._pending_links.append(flow)
 
     def _run(self) -> None:
+        state = self.state
         while self._worklist or self._pending_links:
             if self._pending_links:
                 invoke_flow = self._pending_links.popleft()
                 invoke_flow.in_link_queue = False
                 if invoke_flow.enabled:
                     self._link_invoke(invoke_flow)
-                self.steps += 1
+                state.steps += 1
                 continue
             flow = self._worklist.pop()
             flow.in_worklist = False
-            self.steps += 1
+            state.steps += 1
             self._process(flow)
 
     def _process(self, flow: Flow) -> None:
@@ -234,7 +349,7 @@ class SkipFlowSolver:
     def _deliver(self, source: Flow, target: Flow) -> None:
         if target.saturated:
             return
-        self.joins += 1
+        self.state.joins += 1
         new_input = target.input_state.join(source.state)
         if new_input is not target.input_state:
             target.input_state = new_input
@@ -244,14 +359,14 @@ class SkipFlowSolver:
         """Join an externally produced value into a flow's input (roots, stubs)."""
         if flow.saturated:
             return
-        self.joins += 1
+        self.state.joins += 1
         new_input = flow.input_state.join(state)
         if new_input is not flow.input_state:
             flow.input_state = new_input
             self._recompute(flow)
 
     def _recompute(self, flow: Flow) -> None:
-        self.transfers += 1
+        self.state.transfers += 1
         output = flow.transfer(self.hierarchy)
         new_state = flow.state.join(output)
         if new_state is not flow.state:
@@ -277,7 +392,7 @@ class SkipFlowSolver:
         over-approximation, it is just coarser than the paper's exact
         semantics.
         """
-        self.saturated_flows += 1
+        self.state.saturated_flows += 1
         flow.saturated = True
         flow.input_state = sentinel
         flow.state = sentinel
@@ -372,6 +487,11 @@ class SkipFlowSolver:
         invoke_flow.linked_callees.add(qualified)
         graph = self._make_reachable(qualified)
         if graph is None:
+            # Recorded so a resumed solve can re-play the conservative
+            # effect against a grown hierarchy (see _reattach).  Static
+            # calls to undeclared methods (_record_unknown_callee) inject
+            # only primitive Any, which never widens, so they need no record.
+            self.state.stub_links.append((invoke_flow, signature))
             self._apply_stub_effects(invoke_flow, signature)
             return
         for argument, parameter in zip(invoke_flow.argument_flows, graph.parameter_flows):

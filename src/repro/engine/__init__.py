@@ -20,6 +20,10 @@ arbitrary N-way matrix) from *how* the results are produced:
   and runs: the first solve of a spec pickles the generated program into the
   cache directory and every later solve unpickles the blob instead of
   regenerating and re-lowering it.
+* :mod:`repro.engine.snapshots` persists *solver-state* snapshots — the
+  resumable fixpoint of one (spec, configuration) solve — keyed exactly
+  like result halves, so warm re-analysis after a monotone program edit
+  survives process boundaries (``benchmarks/run_incremental_study.py``).
 
 Invariant: with both configurations at their defaults the engine's numbers
 are bit-identical to running :class:`~repro.image.builder.NativeImageBuilder`
@@ -88,6 +92,7 @@ from repro.engine.runner import (
     run_specs,
 )
 from repro.engine.scheduler import order_by_cost
+from repro.engine.snapshots import SnapshotStore
 
 __all__ = [
     "ComparisonResult",
@@ -95,6 +100,7 @@ __all__ = [
     "MatrixRow",
     "ProgramStore",
     "ResultCache",
+    "SnapshotStore",
     "compute_code_version",
     "order_by_cost",
     "run_config_matrix",

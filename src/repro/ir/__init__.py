@@ -10,6 +10,16 @@ method invocations, and ``if`` terminators restricted to ``=``, ``<`` and
 from repro.ir.blocks import BasicBlock
 from repro.ir.builder import MethodBuilder, ProgramBuilder
 from repro.ir.cfg import ControlFlowGraph
+from repro.ir.delta import (
+    AppliedDelta,
+    DeltaError,
+    FingerprintDelta,
+    NonMonotoneDeltaError,
+    ProgramDelta,
+    ProgramFingerprint,
+    diff_fingerprints,
+    diff_programs,
+)
 from repro.ir.instructions import (
     Assign,
     BlockBegin,
@@ -46,6 +56,7 @@ from repro.ir.validate import ValidationError, validate_method, validate_program
 from repro.ir.values import ConstantExpr, ConstKind, Value
 
 __all__ = [
+    "AppliedDelta",
     "Assign",
     "BasicBlock",
     "BlockBegin",
@@ -56,7 +67,9 @@ __all__ = [
     "ConstKind",
     "ConstantExpr",
     "ControlFlowGraph",
+    "DeltaError",
     "FieldDecl",
+    "FingerprintDelta",
     "If",
     "InstanceOfCondition",
     "Invoke",
@@ -69,9 +82,12 @@ __all__ = [
     "MethodBuilder",
     "MethodSignature",
     "NULL_TYPE_NAME",
+    "NonMonotoneDeltaError",
     "Phi",
     "Program",
     "ProgramBuilder",
+    "ProgramDelta",
+    "ProgramFingerprint",
     "Return",
     "Start",
     "Statement",
@@ -81,6 +97,8 @@ __all__ = [
     "Value",
     "validate_method",
     "validate_program",
+    "diff_fingerprints",
+    "diff_programs",
     "format_method",
     "format_program",
     "invert_compare_op",

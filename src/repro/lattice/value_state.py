@@ -245,6 +245,17 @@ class ValueState:
     # ------------------------------------------------------------------ #
     # Dunder protocol
     # ------------------------------------------------------------------ #
+    def __reduce__(self):
+        """Pickle through the interning factory.
+
+        Snapshots of solver state (:mod:`repro.core.state`) pickle whole
+        PVPGs full of value states; routing unpickling through
+        :meth:`ValueState.of` re-interns every state so the solver's
+        ``is``-based change detection keeps its fast path after a restore
+        (correctness never depends on it — ``__eq__`` stays structural).
+        """
+        return (ValueState.of, (tuple(sorted(self._types)), self._primitive))
+
     def __eq__(self, other: object) -> bool:
         if self is other:
             return True

@@ -1,8 +1,13 @@
-"""Rendering of the evaluation artifacts: Table 1, Figure 9, the saturation
-and policy studies, and DOT exports."""
+"""Rendering of the evaluation artifacts: Table 1, Figure 9, the saturation,
+policy, and incremental studies, and DOT exports."""
 
 from repro.reporting.figures import figure9_series, format_figure9
 from repro.reporting.graphviz import call_graph_to_dot, pvpg_to_dot
+from repro.reporting.incremental import (
+    IncrementalPoint,
+    format_incremental_study,
+    summarize_incremental,
+)
 from repro.reporting.policy import (
     PolicyPoint,
     format_policy_study,
@@ -26,6 +31,7 @@ from repro.reporting.table import (
 
 __all__ = [
     "BenchmarkComparison",
+    "IncrementalPoint",
     "PolicyPoint",
     "SaturationPoint",
     "call_graph_to_dot",
@@ -33,6 +39,7 @@ __all__ = [
     "figure9_series",
     "format_analysis_comparison",
     "format_figure9",
+    "format_incremental_study",
     "format_matrix_table",
     "format_policy_study",
     "format_saturation_study",
@@ -41,6 +48,7 @@ __all__ = [
     "policy_points",
     "pvpg_to_dot",
     "saturation_series",
+    "summarize_incremental",
     "summarize_policy_sweep",
     "summarize_sweep",
     "table1_rows",

@@ -1,0 +1,95 @@
+"""The incremental study: warm re-analysis cost versus cold re-solves.
+
+Each point of the study is one edit step of an
+:class:`~repro.workloads.edits.EditScriptSpec`: after applying the step's
+delta, the *warm* numbers are the increment the resumed solve paid (the
+state's cumulative counters diffed around the solve) and the *cold* numbers
+are a from-scratch solve of the same edited program.  The headline metric —
+``warm steps as % of cold steps`` — is what justifies keeping solver
+snapshots around at all; the equivalence flag records that both solves
+landed on the identical fixpoint (reachable set and call edges), which the
+study checks on every step rather than assuming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class IncrementalPoint:
+    """One edit step's warm-vs-cold measurement."""
+
+    label: str
+    warm_steps: int
+    warm_joins: int
+    warm_time_seconds: float
+    cold_steps: int
+    cold_joins: int
+    cold_time_seconds: float
+    reachable_methods: int
+    fixpoints_match: bool
+
+    @property
+    def warm_step_percent(self) -> float:
+        """Warm steps as a percentage of the cold solve's steps."""
+        if self.cold_steps == 0:
+            return 0.0
+        return 100.0 * self.warm_steps / self.cold_steps
+
+    @property
+    def warm_time_percent(self) -> float:
+        if self.cold_time_seconds == 0:
+            return 0.0
+        return 100.0 * self.warm_time_seconds / self.cold_time_seconds
+
+
+def format_incremental_study(benchmark: str,
+                             points: Sequence[IncrementalPoint]) -> str:
+    """Render one benchmark's edit sequence as a text table."""
+    headers = ["Step", "Reach.", "Warm steps", "Cold steps", "Warm%",
+               "Warm joins", "Cold joins", "Warm[ms]", "Cold[ms]", "Fixpoint"]
+    table: List[List[str]] = [headers]
+    for point in points:
+        table.append([
+            point.label,
+            f"{point.reachable_methods}",
+            f"{point.warm_steps}",
+            f"{point.cold_steps}",
+            f"{point.warm_step_percent:.1f}%",
+            f"{point.warm_joins}",
+            f"{point.cold_joins}",
+            f"{point.warm_time_seconds * 1000:.1f}",
+            f"{point.cold_time_seconds * 1000:.1f}",
+            "ok" if point.fixpoints_match else "MISMATCH",
+        ])
+    widths = [max(len(row[col]) for row in table) for col in range(len(headers))]
+    lines = [f"Incremental study: {benchmark} "
+             "(warm = resumed increment, cold = from-scratch solve of the "
+             "same edited program)"]
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.rjust(width)
+                               for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def summarize_incremental(points: Sequence[IncrementalPoint]) -> dict:
+    """Headline numbers for one benchmark's edit sequence."""
+    if not points:
+        return {"steps": 0, "all_fixpoints_match": True}
+    percents = [point.warm_step_percent for point in points]
+    total_warm = sum(point.warm_steps for point in points)
+    total_cold = sum(point.cold_steps for point in points)
+    return {
+        "steps": len(points),
+        "all_fixpoints_match": all(p.fixpoints_match for p in points),
+        "max_warm_step_percent": max(percents),
+        "mean_warm_step_percent": sum(percents) / len(percents),
+        "first_step_warm_percent": percents[0],
+        "total_warm_steps": total_warm,
+        "total_cold_steps": total_cold,
+        "total_saved_steps": total_cold - total_warm,
+    }

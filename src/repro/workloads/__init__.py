@@ -25,6 +25,15 @@ suite parameterizes :class:`~repro.workloads.generator.HierarchySpec` knobs
 (depth, fanout, call-site polymorphism) instead.
 """
 
+from repro.workloads.edits import (
+    EditAnchor,
+    EditScriptSpec,
+    EditStepSpec,
+    build_edit_delta,
+    default_edit_script,
+    edit_anchor,
+    edit_deltas,
+)
 from repro.workloads.generator import (
     BenchmarkSpec,
     GuardedModuleSpec,
@@ -51,6 +60,9 @@ from repro.workloads.suites import (
 
 __all__ = [
     "BenchmarkSpec",
+    "EditAnchor",
+    "EditScriptSpec",
+    "EditStepSpec",
     "GUARD_PATTERNS",
     "GuardedModuleSpec",
     "HierarchyHandle",
@@ -60,7 +72,11 @@ __all__ = [
     "add_library_module",
     "add_wide_hierarchy_module",
     "all_suites",
+    "build_edit_delta",
     "dacapo_suite",
+    "default_edit_script",
+    "edit_anchor",
+    "edit_deltas",
     "extended_suites",
     "generate_benchmark",
     "microservices_suite",

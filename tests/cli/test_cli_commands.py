@@ -209,11 +209,16 @@ class TestBenchGc:
                              code_version=current.code_version)
         (store.directory / "feedfacedeadbeef-blob.pickle").write_bytes(b"x")
         (store.directory / "preversioning.pickle").write_bytes(b"x")
+        snapshots = cache_dir / "snapshots"
+        snapshots.mkdir()
+        (snapshots / "feedfacedeadbeef-old.state").write_bytes(b"x")
 
         assert cli_main(["bench", "--gc", "--cache-dir", str(cache_dir),
                          "--suite", "DaCapo"]) == 0
         output = capsys.readouterr().out
-        assert "removed 1 stale result entries and 2 stale IR blobs" in output
+        assert ("removed 1 stale result entries, 2 stale IR blobs, "
+                "and 1 stale snapshots") in output
+        assert list(snapshots.glob("*.state")) == []
         assert current.contains("aa" * 16)
         assert not stale.contains("bb" * 16)
         assert list(store.directory.glob("*.pickle")) == []

@@ -1,0 +1,180 @@
+"""The allocated-type saturation policy and the hybrid scheduling policy."""
+
+import pytest
+
+from repro.core.analysis import AnalysisConfig, SkipFlowAnalysis
+from repro.core.kernel import (
+    AllocatedTypeSaturation,
+    SaturationContext,
+    allocated_types,
+    available_saturation_policies,
+    available_scheduling_policies,
+    make_saturation_policy,
+)
+from repro.lang import compile_source
+from repro.workloads.generator import (
+    BenchmarkSpec,
+    GuardedModuleSpec,
+    HierarchySpec,
+    generate_benchmark,
+)
+
+WIDE_SPEC = BenchmarkSpec(
+    name="alloc-wide", suite="test", core_methods=25,
+    guarded_modules=(GuardedModuleSpec("boolean_flag", 8),),
+    hierarchies=(HierarchySpec(depth=2, fanout=5, call_sites=4,
+                               guarded_methods=12),))
+
+THRESHOLD = 8
+
+
+def run_with(program, saturation, threshold=THRESHOLD):
+    config = AnalysisConfig.skipflow()
+    if saturation != "off":
+        config = config.with_saturation_policy(saturation, threshold)
+    return SkipFlowAnalysis(program, config).run()
+
+
+class TestAllocatedTypes:
+    def test_scans_allocation_sites(self):
+        program = compile_source("""
+class Used { }
+class Ghost { }
+class Main { static void main() { Used u = new Used(); } }
+""")
+        allocated = allocated_types(program)
+        assert "Used" in allocated
+        assert "Ghost" not in allocated
+
+    def test_includes_root_parameter_origins(self):
+        program = compile_source("""
+class Plugin { void start() { } }
+class Turbo extends Plugin { void start() { } }
+class Host { void boot(Plugin plugin) { plugin.start() ; } }
+""")
+        assert allocated_types(program, roots=()) == frozenset()
+        seeded = allocated_types(program, roots=("Host.boot",))
+        # The receiver (Host) and the declared parameter subtree (Plugin,
+        # Turbo) can all originate from conservative root seeding.
+        assert {"Host", "Plugin", "Turbo"} <= seeded
+
+    def test_includes_stub_return_origins(self):
+        """Bodyless declared methods inject conservative return states.
+
+        The solver's stub effects inject the instantiable subtypes of a
+        bodyless callee's declared return type; the allocated sentinel must
+        dominate those arrivals too, or joins skipped after a collapse
+        would drop types the exact semantics propagates.
+        """
+        from repro.ir.types import MethodSignature
+
+        program = compile_source("""
+class Plugin { void start() { } }
+class Turbo extends Plugin { void start() { } }
+class Main { static void main() { } }
+""")
+        program.hierarchy.get("Main").declare_method(MethodSignature(
+            declaring_class="Main", name="load", return_type="Plugin",
+            is_static=True))
+        allocated = allocated_types(program)
+        assert {"Plugin", "Turbo"} <= allocated
+        assert "allocated-type" in available_saturation_policies()
+        program = compile_source("class Main { static void main() { } }")
+        policy = make_saturation_policy("allocated-type", program.hierarchy,
+                                        4, program=program)
+        assert isinstance(policy, AllocatedTypeSaturation)
+        with pytest.raises(ValueError, match="needs the program"):
+            make_saturation_policy("allocated-type", program.hierarchy, 4)
+
+    def test_sentinel_excludes_never_allocated_types(self):
+        program = generate_benchmark(WIDE_SPEC)
+        policy = AllocatedTypeSaturation(
+            program.hierarchy, THRESHOLD,
+            allocated_types(program, tuple(program.entry_points)))
+        sentinel = policy.sentinel_for(None)
+        assert "Alloc_wideHier0Rare" not in sentinel.types
+        assert "Alloc_wideHier0L2N0" in sentinel.types  # an allocated leaf
+        assert sentinel.contains_null and sentinel.has_any
+
+    def test_context_dataclass_carries_the_solve(self):
+        program = compile_source("class Main { static void main() { } }")
+        context = SaturationContext(hierarchy=program.hierarchy, threshold=4,
+                                    program=program, roots=("Main.main",))
+        assert context.threshold == 4
+        assert context.roots == ("Main.main",)
+
+
+class TestRareGuardDischarge:
+    """The ROADMAP promise: never-instantiated rare guards finally discharge."""
+
+    def test_rare_guarded_payload_stays_dead(self):
+        program = generate_benchmark(WIDE_SPEC)
+        exact = run_with(program, "off")
+        closed = run_with(program, "closed-world")
+        allocated = run_with(program, "allocated-type")
+
+        payload_entry = "Alloc_wideHier0PayloadEntry.enter"
+        # The cutoff fired in both saturated runs.
+        assert closed.stats.saturated_flows > 0
+        assert allocated.stats.saturated_flows > 0
+        # Closed-world re-inflates the rare-guarded payload; the allocated
+        # sentinel excludes Rare, so the instanceof guard still discharges.
+        assert payload_entry not in exact.reachable_methods
+        assert payload_entry in closed.reachable_methods
+        assert payload_entry not in allocated.reachable_methods
+
+    def test_reinflation_is_smallest_of_all_sentinels(self):
+        program = generate_benchmark(WIDE_SPEC)
+        exact = run_with(program, "off")
+        closed = run_with(program, "closed-world")
+        declared = run_with(program, "declared-type")
+        allocated = run_with(program, "allocated-type")
+        assert (exact.reachable_method_count
+                <= allocated.reachable_method_count
+                < declared.reachable_method_count
+                <= closed.reachable_method_count)
+
+    def test_still_a_sound_over_approximation(self):
+        program = generate_benchmark(WIDE_SPEC)
+        exact = run_with(program, "off")
+        allocated = run_with(program, "allocated-type")
+        assert exact.reachable_methods <= allocated.reachable_methods
+
+
+class TestHybridScheduling:
+    def test_registered(self):
+        assert "hybrid" in available_scheduling_policies()
+
+    def test_reaches_the_fifo_fixpoint(self):
+        program = generate_benchmark(WIDE_SPEC)
+        fifo = SkipFlowAnalysis(program, AnalysisConfig.skipflow()).run()
+        hybrid = SkipFlowAnalysis(
+            program,
+            AnalysisConfig.skipflow().with_scheduling("hybrid")).run()
+        assert hybrid.reachable_methods == fifo.reachable_methods
+        assert sorted(hybrid.call_edges()) == sorted(fifo.call_edges())
+
+    def test_deterministic(self):
+        program = generate_benchmark(WIDE_SPEC)
+        config = AnalysisConfig.skipflow().with_scheduling("hybrid")
+        first = SkipFlowAnalysis(program, config).run()
+        second = SkipFlowAnalysis(program, config).run()
+        assert first.steps == second.steps
+        assert first.stats.joins == second.stats.joins
+
+    def test_refreshes_priorities_at_batch_formation(self):
+        """Degree keys on push-time fan-out; hybrid keys at round formation."""
+        from repro.core.flows import Flow
+        from repro.core.kernel.scheduling import HybridScheduling
+
+        worklist = HybridScheduling()
+        quiet = Flow("quiet")
+        hub = Flow("hub")
+        worklist.push(quiet)
+        worklist.push(hub)
+        # Edges added *after* the push, *before* the round forms.
+        for _ in range(3):
+            hub.add_use(Flow("sink"))
+        assert worklist.pop() is hub  # refreshed priority wins
+        assert worklist.pop() is quiet
+        assert len(worklist) == 0

@@ -1,0 +1,107 @@
+"""The engine's snapshot store: keying, round-trips, crash-safety, GC."""
+
+from repro.core.analysis import AnalysisConfig, SkipFlowAnalysis
+from repro.engine import SnapshotStore
+from repro.workloads.edits import build_edit_delta, default_edit_script
+from repro.workloads.generator import generate_benchmark, spec_from_reduction
+
+SPEC = spec_from_reduction(name="snap-small", suite="test",
+                           total_methods=70, reduction_percent=10.0)
+OTHER_SPEC = spec_from_reduction(name="snap-other", suite="test",
+                                 total_methods=70, reduction_percent=10.0)
+CONFIG = AnalysisConfig.skipflow()
+
+
+def solved_state(program=None):
+    program = program if program is not None else generate_benchmark(SPEC)
+    return SkipFlowAnalysis(program, CONFIG).run(), program
+
+
+class TestKeying:
+    def test_distinct_per_spec_and_config(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        keys = {
+            store.key(SPEC, CONFIG),
+            store.key(OTHER_SPEC, CONFIG),
+            store.key(SPEC, AnalysisConfig.baseline_pta()),
+            store.key(SPEC, CONFIG.with_saturation_threshold(8)),
+            store.key(SPEC, CONFIG.with_scheduling("degree")),
+        }
+        assert len(keys) == 5
+
+    def test_edit_script_prefixes_key_distinctly(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        script = default_edit_script(SPEC, steps=3)
+        keys = {store.key(script.prefix(count), CONFIG)
+                for count in range(4)}
+        assert len(keys) == 4
+
+    def test_filenames_carry_the_code_version(self, tmp_path):
+        store = SnapshotStore(tmp_path, code_version="cafe")
+        assert store.path_for(SPEC, CONFIG).name.startswith("cafe-")
+
+
+class TestRoundTrip:
+    def test_store_load_resume(self, tmp_path):
+        result, program = solved_state()
+        store = SnapshotStore(tmp_path)
+        store.store(SPEC, CONFIG, result.solver_state, program)
+        assert store.contains(SPEC, CONFIG)
+
+        reread = SnapshotStore(tmp_path)
+        state = reread.load(SPEC, CONFIG)
+        assert state is not None and reread.hits == 1
+        before = state.counters()
+        resumed = SkipFlowAnalysis(program, CONFIG, state=state).run()
+        assert resumed.steps - before["steps"] == 0
+        assert resumed.reachable_methods == result.reachable_methods
+
+    def test_stored_snapshot_is_stamped(self, tmp_path):
+        result, program = solved_state()
+        store = SnapshotStore(tmp_path)
+        store.store(SPEC, CONFIG, result.solver_state, program)
+        state = store.load(SPEC, CONFIG)
+        assert state.fingerprint is not None
+
+    def test_resume_across_an_edit(self, tmp_path):
+        result, program = solved_state()
+        store = SnapshotStore(tmp_path)
+        store.store(SPEC, CONFIG, result.solver_state, program)
+
+        script = default_edit_script(SPEC, steps=1)
+        build_edit_delta(SPEC, script.steps[0]).apply_to(
+            program, require_monotone=True)
+        state = store.load(SPEC, CONFIG)
+        before = state.counters()
+        warm = SkipFlowAnalysis(program, CONFIG, state=state).run()
+        cold = SkipFlowAnalysis(program, CONFIG).run()
+        assert warm.reachable_methods == cold.reachable_methods
+        assert warm.steps - before["steps"] < cold.steps
+
+    def test_missing_and_corrupt_blobs_are_misses(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        assert store.load(SPEC, CONFIG) is None
+        store.path_for(SPEC, CONFIG).write_bytes(b"garbage")
+        assert store.load(SPEC, CONFIG) is None
+        assert store.misses == 2 and store.hits == 0
+
+
+class TestMaintenance:
+    def test_clear(self, tmp_path):
+        result, program = solved_state()
+        store = SnapshotStore(tmp_path)
+        store.store(SPEC, CONFIG, result.solver_state, program)
+        assert store.clear() == 1
+        assert not store.contains(SPEC, CONFIG)
+
+    def test_gc_drops_only_foreign_versions(self, tmp_path):
+        result, program = solved_state()
+        store = SnapshotStore(tmp_path)
+        store.store(SPEC, CONFIG, result.solver_state, program)
+        stale = SnapshotStore(tmp_path, code_version="feedface")
+        stale.store(SPEC, CONFIG, result.solver_state, program)
+        (tmp_path / "feedface-orphan.state.tmp123").write_bytes(b"x")
+
+        assert store.gc() == 2  # the stale blob and the orphan temp file
+        assert store.contains(SPEC, CONFIG)
+        assert not stale.contains(SPEC, CONFIG)

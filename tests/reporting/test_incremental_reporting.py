@@ -1,0 +1,49 @@
+"""Rendering and summarizing of the incremental study."""
+
+from repro.reporting.incremental import (
+    IncrementalPoint,
+    format_incremental_study,
+    summarize_incremental,
+)
+
+
+def point(label, warm, cold, match=True):
+    return IncrementalPoint(
+        label=label, warm_steps=warm, warm_joins=warm * 2,
+        warm_time_seconds=warm / 1000.0, cold_steps=cold,
+        cold_joins=cold * 2, cold_time_seconds=cold / 1000.0,
+        reachable_methods=100, fixpoints_match=match)
+
+
+class TestFormatting:
+    def test_table_shows_warm_percent_and_verdict(self):
+        table = format_incremental_study(
+            "bench+2edits", [point("add-variant#0", 50, 1000),
+                             point("add-dispatch#1", 5, 1000)])
+        assert "bench+2edits" in table
+        assert "5.0%" in table and "0.5%" in table
+        assert "ok" in table and "MISMATCH" not in table
+
+    def test_mismatch_is_loud(self):
+        table = format_incremental_study(
+            "bench", [point("edit#0", 50, 1000, match=False)])
+        assert "MISMATCH" in table
+
+    def test_zero_cold_steps_does_not_divide(self):
+        assert point("edge", 0, 0).warm_step_percent == 0.0
+
+
+class TestSummary:
+    def test_headline_numbers(self):
+        summary = summarize_incremental([point("a#0", 50, 1000),
+                                         point("b#1", 10, 500)])
+        assert summary["steps"] == 2
+        assert summary["all_fixpoints_match"]
+        assert summary["first_step_warm_percent"] == 5.0
+        assert summary["max_warm_step_percent"] == 5.0
+        assert summary["total_saved_steps"] == 1440
+
+    def test_empty_sequence(self):
+        summary = summarize_incremental([])
+        assert summary["steps"] == 0
+        assert summary["all_fixpoints_match"]

@@ -1,0 +1,138 @@
+"""Edit-sequence workloads: anchors, determinism, and monotonicity."""
+
+import pytest
+
+from repro.core.analysis import AnalysisConfig, SkipFlowAnalysis
+from repro.engine.cache import hash_dataclass
+from repro.ir.delta import diff_programs
+from repro.workloads.edits import (
+    EditScriptSpec,
+    EditStepSpec,
+    build_edit_delta,
+    default_edit_script,
+    edit_anchor,
+    edit_deltas,
+)
+from repro.workloads.generator import (
+    BenchmarkSpec,
+    GuardedModuleSpec,
+    HierarchySpec,
+    generate_benchmark,
+    spec_from_reduction,
+)
+
+PLAIN_SPEC = spec_from_reduction(name="edit-plain", suite="test",
+                                 total_methods=70, reduction_percent=10.0)
+WIDE_SPEC = BenchmarkSpec(
+    name="edit-wide", suite="test", core_methods=20, guarded_modules=(),
+    hierarchies=(HierarchySpec(depth=1, fanout=6, call_sites=2),))
+COMPOSED_SPEC = BenchmarkSpec(
+    name="edit-composed", suite="test", core_methods=20,
+    guarded_modules=(GuardedModuleSpec("boolean_flag", 8),),
+    hierarchies=(HierarchySpec(depth=1, fanout=6, call_sites=2),
+                 HierarchySpec(depth=1, fanout=4, call_sites=2)),
+    compose_hierarchies=True)
+
+ALL_SPECS = (PLAIN_SPEC, WIDE_SPEC, COMPOSED_SPEC)
+
+
+class TestAnchors:
+    def test_wide_anchor_targets_the_registry(self):
+        anchor = edit_anchor(WIDE_SPEC)
+        assert anchor.root_class == "Edit_wideHier0Node"
+        assert anchor.container_class == "Edit_wideHier0Registry"
+        assert anchor.field_name == "current"
+
+    def test_composed_anchor_targets_the_router(self):
+        anchor = edit_anchor(COMPOSED_SPEC)
+        assert anchor.root_class == "Edit_composedMixCommon"
+        assert anchor.container_class == "Edit_composedMixRouter"
+        assert anchor.field_name == "mixed"
+
+    def test_plain_anchor_targets_the_core_module(self):
+        anchor = edit_anchor(PLAIN_SPEC)
+        assert anchor.root_class == "Edit_plainCore0Base"
+        assert anchor.field_name == "handler"
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.name)
+    def test_anchors_exist_in_the_generated_program(self, spec):
+        program = generate_benchmark(spec)
+        anchor = edit_anchor(spec)
+        assert anchor.root_class in program.hierarchy
+        assert anchor.container_class in program.hierarchy
+        assert anchor.field_name in program.hierarchy.get(
+            anchor.container_class).fields
+
+
+class TestScripts:
+    def test_default_script_rotates_monotone_kinds(self):
+        script = default_edit_script(WIDE_SPEC, steps=4)
+        assert [step.kind for step in script.steps] == [
+            "add-variant", "add-dispatch", "add-guarded-module",
+            "add-variant"]
+        assert script.name == "edit-wide+4edits"
+
+    def test_prefix_truncates_and_hashes_distinctly(self):
+        script = default_edit_script(WIDE_SPEC, steps=3)
+        hashes = {hash_dataclass(script.prefix(count))
+                  for count in range(4)}
+        assert len(hashes) == 4
+        with pytest.raises(ValueError, match="out of range"):
+            script.prefix(4)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown edit kind"):
+            EditStepSpec(kind="rewrite-world", index=0)
+
+    def test_script_spec_is_hashable_like_a_benchmark_spec(self):
+        script = EditScriptSpec(base=WIDE_SPEC,
+                                steps=(EditStepSpec("add-variant", 0),))
+        assert hash_dataclass(script) == hash_dataclass(script)
+        assert hash_dataclass(script) != hash_dataclass(
+            EditScriptSpec(base=WIDE_SPEC))
+
+
+class TestDeltas:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.name)
+    def test_monotone_kinds_apply_monotonically(self, spec):
+        program = generate_benchmark(spec)
+        for delta in edit_deltas(default_edit_script(spec, steps=3)):
+            applied = delta.apply_to(program, require_monotone=True)
+            assert applied.monotone
+
+    def test_deltas_are_deterministic(self):
+        step = EditStepSpec("add-variant", 2)
+        first = generate_benchmark(WIDE_SPEC)
+        second = generate_benchmark(WIDE_SPEC)
+        build_edit_delta(WIDE_SPEC, step).apply_to(first)
+        build_edit_delta(WIDE_SPEC, step).apply_to(second)
+        assert diff_programs(first, second).is_empty
+
+    def test_touch_existing_is_non_monotone(self):
+        program = generate_benchmark(WIDE_SPEC)
+        delta = build_edit_delta(WIDE_SPEC, EditStepSpec("touch-existing", 0))
+        assert not delta.is_monotone_for(program)
+
+    def test_add_variant_reaches_every_dispatch_site(self):
+        program = generate_benchmark(WIDE_SPEC)
+        step = EditStepSpec("add-variant", 0)
+        build_edit_delta(WIDE_SPEC, step).apply_to(
+            program, require_monotone=True)
+        result = SkipFlowAnalysis(program, AnalysisConfig.skipflow()).run()
+        assert "Edit_wideEditVariant0.run" in result.reachable_methods
+        # The variant flows into the shared registry field, so the existing
+        # dispatch sites must have linked its override.
+        targets = result.call_targets("Edit_wideHier0Registry.dispatch0")
+        assert any("Edit_wideEditVariant0.run" in callees
+                   for callees in targets.values())
+
+    def test_add_guarded_module_stays_guarded(self):
+        program = generate_benchmark(WIDE_SPEC)
+        step = EditStepSpec("add-guarded-module", 0)
+        build_edit_delta(WIDE_SPEC, step).apply_to(
+            program, require_monotone=True)
+        result = SkipFlowAnalysis(program, AnalysisConfig.skipflow()).run()
+        # The rotating pattern for index 0 is boolean_flag: SkipFlow proves
+        # the module body dead while the guard driver is reachable.
+        assert "Edit_wideEditLib0Driver.drive" in result.reachable_methods
+        assert "Edit_wideEditLib0Entry.enter" not in result.reachable_methods
