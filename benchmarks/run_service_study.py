@@ -1,0 +1,254 @@
+"""Standalone runner: the analysis service under an editing workload.
+
+Usage::
+
+    python benchmarks/run_service_study.py [--benchmark wide-huge-512]
+                                           [--steps 4]
+                                           [--clients 4] [--rounds 3]
+                                           [--load-benchmark wide-flat-64]
+                                           [--warm-target 20]
+                                           [--output service_study.txt]
+                                           [--quick]
+
+Three phases, all through a real daemon (``repro.service``) over HTTP:
+
+1. **Serving trace** — one session over ``--benchmark``: a cold solve,
+   then ``--steps`` deterministic edits (the incremental study's rotation),
+   each streamed as an ``update`` and paid for by the next ``analyze``.
+   Every response is checked against a *from-scratch* cold solve of the
+   identically edited shadow program: the fixpoint must match exactly, and
+   the warm request's paid steps are reported as a percentage of that cold
+   solve (the ``--warm-target`` gate, default < 20%).
+2. **Eviction round trip** — the session is forcibly evicted to disk,
+   another edit is streamed, and the next analyze must transparently
+   rehydrate, resume warm, and still match the cold fixpoint.
+3. **Load phase** — ``--clients`` concurrent clients each stream
+   ``--rounds`` edit/analyze rounds over their own session of
+   ``--load-benchmark``; reported as analyze-latency percentiles (p50/p95)
+   and the manager's solve-mode mix.
+
+``--quick`` shrinks everything (small spec, 2 steps, 2x2 load) for CI.
+The exit code is non-zero when a fixpoint mismatches or the warm target
+is missed — the study is a gate, not just a table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from typing import Dict, List
+
+from repro.core.analysis import AnalysisConfig, SkipFlowAnalysis
+from repro.reporting.service import (
+    LoadResult,
+    ServicePoint,
+    format_load_result,
+    format_service_study,
+    summarize_service,
+)
+from repro.service import ServiceClient, SessionManager, serving
+from repro.service.manager import percentile
+from repro.workloads.edits import build_edit_delta, default_edit_script
+from repro.workloads.generator import generate_benchmark
+from repro.workloads.suites import wide_hierarchy_suite
+
+DEFAULT_BENCHMARK = "wide-huge-512"
+DEFAULT_LOAD_BENCHMARK = "wide-flat-64"
+QUICK_BENCHMARK = "wide-flat-64"
+
+
+def _find_spec(name: str):
+    for spec in wide_hierarchy_suite():
+        if spec.name == name:
+            return spec
+    known = ", ".join(spec.name for spec in wide_hierarchy_suite())
+    raise SystemExit(f"unknown benchmark {name!r}; known: {known}")
+
+
+def _cold_reference(program) -> tuple:
+    """A from-scratch solve: (steps, sorted reachable, sorted edges)."""
+    result = SkipFlowAnalysis(program, AnalysisConfig.skipflow()).run()
+    return (result.stats.steps,
+            sorted(result.reachable_methods),
+            sorted([caller, callee]
+                   for caller, callee in result.call_edges()))
+
+
+def _point_from_response(label: str, response: dict,
+                         cold: tuple) -> ServicePoint:
+    cold_steps, cold_reachable, cold_edges = cold
+    graph = response["report"]["call_graph"]
+    match = (graph["reachable_methods"] == cold_reachable
+             and sorted(graph["call_edges"]) == cold_edges)
+    return ServicePoint(
+        label=label,
+        mode=response["mode"],
+        steps_paid=response["steps_paid"],
+        cold_steps=cold_steps,
+        latency_ms=response["latency_ms"],
+        reachable_methods=len(graph["reachable_methods"]),
+        fixpoint_match=match,
+    )
+
+
+def run_serving_trace(client: ServiceClient, spec, steps: int,
+                      session: str = "trace") -> List[ServicePoint]:
+    """Phase 1 + 2: the edit stream, then the eviction round trip."""
+    script = default_edit_script(spec, steps + 1)  # last step after eviction
+    shadow = generate_benchmark(spec)              # the cold-solve reference
+    points: List[ServicePoint] = []
+
+    client.open(session, benchmark=spec.name)
+    response = client.analyze(session, "skipflow")
+    points.append(_point_from_response("base (cold)", response,
+                                       _cold_reference(shadow)))
+
+    for step in script.steps[:steps]:
+        client.update(session, edit={"kind": step.kind, "index": step.index})
+        build_edit_delta(spec, step).apply_to(shadow)
+        response = client.analyze(session, "skipflow")
+        points.append(_point_from_response(step.label, response,
+                                           _cold_reference(shadow)))
+
+    # Eviction round trip: spill to disk, stream one more edit, and the
+    # next analyze must rehydrate, resume warm, and match the cold solve.
+    evicted = client.evict(session)
+    assert evicted["evicted"], "forced eviction did not happen"
+    last = script.steps[steps]
+    client.update(session, edit={"kind": last.kind, "index": last.index})
+    build_edit_delta(spec, last).apply_to(shadow)
+    response = client.analyze(session, "skipflow")
+    points.append(_point_from_response(
+        f"evict+rehydrate+{last.label}", response, _cold_reference(shadow)))
+    client.close(session)
+    return points
+
+
+def run_load_phase(client: ServiceClient, spec, clients: int,
+                   rounds: int) -> LoadResult:
+    """Phase 3: concurrent edit streams, one session per client."""
+    latencies: List[float] = []
+    errors: List[BaseException] = []
+    record_lock = threading.Lock()
+
+    def stream(index: int) -> None:
+        name = f"load-{index}"
+        try:
+            client.open(name, benchmark=spec.name)
+            client.analyze(name, "skipflow")  # the session's cold solve
+            for round_index in range(rounds):
+                client.update(name, edit={"kind": "add-variant",
+                                          "index": round_index})
+                started = time.perf_counter()
+                client.analyze(name, "skipflow")
+                elapsed = time.perf_counter() - started
+                with record_lock:
+                    latencies.append(elapsed)
+            client.close(name)
+        except BaseException as error:  # noqa: BLE001 - reported below
+            with record_lock:
+                errors.append(error)
+
+    before = client.metrics()["analyze_modes"]
+    threads = [threading.Thread(target=stream, args=(index,), daemon=True)
+               for index in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    after = client.metrics()
+    modes: Dict[str, int] = {
+        mode: after["analyze_modes"][mode] - before.get(mode, 0)
+        for mode in after["analyze_modes"]}
+    return LoadResult(
+        clients=clients,
+        rounds=rounds,
+        requests=len(latencies),
+        p50_ms=percentile(latencies, 50) * 1000,
+        p95_ms=percentile(latencies, 95) * 1000,
+        analyze_modes=modes,
+        warm_resume_ratio=after["warm_resume_ratio"],
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--benchmark", default=DEFAULT_BENCHMARK,
+                        help="WideHierarchy spec for the serving trace "
+                             f"(default: {DEFAULT_BENCHMARK})")
+    parser.add_argument("--steps", type=int, default=4,
+                        help="edit steps in the serving trace (default: 4)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent clients in the load phase")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="edit/analyze rounds per load client")
+    parser.add_argument("--load-benchmark", default=DEFAULT_LOAD_BENCHMARK,
+                        help="spec each load client edits "
+                             f"(default: {DEFAULT_LOAD_BENCHMARK})")
+    parser.add_argument("--warm-target", type=float, default=20.0,
+                        help="max warm steps as %% of the cold solve "
+                             "(default: 20)")
+    parser.add_argument("--output", default=None,
+                        help="also write the report to this file")
+    parser.add_argument("--quick", action="store_true",
+                        help="small spec, 2 steps, 2x2 load (CI smoke)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.benchmark = QUICK_BENCHMARK
+        args.steps = min(args.steps, 2)
+        args.clients = min(args.clients, 2)
+        args.rounds = min(args.rounds, 2)
+
+    spec = _find_spec(args.benchmark)
+    load_spec = _find_spec(args.load_benchmark)
+
+    manager = SessionManager(max_live_sessions=max(args.clients + 1, 2))
+    with serving(manager) as server:
+        host, port = server.server_address
+        client = ServiceClient.for_address(host, port, timeout=600)
+        points = run_serving_trace(client, spec, args.steps)
+        load = run_load_phase(client, load_spec, args.clients, args.rounds)
+
+    summary = summarize_service(points)
+    lines = [format_service_study(spec.name, points), "",
+             format_load_result(load), ""]
+    verdicts = []
+    if not summary["all_fixpoints_match"]:
+        verdicts.append("FAIL: a served fixpoint differs from the cold solve")
+    warm_max = summary["max_warm_step_percent"]
+    if summary["warm_requests"] == 0:
+        verdicts.append("FAIL: no request was served warm")
+    elif warm_max >= args.warm_target:
+        verdicts.append(
+            f"FAIL: warmest request paid {warm_max:.1f}% of the cold solve "
+            f"(target < {args.warm_target:.0f}%)")
+    else:
+        verdicts.append(
+            f"ok: every warm request paid < {args.warm_target:.0f}% of the "
+            f"cold solve (max {warm_max:.1f}%, "
+            f"mean {summary['mean_warm_step_percent']:.1f}%)")
+    rehydrated = points[-1]
+    if rehydrated.mode == "warm" and rehydrated.fixpoint_match:
+        verdicts.append("ok: eviction + rehydration kept the session warm "
+                        "and the fixpoint exact")
+    else:
+        verdicts.append(
+            f"FAIL: post-rehydration request was {rehydrated.mode} "
+            f"(fixpoint {'ok' if rehydrated.fixpoint_match else 'MISMATCH'})")
+    lines.extend(verdicts)
+
+    report = "\n".join(lines)
+    print(report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+    return 1 if any(line.startswith("FAIL") for line in verdicts) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

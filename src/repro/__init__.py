@@ -26,6 +26,8 @@ session's engine-backed analyzers run)::
     skipflow = SkipFlowAnalysis(program, AnalysisConfig.skipflow()).run()
 """
 
+import warnings
+
 from repro.api import (
     AnalysisReport,
     AnalysisSession,
@@ -35,19 +37,39 @@ from repro.api import (
     get_analyzer,
     register_analyzer,
 )
-from repro.core.analysis import (
-    AnalysisConfig,
-    SkipFlowAnalysis,
-    run_baseline,
-    run_skipflow,
-)
+from repro.core.analysis import AnalysisConfig, SkipFlowAnalysis
 from repro.core.results import AnalysisResult
 from repro.ir.builder import MethodBuilder, ProgramBuilder
 from repro.ir.program import Program
 from repro.ir.types import TypeHierarchy
 from repro.lattice.value_state import ValueState
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+#: Deprecated top-level re-exports, kept as import-time shims.  Accessing
+#: ``repro.run_skipflow`` / ``repro.run_baseline`` / ``repro.run_pta`` warns
+#: once per call site and forwards to the original function; new code should
+#: run analyses by name through :mod:`repro.api` instead.
+_DEPRECATED_RUNNERS = {
+    "run_skipflow": ("repro.core.analysis", 'AnalysisSession.run("skipflow")'),
+    "run_baseline": ("repro.core.analysis", 'AnalysisSession.run("pta")'),
+    "run_pta": ("repro.baselines.pta", 'AnalysisSession.run("pta")'),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, replacement = _DEPRECATED_RUNNERS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    warnings.warn(
+        f"repro.{name} is deprecated; use the repro.api session API instead "
+        f"({replacement} — see docs/api.md for the migration table)",
+        DeprecationWarning, stacklevel=2)
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
 
 __all__ = [
     "AnalysisConfig",
@@ -66,6 +88,7 @@ __all__ = [
     "get_analyzer",
     "register_analyzer",
     "run_baseline",
+    "run_pta",
     "run_skipflow",
     "__version__",
 ]

@@ -25,11 +25,22 @@ The old per-analysis entry points (``run_skipflow``, ``run_baseline``,
 shims; see ``docs/api.md`` for the migration table.
 """
 
+from repro.api.errors import (
+    NoEntryPointError,
+    ReproError,
+    SchemaVersionError,
+    ServiceProtocolError,
+    SessionExistsError,
+    SessionNotFoundError,
+    SessionRehydrationError,
+    UnknownAnalyzerError,
+    exit_code_for,
+    http_status_for,
+)
 from repro.api.registry import (
     Analyzer,
     CallGraphAnalyzer,
     ConfigAnalyzer,
-    UnknownAnalyzerError,
     available_analyzers,
     config_backed_analyzers,
     get_analyzer,
@@ -38,10 +49,15 @@ from repro.api.registry import (
     require_config_analyzer,
     unregister_analyzer,
 )
-from repro.api.report import AnalysisReport, CallGraphView, wrap_result
+from repro.api.report import (
+    SCHEMA_VERSION,
+    AnalysisReport,
+    CallGraphView,
+    call_graph_to_dict,
+    wrap_result,
+)
 from repro.api.session import (
     AnalysisSession,
-    NoEntryPointError,
     ResumeFallbackWarning,
     SessionComparison,
     SessionUpdate,
@@ -61,17 +77,27 @@ __all__ = [
     "CallGraphView",
     "ConfigAnalyzer",
     "NoEntryPointError",
+    "ReproError",
     "ResumeFallbackWarning",
+    "SCHEMA_VERSION",
+    "SchemaVersionError",
+    "ServiceProtocolError",
     "SessionComparison",
+    "SessionExistsError",
+    "SessionNotFoundError",
+    "SessionRehydrationError",
     "SessionUpdate",
     "SolverPolicy",
     "UnknownAnalyzerError",
     "available_analyzers",
     "available_saturation_policies",
     "available_scheduling_policies",
+    "call_graph_to_dict",
     "config_backed_analyzers",
+    "exit_code_for",
     "get_analyzer",
     "has_engine_config",
+    "http_status_for",
     "register_analyzer",
     "require_config_analyzer",
     "resolve_roots",

@@ -1,0 +1,160 @@
+"""The typed error taxonomy of the analysis API, with wire/CLI mappings.
+
+Every error a caller can *act on* — bad analysis names, programs without
+roots, non-monotone deltas, unknown service sessions — is a typed exception
+here (or registered here, for errors whose natural home is a lower layer,
+like :class:`~repro.ir.delta.NonMonotoneDeltaError`).  Two mappings make the
+taxonomy consistent across surfaces:
+
+* :func:`exit_code_for` — the CLI exit code of an error.  ``repro``
+  historically exited 2 for *everything*; the taxonomy splits that into
+  usage errors (2), root-resolution failures (3), compile/program errors
+  (4), delta errors (5), and service/session errors (6), so scripts can
+  branch on the failure class instead of parsing stderr.
+* :func:`http_status_for` — the HTTP status the analysis daemon
+  (:mod:`repro.service`) answers with: 404 for unknown names and sessions,
+  409 for non-monotone conflicts, 422 for inputs that parse but cannot be
+  analyzed, 400 for malformed requests, 500 for internal failures.
+
+Exceptions defined elsewhere keep their historical bases (so existing
+``except ValueError`` / ``except KeyError`` callers are unaffected); the
+classes here layer :class:`ReproError` on top, which is what carries the
+``exit_code`` / ``http_status`` class attributes.
+"""
+
+from __future__ import annotations
+
+#: CLI exit codes, from least to most specific failure class.
+EXIT_FAILURE = 1        # generic/internal failure (also: non-monotone verdicts)
+EXIT_USAGE = 2          # bad flags, unknown analysis names, invalid options
+EXIT_NO_ENTRY = 3       # no analysis roots could be resolved
+EXIT_COMPILE = 4        # the input program does not compile / is malformed
+EXIT_DELTA = 5          # a structurally invalid or non-monotone delta
+EXIT_SESSION = 6        # service-session errors (unknown, lost, duplicate)
+
+
+class ReproError(Exception):
+    """Base of the typed taxonomy: carries exit code and HTTP status.
+
+    Subclasses override the two class attributes; foreign exception types
+    (defined in layers that must not import the API) are registered in the
+    mapping tables consulted by :func:`exit_code_for` /
+    :func:`http_status_for` instead.
+    """
+
+    exit_code = EXIT_USAGE
+    http_status = 400
+
+
+class NoEntryPointError(ReproError, ValueError):
+    """No analysis roots could be resolved for a program.
+
+    Raised instead of silently analyzing nothing: a program without roots
+    has an empty reachable set under every analysis, which historically
+    masked misspelled ``--entry`` names and missing ``Main.main`` methods.
+    """
+
+    exit_code = EXIT_NO_ENTRY
+    http_status = 422
+
+
+class UnknownAnalyzerError(ReproError, KeyError, ValueError):
+    """An analysis name that resolves to nothing in the registry.
+
+    Subclasses both :class:`KeyError` (it is a failed lookup) and
+    :class:`ValueError` (callers validating user input, like the CLI, catch
+    value errors); ``str()`` is overridden to drop ``KeyError``'s quoting.
+    """
+
+    exit_code = EXIT_USAGE
+    http_status = 404
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""
+
+
+class SessionNotFoundError(ReproError, KeyError):
+    """A service request named a session the daemon does not hold."""
+
+    exit_code = EXIT_SESSION
+    http_status = 404
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""
+
+
+class SessionExistsError(ReproError, ValueError):
+    """``open`` named a session that is already open (and ``replace`` was off)."""
+
+    exit_code = EXIT_SESSION
+    http_status = 409
+
+
+class SessionRehydrationError(ReproError, RuntimeError):
+    """An evicted session could not be restored from its spilled blobs."""
+
+    exit_code = EXIT_SESSION
+    http_status = 500
+
+
+class ServiceProtocolError(ReproError, ValueError):
+    """A malformed service request: bad JSON, missing or conflicting fields."""
+
+    exit_code = EXIT_USAGE
+    http_status = 400
+
+
+class SchemaVersionError(ReproError, ValueError):
+    """A serialized report whose schema version this code does not speak."""
+
+    exit_code = EXIT_USAGE
+    http_status = 400
+
+
+def _foreign_types():
+    """The (type, exit code, HTTP status) table for errors homed elsewhere.
+
+    Imported lazily so this module stays import-cycle-free (it is imported
+    by :mod:`repro.api.registry` and :mod:`repro.api.session`, which lower
+    layers must never depend on).  Order matters: the first matching type
+    wins, so subclasses precede their bases.
+    """
+    from repro.ir.delta import DeltaError, NonMonotoneDeltaError
+    from repro.ir.program import ProgramError
+    from repro.lang.errors import LangError
+
+    return (
+        (NonMonotoneDeltaError, EXIT_DELTA, 409),
+        (DeltaError, EXIT_DELTA, 422),
+        (LangError, EXIT_COMPILE, 422),
+        (ProgramError, EXIT_COMPILE, 422),
+    )
+
+
+def exit_code_for(error: BaseException) -> int:
+    """The CLI exit code for ``error`` under the taxonomy.
+
+    Typed errors carry their own code; registered foreign types map through
+    the table; any other :class:`ValueError` is a usage error (the
+    historical exit 2); everything else is a generic failure.
+    """
+    if isinstance(error, ReproError):
+        return error.exit_code
+    for kind, exit_code, _ in _foreign_types():
+        if isinstance(error, kind):
+            return exit_code
+    if isinstance(error, ValueError):
+        return EXIT_USAGE
+    return EXIT_FAILURE
+
+
+def http_status_for(error: BaseException) -> int:
+    """The daemon HTTP status for ``error`` under the taxonomy."""
+    if isinstance(error, ReproError):
+        return error.http_status
+    for kind, _, status in _foreign_types():
+        if isinstance(error, kind):
+            return status
+    if isinstance(error, ValueError):
+        return 400
+    return 500

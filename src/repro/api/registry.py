@@ -35,6 +35,7 @@ from typing import (
     runtime_checkable,
 )
 
+from repro.api.errors import UnknownAnalyzerError
 from repro.api.report import AnalysisReport
 from repro.baselines.cha import ClassHierarchyAnalysis
 from repro.baselines.rta import RapidTypeAnalysis
@@ -160,18 +161,6 @@ class CallGraphAnalyzer:
 # ---------------------------------------------------------------------- #
 _REGISTRY: Dict[str, Analyzer] = {}
 _ALIASES: Dict[str, str] = {}
-
-
-class UnknownAnalyzerError(KeyError, ValueError):
-    """An analysis name that resolves to nothing in the registry.
-
-    Subclasses both :class:`KeyError` (it is a failed lookup) and
-    :class:`ValueError` (callers validating user input, like the CLI, catch
-    value errors); ``str()`` is overridden to drop ``KeyError``'s quoting.
-    """
-
-    def __str__(self) -> str:
-        return self.args[0] if self.args else ""
 
 
 def _normalize(name: str) -> str:

@@ -21,9 +21,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Optional, Protocol, Tuple, runtime_checkable
 
+from repro.api.errors import SchemaVersionError
 from repro.baselines.cha import CallGraphResult
 from repro.core.results import AnalysisResult, SolverStats
 from repro.image.metrics import collect_counter_metrics
+
+#: Version of the JSON report schema produced by :meth:`AnalysisReport.
+#: to_dict` and consumed by :meth:`AnalysisReport.from_dict`.  One wire
+#: format backs ``repro analyze --json``, the analysis daemon's responses,
+#: and any stored report; bump it whenever a field changes meaning or shape,
+#: and ``from_dict`` will refuse payloads it does not speak.
+SCHEMA_VERSION = 1
 
 
 @runtime_checkable
@@ -104,6 +112,62 @@ class AnalysisReport:
         }
 
     # ------------------------------------------------------------------ #
+    # The wire format (SCHEMA_VERSION)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """The full JSON-serializable report under :data:`SCHEMA_VERSION`.
+
+        This is the one wire format shared by ``repro analyze --json``, the
+        analysis daemon, and round-trip persistence: scalar ``metrics`` (the
+        contents of :meth:`as_dict`, minus the analyzer name), the complete
+        ``call_graph`` (see :func:`call_graph_to_dict`), and the solver
+        counters when the algorithm produced them.  The output is
+        deterministic — sets are sorted — so serializing the same report
+        twice yields identical JSON, and ``from_dict``/``to_dict`` round-trip
+        exactly.
+        """
+        metrics = self.as_dict()
+        del metrics["analyzer"]
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "analyzer": self.analyzer,
+            "metrics": metrics,
+            "call_graph": call_graph_to_dict(self),
+            "solver_stats": (self.solver_stats.as_dict()
+                             if self.solver_stats is not None else None),
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "AnalysisReport":
+        """Rebuild a report from its :meth:`to_dict` payload.
+
+        Raises :class:`~repro.api.errors.SchemaVersionError` on a payload
+        written under a schema version this code does not speak.  The
+        rebuilt report has no ``raw`` result (the deep PVPG does not travel
+        over the wire); everything else — call graph, metrics, solver
+        counters — round-trips exactly.
+        """
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise SchemaVersionError(
+                f"unsupported report schema version {version!r}; this code "
+                f"speaks version {SCHEMA_VERSION}")
+        graph = payload["call_graph"]
+        metrics = payload["metrics"]
+        stats = payload.get("solver_stats")
+        return AnalysisReport(
+            analyzer=payload["analyzer"],
+            reachable_methods=frozenset(graph["reachable_methods"]),
+            stub_methods=frozenset(graph["stub_methods"]),
+            call_edges=tuple(
+                (caller, callee) for caller, callee in graph["call_edges"]),
+            analysis_time_seconds=metrics["analysis_time_seconds"],
+            poly_calls=metrics["poly_calls"],
+            solver_stats=SolverStats(**stats) if stats is not None else None,
+            raw=None,
+        )
+
+    # ------------------------------------------------------------------ #
     # Constructors
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -137,6 +201,21 @@ class AnalysisReport:
             solver_stats=None,
             raw=result,
         )
+
+
+def call_graph_to_dict(view: CallGraphView) -> dict:
+    """The JSON shape of any :class:`CallGraphView` (sorted, deterministic).
+
+    Works for an :class:`AnalysisReport` and for anything else satisfying
+    the protocol; the daemon and ``repro analyze --json`` both emit this
+    shape inside the versioned report envelope.
+    """
+    return {
+        "reachable_methods": sorted(view.reachable_methods),
+        "stub_methods": sorted(getattr(view, "stub_methods", ())),
+        "call_edges": sorted(
+            [caller, callee] for caller, callee in view.call_edges),
+    }
 
 
 def wrap_result(result: object, analyzer: Optional[str] = None,

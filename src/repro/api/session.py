@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.api.errors import NoEntryPointError
 from repro.api.registry import get_analyzer, has_engine_config
 from repro.api.report import AnalysisReport
 from repro.core.results import AnalysisResult
@@ -54,15 +55,6 @@ from repro.lang.api import compile_source
 
 #: The conventional entry point used when nothing else is specified.
 DEFAULT_ENTRY_POINT = "Main.main"
-
-
-class NoEntryPointError(ValueError):
-    """No analysis roots could be resolved for a program.
-
-    Raised instead of silently analyzing nothing: a program without roots
-    has an empty reachable set under every analysis, which historically
-    masked misspelled ``--entry`` names and missing ``Main.main`` methods.
-    """
 
 
 class ResumeFallbackWarning(UserWarning):
@@ -199,10 +191,17 @@ class AnalysisSession:
     @classmethod
     def from_source(cls, source: str, *,
                     entry_points: Optional[Iterable[str]] = None,
+                    roots: Optional[Iterable[str]] = None,
                     reflection=None, name: str = "source",
                     validate: bool = True) -> "AnalysisSession":
         """Compile surface-language source and wrap it in a session.
 
+        ``entry_points`` are compiled *into* the program (they must name
+        defined methods, or compilation raises a
+        :class:`~repro.ir.program.ProgramError`); ``roots`` instead become
+        the session's default analysis roots, validated lazily by
+        :func:`resolve_roots` — misspellings surface as
+        :class:`NoEntryPointError`, the taxonomy's root-resolution failure.
         ``reflection`` is an optional :class:`~repro.image.reflection.
         ReflectionConfig`; it is applied once here so that every analysis of
         the session sees the same (augmented) program.
@@ -211,15 +210,16 @@ class AnalysisSession:
                                  validate=validate)
         if reflection is not None:
             reflection.apply_to(program)
-        return cls(program, name=name)
+        return cls(program, name=name, roots=roots)
 
     @classmethod
     def from_file(cls, path, *, entry_points: Optional[Iterable[str]] = None,
+                  roots: Optional[Iterable[str]] = None,
                   reflection=None, validate: bool = True) -> "AnalysisSession":
         path = Path(path)
         return cls.from_source(path.read_text(), entry_points=entry_points,
-                               reflection=reflection, name=path.name,
-                               validate=validate)
+                               roots=roots, reflection=reflection,
+                               name=path.name, validate=validate)
 
     @classmethod
     def from_spec(cls, spec, *, store=None) -> "AnalysisSession":
@@ -245,6 +245,29 @@ class AnalysisSession:
     def generation(self) -> int:
         """How many updates this session's program has absorbed."""
         return self._generation
+
+    @property
+    def warm_barrier(self) -> int:
+        """Generation of the last non-monotone update (0 = none yet).
+
+        States stamped with a generation below the barrier resume cold.
+        """
+        return self._warm_barrier
+
+    def adopt_generations(self, generation: int, warm_barrier: int = 0) -> None:
+        """Re-adopt generation counters after rehydrating a persisted session.
+
+        The service layer evicts idle sessions to disk and rebuilds them
+        later from the pickled program; the rebuilt session must keep the
+        original generation history, or solver states stamped before the
+        eviction would be judged against a reset warm barrier.
+        """
+        if generation < 0 or not 0 <= warm_barrier <= generation:
+            raise ValueError(
+                f"invalid generation counters: generation={generation}, "
+                f"warm_barrier={warm_barrier}")
+        self._generation = generation
+        self._warm_barrier = warm_barrier
 
     def update(self, delta: ProgramDelta) -> SessionUpdate:
         """Apply an edit script to the session's program in place.

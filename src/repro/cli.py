@@ -30,6 +30,7 @@ edit is non-monotone).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import warnings
 from pathlib import Path
@@ -47,12 +48,13 @@ from repro.api import (
     has_engine_config,
     require_config_analyzer,
 )
+from repro.api.errors import exit_code_for
 from repro.core.analysis import AnalysisConfig
 from repro.core.state import SolverState
 from repro.image.builder import NativeImageBuilder
 from repro.image.optimizations import collect_optimizations
 from repro.image.reflection import ReflectionConfig
-from repro.ir.delta import diff_programs
+from repro.ir.delta import DeltaError, diff_programs
 from repro.ir.program import ProgramError
 from repro.lang.api import compile_source
 from repro.lang.errors import LangError
@@ -64,8 +66,12 @@ def _load_session(args) -> AnalysisSession:
     reflection = None
     if args.reflection_config:
         reflection = ReflectionConfig.from_file(Path(args.reflection_config))
+    # --entry names become session default roots (validated by
+    # resolve_roots, so a misspelling is a clean NoEntryPointError / exit 3)
+    # rather than compiled-in entry points (where it would surface as a
+    # ProgramError during compilation).
     return AnalysisSession.from_source(
-        source, entry_points=args.entry or None, reflection=reflection,
+        source, roots=args.entry or None, reflection=reflection,
         name=args.source)
 
 
@@ -193,6 +199,23 @@ def _analyze_with_state(session: AnalysisSession, args) -> int:
 
 def _cmd_analyze(args) -> int:
     session = _load_session(args)
+    if args.json:
+        incompatible = next(
+            (flag for flag, value in (
+                ("--compare", args.compare),
+                ("--optimizations", args.optimizations),
+                ("--list-unreachable", args.list_unreachable),
+                ("--save-state", args.save_state),
+                ("--resume-from", args.resume_from))
+             if value), None)
+        if incompatible:
+            raise ValueError(
+                f"--json cannot be combined with {incompatible}")
+        # The same versioned serializer the analysis daemon answers with:
+        # one wire format for the CLI, the engine, and the service.
+        report = session.run(_selected_analysis(args), **_policy_options(args))
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
     if args.resume_from or args.save_state:
         if args.compare:
             raise ValueError(
@@ -244,8 +267,6 @@ def _cmd_delta(args) -> int:
     new_program = compile_source(Path(args.new).read_text())
     delta = diff_programs(old_program, new_program)
     if args.json:
-        import json
-
         print(json.dumps({
             "monotone": delta.is_monotone,
             "added_classes": list(delta.added_classes),
@@ -282,6 +303,27 @@ def _cmd_pvpg(args) -> int:
     session = _load_session(args)
     result = _engine_result(session, args, purpose="the PVPG export")
     _write_output(pvpg_to_dot(result, args.method or None), args.output)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the analysis daemon in the foreground (``repro serve``).
+
+    Sessions are held by one :class:`~repro.service.manager.SessionManager`
+    for the life of the process; clients talk JSON over HTTP (see
+    ``docs/service.md`` and :mod:`repro.service.client`).  ``--port 0``
+    picks a free port and prints it, which is what the CI smoke uses.
+    """
+    from repro.service import SessionManager, make_server, run_server
+
+    manager = SessionManager(max_live_sessions=args.max_sessions,
+                             spill_dir=args.spill_dir or None)
+    server = make_server(manager, host=args.host, port=args.port)
+    host, port = server.server_address
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"(max {args.max_sessions} live sessions, spill dir "
+          f"{manager.spill_dir})", flush=True)
+    run_server(server)
     return 0
 
 
@@ -405,6 +447,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = subparsers.add_parser("analyze", help="run the analysis and print metrics")
     add_common(analyze)
+    analyze.add_argument("--json", action="store_true",
+                         help="print the full report as versioned JSON (the "
+                              "same wire schema the analysis daemon serves)")
     analyze.add_argument("--compare", action="store_true",
                          help="run both the PTA baseline and SkipFlow")
     analyze.add_argument("--optimizations", action="store_true",
@@ -470,6 +515,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="drop cache entries and IR blobs from old code "
                             "versions (needs --cache-dir)")
     bench.set_defaults(func=_cmd_bench)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the analysis daemon (analysis-as-a-service)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="bind port; 0 picks a free port and prints it "
+                            "(default: 8321)")
+    serve.add_argument("--max-sessions", type=int, default=8,
+                       help="live sessions kept in memory before LRU "
+                            "eviction to the spill directory (default: 8)")
+    serve.add_argument("--spill-dir", default=None,
+                       help="directory for evicted programs and solver "
+                            "states (default: a per-process temp dir)")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 
@@ -478,11 +538,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (NoEntryPointError, ProgramError, LangError, ValueError) as error:
+    except (NoEntryPointError, ProgramError, LangError, DeltaError,
+            ValueError) as error:
         # Unknown analysis names arrive as UnknownAnalyzerError, a ValueError
         # subclass — a genuine internal KeyError still produces a traceback.
+        # The exit code reflects the failure class (see repro.api.errors):
+        # 2 usage, 3 no entry point, 4 compile error, 5 delta, 6 session.
         print(f"repro: {error}", file=sys.stderr)
-        return 2
+        return exit_code_for(error)
 
 
 if __name__ == "__main__":

@@ -47,7 +47,7 @@ loudly — instead.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ir.builder import MethodBuilder
@@ -230,6 +230,43 @@ def diff_programs(old: Program, new: Program) -> FingerprintDelta:
                              ProgramFingerprint.of(new))
 
 
+def delta_between(old: Program, new: Program,
+                  name: str = "delta") -> "ProgramDelta":
+    """The additive edit script turning ``old`` into ``new``.
+
+    The bridge between "here is the whole edited program" callers (an IDE
+    buffer, a service ``update`` request carrying full source) and the
+    delta machinery: the two programs are structurally diffed, and the
+    additions — new classes with their fields and methods, new entry points
+    — are lifted out of ``new`` into a :class:`ProgramDelta` that can be
+    applied to ``old`` (or to any session holding an identical program).
+
+    Only monotone differences are expressible as an additive script, so a
+    non-monotone diff (removals, body edits, members grafted onto
+    pre-existing classes) raises :class:`NonMonotoneDeltaError` carrying the
+    violations instead of silently dropping them.  Callers that want to
+    proceed anyway rebuild from ``new`` and solve cold — exactly what the
+    service layer does when a client passes ``allow_rebuild``.
+    """
+    diff = diff_programs(old, new)
+    if not diff.is_monotone:
+        raise NonMonotoneDeltaError(diff.violations)
+    delta = ProgramDelta(name)
+    for class_name in diff.added_classes:
+        shape = new.hierarchy.get(class_name)
+        delta.declare_class(class_name, superclass=shape.superclass,
+                            interfaces=shape.interfaces,
+                            is_interface=shape.is_interface,
+                            is_abstract=shape.is_abstract)
+        for field_name, decl in sorted(shape.fields.items()):
+            delta.declare_field(class_name, field_name, decl.declared_type)
+    for qualified_name in diff.added_methods:
+        delta.add_method(new.methods[qualified_name])
+    for entry_point in diff.added_entry_points:
+        delta.add_entry_point(entry_point)
+    return delta
+
+
 # --------------------------------------------------------------------------- #
 # The edit script
 # --------------------------------------------------------------------------- #
@@ -328,7 +365,16 @@ class ProgramDelta:
         return MethodBuilder(signature, param_names)
 
     def finish_method(self, builder: MethodBuilder) -> Method:
-        method = builder.build()
+        return self.add_method(builder.build())
+
+    def add_method(self, method: Method) -> Method:
+        """Record an already-built :class:`~repro.ir.method.Method`.
+
+        The escape hatch behind :func:`delta_between`: methods lifted out of
+        a freshly compiled program carry finished bodies, so they enter the
+        script directly instead of through a :class:`~repro.ir.builder.
+        MethodBuilder`.
+        """
         if method.qualified_name in self.method_names:
             raise DeltaError(
                 f"method {method.qualified_name!r} defined twice in delta")

@@ -21,6 +21,13 @@ from repro.reporting.saturation import (
     saturation_series,
     summarize_sweep,
 )
+from repro.reporting.service import (
+    LoadResult,
+    ServicePoint,
+    format_load_result,
+    format_service_study,
+    summarize_service,
+)
 from repro.reporting.table import (
     format_analysis_comparison,
     format_matrix_table,
@@ -32,17 +39,21 @@ from repro.reporting.table import (
 __all__ = [
     "BenchmarkComparison",
     "IncrementalPoint",
+    "LoadResult",
     "PolicyPoint",
     "SaturationPoint",
+    "ServicePoint",
     "call_graph_to_dot",
     "compare_configurations",
     "figure9_series",
     "format_analysis_comparison",
     "format_figure9",
     "format_incremental_study",
+    "format_load_result",
     "format_matrix_table",
     "format_policy_study",
     "format_saturation_study",
+    "format_service_study",
     "format_table1",
     "matrix_table_rows",
     "policy_points",
@@ -50,6 +61,7 @@ __all__ = [
     "saturation_series",
     "summarize_incremental",
     "summarize_policy_sweep",
+    "summarize_service",
     "summarize_sweep",
     "table1_rows",
 ]

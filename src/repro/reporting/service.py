@@ -1,0 +1,125 @@
+"""The service study: analysis-as-a-service latency and warm-serving cost.
+
+Two kinds of measurements come out of ``benchmarks/run_service_study.py``:
+
+* a **serving trace** over one benchmark session — one
+  :class:`ServicePoint` per edit/analyze round trip through the daemon,
+  recording the mode the manager chose (warm / cold / cached), the solver
+  steps that request actually paid, the cold-solve cost of the same edited
+  program (measured from scratch, not assumed), the end-to-end latency,
+  and whether the served fixpoint equals the cold one;
+* a **load result** — concurrent clients streaming edits against the
+  daemon, summarized as request counts, latency percentiles, and the
+  manager's warm-resume ratio (:class:`LoadResult`).
+
+The headline claim mirrors the incremental study's, now measured through
+the wire: warm serving pays a few percent of the cold solve per edit, and
+eviction to disk plus rehydration preserves both the warmth and the
+fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class ServicePoint:
+    """One served analyze request, with its cold-solve reference."""
+
+    label: str
+    mode: str
+    steps_paid: int
+    cold_steps: int
+    latency_ms: float
+    reachable_methods: int
+    fixpoint_match: bool
+
+    @property
+    def warm_step_percent(self) -> float:
+        """Steps this request paid as a percentage of the cold solve."""
+        if self.cold_steps == 0:
+            return 0.0
+        return 100.0 * self.steps_paid / self.cold_steps
+
+
+@dataclass(frozen=True)
+class LoadResult:
+    """A concurrent edit-stream phase against one daemon."""
+
+    clients: int
+    rounds: int
+    requests: int
+    p50_ms: float
+    p95_ms: float
+    analyze_modes: dict
+    warm_resume_ratio: float
+
+
+def format_service_study(benchmark: str,
+                         points: Sequence[ServicePoint]) -> str:
+    """Render one session's serving trace as a text table."""
+    headers = ["Request", "Mode", "Paid steps", "Cold steps", "Warm%",
+               "Reach.", "Latency[ms]", "Fixpoint"]
+    table: List[List[str]] = [headers]
+    for point in points:
+        table.append([
+            point.label,
+            point.mode,
+            f"{point.steps_paid}",
+            f"{point.cold_steps}",
+            f"{point.warm_step_percent:.1f}%",
+            f"{point.reachable_methods}",
+            f"{point.latency_ms:.1f}",
+            "ok" if point.fixpoint_match else "MISMATCH",
+        ])
+    widths = [max(len(row[col]) for row in table)
+              for col in range(len(headers))]
+    lines = [f"Service study: {benchmark} "
+             "(each row is one analyze request through the daemon; cold "
+             "steps measured by a from-scratch solve of the same program)"]
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.rjust(width)
+                               for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def format_load_result(result: LoadResult) -> str:
+    modes = ", ".join(f"{mode}={count}"
+                      for mode, count in sorted(result.analyze_modes.items())
+                      if count)
+    ratio = ("n/a" if result.warm_resume_ratio is None
+             else f"{100.0 * result.warm_resume_ratio:.1f}%")
+    return "\n".join([
+        f"Load phase: {result.clients} concurrent clients x "
+        f"{result.rounds} edit/analyze rounds "
+        f"({result.requests} analyze requests)",
+        f"  analyze latency: p50 {result.p50_ms:.1f} ms, "
+        f"p95 {result.p95_ms:.1f} ms",
+        f"  solve modes: {modes}",
+        f"  warm-resume ratio (of actual solves): {ratio}",
+    ])
+
+
+def summarize_service(points: Sequence[ServicePoint]) -> dict:
+    """Headline numbers for one serving trace.
+
+    Warm percentages are computed over the *warm* requests only — the
+    initial cold solve is the reference, not a data point — and the
+    fixpoint flag covers every request including the rehydration ones.
+    """
+    warm = [point for point in points if point.mode == "warm"]
+    percents = [point.warm_step_percent for point in warm]
+    return {
+        "requests": len(points),
+        "warm_requests": len(warm),
+        "all_fixpoints_match": all(p.fixpoint_match for p in points),
+        "max_warm_step_percent": max(percents) if percents else 0.0,
+        "mean_warm_step_percent": (sum(percents) / len(percents)
+                                   if percents else 0.0),
+        "total_paid_steps": sum(p.steps_paid for p in points),
+        "total_cold_steps": sum(p.cold_steps for p in points),
+    }

@@ -1,0 +1,50 @@
+"""Analysis-as-a-service: a long-lived daemon owning named sessions.
+
+PR 5's incremental machinery — snapshotable solver states, program deltas,
+warm resumes — only pays off when warm state outlives one process.  This
+package is that process: a daemon that owns named
+:class:`~repro.api.session.AnalysisSession` objects and serves analysis
+requests over HTTP with JSON bodies, so an IDE plugin or a CI bot can keep
+a program's solved fixpoint hot across many edit/analyze round trips.
+
+Three layers:
+
+* :mod:`repro.service.manager` — :class:`SessionManager`, the embeddable
+  core: per-session locking for concurrent clients, delta coalescing
+  (queued updates are composed and paid for by one resumed solve), LRU
+  eviction of idle sessions into the engine's
+  :class:`~repro.engine.snapshots.SnapshotStore` /
+  :class:`~repro.engine.program_store.ProgramStore` with transparent
+  rehydration, and structured per-request metrics;
+* :mod:`repro.service.daemon` — the stdlib ``ThreadingHTTPServer`` wrapper
+  exposing the manager as ``/v1/*`` endpoints (``repro serve``);
+* :mod:`repro.service.client` — a stdlib ``urllib`` client used by the
+  tests, the CI smoke, and ``benchmarks/run_service_study.py``.
+
+Responses carry analysis reports in the versioned wire schema of
+:meth:`repro.api.report.AnalysisReport.to_dict` — the same serializer
+behind ``repro analyze --json`` — and errors map to HTTP statuses through
+the :mod:`repro.api.errors` taxonomy.  See ``docs/service.md``.
+"""
+
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.daemon import make_server, run_server, serving
+from repro.service.manager import (
+    ServiceMetrics,
+    SessionManager,
+    SessionSpillSpec,
+)
+from repro.service.wire import WIRE_OPTIONS, WIRE_VERSION
+
+__all__ = [
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceMetrics",
+    "SessionManager",
+    "SessionSpillSpec",
+    "WIRE_OPTIONS",
+    "WIRE_VERSION",
+    "make_server",
+    "run_server",
+    "serving",
+]

@@ -1,0 +1,208 @@
+"""The analysis daemon: a stdlib HTTP shell around :class:`SessionManager`.
+
+``repro serve`` runs this.  The server is a plain
+:class:`http.server.ThreadingHTTPServer` — no framework, no new
+dependencies — with one handler class closed over one manager.  Requests
+map one-to-one onto manager methods:
+
+====================  =====================================================
+``POST /v1/open``     ``{"session", "source" | "benchmark", "roots"?,``
+                      ``"scale"?, "replace"?}`` — create a named session
+``POST /v1/update``   ``{"session", "source" | "edit", "allow_rebuild"?}``
+                      — queue a program change (no solve)
+``POST /v1/analyze``  ``{"session", "analysis", "options"?}`` — drain the
+                      queue and solve (warm when sound); the response
+                      embeds the versioned report payload
+``POST /v1/evict``    ``{"session"}`` — spill to disk now (testing/ops)
+``POST /v1/close``    ``{"session"}`` — drop the session
+``GET /v1/sessions``  every session's status
+``GET /v1/metrics``   the :class:`ServiceMetrics` snapshot
+``GET /v1/health``    liveness probe
+====================  =====================================================
+
+Every response is an envelope (see :mod:`repro.service.wire`); errors are
+mapped to HTTP statuses by :func:`repro.api.errors.http_status_for`, so a
+non-monotone source update is a 409, an unknown session a 404, a compile
+failure a 422 — the same taxonomy the CLI maps to exit codes.
+
+Because the server is threading, concurrent clients genuinely exercise the
+manager's locking: requests on distinct sessions run in parallel, requests
+on one session serialize on its lock.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.api.errors import ServiceProtocolError, http_status_for
+from repro.service.manager import SessionManager
+from repro.service.wire import endpoint, error_envelope, ok_envelope
+
+#: Largest request body the daemon will read, as a sanity bound (16 MiB
+#: comfortably fits any benchmark source this repo can express).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+def make_handler(manager: SessionManager):
+    """The request-handler class for one manager (stdlib handler idiom)."""
+
+    class AnalysisRequestHandler(BaseHTTPRequestHandler):
+        # Quiet by default: the daemon's stdout is for the CLI banner, not
+        # one line per request.  Flip for debugging.
+        log_quietly = True
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib name
+            if not self.log_quietly:
+                super().log_message(format, *args)
+
+        # -------------------------------------------------------------- #
+        # Plumbing
+        # -------------------------------------------------------------- #
+        def _reply(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _reply_error(self, error: BaseException) -> None:
+            status = http_status_for(error)
+            self._reply(status, error_envelope(error, status))
+
+        def _read_request(self) -> dict:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > MAX_BODY_BYTES:
+                raise ServiceProtocolError(
+                    f"request body of {length} bytes exceeds the "
+                    f"{MAX_BODY_BYTES}-byte limit")
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                return {}
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as err:
+                raise ServiceProtocolError(
+                    f"request body is not valid JSON: {err}") from None
+            if not isinstance(payload, dict):
+                raise ServiceProtocolError(
+                    "request body must be a JSON object")
+            return payload
+
+        @staticmethod
+        def _field(payload: dict, name: str, *, required: bool = True):
+            value = payload.get(name)
+            if required and value is None:
+                raise ServiceProtocolError(f"missing request field {name!r}")
+            return value
+
+        # -------------------------------------------------------------- #
+        # Routes
+        # -------------------------------------------------------------- #
+        def do_GET(self) -> None:  # noqa: N802 - stdlib dispatch name
+            try:
+                if self.path == endpoint("sessions"):
+                    result = manager.sessions()
+                elif self.path == endpoint("metrics"):
+                    result = manager.metrics_snapshot()
+                elif self.path == endpoint("health"):
+                    result = {"status": "ok",
+                              "sessions": len(manager.session_names())}
+                else:
+                    raise ServiceProtocolError(
+                        f"unknown endpoint {self.path!r}")
+                self._reply(200, ok_envelope(result))
+            except Exception as error:  # noqa: BLE001 - mapped to statuses
+                self._reply_error(error)
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib dispatch name
+            try:
+                payload = self._read_request()
+                if self.path == endpoint("open"):
+                    result = manager.open(
+                        self._field(payload, "session"),
+                        source=payload.get("source"),
+                        benchmark=payload.get("benchmark"),
+                        roots=payload.get("roots"),
+                        scale=payload.get("scale"),
+                        replace=bool(payload.get("replace", False)))
+                elif self.path == endpoint("update"):
+                    result = manager.update(
+                        self._field(payload, "session"),
+                        source=payload.get("source"),
+                        edit=payload.get("edit"),
+                        allow_rebuild=bool(
+                            payload.get("allow_rebuild", False)))
+                elif self.path == endpoint("analyze"):
+                    options = payload.get("options")
+                    if options is not None and not isinstance(options, dict):
+                        raise ServiceProtocolError(
+                            "'options' must be a JSON object")
+                    result = manager.analyze(
+                        self._field(payload, "session"),
+                        self._field(payload, "analysis"),
+                        options=options)
+                elif self.path == endpoint("evict"):
+                    result = manager.evict(self._field(payload, "session"))
+                elif self.path == endpoint("close"):
+                    result = manager.close(self._field(payload, "session"))
+                else:
+                    raise ServiceProtocolError(
+                        f"unknown endpoint {self.path!r}")
+                self._reply(200, ok_envelope(result))
+            except Exception as error:  # noqa: BLE001 - mapped to statuses
+                self._reply_error(error)
+
+    return AnalysisRequestHandler
+
+
+def make_server(manager: Optional[SessionManager] = None, *,
+                host: str = "127.0.0.1",
+                port: int = 0) -> ThreadingHTTPServer:
+    """A bound (not yet serving) daemon; ``port=0`` picks a free port.
+
+    The manager is reachable as ``server.manager`` and the bound address
+    as ``server.server_address`` — tests and the CLI both need them.
+    """
+    manager = manager or SessionManager()
+    server = ThreadingHTTPServer((host, port), make_handler(manager))
+    server.daemon_threads = True
+    server.manager = manager
+    return server
+
+
+@contextlib.contextmanager
+def serving(manager: Optional[SessionManager] = None, *,
+            host: str = "127.0.0.1", port: int = 0):
+    """Context manager running a daemon on a background thread.
+
+    Yields the server (address in ``server.server_address``); shuts the
+    serve loop down and joins the thread on exit.  This is what the tests,
+    the CI smoke, and the load study use — the blocking
+    :func:`run_server` is only for ``repro serve``.
+    """
+    server = make_server(manager, host=host, port=port)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-service", daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        thread.join(timeout=10)
+        server.server_close()
+
+
+def run_server(server: ThreadingHTTPServer) -> None:
+    """Serve until interrupted (the ``repro serve`` foreground loop)."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.server_close()

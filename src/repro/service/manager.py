@@ -1,0 +1,692 @@
+"""The session manager: named, lock-guarded, evictable analysis sessions.
+
+:class:`SessionManager` is the embeddable core of analysis-as-a-service —
+the daemon is a thin HTTP shell around it, and the tests drive it directly.
+It owns a registry of named :class:`ManagedSession` objects, each wrapping
+one :class:`~repro.api.session.AnalysisSession`, and provides the four
+properties a long-lived server needs that a bare session does not:
+
+**Concurrency.**  A manager-level lock guards the name registry; every
+managed session carries its own re-entrant lock serializing update/analyze
+on that session, so concurrent clients on *distinct* sessions proceed in
+parallel while interleaved requests on *one* session are consistent.
+
+**Delta coalescing.**  ``update`` requests queue
+:class:`~repro.ir.delta.ProgramDelta` scripts instead of solving; the next
+``analyze`` drains the queue and pays for all of them with one (warm,
+whenever sound) solve.  An editor streaming keystroke-sized edits gets one
+resumed fixpoint per analysis request, not one per edit.
+
+**Eviction and rehydration.**  Idle sessions past ``max_live_sessions``
+are spilled least-recently-used: the program goes to the engine's
+:class:`~repro.engine.program_store.ProgramStore` and every analyzer
+slot's solver state to the :class:`~repro.engine.snapshots.SnapshotStore`,
+keyed by a :class:`SessionSpillSpec` exactly like benchmark blobs are keyed
+by their specs.  The next request on an evicted session transparently
+rehydrates it — program unpickled, states re-stamped with their original
+session generations via
+:meth:`~repro.api.session.AnalysisSession.adopt_generations` — so warm
+resumption survives the round trip to disk.
+
+**Metrics.**  Every request updates a :class:`ServiceMetrics` snapshot:
+request counts, solve modes (cached / warm / cold / cold-fallback), steps
+paid warm vs cold, coalescing depth, eviction traffic, and analyze-latency
+percentiles.
+
+Warm solves stay *sound*, not just fast: the manager only offers a slot's
+state for resumption when the slot's generation is at or past the
+session's warm barrier (no non-monotone update intervened), and the
+session itself re-checks every resume — the manager is an optimization
+layer, never a second soundness authority.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api.errors import (
+    ServiceProtocolError,
+    SessionExistsError,
+    SessionNotFoundError,
+    SessionRehydrationError,
+)
+from repro.api.registry import get_analyzer
+from repro.api.session import AnalysisSession, SessionUpdate
+from repro.engine.program_store import ProgramStore
+from repro.engine.snapshots import SnapshotStore
+from repro.ir.delta import NonMonotoneDeltaError, ProgramDelta, delta_between
+from repro.lang.api import compile_source
+from repro.service.wire import WIRE_OPTIONS
+from repro.workloads.edits import EditStepSpec, build_edit_delta
+from repro.workloads.generator import BenchmarkSpec
+from repro.workloads.suites import DEFAULT_SCALE, extended_suites
+
+#: How many analyze latencies the metrics ring buffer keeps.
+LATENCY_WINDOW = 4096
+
+#: Solve modes an ``analyze`` request can report.
+ANALYZE_MODES = ("cached", "warm", "cold", "cold-fallback")
+
+
+@dataclass(frozen=True)
+class SessionSpillSpec:
+    """The cache identity of one evicted session's on-disk blobs.
+
+    A frozen dataclass so the engine stores key it through
+    :func:`~repro.engine.cache.hash_dataclass` exactly like a
+    :class:`~repro.workloads.generator.BenchmarkSpec`: the program blob is
+    keyed by ``(session, generation)`` with an empty slot, each solver
+    state by ``(session, generation, slot key)``.  Distinct generations
+    get distinct blobs, so a stale spill can never shadow a newer one.
+    """
+
+    session: str
+    generation: int
+    slot: str = ""
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` (linear interpolation).
+
+    ``q`` is in ``[0, 100]``.  Returns ``0.0`` for an empty sequence — the
+    metrics snapshot wants a number, not an exception, before any request
+    has been served.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return float(ordered[low] + (ordered[high] - ordered[low]) * fraction)
+
+
+class ServiceMetrics:
+    """Thread-safe counters and latency percentiles for one manager."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counts: Dict[str, int] = {
+            "opens": 0, "updates": 0, "analyzes": 0, "closes": 0,
+            "evictions": 0, "rehydrations": 0,
+            "rehydration_state_misses": 0, "rebuilds": 0,
+        }
+        self.modes: Dict[str, int] = {mode: 0 for mode in ANALYZE_MODES}
+        self.warm_steps_paid = 0
+        self.cold_steps_paid = 0
+        self.coalesced_updates = 0
+        self.max_coalesced = 0
+        self._latencies: deque = deque(maxlen=LATENCY_WINDOW)
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        with self._lock:
+            self.counts[key] = self.counts.get(key, 0) + amount
+
+    def record_analyze(self, *, mode: str, steps_paid: int,
+                       coalesced: int, latency_seconds: float) -> None:
+        with self._lock:
+            self.counts["analyzes"] += 1
+            self.modes[mode] = self.modes.get(mode, 0) + 1
+            if mode == "warm":
+                self.warm_steps_paid += steps_paid
+            elif mode in ("cold", "cold-fallback"):
+                self.cold_steps_paid += steps_paid
+            self.coalesced_updates += coalesced
+            self.max_coalesced = max(self.max_coalesced, coalesced)
+            self._latencies.append(latency_seconds)
+
+    def snapshot(self) -> dict:
+        """One JSON-ready view of every counter (the ``/v1/metrics`` body)."""
+        with self._lock:
+            warm = self.modes["warm"]
+            solved = warm + self.modes["cold"] + self.modes["cold-fallback"]
+            latencies = list(self._latencies)
+            return {
+                "requests": dict(self.counts),
+                "analyze_modes": dict(self.modes),
+                "warm_resume_ratio": (warm / solved) if solved else None,
+                "warm_steps_paid": self.warm_steps_paid,
+                "cold_steps_paid": self.cold_steps_paid,
+                "coalesced_updates": self.coalesced_updates,
+                "max_coalesced": self.max_coalesced,
+                "analyze_latency_ms": {
+                    "count": len(latencies),
+                    "p50": round(percentile(latencies, 50) * 1000, 3),
+                    "p95": round(percentile(latencies, 95) * 1000, 3),
+                },
+            }
+
+
+@dataclass
+class _AnalyzerSlot:
+    """One (analyzer, options) combination's last solve on a session."""
+
+    key: str
+    analysis: str
+    options: Dict[str, object]
+    state: Optional[object]         # SolverState, or None for CHA/RTA
+    payload: Optional[dict]         # AnalysisReport.to_dict() of the solve
+    generation: int                 # session generation the slot solved
+
+
+@dataclass(frozen=True)
+class _SlotRecord:
+    """The in-memory remainder of a slot while its session is evicted."""
+
+    key: str
+    analysis: str
+    options: Tuple[Tuple[str, object], ...]
+    generation: int
+    payload: Optional[dict]
+    config: Optional[object]        # AnalysisConfig keying the snapshot
+    has_state: bool
+
+
+@dataclass(frozen=True)
+class _EvictedSession:
+    """What stays in memory for a spilled session: keys, not object graphs."""
+
+    generation: int
+    warm_barrier: int
+    program_spec: SessionSpillSpec
+    slots: Tuple[_SlotRecord, ...]
+
+
+@dataclass
+class ManagedSession:
+    """One named session plus its service-layer bookkeeping."""
+
+    name: str
+    origin: str                     # "source" | "benchmark"
+    session: Optional[AnalysisSession]
+    spec: Optional[BenchmarkSpec] = None
+    roots: Optional[List[str]] = None
+    lock: threading.RLock = field(default_factory=threading.RLock)
+    pending: List[ProgramDelta] = field(default_factory=list)
+    slots: Dict[str, _AnalyzerSlot] = field(default_factory=dict)
+    evicted: Optional[_EvictedSession] = None
+    last_used: float = field(default_factory=time.monotonic)
+
+    def touch(self) -> None:
+        self.last_used = time.monotonic()
+
+    def drain_pending(self) -> List[SessionUpdate]:
+        """Apply every queued delta to the live session, in queue order."""
+        applied: List[SessionUpdate] = []
+        while self.pending:
+            delta = self.pending.pop(0)
+            applied.append(self.session.update(delta))
+        return applied
+
+
+def _slot_key(analysis: str, options: Dict[str, object]) -> str:
+    return f"{analysis}|{json.dumps(options, sort_keys=True)}"
+
+
+def validate_wire_options(options: Dict[str, object]) -> None:
+    """Reject analyzer options the wire protocol does not carry."""
+    for key, value in options.items():
+        if key not in WIRE_OPTIONS:
+            raise ServiceProtocolError(
+                f"unsupported analyzer option {key!r}; the wire accepts: "
+                f"{', '.join(sorted(WIRE_OPTIONS))}")
+        if value is not None and not isinstance(value, (str, int)):
+            raise ServiceProtocolError(
+                f"analyzer option {key!r} must be a JSON scalar, "
+                f"not {type(value).__name__}")
+
+
+class SessionManager:
+    """Named analysis sessions with locking, coalescing, and LRU eviction."""
+
+    def __init__(self, *, max_live_sessions: int = 8,
+                 spill_dir=None, default_scale: float = DEFAULT_SCALE) -> None:
+        if max_live_sessions < 1:
+            raise ValueError(
+                f"max_live_sessions must be >= 1, got {max_live_sessions}")
+        self.max_live_sessions = max_live_sessions
+        self.default_scale = default_scale
+        if spill_dir is None:
+            # Process-lifetime scratch space; cleaned up on interpreter exit.
+            self._spill_tmp = tempfile.TemporaryDirectory(
+                prefix="repro-service-")
+            spill_dir = self._spill_tmp.name
+        self.spill_dir = Path(spill_dir)
+        self._programs = ProgramStore(self.spill_dir / "programs")
+        self._snapshots = SnapshotStore(self.spill_dir / "snapshots")
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, ManagedSession] = {}
+        self.metrics = ServiceMetrics()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle: open / close / listing
+    # ------------------------------------------------------------------ #
+    def open(self, name: str, *, source: Optional[str] = None,
+             benchmark: Optional[str] = None,
+             roots: Optional[Sequence[str]] = None,
+             scale: Optional[float] = None,
+             replace: bool = False) -> dict:
+        """Create a named session from source text or a benchmark spec.
+
+        Exactly one of ``source`` (surface-language text, compiled here)
+        and ``benchmark`` (a spec name from the extended suites, generated
+        or unpickled through the program store) must be given.  ``roots``
+        become the session's default analysis roots.  Re-opening an
+        existing name needs ``replace`` (else
+        :class:`~repro.api.errors.SessionExistsError`).
+        """
+        if not name or not isinstance(name, str):
+            raise ServiceProtocolError("session name must be a non-empty string")
+        if (source is None) == (benchmark is None):
+            raise ServiceProtocolError(
+                "open needs exactly one of 'source' or 'benchmark'")
+        root_list = list(roots) if roots else None
+        # Build outside every lock: compiling / generating can be slow.
+        if source is not None:
+            session = AnalysisSession.from_source(
+                source, roots=root_list, name=name)
+            origin, spec = "source", None
+        else:
+            spec = self._find_benchmark(benchmark, scale)
+            program, _ = self._programs.load_or_build(spec)
+            session = AnalysisSession(program, name=name, roots=root_list)
+            origin = "benchmark"
+        managed = ManagedSession(name=name, origin=origin, session=session,
+                                 spec=spec, roots=root_list)
+        with self._lock:
+            if name in self._sessions and not replace:
+                raise SessionExistsError(
+                    f"session {name!r} already exists; pass replace=true to "
+                    f"re-open it")
+            self._sessions[name] = managed
+        self.metrics.bump("opens")
+        self._maybe_evict(exclude=name)
+        return self.describe(name)
+
+    def close(self, name: str) -> dict:
+        """Drop a session; its spilled blobs are left for the store's gc."""
+        with self._lock:
+            managed = self._sessions.pop(name, None)
+        if managed is None:
+            raise SessionNotFoundError(f"unknown session {name!r}")
+        self.metrics.bump("closes")
+        return {"session": name, "closed": True}
+
+    def session_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    def describe(self, name: str) -> dict:
+        """One session's public status (the ``/v1/sessions`` row shape)."""
+        managed = self._require(name)
+        with managed.lock:
+            live = managed.session is not None
+            info = {
+                "session": managed.name,
+                "origin": managed.origin,
+                "live": live,
+                "pending_updates": len(managed.pending),
+                "analyses": sorted(
+                    slot.analysis for slot in managed.slots.values())
+                    if live else sorted(
+                        record.analysis
+                        for record in (managed.evicted.slots
+                                       if managed.evicted else ())),
+            }
+            if live:
+                info["generation"] = managed.session.generation
+                info["warm_barrier"] = managed.session.warm_barrier
+                info["methods"] = len(managed.session.program.methods)
+            elif managed.evicted is not None:
+                info["generation"] = managed.evicted.generation
+                info["warm_barrier"] = managed.evicted.warm_barrier
+        return info
+
+    def sessions(self) -> List[dict]:
+        return [self.describe(name) for name in self.session_names()]
+
+    def metrics_snapshot(self) -> dict:
+        snapshot = self.metrics.snapshot()
+        with self._lock:
+            live = sum(1 for managed in self._sessions.values()
+                       if managed.session is not None)
+            snapshot["sessions"] = {
+                "live": live,
+                "evicted": len(self._sessions) - live,
+                "max_live": self.max_live_sessions,
+            }
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # Updates: queued deltas, coalesced at the next analyze
+    # ------------------------------------------------------------------ #
+    def update(self, name: str, *, source: Optional[str] = None,
+               edit: Optional[dict] = None,
+               allow_rebuild: bool = False) -> dict:
+        """Queue one program change on a session without solving.
+
+        Two shapes: ``edit`` is a deterministic edit step
+        (``{"kind": ..., "index": ...}``) over the session's benchmark
+        spec, queued as-is; ``source`` is the *full* edited program text,
+        which is compiled and structurally diffed against the session's
+        program (:func:`~repro.ir.delta.delta_between`) into an additive
+        delta.  A non-monotone source diff raises
+        :class:`~repro.ir.delta.NonMonotoneDeltaError` (HTTP 409) unless
+        ``allow_rebuild`` is set, in which case the session is rebuilt
+        around the new program and every analyzer slot is dropped — the
+        next analyze solves cold, with the generation history advanced so
+        stale states cannot resume.
+        """
+        if (source is None) == (edit is None):
+            raise ServiceProtocolError(
+                "update needs exactly one of 'source' or 'edit'")
+        managed = self._require(name)
+        with managed.lock:
+            self._ensure_live(managed)
+            session = managed.session
+            result: dict
+            if edit is not None:
+                if managed.spec is None:
+                    raise ServiceProtocolError(
+                        "edit-step updates need a benchmark-backed session; "
+                        "source-backed sessions take full 'source' updates")
+                step = _parse_edit_step(edit)
+                delta = build_edit_delta(managed.spec, step)
+                managed.pending.append(delta)
+                result = {"session": name, "queued": len(managed.pending),
+                          "generation": session.generation,
+                          "delta": delta.name, "rebuilt": False}
+            else:
+                # A full-source update diffs against the *current* program,
+                # so queued deltas must land first (still without a solve).
+                managed.drain_pending()
+                new_program = compile_source(source, validate=True)
+                try:
+                    delta = delta_between(
+                        session.program, new_program,
+                        name=f"{name}@gen{session.generation}")
+                except NonMonotoneDeltaError:
+                    if not allow_rebuild:
+                        raise
+                    result = self._rebuild(managed, new_program)
+                else:
+                    if not delta.is_empty:
+                        managed.pending.append(delta)
+                    result = {"session": name,
+                              "queued": len(managed.pending),
+                              "generation": session.generation,
+                              "delta": delta.name,
+                              "noop": delta.is_empty, "rebuilt": False}
+            managed.touch()
+        self.metrics.bump("updates")
+        return result
+
+    def _rebuild(self, managed: ManagedSession, new_program) -> dict:
+        """Replace a session's program wholesale after a non-monotone edit."""
+        old = managed.session
+        fresh = AnalysisSession(new_program, name=managed.name,
+                                roots=managed.roots)
+        # One generation past the old history, with the barrier at the new
+        # generation: every pre-rebuild state is cold by construction.
+        fresh.adopt_generations(old.generation + 1, old.generation + 1)
+        managed.session = fresh
+        managed.slots = {}
+        managed.pending = []
+        self.metrics.bump("rebuilds")
+        return {"session": managed.name, "queued": 0,
+                "generation": fresh.generation, "rebuilt": True}
+
+    # ------------------------------------------------------------------ #
+    # Analyze: drain the queue, resume warm when sound
+    # ------------------------------------------------------------------ #
+    def analyze(self, name: str, analysis: str,
+                options: Optional[dict] = None) -> dict:
+        """Run one registered analysis on a session, warm whenever sound.
+
+        Drains the session's queued deltas first (one solve pays for all of
+        them), then solves: ``cached`` if this (analyzer, options) slot
+        already solved the current generation, ``warm`` resuming the slot's
+        state when no non-monotone update intervened, ``cold-fallback``
+        when one did, plain ``cold`` on a first solve.  The response embeds
+        the full versioned report payload plus the mode, the steps this
+        request actually paid, and the coalescing depth.
+        """
+        started = time.perf_counter()
+        options = dict(options or {})
+        validate_wire_options(options)
+        analyzer = get_analyzer(analysis)
+        managed = self._require(name)
+        with managed.lock:
+            self._ensure_live(managed)
+            session = managed.session
+            coalesced = len(managed.pending)
+            managed.drain_pending()
+            key = _slot_key(analyzer.name, options)
+            slot = managed.slots.get(key)
+            fallback_reasons: List[str] = []
+            if (slot is not None and slot.payload is not None
+                    and slot.generation == session.generation):
+                mode, steps_paid, payload = "cached", 0, slot.payload
+            else:
+                mode, steps_paid, payload = self._solve(
+                    managed, session, analyzer, key, slot, options,
+                    fallback_reasons)
+            generation = session.generation
+            managed.touch()
+        latency = time.perf_counter() - started
+        self.metrics.record_analyze(mode=mode, steps_paid=steps_paid,
+                                    coalesced=coalesced,
+                                    latency_seconds=latency)
+        self._maybe_evict(exclude=name)
+        return {
+            "session": name,
+            "analysis": analyzer.name,
+            "generation": generation,
+            "mode": mode,
+            "steps_paid": steps_paid,
+            "coalesced_updates": coalesced,
+            "fallback_reasons": fallback_reasons,
+            "latency_ms": round(latency * 1000, 3),
+            "report": payload,
+        }
+
+    def _solve(self, managed: ManagedSession, session: AnalysisSession,
+               analyzer, key: str, slot: Optional[_AnalyzerSlot],
+               options: dict,
+               fallback_reasons: List[str]) -> Tuple[str, int, dict]:
+        """One solve of ``analyzer`` over ``session``; returns mode/steps/payload."""
+        resume_state = None
+        if slot is not None and slot.state is not None:
+            if slot.generation >= session.warm_barrier:
+                resume_state = slot.state
+            else:
+                fallback_reasons.append(
+                    f"a non-monotone update (generation "
+                    f"{session.warm_barrier}) invalidated the state solved "
+                    f"at generation {slot.generation}")
+        before = resume_state.counters()["steps"] if resume_state is not None else 0
+        if resume_state is not None:
+            # The session re-validates the resume; it may still refuse (and
+            # warn) — detected below by state identity, never assumed.
+            report = session.run(analyzer.name, resume=resume_state, **options)
+        else:
+            report = session.run(analyzer.name, **options)
+        state = getattr(report.raw, "solver_state", None)
+        total = report.solver_steps or 0
+        if resume_state is not None and state is resume_state:
+            mode, steps_paid = "warm", total - before
+        elif slot is not None and slot.state is not None:
+            if resume_state is not None:
+                fallback_reasons.append(
+                    "the session refused the resume and solved cold")
+            mode, steps_paid = "cold-fallback", total
+        else:
+            mode, steps_paid = "cold", total
+        payload = report.to_dict()
+        managed.slots[key] = _AnalyzerSlot(
+            key=key, analysis=analyzer.name, options=dict(options),
+            state=state, payload=payload, generation=session.generation)
+        return mode, steps_paid, payload
+
+    # ------------------------------------------------------------------ #
+    # Eviction and rehydration
+    # ------------------------------------------------------------------ #
+    def evict(self, name: str) -> dict:
+        """Spill one session to disk now (the LRU path, but on demand)."""
+        managed = self._require(name)
+        with managed.lock:
+            if managed.session is None:
+                return {"session": name, "evicted": False,
+                        "already_evicted": True}
+            self._spill(managed)
+        return {"session": name, "evicted": True}
+
+    def _maybe_evict(self, exclude: Optional[str] = None) -> int:
+        """Spill least-recently-used sessions beyond ``max_live_sessions``.
+
+        Busy sessions are skipped rather than waited for (their lock is
+        probed, not blocked on), so eviction can never deadlock against a
+        request holding a session lock while opening the manager lock.
+        """
+        evicted = 0
+        with self._lock:
+            live = [managed for managed in self._sessions.values()
+                    if managed.session is not None]
+            excess = len(live) - self.max_live_sessions
+            if excess <= 0:
+                return 0
+            for managed in sorted(live, key=lambda entry: entry.last_used):
+                if evicted >= excess:
+                    break
+                if managed.name == exclude:
+                    continue
+                if not managed.lock.acquire(blocking=False):
+                    continue
+                try:
+                    if managed.session is not None:
+                        self._spill(managed)
+                        evicted += 1
+                finally:
+                    managed.lock.release()
+        return evicted
+
+    def _spill(self, managed: ManagedSession) -> None:
+        """Persist a live session's program and states; caller holds its lock."""
+        managed.drain_pending()   # The blob must reflect every queued edit.
+        session = managed.session
+        generation = session.generation
+        program_spec = SessionSpillSpec(session=managed.name,
+                                        generation=generation)
+        self._programs.store(program_spec, session.program)
+        records = []
+        for slot in managed.slots.values():
+            has_state = slot.state is not None
+            config = slot.state.config if has_state else None
+            if has_state:
+                self._snapshots.store(
+                    SessionSpillSpec(session=managed.name,
+                                     generation=slot.generation,
+                                     slot=slot.key),
+                    config, slot.state, session.program)
+            records.append(_SlotRecord(
+                key=slot.key, analysis=slot.analysis,
+                options=tuple(sorted(slot.options.items())),
+                generation=slot.generation, payload=slot.payload,
+                config=config, has_state=has_state))
+        managed.evicted = _EvictedSession(
+            generation=generation, warm_barrier=session.warm_barrier,
+            program_spec=program_spec, slots=tuple(records))
+        managed.session = None
+        managed.slots = {}
+        self.metrics.bump("evictions")
+
+    def _ensure_live(self, managed: ManagedSession) -> None:
+        """Rehydrate an evicted session in place; caller holds its lock."""
+        if managed.session is not None:
+            return
+        evicted = managed.evicted
+        if evicted is None:  # pragma: no cover — open() always sets one side
+            raise SessionRehydrationError(
+                f"session {managed.name!r} has neither a live session nor "
+                f"an eviction record")
+        program = self._programs.load(evicted.program_spec)
+        if program is None:
+            raise SessionRehydrationError(
+                f"session {managed.name!r}: the evicted program blob "
+                f"(generation {evicted.generation}) is missing or unreadable")
+        session = AnalysisSession(program, name=managed.name,
+                                  roots=managed.roots)
+        session.adopt_generations(evicted.generation, evicted.warm_barrier)
+        slots: Dict[str, _AnalyzerSlot] = {}
+        state_misses = 0
+        for record in evicted.slots:
+            state = None
+            if record.has_state:
+                state = self._snapshots.load(
+                    SessionSpillSpec(session=managed.name,
+                                     generation=record.generation,
+                                     slot=record.key),
+                    record.config)
+                if state is None:
+                    # A lost snapshot costs warmth, never correctness: the
+                    # slot keeps its payload and the next solve runs cold.
+                    state_misses += 1
+                else:
+                    # Serialized states do not carry session generations
+                    # (meaningless across processes); within this manager
+                    # the lineage is known, so re-stamp it.
+                    state.session_generation = record.generation
+            slots[record.key] = _AnalyzerSlot(
+                key=record.key, analysis=record.analysis,
+                options=dict(record.options), state=state,
+                payload=record.payload, generation=record.generation)
+        managed.session = session
+        managed.slots = slots
+        managed.evicted = None
+        self.metrics.bump("rehydrations")
+        if state_misses:
+            self.metrics.bump("rehydration_state_misses", state_misses)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _require(self, name: str) -> ManagedSession:
+        with self._lock:
+            managed = self._sessions.get(name)
+        if managed is None:
+            raise SessionNotFoundError(f"unknown session {name!r}")
+        return managed
+
+    def _find_benchmark(self, name: str,
+                        scale: Optional[float]) -> BenchmarkSpec:
+        for specs in extended_suites(
+                scale=scale or self.default_scale).values():
+            for spec in specs:
+                if spec.name == name:
+                    return spec
+        raise ServiceProtocolError(f"unknown benchmark {name!r}")
+
+
+def _parse_edit_step(edit: dict) -> EditStepSpec:
+    if not isinstance(edit, dict):
+        raise ServiceProtocolError(
+            "'edit' must be an object with 'kind' and 'index'")
+    extra = set(edit) - {"kind", "index"}
+    if extra:
+        raise ServiceProtocolError(
+            f"unknown edit fields: {', '.join(sorted(extra))}")
+    try:
+        return EditStepSpec(kind=edit.get("kind"),
+                            index=edit.get("index", 0))
+    except (TypeError, ValueError) as error:
+        raise ServiceProtocolError(f"bad edit step: {error}") from None

@@ -1,0 +1,55 @@
+"""The deprecated top-level runner shims: they warn, and they still work."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.lang.api import compile_source
+
+SOURCE = """
+class Main {
+    static void main() {
+        Worker worker = new Worker();
+        worker.work();
+    }
+}
+class Worker {
+    int work() { return 1; }
+}
+"""
+
+
+def _shim(name):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", DeprecationWarning)
+        value = getattr(repro, name)
+    messages = [str(entry.message) for entry in caught
+                if issubclass(entry.category, DeprecationWarning)]
+    return value, messages
+
+
+class TestDeprecatedRunners:
+    @pytest.mark.parametrize("name", ["run_skipflow", "run_baseline",
+                                      "run_pta"])
+    def test_access_warns_and_points_at_the_session_api(self, name):
+        value, messages = _shim(name)
+        assert callable(value)
+        assert len(messages) == 1
+        assert f"repro.{name} is deprecated" in messages[0]
+        assert "repro.api" in messages[0]
+        assert "docs/api.md" in messages[0]
+
+    def test_shims_still_run_the_analysis(self):
+        program = compile_source(SOURCE)
+        run_skipflow, _ = _shim("run_skipflow")
+        result = run_skipflow(program)
+        assert "Worker.work" in result.reachable_methods
+
+    def test_shims_stay_in_dunder_all(self):
+        for name in ("run_skipflow", "run_baseline", "run_pta"):
+            assert name in repro.__all__
+
+    def test_unknown_attribute_is_still_an_attribute_error(self):
+        with pytest.raises(AttributeError):
+            repro.run_nonsense  # noqa: B018 - the access is the test

@@ -1,0 +1,107 @@
+"""The typed error taxonomy: one failure class, one exit code, one status.
+
+``repro.api.errors`` is the single mapping from exception types to CLI
+exit codes and daemon HTTP statuses; these tests pin the published
+contract (documented in ``docs/api.md``) so a refactor cannot silently
+renumber a failure mode.
+"""
+
+import pytest
+
+from repro.api.errors import (
+    EXIT_COMPILE,
+    EXIT_DELTA,
+    EXIT_FAILURE,
+    EXIT_NO_ENTRY,
+    EXIT_SESSION,
+    EXIT_USAGE,
+    NoEntryPointError,
+    ReproError,
+    SchemaVersionError,
+    ServiceProtocolError,
+    SessionExistsError,
+    SessionNotFoundError,
+    SessionRehydrationError,
+    UnknownAnalyzerError,
+    exit_code_for,
+    http_status_for,
+)
+from repro.ir.delta import DeltaError, NonMonotoneDeltaError
+from repro.ir.program import ProgramError
+from repro.lang.errors import LangError
+
+
+class TestTaxonomyClasses:
+    def test_every_repro_error_declares_both_mappings(self):
+        for cls in (NoEntryPointError, UnknownAnalyzerError,
+                    SessionNotFoundError, SessionExistsError,
+                    SessionRehydrationError, ServiceProtocolError,
+                    SchemaVersionError):
+            assert issubclass(cls, ReproError)
+            assert isinstance(cls.exit_code, int)
+            assert isinstance(cls.http_status, int)
+
+    def test_compat_ancestry_keeps_old_except_clauses_working(self):
+        # Pre-taxonomy code caught these as ValueError / KeyError; the
+        # redesign may not break those handlers.
+        assert issubclass(NoEntryPointError, ValueError)
+        assert issubclass(UnknownAnalyzerError, KeyError)
+        assert issubclass(SessionNotFoundError, KeyError)
+        assert issubclass(SchemaVersionError, ValueError)
+
+
+class TestExitCodes:
+    @pytest.mark.parametrize("error,expected", [
+        (NoEntryPointError("no roots"), EXIT_NO_ENTRY),
+        (UnknownAnalyzerError("nope"), EXIT_USAGE),
+        (SessionNotFoundError("s"), EXIT_SESSION),
+        (SessionExistsError("s"), EXIT_SESSION),
+        (SessionRehydrationError("s"), EXIT_SESSION),
+        (ServiceProtocolError("bad"), EXIT_USAGE),
+        (SchemaVersionError("v9"), EXIT_USAGE),
+        (NonMonotoneDeltaError(["method m changed"]), EXIT_DELTA),
+        (DeltaError("duplicate class"), EXIT_DELTA),
+        (LangError("parse"), EXIT_COMPILE),
+        (ProgramError("unknown entry"), EXIT_COMPILE),
+        (ValueError("generic usage"), EXIT_USAGE),
+        (RuntimeError("anything else"), EXIT_FAILURE),
+    ])
+    def test_mapping(self, error, expected):
+        assert exit_code_for(error) == expected
+
+    def test_codes_are_distinct_and_documented(self):
+        codes = {EXIT_FAILURE, EXIT_USAGE, EXIT_NO_ENTRY, EXIT_COMPILE,
+                 EXIT_DELTA, EXIT_SESSION}
+        assert codes == {1, 2, 3, 4, 5, 6}
+
+
+class TestHttpStatuses:
+    @pytest.mark.parametrize("error,expected", [
+        (NoEntryPointError("no roots"), 422),
+        (UnknownAnalyzerError("nope"), 404),
+        (SessionNotFoundError("s"), 404),
+        (SessionExistsError("s"), 409),
+        (SessionRehydrationError("s"), 500),
+        (ServiceProtocolError("bad"), 400),
+        (SchemaVersionError("v9"), 400),
+        (NonMonotoneDeltaError(["method m changed"]), 409),
+        (DeltaError("duplicate class"), 422),
+        (LangError("parse"), 422),
+        (ProgramError("unknown entry"), 422),
+        (ValueError("generic"), 400),
+        (RuntimeError("anything else"), 500),
+    ])
+    def test_mapping(self, error, expected):
+        assert http_status_for(error) == expected
+
+
+class TestMessages:
+    def test_unknown_analyzer_str_is_clean(self):
+        # KeyError's default repr-quoting would mangle the CLI message.
+        error = UnknownAnalyzerError("unknown analysis 'x'")
+        assert str(error) == "unknown analysis 'x'"
+
+    def test_non_monotone_error_carries_reasons(self):
+        error = NonMonotoneDeltaError(["a", "b"])
+        assert error.reasons == ("a", "b")
+        assert "a; b" in str(error)

@@ -1,0 +1,91 @@
+"""The versioned report wire schema: determinism and exact round-trips."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    AnalysisSession,
+    SCHEMA_VERSION,
+    SchemaVersionError,
+    call_graph_to_dict,
+)
+from repro.api.report import AnalysisReport
+
+SOURCE = """
+class Worker {
+    int work() { return 7; }
+}
+class Main {
+    static void main() {
+        Worker worker = new Worker();
+        worker.work();
+    }
+}
+"""
+
+
+@pytest.fixture
+def session():
+    return AnalysisSession.from_source(SOURCE)
+
+
+class TestToDict:
+    def test_engine_report_payload_shape(self, session):
+        payload = session.run("skipflow").to_dict()
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["analyzer"] == "skipflow"
+        assert payload["metrics"]["reachable_methods"] == 2
+        assert payload["solver_stats"]["steps"] > 0
+        assert "Worker.work" in payload["call_graph"]["reachable_methods"]
+        assert ["Main.main", "Worker.work"] in payload["call_graph"]["call_edges"]
+
+    def test_call_graph_baselines_serialize_without_solver_stats(self, session):
+        payload = session.run("cha").to_dict()
+        assert payload["solver_stats"] is None
+        assert payload["metrics"]["solver_steps"] is None
+        assert payload["metrics"]["poly_calls"] is None
+
+    def test_serialization_is_deterministic(self, session):
+        # Serializing one report twice is bit-identical (sets are sorted);
+        # across two *runs* only the wall-clock metric may differ.
+        report = session.run("skipflow")
+        assert (json.dumps(report.to_dict(), sort_keys=True)
+                == json.dumps(report.to_dict(), sort_keys=True))
+        second = session.run("skipflow").to_dict()
+        first = report.to_dict()
+        for payload in (first, second):
+            payload["metrics"].pop("analysis_time_seconds")
+        assert first == second
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("analysis", ["skipflow", "pta", "cha", "rta"])
+    def test_to_dict_from_dict_is_exact(self, session, analysis):
+        report = session.run(analysis)
+        payload = report.to_dict()
+        rebuilt = AnalysisReport.from_dict(
+            json.loads(json.dumps(payload)))  # via real JSON text
+        assert rebuilt.to_dict() == payload
+        assert rebuilt.analyzer == report.analyzer
+        assert rebuilt.reachable_methods == report.reachable_methods
+        assert set(rebuilt.call_edges) == set(report.call_edges)
+        assert rebuilt.solver_steps == report.solver_steps
+        assert rebuilt.raw is None  # the deep PVPG does not travel
+
+    def test_unsupported_schema_version_is_refused(self, session):
+        payload = session.run("skipflow").to_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaVersionError):
+            AnalysisReport.from_dict(payload)
+        with pytest.raises(SchemaVersionError):
+            AnalysisReport.from_dict({})
+
+
+class TestCallGraphView:
+    def test_any_view_serializes(self, session):
+        report = session.run("rta")
+        graph = call_graph_to_dict(report)
+        assert graph["reachable_methods"] == sorted(report.reachable_methods)
+        assert all(isinstance(edge, list) and len(edge) == 2
+                   for edge in graph["call_edges"])

@@ -115,12 +115,14 @@ class TestAnalyze:
         assert "saturation_threshold" in capsys.readouterr().err
 
     def test_no_entry_point_is_a_clean_error(self, orphan_source, capsys):
-        assert cli_main(["analyze", orphan_source]) == 2
+        # Root-resolution failures exit 3 (EXIT_NO_ENTRY), distinct from
+        # usage errors, per the repro.api.errors taxonomy.
+        assert cli_main(["analyze", orphan_source]) == 3
         error = capsys.readouterr().err
         assert "no entry point" in error and "Main.main" in error
 
     def test_unknown_entry_is_a_clean_error(self, source, capsys):
-        assert cli_main(["analyze", source, "--entry", "Ghost.main"]) == 2
+        assert cli_main(["analyze", source, "--entry", "Ghost.main"]) == 3
         assert "Ghost.main" in capsys.readouterr().err
 
     def test_conflicting_analysis_and_config_flags_rejected(

@@ -1,0 +1,87 @@
+"""CLI surface of the wire schema (`analyze --json`) and the daemon entry.
+
+``analyze --json`` must print exactly the versioned payload the daemon
+serves (one serializer, two transports), and ``repro serve`` must expose
+the daemon knobs.  The daemon loop itself is covered end-to-end in
+``tests/service/test_daemon.py``; here only the parser wiring and the
+flag-compatibility rules are in scope.
+"""
+
+import json
+
+import pytest
+
+from repro.api.report import SCHEMA_VERSION, AnalysisReport
+from repro.cli import build_parser, main as cli_main
+
+SOURCE = """
+class Config {
+    boolean isFeatureEnabled() { return false; }
+}
+class Main {
+    static void main() {
+        Config config = new Config();
+        config.isFeatureEnabled();
+    }
+}
+"""
+
+
+@pytest.fixture
+def source(tmp_path):
+    path = tmp_path / "app.lang"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestAnalyzeJson:
+    def test_json_prints_the_versioned_wire_payload(self, source, capsys):
+        assert cli_main(["analyze", source, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["analyzer"] == "skipflow"
+        assert payload["metrics"]["reachable_methods"] == 2
+        # The printed payload is a loadable report: the CLI and the daemon
+        # share one serializer, round-trip included.
+        assert AnalysisReport.from_dict(payload).to_dict() == payload
+
+    def test_json_respects_analysis_selection(self, source, capsys):
+        assert cli_main(["analyze", source, "--json",
+                         "--analysis", "cha"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["analyzer"] == "cha"
+        assert payload["solver_stats"] is None
+
+    def test_json_output_is_deterministic(self, source, capsys):
+        cli_main(["analyze", source, "--json"])
+        first = json.loads(capsys.readouterr().out)
+        cli_main(["analyze", source, "--json"])
+        second = json.loads(capsys.readouterr().out)
+        # Everything but the wall-clock metric is identical across runs.
+        for payload in (first, second):
+            payload["metrics"].pop("analysis_time_seconds")
+        assert first == second
+
+    @pytest.mark.parametrize("flag", [
+        ["--compare"], ["--optimizations"], ["--list-unreachable"],
+        ["--save-state", "x.state"], ["--resume-from", "x.state"]])
+    def test_json_rejects_incompatible_flags(self, source, capsys, flag):
+        assert cli_main(["analyze", source, "--json", *flag]) == 2
+        assert "--json cannot be combined" in capsys.readouterr().err
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8321
+        assert args.max_sessions == 8
+        assert args.spill_dir is None
+        assert args.func.__name__ == "_cmd_serve"
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "0",
+             "--max-sessions", "2", "--spill-dir", "/tmp/spill"])
+        assert (args.host, args.port, args.max_sessions, args.spill_dir) == \
+            ("0.0.0.0", 0, 2, "/tmp/spill")
