@@ -179,6 +179,9 @@ class AnalysisSession:
         #: Generation of the most recent non-monotone update: states from
         #: before it cannot be resumed (the warm barrier).
         self._warm_barrier = 0
+        #: Why that update was non-monotone (the offending classes/methods),
+        #: kept so fallback warnings can name the offenders.
+        self._warm_barrier_reasons: Tuple[str, ...] = ()
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -254,7 +257,19 @@ class AnalysisSession:
         """
         return self._warm_barrier
 
-    def adopt_generations(self, generation: int, warm_barrier: int = 0) -> None:
+    @property
+    def warm_barrier_reasons(self) -> Tuple[str, ...]:
+        """Why the last non-monotone update moved the barrier.
+
+        The per-offender reasons of the update that set
+        :attr:`warm_barrier` (e.g. ``"method Probe.check is added to
+        pre-existing class Probe (resolution for already-linked receivers
+        could change)"``); empty while no non-monotone update happened.
+        """
+        return self._warm_barrier_reasons
+
+    def adopt_generations(self, generation: int, warm_barrier: int = 0,
+                          barrier_reasons: Iterable[str] = ()) -> None:
         """Re-adopt generation counters after rehydrating a persisted session.
 
         The service layer evicts idle sessions to disk and rebuilds them
@@ -268,6 +283,7 @@ class AnalysisSession:
                 f"warm_barrier={warm_barrier}")
         self._generation = generation
         self._warm_barrier = warm_barrier
+        self._warm_barrier_reasons = tuple(barrier_reasons)
 
     def update(self, delta: ProgramDelta) -> SessionUpdate:
         """Apply an edit script to the session's program in place.
@@ -284,6 +300,7 @@ class AnalysisSession:
         self._generation += 1
         if not applied.monotone:
             self._warm_barrier = self._generation
+            self._warm_barrier_reasons = applied.reasons
         return SessionUpdate(
             generation=self._generation,
             monotone=applied.monotone,
@@ -322,17 +339,25 @@ class AnalysisSession:
         generation = getattr(state, "session_generation", None)
         if generation is not None and generation < self._warm_barrier:
             return None, ("a non-monotone update was applied after this "
-                          "state was produced")
+                          "state was produced"
+                          + self._barrier_detail())
         if (generation is None and self._warm_barrier > 0
                 and state.fingerprint is None):
             # A foreign, unstamped state in a session whose program has seen
             # a non-monotone update: nothing can prove the state predates or
             # postdates the break, so warm is not defensible.
             return None, ("the session's program had a non-monotone update "
-                          "and the state carries neither a session "
+                          + self._barrier_detail()
+                          + " and the state carries neither a session "
                           "generation nor a fingerprint to prove it is "
                           "still valid")
         return state, ""
+
+    def _barrier_detail(self) -> str:
+        """The offending edits behind the warm barrier, for messages."""
+        if not self._warm_barrier_reasons:
+            return ""
+        return " (" + "; ".join(self._warm_barrier_reasons) + ")"
 
     def run(self, analysis: str, *, roots: Optional[Iterable[str]] = None,
             resume: Optional[ResumeSource] = None,

@@ -14,6 +14,10 @@ Usage::
     python -m repro callgraph app.java --output graph.dot
     python -m repro pvpg app.java --method Scene.render
     python -m repro bench --scale 1.0 --cache-dir .bench-cache [--gc]
+    python -m repro fuzz --seed 7 --cases 50 --out fuzz-artifacts
+    python -m repro fuzz --budget 600 --profile deep   # nightly, time-boxed
+    python -m repro fuzz --replay fuzz-artifacts/repro-7-3.json
+    python -m repro fuzz --smoke                       # oracle self-check
 
 The input is a file in the Java-like surface language of :mod:`repro.lang`;
 ``bench`` instead lists the synthetic benchmark specs of the evaluation and
@@ -409,6 +413,76 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    """Differential fuzzing (``repro fuzz``): see ``docs/fuzzing.md``.
+
+    Three modes: a campaign (``--cases`` or ``--budget``) that generates
+    seeded random (program, edit script) cases and checks every analyzer
+    against the concrete interpreter across the full scheduling ×
+    saturation × warm/cold matrix; ``--replay FILE`` to rerun one recorded
+    repro file; ``--smoke`` to verify the oracle catches (and shrinks) a
+    deliberately broken analyzer.  Exit code 1 means violations were found
+    (or, under ``--smoke``, that the oracle failed its self-check).
+    """
+    from repro.fuzz import (
+        check_case,
+        load_repro,
+        run_campaign,
+        run_mutation_smoke,
+        violations_from_dict,
+    )
+
+    if args.smoke:
+        report, original, shrunk = run_mutation_smoke(seed=args.seed)
+        print(f"repro fuzz: mutation smoke caught "
+              f"{len(report.violations)} violation(s) from the planted "
+              f"analyzer bug and shrank the case from "
+              f"{original.base.expected_total_methods} to "
+              f"{shrunk.base.expected_total_methods} methods")
+        return 0
+
+    if args.replay:
+        script, meta = load_repro(Path(args.replay))
+        recorded = violations_from_dict(meta)
+        threshold = args.threshold
+        if threshold is None:
+            threshold = meta.get("threshold") or 4
+        report = check_case(script, threshold=threshold)
+        print(f"repro fuzz: replayed {args.replay} "
+              f"({report.prefixes_checked} prefixes, "
+              f"{report.combos_checked} combos; "
+              f"{len(recorded)} recorded violation(s))")
+        for violation in report.violations:
+            print(f"  {violation}")
+        if report.ok:
+            print("  no violations — the recorded failure no longer "
+                  "reproduces on this build")
+            return 0
+        return 1
+
+    if args.cases is not None and args.budget is not None:
+        raise ValueError("pass --cases or --budget, not both")
+    cases = args.cases if args.budget is None else None
+    if cases is None and args.budget is None:
+        cases = 25
+    result = run_campaign(
+        seed=args.seed, cases=cases, budget_seconds=args.budget,
+        profile=args.profile, threshold=args.threshold or 4,
+        out_dir=Path(args.out) if args.out else None,
+        shrink=not args.no_shrink,
+        log=lambda message: print(f"repro fuzz: {message}", flush=True))
+    print(f"repro fuzz: seed {result.seed}, profile {result.profile}: "
+          f"{result.cases_run} cases, {result.prefixes_checked} prefixes, "
+          f"{result.combos_checked} analyzer combos in "
+          f"{result.duration_seconds:.1f}s — "
+          f"{len(result.failures)} failure(s)")
+    for failure in result.failures:
+        where = f" -> {failure.repro_path}" if failure.repro_path else ""
+        print(f"  case {failure.case_index}: "
+              f"{len(failure.report.violations)} violation(s){where}")
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -530,6 +604,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory for evicted programs and solver "
                             "states (default: a per-process temp dir)")
     serve.set_defaults(func=_cmd_serve)
+
+    fuzz = subparsers.add_parser(
+        "fuzz", help="differential fuzzing: interpreter as soundness oracle")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed; the case stream is a pure "
+                           "function of it (default: 0)")
+    fuzz.add_argument("--cases", type=int, default=None,
+                      help="number of cases to run (default: 25 unless "
+                           "--budget is given)")
+    fuzz.add_argument("--budget", type=float, default=None,
+                      help="wall-clock budget in seconds; runs cases until "
+                           "it is spent (nightly mode)")
+    fuzz.add_argument("--profile", choices=("quick", "deep"),
+                      default="quick",
+                      help="case size profile (default: quick)")
+    fuzz.add_argument("--threshold", type=int, default=None,
+                      help="saturation threshold swept by the oracle "
+                           "(default: 4, low enough that small cases "
+                           "saturate)")
+    fuzz.add_argument("--out", default=None,
+                      help="directory for shrunk repro files, one JSON per "
+                           "failing case")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="record failing cases as generated, without "
+                           "minimizing them first")
+    fuzz.add_argument("--replay", metavar="FILE", default=None,
+                      help="re-run one recorded repro file instead of a "
+                           "campaign")
+    fuzz.add_argument("--smoke", action="store_true",
+                      help="mutation smoke: verify the oracle catches a "
+                           "deliberately broken analyzer")
+    fuzz.set_defaults(func=_cmd_fuzz)
     return parser
 
 

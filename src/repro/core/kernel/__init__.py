@@ -45,11 +45,13 @@ from repro.core.kernel.saturation import (
     AllocatedTypeSaturation,
     ClosedWorldSaturation,
     DeclaredTypeSaturation,
+    ReachableAllocatedSaturation,
     SaturationContext,
     SaturationPolicy,
     allocated_types,
     available_saturation_policies,
     make_saturation_policy,
+    reachable_allocated_types,
     register_saturation_policy,
 )
 from repro.core.kernel.scheduling import (
@@ -73,6 +75,7 @@ __all__ = [
     "FifoScheduling",
     "HybridScheduling",
     "LifoScheduling",
+    "ReachableAllocatedSaturation",
     "RpoScheduling",
     "SaturationContext",
     "SaturationPolicy",
@@ -83,6 +86,7 @@ __all__ = [
     "available_scheduling_policies",
     "make_saturation_policy",
     "make_scheduling_policy",
+    "reachable_allocated_types",
     "register_saturation_policy",
     "register_scheduling_policy",
 ]

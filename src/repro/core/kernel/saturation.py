@@ -65,6 +65,23 @@ Built-ins:
     only grows under monotone program deltas.  This policy needs the
     program (and the solve's roots), so it is registered with a
     context-aware factory; see :class:`SaturationContext`.
+``allocated-type-reachable``
+    The reachability-refined variant of ``allocated-type``: allocation
+    sites are counted only in methods the solve has proved *reachable*
+    (plus the root seeds and the stub effects of callees the solve has
+    actually linked), so dormant code — plugin self-registration, dead
+    feature modules — no longer widens the sentinel.  The origin set now
+    depends on reachability, which grows during the solve, so the policy
+    cooperates with the solver's refinement loop: after every inner
+    fixpoint the solver calls :meth:`ReachableAllocatedSaturation.
+    refresh_origins` with the current reachable set, and if the origins
+    grew it re-collapses every saturated flow to the widened sentinel
+    (the same machinery warm resumption uses) and iterates again.  The
+    loop terminates because origins only grow and are bounded by the
+    closed world's type count; the result is schedule-independent and
+    warm/cold-identical because the *final* sentinel is a function of the
+    final reachable set alone — see ``docs/architecture.md`` for the full
+    soundness argument.
 
 New policies plug in with :func:`register_saturation_policy`; factories
 registered with ``needs_context=True`` receive a :class:`SaturationContext`
@@ -101,6 +118,7 @@ from repro.lattice.value_state import ValueState
 
 if TYPE_CHECKING:
     from repro.ir.program import Program
+    from repro.ir.types import MethodSignature
 
 #: The policy name meaning "no cutoff" (threshold ``None``, exact semantics).
 OFF = "off"
@@ -251,6 +269,107 @@ class AllocatedTypeSaturation(ClosedWorldSaturation):
         return top
 
 
+class ReachableAllocatedSaturation(ClosedWorldSaturation):
+    """RTA-style top over *reachable* allocation sites only.
+
+    Unlike :class:`AllocatedTypeSaturation`, the origin set is not a
+    whole-text constant: it is recomputed from the solve's current
+    reachable set by :meth:`refresh_origins`, which the solver calls
+    between inner fixpoints (and at resume time, where the restored
+    state's reachable set seeds the origins before any re-collapse).
+    ``collapse`` and ``sentinel_for`` always answer against the origins of
+    the *latest* refresh; the solver's refinement loop guarantees the
+    final answer was computed against the final reachable set.
+    """
+
+    name = "allocated-type-reachable"
+
+    def __init__(self, hierarchy: TypeHierarchy, threshold: int,
+                 program: "Program") -> None:
+        super().__init__(hierarchy, threshold)
+        self._program = program
+        self._origins: FrozenSet[str] = frozenset()
+        self._origin_top: Optional[ValueState] = None
+
+    @property
+    def origins(self) -> FrozenSet[str]:
+        """The origin types of the latest refresh (for tests/diagnostics)."""
+        return self._origins
+
+    def refresh_origins(self, reachable: FrozenSet[str],
+                        stub_signatures: Tuple["MethodSignature", ...],
+                        roots: Tuple[str, ...]) -> bool:
+        """Recompute origins from the current reachable set.
+
+        Returns ``True`` when the origin set grew (the solver must then
+        re-collapse saturated flows and re-run to the inner fixpoint).
+        Origins never shrink within one policy instance, even if called
+        with a smaller reachable set, so sentinels only move up the
+        lattice — the property the monotone-termination argument needs.
+        """
+        origins = reachable_allocated_types(
+            self._program, reachable=reachable,
+            stub_signatures=stub_signatures, roots=roots)
+        if origins <= self._origins:
+            return False
+        self._origins = self._origins | origins
+        self._origin_top = None
+        return True
+
+    def _sentinel(self, flow: Flow) -> ValueState:
+        top = self._origin_top
+        if top is None:
+            types = set(self._origins)
+            types.add(NULL_TYPE_NAME)
+            top = ValueState.of_types(types).with_primitive(ANY)
+            self._origin_top = top
+        return top
+
+
+def reachable_allocated_types(
+        program: "Program", *, reachable: FrozenSet[str],
+        stub_signatures: Tuple["MethodSignature", ...] = (),
+        roots: Tuple[str, ...] = ()) -> FrozenSet[str]:
+    """Types that can originate in a value state of the *reachable* program.
+
+    The refined counterpart of :func:`allocated_types`: the same three
+    origin sets, but (a) counts ``new`` sites only in methods of the
+    ``reachable`` set and (c) counts only the bodyless callees the solve
+    has actually linked (``stub_signatures``, from the solver state's
+    replay record) instead of every declared stub in the closed world.
+    (b) — the conservative root seeds — is unchanged: roots are seeded
+    unconditionally, reachable or not.
+    """
+    allocated = set()
+    hierarchy = program.hierarchy
+    for qualified_name in reachable:
+        method = program.methods.get(qualified_name)
+        if method is None:
+            continue
+        for block in method.blocks:
+            for statement in block.statements:
+                if (isinstance(statement, Assign)
+                        and statement.expr.kind is ConstKind.NEW):
+                    allocated.add(statement.expr.type_name)
+    for root in roots or tuple(program.entry_points):
+        method = program.methods.get(root)
+        if method is None:
+            continue
+        signature = method.signature
+        declared = list(signature.param_types)
+        if not signature.is_static:
+            declared.append(signature.declaring_class)
+        for type_name in declared:
+            if type_name in hierarchy:
+                allocated.update(hierarchy.instantiable_subtypes(type_name))
+    for signature in stub_signatures:
+        if (signature.returns_reference
+                and signature.return_type in hierarchy):
+            allocated.update(
+                hierarchy.instantiable_subtypes(signature.return_type))
+    return frozenset(allocated)
+
+
 def allocated_types(program: "Program",
                     roots: Tuple[str, ...] = ()) -> FrozenSet[str]:
     """Every type that can originate in a reference state of ``program``.
@@ -380,7 +499,20 @@ def _make_allocated_type(context: SaturationContext) -> AllocatedTypeSaturation:
         allocated_types(context.program, context.roots))
 
 
+def _make_reachable_allocated(
+        context: SaturationContext) -> ReachableAllocatedSaturation:
+    if context.program is None:
+        raise ValueError(
+            "the 'allocated-type-reachable' saturation policy needs the "
+            "program; it is constructed per solve by the solver (or pass a "
+            "SaturationContext with a program)")
+    return ReachableAllocatedSaturation(
+        context.hierarchy, context.threshold, context.program)
+
+
 register_saturation_policy("closed-world", ClosedWorldSaturation)
 register_saturation_policy("declared-type", DeclaredTypeSaturation)
 register_saturation_policy("allocated-type", _make_allocated_type,
                            needs_context=True)
+register_saturation_policy("allocated-type-reachable",
+                           _make_reachable_allocated, needs_context=True)

@@ -125,6 +125,9 @@ class SkipFlowSolver:
         #: ``None`` when the cutoff is off — the hot path skips the feature.
         #: Built per solve (not here): program-aware policies need the roots.
         self._saturation = None
+        #: Roots of the current solve (old seeds + new roots), for policies
+        #: whose origin computation needs them; set by :meth:`solve`.
+        self._solve_roots: tuple = ()
         self._pending_links: Deque[InvokeFlow] = deque()
 
     # ------------------------------------------------------------------ #
@@ -189,6 +192,12 @@ class SkipFlowSolver:
             self.policy.saturation, self.hierarchy,
             self.policy.saturation_threshold,
             program=self.program, roots=tuple(root_names))
+        self._solve_roots = tuple(dict.fromkeys(
+            list(state.seeded_roots) + root_names))
+        # Reachability-refined policies compute their origins from the
+        # state's reachable set; seed them before any (re-)collapse so
+        # resume-time sentinels are already current.
+        self._refresh_saturation()
         previously_seeded = set(state.seeded_roots)
         if resuming:
             self._reattach(state.seeded_roots)
@@ -204,6 +213,15 @@ class SkipFlowSolver:
                 previously_seeded.add(root)
         state.solve_count += 1
         self._run()
+        # Optimistic refinement: policies whose sentinel depends on the
+        # reachable set (``allocated-type-reachable``) may have collapsed
+        # flows against origins that the inner fixpoint then outgrew.
+        # Re-collapse to the widened sentinels and iterate; the loop
+        # terminates because origins only grow and are bounded by the
+        # closed world's type count.
+        while self._refresh_saturation():
+            self._recollapse_saturated()
+            self._run()
 
     # ------------------------------------------------------------------ #
     # Resumption
@@ -232,23 +250,51 @@ class SkipFlowSolver:
                 self._worklist.push(flow)
             if isinstance(flow, InvokeFlow) and flow.in_link_queue:
                 self._pending_links.append(flow)
-        saturation = self._saturation
-        if saturation is not None:
-            for flow in self.pvpg.all_flows():
-                if not flow.saturated:
-                    continue
-                refreshed = flow.state.join(saturation.sentinel_for(flow))
-                if refreshed is not flow.state:
-                    flow.input_state = refreshed
-                    flow.state = refreshed
-                    if flow.enabled:
-                        self._schedule(flow)
+        self._recollapse_saturated()
         for root in seeded_roots:
             graph = self.pvpg.method_graph(root)
             if graph is not None:
                 self._seed_root_parameters(graph)
         for invoke_flow, signature in list(self.state.stub_links):
             self._apply_stub_effects(invoke_flow, signature)
+
+    def _refresh_saturation(self) -> bool:
+        """Let a reachability-aware cutoff recompute its origin set.
+
+        Duck-typed: only policies exposing ``refresh_origins`` (today
+        ``allocated-type-reachable``) participate; every other policy —
+        and the policy-less exact path — returns ``False`` immediately,
+        so the refinement loop is a single no-op check for them.
+        """
+        refresh = getattr(self._saturation, "refresh_origins", None)
+        if refresh is None:
+            return False
+        return refresh(
+            frozenset(self.state.reachable),
+            tuple(signature for _, signature in self.state.stub_links),
+            self._solve_roots)
+
+    def _recollapse_saturated(self) -> None:
+        """Re-collapse saturated flows against the current sentinels.
+
+        Joins into a saturated flow are skipped, so whenever a sentinel may
+        have widened — the program grew before a resume, or a refinement
+        pass grew a reachability-refined origin set — every saturated flow
+        must jump to the new top (and reschedule) or the solve would
+        under-approximate what a cold solve of the same program sees.
+        """
+        saturation = self._saturation
+        if saturation is None:
+            return
+        for flow in self.pvpg.all_flows():
+            if not flow.saturated:
+                continue
+            refreshed = flow.state.join(saturation.sentinel_for(flow))
+            if refreshed is not flow.state:
+                flow.input_state = refreshed
+                flow.state = refreshed
+                if flow.enabled:
+                    self._schedule(flow)
 
     # ------------------------------------------------------------------ #
     # Reachability

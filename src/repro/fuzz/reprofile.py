@@ -1,0 +1,183 @@
+"""Replayable repro files for failing fuzz cases.
+
+A repro file is a small JSON document carrying everything needed to rerun
+one failing case without the original seed stream: the (shrunk) benchmark
+spec, the edit script, the oracle parameters, and the violations that were
+observed when it was recorded.  ``repro fuzz --replay FILE`` (and the
+corpus regression tests under ``tests/fuzz/corpus/``) load these files and
+run them back through :func:`repro.fuzz.oracle.check_case`.
+
+The format is versioned; loading rejects unknown versions loudly rather
+than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.fuzz.oracle import OracleViolation
+from repro.workloads.applications import (
+    MicroserviceSpec,
+    PluginSystemSpec,
+    ReflectionSpec,
+)
+from repro.workloads.edits import EditScriptSpec, EditStepSpec
+from repro.workloads.generator import (
+    BenchmarkSpec,
+    GuardedModuleSpec,
+    HierarchySpec,
+)
+
+REPRO_FORMAT_VERSION = 1
+
+
+class ReproFileError(Exception):
+    """Raised for malformed or unsupported repro files."""
+
+
+# --------------------------------------------------------------------------- #
+# Spec <-> dict
+# --------------------------------------------------------------------------- #
+def spec_to_dict(spec: BenchmarkSpec) -> Dict[str, Any]:
+    data: Dict[str, Any] = {
+        "name": spec.name,
+        "suite": spec.suite,
+        "core_methods": spec.core_methods,
+        "guarded_modules": [
+            {"pattern": module.pattern, "methods": module.methods}
+            for module in spec.guarded_modules],
+        "hierarchies": [
+            {"depth": h.depth, "fanout": h.fanout,
+             "call_sites": h.call_sites,
+             "guarded_methods": h.guarded_methods}
+            for h in spec.hierarchies],
+        "compose_hierarchies": spec.compose_hierarchies,
+    }
+    if spec.services is not None:
+        data["services"] = {
+            "services": spec.services.services,
+            "routes": spec.services.routes,
+            "chained": spec.services.chained,
+            "guarded_methods": spec.services.guarded_methods,
+        }
+    if spec.plugins is not None:
+        data["plugins"] = {
+            "plugins": spec.plugins.plugins,
+            "active": spec.plugins.active,
+            "hooks": spec.plugins.hooks,
+            "payload_methods": spec.plugins.payload_methods,
+        }
+    if spec.reflection is not None:
+        data["reflection"] = {
+            "handlers": spec.reflection.handlers,
+            "fields": spec.reflection.fields,
+            "payload_methods": spec.reflection.payload_methods,
+        }
+    return data
+
+
+def spec_from_dict(data: Dict[str, Any]) -> BenchmarkSpec:
+    try:
+        services = (MicroserviceSpec(**data["services"])
+                    if "services" in data else None)
+        plugins = (PluginSystemSpec(**data["plugins"])
+                   if "plugins" in data else None)
+        reflection = (ReflectionSpec(**data["reflection"])
+                      if "reflection" in data else None)
+        return BenchmarkSpec(
+            name=data["name"],
+            suite=data["suite"],
+            core_methods=data["core_methods"],
+            guarded_modules=tuple(
+                GuardedModuleSpec(module["pattern"], module["methods"])
+                for module in data.get("guarded_modules", [])),
+            hierarchies=tuple(
+                HierarchySpec(**h) for h in data.get("hierarchies", [])),
+            compose_hierarchies=data.get("compose_hierarchies", False),
+            services=services,
+            plugins=plugins,
+            reflection=reflection,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproFileError(f"malformed benchmark spec: {exc}") from exc
+
+
+def script_to_dict(script: EditScriptSpec) -> Dict[str, Any]:
+    return {
+        "base": spec_to_dict(script.base),
+        "steps": [{"kind": step.kind, "index": step.index}
+                  for step in script.steps],
+    }
+
+
+def script_from_dict(data: Dict[str, Any]) -> EditScriptSpec:
+    try:
+        return EditScriptSpec(
+            base=spec_from_dict(data["base"]),
+            steps=tuple(EditStepSpec(kind=step["kind"], index=step["index"])
+                        for step in data.get("steps", [])))
+    except (KeyError, TypeError) as exc:
+        raise ReproFileError(f"malformed edit script: {exc}") from exc
+
+
+# --------------------------------------------------------------------------- #
+# Repro files
+# --------------------------------------------------------------------------- #
+def repro_to_dict(script: EditScriptSpec, *,
+                  seed: Optional[int] = None,
+                  case_index: Optional[int] = None,
+                  threshold: Optional[int] = None,
+                  violations: Tuple[OracleViolation, ...] = ()
+                  ) -> Dict[str, Any]:
+    return {
+        "format": REPRO_FORMAT_VERSION,
+        "seed": seed,
+        "case_index": case_index,
+        "threshold": threshold,
+        "script": script_to_dict(script),
+        "violations": [
+            {"invariant": v.invariant, "analyzer": v.analyzer,
+             "step": v.step, "detail": v.detail}
+            for v in violations],
+    }
+
+
+def write_repro(path: Path, script: EditScriptSpec, *,
+                seed: Optional[int] = None,
+                case_index: Optional[int] = None,
+                threshold: Optional[int] = None,
+                violations: Tuple[OracleViolation, ...] = ()) -> Path:
+    """Write one replayable repro file; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = repro_to_dict(script, seed=seed, case_index=case_index,
+                         threshold=threshold, violations=violations)
+    path.write_text(json.dumps(data, indent=2) + "\n")
+    return path
+
+
+def load_repro(path: Path) -> Tuple[EditScriptSpec, Dict[str, Any]]:
+    """Load a repro file: the edit script plus the raw metadata dict."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproFileError(f"cannot read repro file {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ReproFileError(f"repro file {path} is not a JSON object")
+    version = data.get("format")
+    if version != REPRO_FORMAT_VERSION:
+        raise ReproFileError(
+            f"repro file {path} has format {version!r}; this build reads "
+            f"format {REPRO_FORMAT_VERSION}")
+    return script_from_dict(data.get("script", {})), data
+
+
+def violations_from_dict(data: Dict[str, Any]) -> List[OracleViolation]:
+    """The recorded violations of a loaded repro file's metadata."""
+    return [
+        OracleViolation(invariant=v["invariant"], analyzer=v["analyzer"],
+                        step=v["step"], detail=v["detail"])
+        for v in data.get("violations", [])]

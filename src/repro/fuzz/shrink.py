@@ -1,0 +1,196 @@
+"""Greedy deterministic shrinking of failing fuzz cases.
+
+Given a failing :class:`~repro.workloads.edits.EditScriptSpec` and a
+predicate ("does this case still fail?"), :func:`shrink_case` walks a fixed
+sequence of simplification passes — drop edit steps, drop whole workload
+families, shrink numeric knobs toward their minimums — keeping every
+candidate that still fails and discarding the rest.  The passes repeat
+until a whole round makes no progress (a local fixpoint), so the result is
+minimal with respect to the pass vocabulary, not globally minimal — the
+usual delta-debugging trade-off.
+
+Robustness notes:
+
+* candidate scripts can be structurally invalid (e.g. an ``add-plugin``
+  step after the plugins family was dropped); the predicate is wrapped so
+  an exception counts as "does not fail" and the candidate is rejected;
+* the predicate typically runs the full oracle, so the attempt budget
+  bounds total shrink cost; with the default budget a quick-profile case
+  shrinks in a few seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, Tuple
+
+from repro.workloads.applications import (
+    MicroserviceSpec,
+    PluginSystemSpec,
+    ReflectionSpec,
+)
+from repro.workloads.edits import EditScriptSpec
+from repro.workloads.generator import (
+    BenchmarkSpec,
+    GuardedModuleSpec,
+    HierarchySpec,
+)
+
+#: ``predicate(script) -> bool``: does the case still fail?
+Predicate = Callable[[EditScriptSpec], bool]
+
+DEFAULT_MAX_ATTEMPTS = 200
+
+
+def case_cost(script: EditScriptSpec) -> Tuple[int, int]:
+    """The shrink order: fewer edit steps first, then fewer methods."""
+    return (len(script.steps), script.base.expected_total_methods)
+
+
+def _without_family_steps(script: EditScriptSpec,
+                          base: BenchmarkSpec) -> EditScriptSpec:
+    """Rebase the script, dropping steps whose family the base lost."""
+    steps = tuple(
+        step for step in script.steps
+        if not (step.kind == "add-plugin" and base.plugins is None)
+        and not (step.kind == "add-service" and base.services is None))
+    return EditScriptSpec(base=base, steps=steps)
+
+
+def _shrunk_services(spec: MicroserviceSpec) -> Iterator[MicroserviceSpec]:
+    if spec.services > 2:
+        yield replace(spec, services=max(2, spec.services // 2))
+    if spec.routes > 1:
+        yield replace(spec, routes=1)
+    if spec.chained:
+        yield replace(spec, chained=False)
+    if spec.guarded_methods > 5:
+        yield replace(spec, guarded_methods=5)
+
+
+def _shrunk_plugins(spec: PluginSystemSpec) -> Iterator[PluginSystemSpec]:
+    if spec.plugins > 2:
+        plugins = max(2, spec.plugins // 2)
+        yield replace(spec, plugins=plugins,
+                      active=min(spec.active, plugins))
+    if spec.active > 1:
+        yield replace(spec, active=1)
+    if spec.hooks > 1:
+        yield replace(spec, hooks=1)
+    if spec.payload_methods > 5:
+        yield replace(spec, payload_methods=5)
+
+
+def _shrunk_reflection(spec: ReflectionSpec) -> Iterator[ReflectionSpec]:
+    if spec.handlers > 1:
+        yield replace(spec, handlers=max(1, spec.handlers // 2))
+    if spec.fields > 0:
+        yield replace(spec, fields=0)
+    if spec.payload_methods > 5:
+        yield replace(spec, payload_methods=5)
+
+
+def _shrunk_hierarchy(spec: HierarchySpec) -> Iterator[HierarchySpec]:
+    if spec.depth > 1:
+        yield replace(spec, depth=1)
+    if spec.fanout > 2:
+        yield replace(spec, fanout=max(2, spec.fanout // 2))
+    if spec.call_sites > 1:
+        yield replace(spec, call_sites=1)
+    if spec.guarded_methods > 5:
+        yield replace(spec, guarded_methods=5)
+
+
+def _candidates(script: EditScriptSpec) -> Iterator[EditScriptSpec]:
+    """Simplification candidates, most aggressive first."""
+    base = script.base
+
+    # 1. Drop edit steps: all at once, then one at a time (from the end,
+    #    so earlier steps keep their indices and stay valid).
+    if script.steps:
+        yield replace(script, steps=())
+        for drop in range(len(script.steps) - 1, -1, -1):
+            yield replace(script, steps=(script.steps[:drop]
+                                         + script.steps[drop + 1:]))
+
+    # 2. Drop whole families (with their dependent edit steps).
+    if base.reflection is not None:
+        yield replace(script, base=replace(base, reflection=None))
+    if base.plugins is not None:
+        yield _without_family_steps(script, replace(base, plugins=None))
+    if base.services is not None:
+        yield _without_family_steps(script, replace(base, services=None))
+    if base.hierarchies:
+        yield replace(script, base=replace(
+            base, hierarchies=(), compose_hierarchies=False))
+    if base.guarded_modules:
+        yield replace(script, base=replace(base, guarded_modules=()))
+
+    # 3. Structural simplifications.
+    if base.compose_hierarchies:
+        yield replace(script, base=replace(base, compose_hierarchies=False))
+    if len(base.hierarchies) > 1:
+        yield replace(script, base=replace(
+            base, hierarchies=base.hierarchies[:1],
+            compose_hierarchies=False))
+    if len(base.guarded_modules) > 1:
+        yield replace(script, base=replace(
+            base, guarded_modules=base.guarded_modules[:1]))
+
+    # 4. Shrink numeric knobs toward their minimums.
+    if base.core_methods > 5:
+        yield replace(script, base=replace(
+            base, core_methods=max(5, base.core_methods // 2)))
+    for index, module in enumerate(base.guarded_modules):
+        if module.methods > 5:
+            smaller = (base.guarded_modules[:index]
+                       + (GuardedModuleSpec(module.pattern, 5),)
+                       + base.guarded_modules[index + 1:])
+            yield replace(script, base=replace(base, guarded_modules=smaller))
+    for index, hierarchy in enumerate(base.hierarchies):
+        for shrunk in _shrunk_hierarchy(hierarchy):
+            smaller = (base.hierarchies[:index] + (shrunk,)
+                       + base.hierarchies[index + 1:])
+            yield replace(script, base=replace(base, hierarchies=smaller))
+    if base.services is not None:
+        for shrunk in _shrunk_services(base.services):
+            yield replace(script, base=replace(base, services=shrunk))
+    if base.plugins is not None:
+        for shrunk in _shrunk_plugins(base.plugins):
+            yield replace(script, base=replace(base, plugins=shrunk))
+    if base.reflection is not None:
+        for shrunk in _shrunk_reflection(base.reflection):
+            yield replace(script, base=replace(base, reflection=shrunk))
+
+
+def shrink_case(script: EditScriptSpec, predicate: Predicate,
+                max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> EditScriptSpec:
+    """The smallest still-failing variant of ``script`` the passes can find.
+
+    ``predicate`` must return ``True`` for a *failing* case; it is assumed
+    (not re-checked) to hold for ``script`` itself.  Exceptions from the
+    predicate reject the candidate.
+    """
+
+    def still_fails(candidate: EditScriptSpec) -> bool:
+        try:
+            return bool(predicate(candidate))
+        except Exception:
+            return False  # invalid candidate: not a smaller failure
+
+    current = script
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _candidates(current):
+            if attempts >= max_attempts:
+                break
+            if case_cost(candidate) >= case_cost(current):
+                continue
+            attempts += 1
+            if still_fails(candidate):
+                current = candidate
+                improved = True
+                break
+    return current

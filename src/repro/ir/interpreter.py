@@ -116,6 +116,36 @@ class Interpreter:
             trace.completed = False
         return trace
 
+    def try_run(self, entry_point: Optional[str] = None,
+                arguments: Optional[List[RuntimeValue]] = None,
+                trace: Optional[ExecutionTrace] = None) -> ExecutionTrace:
+        """Execute like :meth:`run`, but never lose the partial trace.
+
+        :meth:`run` converts only :class:`BudgetExceeded` into an incomplete
+        trace; a genuine runtime error (null receiver, call on a primitive)
+        propagates and the trace is lost with it.  The fuzz oracle drives
+        *every* entry point of generated programs, some of which legitimately
+        fault at runtime (e.g. a route method called before the mesh is
+        deployed) — everything executed *up to* the fault still had to be
+        proven reachable, so the partial trace is exactly what the oracle
+        needs.  Passing ``trace`` accumulates several executions (one per
+        entry point) into one merged trace.
+        """
+        if entry_point is None:
+            if not self.program.entry_points:
+                raise InterpreterError("program has no entry points")
+            entry_point = self.program.entry_points[0]
+        method = self.program.methods.get(entry_point)
+        if method is None:
+            raise InterpreterError(f"entry point {entry_point!r} has no body")
+        if trace is None:
+            trace = ExecutionTrace()
+        try:
+            self._call(method, list(arguments or []), trace, depth=0)
+        except InterpreterError:  # includes BudgetExceeded
+            trace.completed = False
+        return trace
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #

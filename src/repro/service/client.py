@@ -5,7 +5,10 @@ using nothing beyond ``urllib`` — the same zero-dependency constraint as
 the daemon.  Errors come back as :class:`ServiceClientError` carrying the
 HTTP status and the server's error type/message, so callers can branch on
 ``error.status`` (409 = non-monotone update, retry with
-``allow_rebuild=True``) without parsing strings.
+``allow_rebuild=True``) without parsing strings.  Transport failures —
+the daemon is not running, the host does not resolve — surface as status
+0 / ``ConnectionError``; a response that is not a well-formed ok/result
+envelope surfaces as status 502 / ``MalformedEnvelope``.
 
 The client is deliberately stateless: one instance per base URL, safe to
 share across threads (each request opens its own connection), which is
@@ -63,7 +66,7 @@ class ServiceClient:
         try:
             with urllib.request.urlopen(request,
                                         timeout=self.timeout) as response:
-                envelope = json.loads(response.read().decode("utf-8"))
+                raw = response.read().decode("utf-8")
         except urllib.error.HTTPError as error:
             # Error envelopes arrive as HTTP errors; surface the taxonomy.
             try:
@@ -75,11 +78,32 @@ class ServiceClient:
             except (ValueError, AttributeError):
                 raise ServiceClientError(
                     error.code, "HTTPError", str(error)) from None
+        except urllib.error.URLError as error:
+            # No HTTP conversation happened at all (daemon not running,
+            # unresolvable host, timeout): status 0 = transport failure.
+            raise ServiceClientError(
+                0, "ConnectionError",
+                f"cannot reach the analysis daemon at {self.base_url}: "
+                f"{error.reason}") from None
+        try:
+            envelope = json.loads(raw)
+        except ValueError:
+            raise ServiceClientError(
+                502, "MalformedEnvelope",
+                f"the daemon's response is not JSON: {raw[:120]!r}") from None
+        if not isinstance(envelope, dict):
+            raise ServiceClientError(
+                502, "MalformedEnvelope",
+                "the daemon's response is not an ok/result envelope")
         if not envelope.get("ok"):
             detail = envelope.get("error") or {}
             raise ServiceClientError(
                 detail.get("status", 500), detail.get("type", "unknown"),
                 detail.get("message", "malformed error envelope"))
+        if "result" not in envelope:
+            raise ServiceClientError(
+                502, "MalformedEnvelope",
+                "the daemon's ok envelope carries no result")
         return envelope["result"]
 
     # ------------------------------------------------------------------ #

@@ -200,6 +200,7 @@ class _EvictedSession:
     warm_barrier: int
     program_spec: SessionSpillSpec
     slots: Tuple[_SlotRecord, ...]
+    barrier_reasons: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -415,10 +416,11 @@ class SessionManager:
                     delta = delta_between(
                         session.program, new_program,
                         name=f"{name}@gen{session.generation}")
-                except NonMonotoneDeltaError:
+                except NonMonotoneDeltaError as error:
                     if not allow_rebuild:
                         raise
-                    result = self._rebuild(managed, new_program)
+                    result = self._rebuild(managed, new_program,
+                                           error.reasons)
                 else:
                     if not delta.is_empty:
                         managed.pending.append(delta)
@@ -431,14 +433,18 @@ class SessionManager:
         self.metrics.bump("updates")
         return result
 
-    def _rebuild(self, managed: ManagedSession, new_program) -> dict:
+    def _rebuild(self, managed: ManagedSession, new_program,
+                 reasons: Tuple[str, ...] = ()) -> dict:
         """Replace a session's program wholesale after a non-monotone edit."""
         old = managed.session
         fresh = AnalysisSession(new_program, name=managed.name,
                                 roots=managed.roots)
         # One generation past the old history, with the barrier at the new
-        # generation: every pre-rebuild state is cold by construction.
-        fresh.adopt_generations(old.generation + 1, old.generation + 1)
+        # generation: every pre-rebuild state is cold by construction.  The
+        # rebuild's reasons become the barrier reasons, so later fallback
+        # messages name the offending classes/methods.
+        fresh.adopt_generations(old.generation + 1, old.generation + 1,
+                                reasons)
         managed.session = fresh
         managed.slots = {}
         managed.pending = []
@@ -510,10 +516,12 @@ class SessionManager:
             if slot.generation >= session.warm_barrier:
                 resume_state = slot.state
             else:
+                offenders = "; ".join(session.warm_barrier_reasons)
                 fallback_reasons.append(
                     f"a non-monotone update (generation "
                     f"{session.warm_barrier}) invalidated the state solved "
-                    f"at generation {slot.generation}")
+                    f"at generation {slot.generation}"
+                    + (f": {offenders}" if offenders else ""))
         before = resume_state.counters()["steps"] if resume_state is not None else 0
         if resume_state is not None:
             # The session re-validates the resume; it may still refuse (and
@@ -605,7 +613,8 @@ class SessionManager:
                 config=config, has_state=has_state))
         managed.evicted = _EvictedSession(
             generation=generation, warm_barrier=session.warm_barrier,
-            program_spec=program_spec, slots=tuple(records))
+            program_spec=program_spec, slots=tuple(records),
+            barrier_reasons=session.warm_barrier_reasons)
         managed.session = None
         managed.slots = {}
         self.metrics.bump("evictions")
@@ -626,7 +635,8 @@ class SessionManager:
                 f"(generation {evicted.generation}) is missing or unreadable")
         session = AnalysisSession(program, name=managed.name,
                                   roots=managed.roots)
-        session.adopt_generations(evicted.generation, evicted.warm_barrier)
+        session.adopt_generations(evicted.generation, evicted.warm_barrier,
+                                  evicted.barrier_reasons)
         slots: Dict[str, _AnalyzerSlot] = {}
         state_misses = 0
         for record in evicted.slots:

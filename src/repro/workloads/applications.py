@@ -1,0 +1,520 @@
+"""Realistic application-model workload families (ROADMAP item 4).
+
+The Table 1 specs model *libraries*: cores, guarded modules, and wide type
+hierarchies.  Real applications the paper's analysis feeds into an AOT
+compiler have different shapes, and the differential fuzzer needs them at
+10-100x the current spec sizes:
+
+:func:`add_microservice_module`
+    A *flat* service topology: one ``ServiceBase`` with many concrete
+    services overriding ``handle``, a mesh whose ``backbone`` field absorbs
+    every deployed service (flat megamorphism, unlike the deep hierarchy
+    family), a relay chain between services (call-graph depth), a
+    null-checked failover path, and a never-deployed ``Canary`` service
+    guarding a fallback payload — the ``instanceof`` guard an exact or
+    allocation-aware analysis discharges.
+
+:func:`add_plugin_system_module`
+    A plugin registry where only a subset of the declared plugins is ever
+    installed.  Each *dormant* plugin has a ``Boot.register`` method that
+    allocates the plugin into the registry ("self-registration") and pulls
+    in a payload module — code that is dead unless the plugin is already in
+    the registry.  This is the family where the whole-program
+    ``allocated-type`` sentinel re-inflates (the dormant allocation sites
+    exist in the program *text*) while the reachability-refined
+    ``allocated-type-reachable`` policy keeps discharging the guards: the
+    dormant allocations sit in methods that never become reachable.
+
+:func:`add_reflection_module`
+    Handler classes whose methods are reachable only through a
+    :class:`~repro.image.reflection.ReflectionConfig`: the handlers are
+    registered as reflective methods, a config object's fields are
+    registered as reflective fields, and a statically-reachable gateway
+    dispatches over one of those fields — sound only because the synthetic
+    reflection root stores every instantiable handler into it.
+
+All builders follow :mod:`repro.workloads.patterns` conventions: fully
+deterministic, names derived from the prefix alone, chunked population
+methods so no single CFG grows with the family size, and frozen spec
+dataclasses so the engine's caches can hash them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.image.reflection import ReflectionConfig
+from repro.ir.builder import ProgramBuilder
+from repro.workloads.patterns import POPULATE_CHUNK, add_library_module
+
+#: Minimum payload-module size (mirrors the generator's module floor).
+_MIN_PAYLOAD_METHODS = 5
+
+
+# --------------------------------------------------------------------------- #
+# Specs
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MicroserviceSpec:
+    """One flat service-mesh module: ``services`` concrete handlers."""
+
+    services: int = 6
+    routes: int = 3
+    chained: bool = True
+    guarded_methods: int = 8
+
+    def __post_init__(self) -> None:
+        if self.services < 2:
+            raise ValueError(f"a mesh needs >= 2 services, got {self.services}")
+        if self.routes < 1:
+            raise ValueError(f"a mesh needs >= 1 route, got {self.routes}")
+
+    @property
+    def method_count(self) -> int:
+        """Methods :func:`add_microservice_module` adds for this spec."""
+        deploys = -(-self.services // POPULATE_CHUNK)  # ceil division
+        payload = max(self.guarded_methods, _MIN_PAYLOAD_METHODS)
+        # base.handle + per-service handle + canary.handle + deploys
+        # + routes + failover + audit + drive + payload module.
+        return (1 + self.services + 1 + deploys + self.routes + 3
+                + payload)
+
+
+@dataclass(frozen=True)
+class PluginSystemSpec:
+    """A plugin registry: ``active`` of ``plugins`` declared extensions installed."""
+
+    plugins: int = 6
+    active: int = 3
+    hooks: int = 3
+    payload_methods: int = 8
+
+    def __post_init__(self) -> None:
+        if self.plugins < 2:
+            raise ValueError(f"a plugin system needs >= 2 plugins, got {self.plugins}")
+        if not 1 <= self.active <= self.plugins:
+            raise ValueError(
+                f"active plugins must be in [1, {self.plugins}], got {self.active}")
+        if self.hooks < 1:
+            raise ValueError(f"a plugin system needs >= 1 hook, got {self.hooks}")
+
+    @property
+    def dormant(self) -> int:
+        """Declared-but-never-installed plugins (the re-inflation targets)."""
+        return self.plugins - self.active
+
+    @property
+    def method_count(self) -> int:
+        """Methods :func:`add_plugin_system_module` adds for this spec."""
+        installs = -(-self.active // POPULATE_CHUNK)
+        payload = max(self.payload_methods, _MIN_PAYLOAD_METHODS)
+        # base.onEvent + per-plugin onEvent + installs + hooks
+        # + per-dormant (scan + Boot.register) + drive + shared payload.
+        return (1 + self.plugins + installs + self.hooks
+                + 2 * self.dormant + 1 + payload)
+
+
+@dataclass(frozen=True)
+class ReflectionSpec:
+    """Reflectively-invoked handlers plus reflective config fields."""
+
+    handlers: int = 3
+    fields: int = 1
+    payload_methods: int = 6
+
+    def __post_init__(self) -> None:
+        if self.handlers < 1:
+            raise ValueError(f"need >= 1 reflective handler, got {self.handlers}")
+        if self.fields < 0:
+            raise ValueError(f"reflective field count must be >= 0, got {self.fields}")
+
+    @property
+    def method_count(self) -> int:
+        """Methods :func:`add_reflection_module` adds for this spec.
+
+        Excludes the synthetic ``ReflectionRoots.initializeReflectiveFields``
+        the config application adds later (one per program, not per module).
+        """
+        payload = max(self.payload_methods, _MIN_PAYLOAD_METHODS)
+        # base.onMessage + per-handler onMessage + gateway dispatches (one
+        # per field, min 1) + payload module.
+        return 1 + self.handlers + max(self.fields, 1) + payload
+
+
+# --------------------------------------------------------------------------- #
+# Handles
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MicroserviceHandle:
+    prefix: str
+    driver: str
+    base_class: str
+    mesh_class: str
+    canary_class: str
+    service_classes: Tuple[str, ...]
+    method_names: Tuple[str, ...]
+
+    @property
+    def method_count(self) -> int:
+        return len(self.method_names)
+
+
+@dataclass(frozen=True)
+class PluginSystemHandle:
+    prefix: str
+    driver: str
+    base_class: str
+    registry_class: str
+    active_classes: Tuple[str, ...]
+    dormant_classes: Tuple[str, ...]
+    boot_methods: Tuple[str, ...]
+    method_names: Tuple[str, ...]
+
+    @property
+    def method_count(self) -> int:
+        return len(self.method_names)
+
+
+@dataclass(frozen=True)
+class ReflectionHandle:
+    prefix: str
+    driver: str
+    base_class: str
+    config_class: str
+    handler_classes: Tuple[str, ...]
+    reflection: ReflectionConfig
+    method_names: Tuple[str, ...]
+
+    @property
+    def method_count(self) -> int:
+        return len(self.method_names)
+
+
+# --------------------------------------------------------------------------- #
+# Microservice topology
+# --------------------------------------------------------------------------- #
+def add_microservice_module(pb: ProgramBuilder, prefix: str,
+                            spec: MicroserviceSpec) -> MicroserviceHandle:
+    """Add a flat service mesh; returns the handle with its static driver."""
+    methods: List[str] = []
+
+    base = f"{prefix}ServiceBase"
+    pb.declare_class(base)
+    mb = pb.method(base, "handle", return_type="int")
+    value = mb.assign_any()
+    mb.return_(value)
+    pb.finish_method(mb)
+    methods.append(f"{base}.handle")
+
+    services = tuple(f"{prefix}Svc{i}" for i in range(spec.services))
+    for index, service in enumerate(services):
+        pb.declare_class(service, superclass=base)
+    for index, service in enumerate(services):
+        mb = pb.method(service, "handle", return_type="int")
+        value = mb.assign_any()
+        # The relay chain: service i forwards to service i+1, modeling the
+        # call-graph depth of real request paths (the last service is a sink).
+        if spec.chained and index + 1 < len(services):
+            downstream = mb.assign_new(services[index + 1])
+            mb.invoke_virtual(downstream, "handle", result_type="int")
+        mb.return_(value)
+        pb.finish_method(mb)
+        methods.append(f"{service}.handle")
+
+    canary = f"{prefix}Canary"
+    pb.declare_class(canary, superclass=base)
+    mb = pb.method(canary, "handle", return_type="int")
+    value = mb.assign_any()
+    mb.return_(value)
+    pb.finish_method(mb)
+    methods.append(f"{canary}.handle")
+
+    payload = add_library_module(pb, f"{prefix}Fallback", spec.guarded_methods)
+
+    mesh = f"{prefix}Mesh"
+    pb.declare_class(mesh)
+    pb.declare_field(mesh, "backbone", base)
+
+    deploy_methods: List[str] = []
+    for chunk_index in range(0, len(services), POPULATE_CHUNK):
+        name = f"deploy{chunk_index // POPULATE_CHUNK}"
+        mb = pb.method(mesh, name)
+        for service in services[chunk_index:chunk_index + POPULATE_CHUNK]:
+            obj = mb.assign_new(service)
+            mb.store_field(mb.receiver, "backbone", obj)
+        mb.return_void()
+        pb.finish_method(mb)
+        deploy_methods.append(name)
+        methods.append(f"{mesh}.{name}")
+
+    # Optional-dependency failover: the backbone really can be unset (null
+    # is stored first), so the null check cannot be folded by any analysis.
+    mb = pb.method(mesh, "failover")
+    unset = mb.assign_null()
+    mb.store_field(mb.receiver, "backbone", unset)
+    current = mb.load_field(mb.receiver, "backbone", base)
+    mb.if_null(current, "missing", "present")
+    mb.label("missing")
+    default = mb.assign_new(services[0])
+    mb.store_field(mb.receiver, "backbone", default)
+    mb.jump("end", [])
+    mb.label("present")
+    mb.jump("end", [])
+    mb.merge("end", [])
+    mb.return_void()
+    pb.finish_method(mb)
+    methods.append(f"{mesh}.failover")
+
+    route_methods: List[str] = []
+    for site in range(spec.routes):
+        name = f"route{site}"
+        mb = pb.method(mesh, name)
+        current = mb.load_field(mb.receiver, "backbone", base)
+        mb.invoke_virtual(current, "handle", result_type="int")
+        mb.return_void()
+        pb.finish_method(mb)
+        route_methods.append(name)
+        methods.append(f"{mesh}.{name}")
+
+    # The canary guard: no Canary is ever deployed, so the fallback payload
+    # is dead for any analysis precise enough to discharge the instanceof.
+    mb = pb.method(mesh, "audit")
+    current = mb.load_field(mb.receiver, "backbone", base)
+    mb.if_instanceof(current, canary, "degraded", "healthy")
+    mb.label("degraded")
+    mb.invoke_static(payload.entry_class, payload.entry_method)
+    mb.jump("end", [])
+    mb.label("healthy")
+    mb.jump("end", [])
+    mb.merge("end", [])
+    mb.return_void()
+    pb.finish_method(mb)
+    methods.append(f"{mesh}.audit")
+
+    mb = pb.method(mesh, "drive", is_static=True)
+    instance = mb.assign_new(mesh)
+    mb.invoke_virtual(instance, "failover")
+    for name in deploy_methods:
+        mb.invoke_virtual(instance, name)
+    for name in route_methods:
+        mb.invoke_virtual(instance, name)
+    mb.invoke_virtual(instance, "audit")
+    mb.return_void()
+    pb.finish_method(mb)
+    methods.append(f"{mesh}.drive")
+
+    methods.extend(payload.method_names)
+    return MicroserviceHandle(
+        prefix=prefix,
+        driver=f"{mesh}.drive",
+        base_class=base,
+        mesh_class=mesh,
+        canary_class=canary,
+        service_classes=services,
+        method_names=tuple(methods),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Plugin system
+# --------------------------------------------------------------------------- #
+def add_plugin_system_module(pb: ProgramBuilder, prefix: str,
+                             spec: PluginSystemSpec) -> PluginSystemHandle:
+    """Add a plugin registry with dormant self-registering extensions.
+
+    The dormant plugins are the workload's point: plugin ``i >= active``
+    is allocated *only* inside ``{prefix}Boot{i}.register``, which is called
+    only when ``registry.slot instanceof {prefix}Ext{i}`` already holds —
+    dead code under the exact semantics.  A whole-program allocation scan
+    still counts those ``new`` sites, so the ``allocated-type`` sentinel
+    re-inflates every dormant guard at once when the slot saturates; the
+    reachability-refined sentinel does not, because ``Boot{i}.register``
+    never becomes reachable.
+    """
+    methods: List[str] = []
+
+    base = f"{prefix}Base"
+    pb.declare_class(base)
+    mb = pb.method(base, "onEvent", return_type="int")
+    value = mb.assign_any()
+    mb.return_(value)
+    pb.finish_method(mb)
+    methods.append(f"{base}.onEvent")
+
+    plugins = tuple(f"{prefix}Ext{i}" for i in range(spec.plugins))
+    for plugin in plugins:
+        pb.declare_class(plugin, superclass=base)
+        mb = pb.method(plugin, "onEvent", return_type="int")
+        value = mb.assign_any()
+        mb.return_(value)
+        pb.finish_method(mb)
+        methods.append(f"{plugin}.onEvent")
+    active = plugins[:spec.active]
+    dormant = plugins[spec.active:]
+
+    payload = add_library_module(pb, f"{prefix}Dormant", spec.payload_methods)
+
+    registry = f"{prefix}Registry"
+    pb.declare_class(registry)
+    pb.declare_field(registry, "slot", base)
+
+    install_methods: List[str] = []
+    for chunk_index in range(0, len(active), POPULATE_CHUNK):
+        name = f"install{chunk_index // POPULATE_CHUNK}"
+        mb = pb.method(registry, name)
+        for plugin in active[chunk_index:chunk_index + POPULATE_CHUNK]:
+            obj = mb.assign_new(plugin)
+            mb.store_field(mb.receiver, "slot", obj)
+        mb.return_void()
+        pb.finish_method(mb)
+        install_methods.append(name)
+        methods.append(f"{registry}.{name}")
+
+    hook_methods: List[str] = []
+    for site in range(spec.hooks):
+        name = f"hook{site}"
+        mb = pb.method(registry, name)
+        current = mb.load_field(mb.receiver, "slot", base)
+        mb.invoke_virtual(current, "onEvent", result_type="int")
+        mb.return_void()
+        pb.finish_method(mb)
+        hook_methods.append(name)
+        methods.append(f"{registry}.{name}")
+
+    # Dormant plugins: a scan per plugin, guarding its self-registration.
+    boot_methods: List[str] = []
+    scan_methods: List[str] = []
+    for index, plugin in enumerate(dormant):
+        boot = f"{prefix}Boot{index}"
+        pb.declare_class(boot)
+        mb = pb.method(boot, "register", is_static=True)
+        holder = mb.assign_new(registry)
+        obj = mb.assign_new(plugin)
+        mb.store_field(holder, "slot", obj)
+        mb.invoke_static(payload.entry_class, payload.entry_method)
+        mb.return_void()
+        pb.finish_method(mb)
+        boot_methods.append(f"{boot}.register")
+        methods.append(f"{boot}.register")
+
+        name = f"scan{index}"
+        mb = pb.method(registry, name)
+        current = mb.load_field(mb.receiver, "slot", base)
+        mb.if_instanceof(current, plugin, "installed", "dormant")
+        mb.label("installed")
+        mb.invoke_static(boot, "register")
+        mb.jump("end", [])
+        mb.label("dormant")
+        mb.jump("end", [])
+        mb.merge("end", [])
+        mb.return_void()
+        pb.finish_method(mb)
+        scan_methods.append(name)
+        methods.append(f"{registry}.{name}")
+
+    mb = pb.method(registry, "drive", is_static=True)
+    instance = mb.assign_new(registry)
+    for name in install_methods:
+        mb.invoke_virtual(instance, name)
+    for name in hook_methods:
+        mb.invoke_virtual(instance, name)
+    for name in scan_methods:
+        mb.invoke_virtual(instance, name)
+    mb.return_void()
+    pb.finish_method(mb)
+    methods.append(f"{registry}.drive")
+
+    methods.extend(payload.method_names)
+    return PluginSystemHandle(
+        prefix=prefix,
+        driver=f"{registry}.drive",
+        base_class=base,
+        registry_class=registry,
+        active_classes=active,
+        dormant_classes=dormant,
+        boot_methods=tuple(boot_methods),
+        method_names=tuple(methods),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Reflection-heavy programs
+# --------------------------------------------------------------------------- #
+def add_reflection_module(pb: ProgramBuilder, prefix: str,
+                          spec: ReflectionSpec) -> ReflectionHandle:
+    """Add handlers reachable only through a reflection configuration.
+
+    Returns a handle whose ``reflection`` config must be applied to the
+    built program (:meth:`ReflectionConfig.apply_to`): the handlers'
+    ``onMessage`` methods become reflective roots, and the config class's
+    ``mode{j}`` fields become reflective fields a synthetic root populates
+    with every instantiable handler.  The statically-reachable gateway
+    dispatches over those fields, which is sound only under that seeding.
+    """
+    methods: List[str] = []
+    reflection = ReflectionConfig()
+
+    base = f"{prefix}HandlerBase"
+    pb.declare_class(base)
+    mb = pb.method(base, "onMessage", params=["int"], param_names=["payload"],
+                   return_type="int")
+    value = mb.assign_any()
+    mb.return_(value)
+    pb.finish_method(mb)
+    methods.append(f"{base}.onMessage")
+
+    payload = add_library_module(pb, f"{prefix}Payload", spec.payload_methods)
+
+    handlers = tuple(f"{prefix}Handler{i}" for i in range(spec.handlers))
+    for handler in handlers:
+        pb.declare_class(handler, superclass=base)
+        mb = pb.method(handler, "onMessage", params=["int"],
+                       param_names=["payload"], return_type="int")
+        mb.invoke_static(payload.entry_class, payload.entry_method)
+        value = mb.assign_any()
+        mb.return_(value)
+        pb.finish_method(mb)
+        methods.append(f"{handler}.onMessage")
+        reflection.register_method(f"{handler}.onMessage")
+
+    config = f"{prefix}Config"
+    pb.declare_class(config)
+    for index in range(spec.fields):
+        pb.declare_field(config, f"mode{index}", base)
+        reflection.register_field(config, f"mode{index}")
+
+    # The gateway is statically reachable and dispatches over the reflective
+    # fields; without the synthetic reflection root its loads would only see
+    # the explicit null below, so the dispatch would be (unsoundly) dead.
+    gateway = f"{prefix}Gateway"
+    pb.declare_class(gateway)
+    for index in range(max(spec.fields, 1)):
+        mb = pb.method(gateway, f"dispatch{index}", is_static=True)
+        holder = mb.assign_new(config)
+        if index < spec.fields:
+            unset = mb.assign_null()
+            mb.store_field(holder, f"mode{index}", unset)
+            current = mb.load_field(holder, f"mode{index}", base)
+            mb.if_null(current, "missing", "bound")
+            mb.label("missing")
+            mb.jump("end", [])
+            mb.label("bound")
+            mb.invoke_virtual(current, "onMessage", [mb.assign_any()],
+                              result_type="int")
+            mb.jump("end", [])
+            mb.merge("end", [])
+        mb.return_void()
+        pb.finish_method(mb)
+        methods.append(f"{gateway}.dispatch{index}")
+
+    methods.extend(payload.method_names)
+    return ReflectionHandle(
+        prefix=prefix,
+        driver=f"{gateway}.dispatch0",
+        base_class=base,
+        config_class=config,
+        handler_classes=handlers,
+        reflection=reflection,
+        method_names=tuple(methods),
+    )

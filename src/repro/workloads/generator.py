@@ -18,6 +18,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ir.builder import ProgramBuilder
 from repro.ir.program import Program
+from repro.workloads.applications import (
+    MicroserviceSpec,
+    PluginSystemSpec,
+    ReflectionSpec,
+    add_microservice_module,
+    add_plugin_system_module,
+    add_reflection_module,
+)
 from repro.workloads.patterns import (
     COMPOSED_GUARD_METHODS,
     COMPOSED_GUARD_ROTATION,
@@ -118,6 +126,12 @@ class BenchmarkSpec:
     union of every leaf set, with the hierarchies cross-guarding each
     other's payloads (see :func:`repro.workloads.patterns.
     add_composed_hierarchies_module`).
+
+    ``services``, ``plugins``, and ``reflection`` attach the realistic
+    application-model families from :mod:`repro.workloads.applications`
+    (flat service meshes, plugin registries with dormant extensions, and
+    reflection-rooted handlers); the fuzzer composes them with the library
+    families above.
     """
 
     name: str
@@ -128,6 +142,9 @@ class BenchmarkSpec:
     paper_reduction_percent: Optional[float] = None
     hierarchies: Tuple[HierarchySpec, ...] = ()
     compose_hierarchies: bool = False
+    services: Optional[MicroserviceSpec] = None
+    plugins: Optional[PluginSystemSpec] = None
+    reflection: Optional[ReflectionSpec] = None
 
     def __post_init__(self) -> None:
         if self.compose_hierarchies and not 2 <= len(self.hierarchies) <= 4:
@@ -169,11 +186,30 @@ class BenchmarkSpec:
         return 1 + router + guards
 
     @property
+    def application_methods(self) -> int:
+        """Methods the application-model families add to the program.
+
+        Includes the synthetic ``ReflectionRoots`` initializer the reflection
+        configuration adds when it registers fields.
+        """
+        count = 0
+        if self.services is not None:
+            count += self.services.method_count
+        if self.plugins is not None:
+            count += self.plugins.method_count
+        if self.reflection is not None:
+            count += self.reflection.method_count
+            if self.reflection.fields:
+                count += 1  # ReflectionRoots.initializeReflectiveFields
+        return count
+
+    @property
     def expected_total_methods(self) -> int:
         """Approximate number of methods reachable by the baseline analysis."""
         overhead = sum(GUARD_OVERHEAD_METHODS[m.pattern] for m in self.guarded_modules)
         return (self.core_methods + self.guarded_methods + overhead
                 + self.hierarchy_methods + self.composition_methods
+                + self.application_methods
                 + 1)  # + main
 
     @property
@@ -272,6 +308,19 @@ def generate_benchmark(spec: BenchmarkSpec) -> Program:
             )
             guard_drivers.append(handle.driver)
 
+    # Application-model families (service mesh, plugin registry, reflection).
+    reflection_config = None
+    if spec.services is not None:
+        mesh = add_microservice_module(pb, f"{prefix}Net", spec.services)
+        guard_drivers.append(mesh.driver)
+    if spec.plugins is not None:
+        registry = add_plugin_system_module(pb, f"{prefix}Plug", spec.plugins)
+        guard_drivers.append(registry.driver)
+    if spec.reflection is not None:
+        handlers = add_reflection_module(pb, f"{prefix}Rx", spec.reflection)
+        guard_drivers.append(handlers.driver)
+        reflection_config = handlers.reflection
+
     # Main entry point.
     pb.declare_class("Main")
     mb = pb.method("Main", "main", is_static=True)
@@ -283,7 +332,10 @@ def generate_benchmark(spec: BenchmarkSpec) -> Program:
     mb.return_void()
     pb.finish_method(mb)
     pb.add_entry_point("Main.main")
-    return pb.build()
+    program = pb.build()
+    if reflection_config is not None:
+        reflection_config.apply_to(program)
+    return program
 
 
 def generate_suite(specs: Sequence[BenchmarkSpec]) -> Dict[str, Program]:

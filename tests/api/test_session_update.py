@@ -64,6 +64,20 @@ class TestUpdate:
         assert update.reasons
         assert "Main.helper" in session.program.methods
 
+    def test_non_monotone_reasons_name_the_offender(self):
+        session = session_fixture()
+        update = session.update(touch_delta())
+        # The reasons identify the offending method and class, not just
+        # "some delta": they are what fallback warnings surface later.
+        assert any("Main.helper" in reason and "Main" in reason
+                   for reason in update.reasons)
+        assert session.warm_barrier_reasons == update.reasons
+
+    def test_monotone_update_leaves_no_barrier_reasons(self):
+        session = session_fixture()
+        session.update(growth_delta())
+        assert session.warm_barrier_reasons == ()
+
     def test_structurally_invalid_update_raises_untouched(self):
         session = session_fixture()
         bad = ProgramDelta()
@@ -112,6 +126,18 @@ class TestResume:
         cold = session.run("skipflow")
         assert fallback.reachable_methods == cold.reachable_methods
 
+    def test_fallback_warning_names_the_offending_method(self):
+        session = session_fixture()
+        base = session.run("skipflow")
+        session.update(touch_delta())
+        # The warning must say *which* edit broke monotonicity, not just
+        # that one happened: "method Main.helper is added to pre-existing
+        # class Main ...".
+        with pytest.warns(ResumeFallbackWarning,
+                          match=r"method Main\.helper is added to "
+                                r"pre-existing class Main"):
+            session.run("skipflow", resume=base)
+
     def test_states_after_the_barrier_resume_again(self):
         session = session_fixture()
         session.run("skipflow")
@@ -137,8 +163,11 @@ class TestResume:
         # Un-stamped, generation-free snapshot (to_bytes without a program).
         foreign = SolverState.from_bytes(base.raw.solver_state.to_bytes())
         session.update(touch_delta())  # non-monotone
-        with pytest.warns(ResumeFallbackWarning, match="neither"):
+        with pytest.warns(ResumeFallbackWarning, match="neither") as caught:
             session.run("skipflow", resume=foreign)
+        # This path names the offender too.
+        assert any("Main.helper" in str(warning.message)
+                   for warning in caught)
 
     def test_config_mismatch_falls_back_loudly(self):
         session = session_fixture()

@@ -1,4 +1,13 @@
-"""Shared fixtures: hand-built programs used across the test suite."""
+"""Shared fixtures: hand-built programs used across the test suite.
+
+Also registers the suite-wide hypothesis profile: property tests here
+build and solve whole programs per example, so the per-example deadline is
+off and the too-slow health check suppressed *once*, instead of every
+test repeating its own ``settings(deadline=None, ...)`` copy.  Tests only
+override ``max_examples``.  CI pins the generation seed with
+``--hypothesis-seed`` (see ``.github/workflows/ci.yml``) so a red property
+test reproduces locally with the same examples.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +16,16 @@ import pytest
 from repro.ir.builder import ProgramBuilder
 from repro.ir.instructions import CompareOp
 from repro.ir.program import Program
+
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover — hypothesis ships with [dev]
+    pass
+else:
+    settings.register_profile(
+        "repro", deadline=None,
+        suppress_health_check=[HealthCheck.too_slow])
+    settings.load_profile("repro")
 
 
 def build_virtual_threads_program(use_virtual_threads: bool = False) -> Program:

@@ -1,0 +1,77 @@
+"""Repro files: JSON round-trip, versioning, loud failure on junk."""
+
+import json
+
+import pytest
+
+from repro.fuzz.generator import generate_cases
+from repro.fuzz.oracle import OracleViolation
+from repro.fuzz.reprofile import (
+    REPRO_FORMAT_VERSION,
+    ReproFileError,
+    load_repro,
+    script_from_dict,
+    script_to_dict,
+    violations_from_dict,
+    write_repro,
+)
+from repro.workloads.generator import generate_benchmark
+
+
+class TestRoundTrip:
+    def test_generated_cases_round_trip(self):
+        for script in generate_cases(21, 6):
+            rebuilt = script_from_dict(script_to_dict(script))
+            assert rebuilt == script
+
+    def test_rebuilt_spec_generates_the_identical_program(self):
+        script = generate_cases(22, 1)[0]
+        rebuilt = script_from_dict(script_to_dict(script))
+        original = generate_benchmark(script.base)
+        regenerated = generate_benchmark(rebuilt.base)
+        assert set(original.methods) == set(regenerated.methods)
+        assert (set(original.entry_points)
+                == set(regenerated.entry_points))
+
+    def test_write_and_load(self, tmp_path):
+        script = generate_cases(23, 1)[0]
+        violations = (OracleViolation(
+            invariant="executed-not-reachable", analyzer="cha", step=0,
+            detail="executed method Main.main is not reachable"),)
+        path = write_repro(tmp_path / "sub" / "case.json", script,
+                           seed=23, case_index=0, threshold=4,
+                           violations=violations)
+        loaded_script, meta = load_repro(path)
+        assert loaded_script == script
+        assert meta["seed"] == 23
+        assert meta["threshold"] == 4
+        assert violations_from_dict(meta) == list(violations)
+
+
+class TestFailureModes:
+    def test_unknown_version_is_rejected(self, tmp_path):
+        script = generate_cases(0, 1)[0]
+        path = write_repro(tmp_path / "case.json", script)
+        data = json.loads(path.read_text())
+        data["format"] = REPRO_FORMAT_VERSION + 1
+        path.write_text(json.dumps(data))
+        with pytest.raises(ReproFileError, match="format"):
+            load_repro(path)
+
+    def test_non_json_is_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("not json {")
+        with pytest.raises(ReproFileError, match="cannot read"):
+            load_repro(path)
+
+    def test_missing_file_is_rejected(self, tmp_path):
+        with pytest.raises(ReproFileError, match="cannot read"):
+            load_repro(tmp_path / "absent.json")
+
+    def test_malformed_spec_is_rejected(self, tmp_path):
+        path = tmp_path / "case.json"
+        path.write_text(json.dumps({
+            "format": REPRO_FORMAT_VERSION,
+            "script": {"base": {"name": "x"}, "steps": []}}))
+        with pytest.raises(ReproFileError, match="malformed benchmark spec"):
+            load_repro(path)

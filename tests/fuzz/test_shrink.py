@@ -1,0 +1,81 @@
+"""The greedy shrinker: minimizes failing cases, rejects invalid candidates."""
+
+from repro.fuzz.generator import generate_cases
+from repro.fuzz.shrink import case_cost, shrink_case
+from repro.workloads.applications import PluginSystemSpec
+from repro.workloads.edits import EditScriptSpec, EditStepSpec
+from repro.workloads.generator import BenchmarkSpec, GuardedModuleSpec
+
+
+def _rich_script():
+    spec = BenchmarkSpec(
+        name="shrink-me", suite="fuzz", core_methods=40,
+        guarded_modules=(GuardedModuleSpec("null_default", 8),
+                         GuardedModuleSpec("boolean_flag", 8)),
+        plugins=PluginSystemSpec(plugins=6, active=3, hooks=2))
+    steps = (EditStepSpec(kind="add-variant", index=0),
+             EditStepSpec(kind="add-plugin", index=1),
+             EditStepSpec(kind="add-dispatch", index=2))
+    return EditScriptSpec(base=spec, steps=steps)
+
+
+class TestShrinkCase:
+    def test_always_failing_predicate_reaches_the_floor(self):
+        shrunk = shrink_case(_rich_script(), lambda script: True)
+        # Everything optional is gone: no steps, no families, minimal core.
+        assert shrunk.steps == ()
+        assert shrunk.base.plugins is None
+        assert shrunk.base.guarded_modules == ()
+        assert shrunk.base.core_methods == 5
+
+    def test_preserves_the_failing_ingredient(self):
+        # Failure depends on the plugin family: shrinking must keep it
+        # while still dropping everything else.
+        def needs_plugins(script):
+            return script.base.plugins is not None
+
+        shrunk = shrink_case(_rich_script(), needs_plugins)
+        assert shrunk.base.plugins is not None
+        assert shrunk.base.guarded_modules == ()
+        assert shrunk.base.core_methods == 5
+        assert case_cost(shrunk) < case_cost(_rich_script())
+
+    def test_preserves_a_required_edit_step(self):
+        def needs_plugin_edit(script):
+            return any(step.kind == "add-plugin" for step in script.steps)
+
+        shrunk = shrink_case(_rich_script(), needs_plugin_edit)
+        assert [step.kind for step in shrunk.steps] == ["add-plugin"]
+        # Dropping the plugins family would orphan the step, and the
+        # family-dropping pass removes dependent steps with it — so the
+        # predicate keeps the family alive too.
+        assert shrunk.base.plugins is not None
+
+    def test_predicate_exceptions_reject_the_candidate(self):
+        calls = []
+
+        def explodes_on_small(script):
+            calls.append(script)
+            if script.base.core_methods < 40:
+                raise RuntimeError("boom")
+            return True
+
+        shrunk = shrink_case(_rich_script(), explodes_on_small)
+        # Candidates that blew up were rejected, not accepted or raised.
+        assert shrunk.base.core_methods == 40
+        assert len(calls) > 1
+
+    def test_never_increases_cost(self):
+        for script in generate_cases(13, 6):
+            shrunk = shrink_case(script, lambda candidate: True)
+            assert case_cost(shrunk) <= case_cost(script)
+
+    def test_attempt_budget_bounds_the_search(self):
+        attempts = []
+
+        def count(script):
+            attempts.append(script)
+            return True
+
+        shrink_case(_rich_script(), count, max_attempts=5)
+        assert len(attempts) <= 5

@@ -12,7 +12,7 @@ applications, and on hypothesis-generated workload specifications.
 from __future__ import annotations
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.baselines.cha import ClassHierarchyAnalysis
 from repro.baselines.rta import RapidTypeAnalysis
@@ -114,8 +114,9 @@ _patterns = st.lists(
 
 
 class TestHypothesisSoundness:
-    @settings(max_examples=15, deadline=None,
-              suppress_health_check=[HealthCheck.too_slow])
+    # deadline/health-check policy comes from the shared "repro" profile
+    # registered in tests/conftest.py; tests only size their example count.
+    @settings(max_examples=15)
     @given(core=st.integers(min_value=10, max_value=60), patterns=_patterns,
            module_size=st.integers(min_value=5, max_value=12))
     def test_random_workloads_execution_covered(self, core, patterns, module_size):

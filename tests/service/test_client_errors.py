@@ -1,0 +1,159 @@
+"""ServiceClient transport/envelope error paths (no daemon, or a lying one).
+
+The daemon tests cover the happy path and the server-side error taxonomy;
+these cover what the *client* does when the conversation itself breaks:
+nobody listening (connection refused), a server that answers non-JSON or a
+JSON shape that is not the ok/result envelope, and the full 409
+``allow_rebuild`` round-trip including the offender-naming fallback
+reasons of the analyze that follows.
+"""
+
+import json
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.service import ServiceClient, ServiceClientError, serving
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+@pytest.fixture
+def lying_server():
+    """An HTTP server answering 200 with whatever body the test sets."""
+
+    class Handler(BaseHTTPRequestHandler):
+        body = b"not json {"
+
+        def _answer(self):
+            self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.end_headers()
+            self.wfile.write(type(self).body)
+
+        do_GET = do_POST = _answer
+
+        def log_message(self, *args):
+            pass
+
+    server = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server, Handler
+    finally:
+        server.shutdown()
+        thread.join()
+
+
+class TestConnectionRefused:
+    def test_no_daemon_is_a_typed_connection_error(self):
+        client = ServiceClient.for_address("127.0.0.1", _free_port(),
+                                           timeout=2.0)
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.health()
+        assert excinfo.value.status == 0
+        assert excinfo.value.error_type == "ConnectionError"
+        assert "cannot reach the analysis daemon" in excinfo.value.message
+
+    def test_unresolvable_host_is_a_typed_connection_error(self):
+        client = ServiceClient("http://nonexistent.invalid:1", timeout=2.0)
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.health()
+        assert excinfo.value.status == 0
+        assert excinfo.value.error_type == "ConnectionError"
+
+
+class TestMalformedEnvelope:
+    def test_non_json_response(self, lying_server):
+        server, handler = lying_server
+        handler.body = b"<html>gateway error</html>"
+        client = ServiceClient.for_address(*server.server_address)
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.health()
+        assert excinfo.value.status == 502
+        assert excinfo.value.error_type == "MalformedEnvelope"
+        assert "not JSON" in excinfo.value.message
+
+    def test_json_but_not_an_envelope(self, lying_server):
+        server, handler = lying_server
+        handler.body = json.dumps(["not", "an", "envelope"]).encode()
+        client = ServiceClient.for_address(*server.server_address)
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.health()
+        assert excinfo.value.status == 502
+        assert excinfo.value.error_type == "MalformedEnvelope"
+
+    def test_ok_envelope_without_result(self, lying_server):
+        server, handler = lying_server
+        handler.body = json.dumps({"ok": True}).encode()
+        client = ServiceClient.for_address(*server.server_address)
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.health()
+        assert excinfo.value.status == 502
+        assert excinfo.value.error_type == "MalformedEnvelope"
+        assert "no result" in excinfo.value.message
+
+    def test_not_ok_envelope_without_error_detail(self, lying_server):
+        server, handler = lying_server
+        handler.body = json.dumps({"ok": False}).encode()
+        client = ServiceClient.for_address(*server.server_address)
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.health()
+        assert excinfo.value.status == 500
+        assert excinfo.value.error_type == "unknown"
+
+
+SOURCE_V1 = """
+class Main {
+    static void main() {
+        Greeter greeter = new Greeter();
+        greeter.greet();
+    }
+}
+class Greeter {
+    int greet() { return 1; }
+}
+"""
+
+# Grafting a method onto the pre-existing Greeter is a non-monotone edit.
+SOURCE_GRAFTED = SOURCE_V1.replace(
+    "int greet() { return 1; }",
+    "int greet() { return 1; }\n    int volume() { return 11; }")
+
+
+class TestAllowRebuildRoundTrip:
+    def test_409_then_rebuild_then_offender_named_in_fallback(self):
+        with serving() as server:
+            client = ServiceClient.for_address(*server.server_address)
+            client.open("demo", source=SOURCE_V1)
+            warm_base = client.analyze("demo", "skipflow")
+            assert warm_base["mode"] == "cold"
+
+            # First attempt: refused with the typed 409.
+            with pytest.raises(ServiceClientError) as excinfo:
+                client.update("demo", source=SOURCE_GRAFTED)
+            assert excinfo.value.status == 409
+            assert excinfo.value.error_type == "NonMonotoneDeltaError"
+            assert "Greeter.volume" in excinfo.value.message
+
+            # Retry exactly as the error contract suggests.
+            rebuilt = client.update("demo", source=SOURCE_GRAFTED,
+                                    allow_rebuild=True)
+            assert rebuilt["rebuilt"]
+
+            # The post-rebuild solve is cold, and its fallback reasons name
+            # the offending method rather than only a generation number.
+            after = client.analyze("demo", "skipflow")
+            assert after["mode"] in ("cold", "cold-fallback")
+            if after["fallback_reasons"]:
+                assert any("Greeter.volume" in reason
+                           for reason in after["fallback_reasons"])
+            reachable = after["report"]["call_graph"]["reachable_methods"]
+            assert "Greeter.greet" in reachable

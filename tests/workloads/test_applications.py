@@ -1,0 +1,186 @@
+"""The application-model workload families (microservice, plugin, reflection).
+
+These are the fuzzing subsystem's realistic program shapes, and the plugin
+family doubles as the motivating workload for the reachability-refined
+``allocated-type-reachable`` saturation policy: its dormant plugins are
+allocated only in methods that never become reachable, so the
+whole-program allocation scan re-inflates while the refined scan does not.
+"""
+
+import pytest
+
+from repro.core.analysis import AnalysisConfig, SkipFlowAnalysis
+from repro.ir.builder import ProgramBuilder
+from repro.ir.interpreter import Interpreter
+from repro.workloads.applications import (
+    MicroserviceSpec,
+    PluginSystemSpec,
+    ReflectionSpec,
+    add_microservice_module,
+    add_plugin_system_module,
+    add_reflection_module,
+)
+from repro.workloads.generator import BenchmarkSpec, generate_benchmark
+
+
+def _build(add_module, prefix, spec):
+    pb = ProgramBuilder()
+    handle = add_module(pb, prefix, spec)
+    pb.add_entry_point(handle.driver)
+    program = pb.build()
+    if getattr(handle, "reflection", None) is not None:
+        handle.reflection.apply_to(program)
+    return program, handle
+
+
+def _exact(program):
+    return SkipFlowAnalysis(program, AnalysisConfig.skipflow()).run()
+
+
+def _saturated(program, policy, threshold=3):
+    config = AnalysisConfig.skipflow().with_saturation_policy(
+        policy, threshold)
+    return SkipFlowAnalysis(program, config).run()
+
+
+class TestMicroserviceModule:
+    SPEC = MicroserviceSpec(services=5, routes=2, chained=True,
+                            guarded_methods=6)
+
+    def test_method_count_matches_spec(self):
+        program, handle = _build(add_microservice_module, "Ms", self.SPEC)
+        assert handle.method_count == self.SPEC.method_count
+        assert set(handle.method_names) <= set(program.methods)
+
+    def test_driver_executes_and_analysis_covers_it(self):
+        program, handle = _build(add_microservice_module, "Ms", self.SPEC)
+        trace = Interpreter(program).run(handle.driver)
+        assert trace.completed
+        result = _exact(program)
+        for method in trace.executed_methods:
+            assert result.is_method_reachable(method)
+
+    def test_canary_payload_is_dead_under_exact_semantics(self):
+        program, handle = _build(add_microservice_module, "Ms", self.SPEC)
+        result = _exact(program)
+        # No Canary is ever deployed: its handler and the guarded fallback
+        # payload both stay unreachable.
+        assert f"{handle.canary_class}.handle" not in result.reachable_methods
+        assert "MsFallbackEntry.enter" not in result.reachable_methods
+
+    def test_relay_chain_reaches_every_service(self):
+        program, handle = _build(add_microservice_module, "Ms", self.SPEC)
+        result = _exact(program)
+        for service in handle.service_classes:
+            assert f"{service}.handle" in result.reachable_methods
+
+
+class TestPluginSystemModule:
+    SPEC = PluginSystemSpec(plugins=8, active=5, hooks=2, payload_methods=6)
+
+    def test_method_count_matches_spec(self):
+        program, handle = _build(add_plugin_system_module, "Ps", self.SPEC)
+        assert handle.method_count == self.SPEC.method_count
+        assert self.SPEC.dormant == 3
+        assert len(handle.dormant_classes) == 3
+
+    def test_driver_executes_and_analysis_covers_it(self):
+        program, handle = _build(add_plugin_system_module, "Ps", self.SPEC)
+        trace = Interpreter(program).run(handle.driver)
+        assert trace.completed
+        result = _exact(program)
+        for method in trace.executed_methods:
+            assert result.is_method_reachable(method)
+
+    def test_dormant_boot_methods_are_dead_under_exact_semantics(self):
+        program, handle = _build(add_plugin_system_module, "Ps", self.SPEC)
+        result = _exact(program)
+        for boot in handle.boot_methods:
+            assert boot not in result.reachable_methods
+        assert "PsDormantEntry.enter" not in result.reachable_methods
+
+    def test_allocated_type_reinflates_but_reachable_variant_does_not(self):
+        """The policy's headline: dormant allocations fool the whole-program
+        scan (their ``new`` sites exist in text) but not the reachability-
+        refined one (their methods never become reachable)."""
+        program, _ = _build(add_plugin_system_module, "Ps", self.SPEC)
+        exact = _exact(program)
+        allocated = _saturated(program, "allocated-type")
+        refined = _saturated(program, "allocated-type-reachable")
+        assert allocated.stats.saturated_flows > 0
+        assert refined.stats.saturated_flows > 0
+        # Whole-program allocation scan re-inflates the dormant guards...
+        assert (allocated.reachable_method_count
+                > exact.reachable_method_count)
+        # ...the refined scan discharges them all: exact reachability.
+        assert refined.reachable_methods == exact.reachable_methods
+
+    def test_refined_variant_is_still_sound(self):
+        program, handle = _build(add_plugin_system_module, "Ps", self.SPEC)
+        refined = _saturated(program, "allocated-type-reachable")
+        exact = _exact(program)
+        assert exact.reachable_methods <= refined.reachable_methods
+        trace = Interpreter(program).run(handle.driver)
+        for method in trace.executed_methods:
+            assert refined.is_method_reachable(method)
+
+
+class TestReflectionModule:
+    SPEC = ReflectionSpec(handlers=3, fields=2, payload_methods=5)
+
+    def test_method_count_matches_spec(self):
+        program, handle = _build(add_reflection_module, "Rf", self.SPEC)
+        assert handle.method_count == self.SPEC.method_count
+        # apply_to added the synthetic reflection root on top.
+        assert ("ReflectionRoots.initializeReflectiveFields"
+                in program.methods)
+
+    def test_handlers_reachable_only_through_reflection(self):
+        with_reflection, handle = _build(add_reflection_module, "Rf",
+                                         self.SPEC)
+        covered = _exact(with_reflection)
+        for handler in handle.handler_classes:
+            assert f"{handler}.onMessage" in covered.reachable_methods
+
+        # Without applying the config the gateway's field loads only ever
+        # see the explicit null, so no handler dispatch survives.
+        pb = ProgramBuilder()
+        bare_handle = add_reflection_module(pb, "Rf", self.SPEC)
+        pb.add_entry_point(bare_handle.driver)
+        bare = _exact(pb.build())
+        for handler in bare_handle.handler_classes:
+            assert f"{handler}.onMessage" not in bare.reachable_methods
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="handler"):
+            ReflectionSpec(handlers=0)
+        with pytest.raises(ValueError, match=">= 2 services"):
+            MicroserviceSpec(services=1)
+        with pytest.raises(ValueError, match="active plugins"):
+            PluginSystemSpec(plugins=4, active=5)
+
+
+class TestGeneratorIntegration:
+    SPEC = BenchmarkSpec(
+        name="app-mix", suite="test", core_methods=8, guarded_modules=(),
+        services=MicroserviceSpec(services=3, routes=1),
+        plugins=PluginSystemSpec(plugins=4, active=2, hooks=1),
+        reflection=ReflectionSpec(handlers=2, fields=1),
+    )
+
+    def test_expected_total_methods_is_exact(self):
+        program = generate_benchmark(self.SPEC)
+        assert len(program.methods) == self.SPEC.expected_total_methods
+
+    def test_family_drivers_run_from_main(self):
+        program = generate_benchmark(self.SPEC)
+        result = _exact(program)
+        trace = Interpreter(program).run("Main.main")
+        assert trace.completed
+        # Every family driver actually executed, and the analysis covers
+        # the full concrete trace.
+        for driver in ("App_mixNetMesh.drive", "App_mixPlugRegistry.drive",
+                       "App_mixRxGateway.dispatch0"):
+            assert driver in trace.executed_methods
+        for method in trace.executed_methods:
+            assert result.is_method_reachable(method)
