@@ -130,6 +130,42 @@ def _incremental_phase(cache_dir: str) -> list:
     return failures
 
 
+def _audit_phase() -> list:
+    """Post-solve audits over the policy grid, plus a planted corruption.
+
+    Returns a list of failure messages (empty = phase green).  Every
+    (scheduling, saturation) combination on every smoke spec must pass the
+    full audits (snapshot round-trip included), and a deliberately planted
+    corruption must be detected — an auditor is only trustworthy if it can
+    fail.
+    """
+    from repro.checks import audit_state
+
+    failures = []
+    for spec in _smoke_specs():
+        program = generate_benchmark(spec)
+        for label, config in _policy_grid():
+            result = SkipFlowAnalysis(program, config).run()
+            diagnostics = audit_state(result.solver_state, program)
+            if diagnostics:
+                failures.append(
+                    f"{spec.name} [{label}]: post-solve audit reported "
+                    f"{len(diagnostics)} finding(s), first: "
+                    f"{diagnostics[0].render()}")
+
+    # Canary: a worklist bit forced back on must trip the residue audit.
+    spec = _smoke_specs()[0]
+    program = generate_benchmark(spec)
+    result = SkipFlowAnalysis(program, AnalysisConfig.skipflow()).run()
+    state = result.solver_state
+    next(iter(state.pvpg.all_flows())).in_worklist = True
+    planted = audit_state(state, program, snapshot=False)
+    if not any(diag.id == "AUD001" for diag in planted):
+        failures.append(
+            "planted worklist residue was not detected by audit AUD001")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=2)
@@ -196,8 +232,9 @@ def main(argv=None) -> int:
             jobs=args.jobs, cache=policy_rerun_cache)
 
         incremental_failures = _incremental_phase(cache_dir)
+        audit_failures = _audit_phase()
 
-    failures = list(incremental_failures)
+    failures = list(incremental_failures) + list(audit_failures)
     expected_hits = HALVES * len(specs)
     if second_cache.hits != expected_hits or second_cache.misses != 0:
         failures.append(
@@ -312,7 +349,8 @@ def main(argv=None) -> int:
           f"3-way matrix reused {matrix_cache.hits}/{expected_matrix_hits} halves, "
           f"policy matrix {grid_size}x{len(specs)} keyed distinctly "
           f"(re-run {policy_rerun_cache.hits}/{expected_policy_hits} hits), "
-          f"incremental edit resumed warm + snapshot round-trip")
+          f"incremental edit resumed warm + snapshot round-trip, "
+          f"post-solve audits clean + planted residue caught")
     return 0
 
 

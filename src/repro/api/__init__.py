@@ -26,6 +26,7 @@ shims; see ``docs/api.md`` for the migration table.
 """
 
 from repro.api.errors import (
+    CheckFailedError,
     NoEntryPointError,
     ReproError,
     SchemaVersionError,
@@ -76,6 +77,7 @@ __all__ = [
     "CallGraphAnalyzer",
     "CallGraphView",
     "ConfigAnalyzer",
+    "CheckFailedError",
     "NoEntryPointError",
     "ReproError",
     "ResumeFallbackWarning",

@@ -31,6 +31,7 @@ EXIT_NO_ENTRY = 3       # no analysis roots could be resolved
 EXIT_COMPILE = 4        # the input program does not compile / is malformed
 EXIT_DELTA = 5          # a structurally invalid or non-monotone delta
 EXIT_SESSION = 6        # service-session errors (unknown, lost, duplicate)
+EXIT_CHECK = 7          # diagnostics gate: error-severity check findings
 
 
 class ReproError(Exception):
@@ -111,6 +112,19 @@ class SchemaVersionError(ReproError, ValueError):
     http_status = 400
 
 
+class CheckFailedError(ReproError, RuntimeError):
+    """A diagnostics gate failed: error-severity check findings exist.
+
+    Raised where an artifact that failed its post-solve audit must not be
+    handed out (the daemon's audit-on-analyze path); the CLI maps the same
+    condition to :data:`EXIT_CHECK` directly.  The message carries the
+    rendered findings.
+    """
+
+    exit_code = EXIT_CHECK
+    http_status = 500
+
+
 def _foreign_types():
     """The (type, exit code, HTTP status) table for errors homed elsewhere.
 
@@ -121,6 +135,7 @@ def _foreign_types():
     """
     from repro.ir.delta import DeltaError, NonMonotoneDeltaError
     from repro.ir.program import ProgramError
+    from repro.ir.validate import ValidationError
     from repro.lang.errors import LangError
 
     return (
@@ -128,6 +143,7 @@ def _foreign_types():
         (DeltaError, EXIT_DELTA, 422),
         (LangError, EXIT_COMPILE, 422),
         (ProgramError, EXIT_COMPILE, 422),
+        (ValidationError, EXIT_COMPILE, 422),
     )
 
 

@@ -1,0 +1,83 @@
+"""Static diagnostics: IR lint passes and post-solve fixpoint audits.
+
+The dynamic fuzz oracle (:mod:`repro.fuzz`) is the expensive way to catch
+an unsound result; this package is the cheap, always-on way.  Two check
+families share one framework — a :class:`Check` registry mirroring the
+analyzer registry, :class:`Diagnostic` records with stable ids (``IR0xx``
+lint, ``AUD0xx`` audit), entity-anchored locations, text/JSON renderers,
+and a suppression :class:`Baseline`:
+
+* **lint** (:mod:`repro.checks.lint`) inspects the input program before
+  any solve: dead blocks and methods, write-only/read-only fields,
+  undispatchable virtual calls, roots naming nothing, non-monotone-risk
+  edit scripts;
+* **audit** (:mod:`repro.checks.audit`) statically verifies the artifacts
+  a solve produced: fixpoint stability under one extra sweep, call-graph
+  and field-link closure, saturation-sentinel consistency, snapshot
+  integrity, warm-barrier monotonicity.
+
+Surfaces: ``repro check`` and ``repro analyze --audit`` (CLI), the
+daemon's ``/v1/check`` endpoint and audit-on-analyze option, an audit
+phase in ``benchmarks/ci_smoke.py``, and the fuzz oracle running
+:func:`audit_state` on every case.  Catalog and soundness argument:
+``docs/checks.md``.
+"""
+
+from repro.checks.audit import (
+    AUDIT_CHECKS,
+    audit_result,
+    audit_snapshot,
+    audit_state,
+)
+from repro.checks.diagnostics import (
+    BASELINE_VERSION,
+    Baseline,
+    BaselineError,
+    Diagnostic,
+    Location,
+    Severity,
+    diagnostics_to_dict,
+    has_errors,
+    render_text,
+    sort_diagnostics,
+)
+from repro.checks.lint import LINT_CHECKS, lint_program
+from repro.checks.registry import (
+    CHECK_KINDS,
+    Check,
+    CheckContext,
+    UnknownCheckError,
+    available_checks,
+    get_check,
+    register_check,
+    run_checks,
+    unregister_check,
+)
+
+__all__ = [
+    "AUDIT_CHECKS",
+    "BASELINE_VERSION",
+    "Baseline",
+    "BaselineError",
+    "CHECK_KINDS",
+    "Check",
+    "CheckContext",
+    "Diagnostic",
+    "LINT_CHECKS",
+    "Location",
+    "Severity",
+    "UnknownCheckError",
+    "audit_result",
+    "audit_snapshot",
+    "audit_state",
+    "available_checks",
+    "diagnostics_to_dict",
+    "get_check",
+    "has_errors",
+    "lint_program",
+    "register_check",
+    "render_text",
+    "run_checks",
+    "sort_diagnostics",
+    "unregister_check",
+]

@@ -1,0 +1,212 @@
+"""Diagnostic records: what every check reports, and how it is rendered.
+
+A :class:`Diagnostic` is one finding of one check: a *stable id* (``IR0xx``
+for lint findings over the input program, ``AUD0xx`` for post-solve audit
+findings over analysis artifacts), a :class:`Severity`, an entity-anchored
+:class:`Location` (method / block / flow / field), and a human-readable
+message.  Stable ids are the contract: tests assert on them, baselines
+suppress by them, and renaming a check never renames its ids.
+
+Two renderers ship with the framework — :func:`render_text` for terminals
+and :func:`diagnostics_to_dict` for the JSON surfaces (``repro check
+--json``, the daemon's ``/v1/check`` endpoint) — plus a suppression
+:class:`Baseline`: a JSON file listing diagnostic keys (a bare id, or
+``id@anchor`` for one occurrence) that are expected and should not fail a
+gate.  See ``docs/checks.md`` for the catalog and the file format.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ordered so gates can threshold on it.
+
+    ``ERROR`` findings mean an artifact is *wrong* (a non-fixpoint state, a
+    dropped call edge, a forged snapshot) and fail gates by default;
+    ``WARNING`` findings mean the input program is *suspicious* (dead
+    blocks, write-only fields) and are advisory unless a caller opts into
+    strictness; ``INFO`` is purely informational.
+    """
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True, order=True)
+class Location:
+    """Where a finding is anchored: the entity it is *about*.
+
+    All fields are optional — a program-wide finding has none; a finding
+    about one flow names its method, its uid, and the flow class.  The
+    :meth:`anchor` string is the stable rendering used in messages and in
+    suppression keys.
+    """
+
+    method: Optional[str] = None
+    block: Optional[str] = None
+    flow: Optional[int] = None
+    flow_kind: Optional[str] = None
+    field: Optional[str] = None
+
+    def anchor(self) -> str:
+        parts: List[str] = []
+        if self.method is not None:
+            parts.append(f"method:{self.method}")
+        if self.block is not None:
+            parts.append(f"block:{self.block}")
+        if self.field is not None:
+            parts.append(f"field:{self.field}")
+        if self.flow is not None:
+            kind = f"({self.flow_kind})" if self.flow_kind else ""
+            parts.append(f"flow:{self.flow}{kind}")
+        return "/".join(parts)
+
+    def to_dict(self) -> dict:
+        return {key: value for key, value in (
+            ("method", self.method), ("block", self.block),
+            ("field", self.field), ("flow", self.flow),
+            ("flow_kind", self.flow_kind)) if value is not None}
+
+
+#: Anchor of a finding with no location at all (program-wide findings).
+PROGRAM_ANCHOR = "program"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one check (see the module docstring)."""
+
+    id: str
+    severity: Severity
+    message: str
+    check: str
+    location: Location = Location()
+
+    @property
+    def key(self) -> str:
+        """The suppression key: ``id@anchor`` (or the bare id program-wide)."""
+        anchor = self.location.anchor()
+        return f"{self.id}@{anchor}" if anchor else self.id
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "severity": self.severity.label,
+            "check": self.check,
+            "message": self.message,
+            "location": self.location.to_dict(),
+        }
+
+    def render(self) -> str:
+        anchor = self.location.anchor() or PROGRAM_ANCHOR
+        return (f"{self.id} {self.severity.label} [{self.check}] "
+                f"{anchor}: {self.message}")
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Deterministic report order: severity first (worst leading), then id."""
+    return sorted(diagnostics,
+                  key=lambda d: (-int(d.severity), d.id, d.location, d.message))
+
+
+def render_text(diagnostics: Sequence[Diagnostic],
+                title: Optional[str] = None) -> str:
+    """The terminal rendering: one line per finding plus a count footer."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    ordered = sort_diagnostics(diagnostics)
+    lines.extend(diag.render() for diag in ordered)
+    errors = sum(1 for diag in ordered if diag.severity >= Severity.ERROR)
+    warnings = sum(1 for diag in ordered if diag.severity == Severity.WARNING)
+    lines.append(f"{len(ordered)} finding(s): {errors} error(s), "
+                 f"{warnings} warning(s)")
+    return "\n".join(lines)
+
+
+def diagnostics_to_dict(diagnostics: Sequence[Diagnostic]) -> dict:
+    """The JSON shape shared by ``repro check --json`` and the daemon."""
+    ordered = sort_diagnostics(diagnostics)
+    return {
+        "diagnostics": [diag.to_dict() for diag in ordered],
+        "counts": {
+            "error": sum(1 for d in ordered if d.severity >= Severity.ERROR),
+            "warning": sum(1 for d in ordered
+                           if d.severity == Severity.WARNING),
+            "info": sum(1 for d in ordered if d.severity == Severity.INFO),
+        },
+    }
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    return any(diag.severity >= Severity.ERROR for diag in diagnostics)
+
+
+class BaselineError(Exception):
+    """Raised for a malformed suppression/baseline file."""
+
+
+#: Version of the baseline file format (see :class:`Baseline`).
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """A set of expected findings that should not fail a gate.
+
+    Entries are diagnostic keys: a bare id (``"IR003"``) suppresses every
+    occurrence of that check id; a full key (``"IR003@field:Config.mode"``)
+    suppresses exactly one anchored occurrence.  The on-disk shape is
+    deliberately tiny::
+
+        {"version": 1, "suppress": ["IR003", "AUD005@flow:12(FieldFlow)"]}
+    """
+
+    def __init__(self, entries: Iterable[str] = ()) -> None:
+        self.entries = frozenset(entries)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Baseline":
+        try:
+            data = json.loads(text)
+        except ValueError as error:
+            raise BaselineError(f"baseline is not JSON: {error}") from error
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"baseline must be an object with version {BASELINE_VERSION}")
+        entries = data.get("suppress", [])
+        if (not isinstance(entries, list)
+                or not all(isinstance(entry, str) for entry in entries)):
+            raise BaselineError("baseline 'suppress' must be a list of keys")
+        return cls(entries)
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "Baseline":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    def to_json(self) -> str:
+        return json.dumps({"version": BASELINE_VERSION,
+                           "suppress": sorted(self.entries)}, indent=2)
+
+    def suppresses(self, diagnostic: Diagnostic) -> bool:
+        return (diagnostic.id in self.entries
+                or diagnostic.key in self.entries)
+
+    def apply(self, diagnostics: Iterable[Diagnostic]
+              ) -> Tuple[List[Diagnostic], List[Diagnostic]]:
+        """Split into (kept, suppressed) while preserving order."""
+        kept: List[Diagnostic] = []
+        suppressed: List[Diagnostic] = []
+        for diag in diagnostics:
+            (suppressed if self.suppresses(diag) else kept).append(diag)
+        return kept, suppressed

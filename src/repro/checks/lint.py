@@ -1,0 +1,260 @@
+"""IR lint passes: suspicious-but-legal patterns in the input program.
+
+:mod:`repro.ir.validate` rejects programs that are *malformed* — dangling
+jump targets, phi/merge arity mismatches, unknown entry points.  The lint
+passes here accept well-formed programs and flag what is merely
+*suspicious*: code no root can reach, fields only ever written (or only
+ever read), virtual call sites no instantiable receiver could dispatch,
+and edit scripts that would break warm resumption.  Every finding is a
+:class:`~repro.checks.diagnostics.Diagnostic` with a stable ``IR0xx`` id
+at ``WARNING`` severity (``ERROR`` for roots naming nothing — analyzing
+such a program fails anyway, the lint just says so earlier and by name).
+
+The reachability pass (``IR002``) is deliberately a *name-based*
+over-approximation — a static call adds its resolved target, a virtual
+call adds every program method with a matching simple name — so it only
+flags methods that not even the coarsest call graph could reach.  Precise
+unreachability is the analyzers' job; the lint's job is catching dead
+weight and typos cheaply, before any solve.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.checks.diagnostics import Diagnostic, Location, Severity
+from repro.checks.registry import Check, CheckContext, register_check
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.instructions import Invoke, InvokeKind, LoadField, StoreField
+from repro.ir.program import Program
+
+#: The conventional fallback root (mirrors repro.api.session).
+_DEFAULT_ROOT = "Main.main"
+
+
+def _lint_roots(context: CheckContext) -> Tuple[str, ...]:
+    """The roots the reachability lint starts from (no errors: best effort)."""
+    if context.roots:
+        return tuple(context.roots)
+    program = context.program
+    if program.entry_points:
+        return tuple(program.entry_points)
+    if program.has_method(_DEFAULT_ROOT):
+        return (_DEFAULT_ROOT,)
+    return ()
+
+
+# --------------------------------------------------------------------------- #
+# IR001 — unreachable basic blocks
+# --------------------------------------------------------------------------- #
+def _check_dead_blocks(context: CheckContext) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for name, method in sorted(context.program.methods.items()):
+        try:
+            cfg = ControlFlowGraph(method)
+        except KeyError:
+            continue  # Malformed CFG: ir.validate's jurisdiction, not ours.
+        for block in sorted(cfg.unreachable_blocks()):
+            diagnostics.append(Diagnostic(
+                id="IR001", severity=Severity.WARNING, check="dead-blocks",
+                message=f"block {block!r} is unreachable from the entry "
+                        f"block of {name}",
+                location=Location(method=name, block=block)))
+    return diagnostics
+
+
+# --------------------------------------------------------------------------- #
+# IR002 — methods unreachable from any root (name-based closure)
+# --------------------------------------------------------------------------- #
+def _name_reachable(program: Program, roots: Tuple[str, ...]) -> Set[str]:
+    by_name: Dict[str, List[str]] = {}
+    for qualified, method in program.methods.items():
+        by_name.setdefault(method.signature.name, []).append(qualified)
+    hierarchy = program.hierarchy
+    reached: Set[str] = set()
+    worklist = [root for root in roots if program.has_method(root)]
+    while worklist:
+        current = worklist.pop()
+        if current in reached:
+            continue
+        reached.add(current)
+        for invoke in program.methods[current].iter_invokes():
+            if invoke.kind is InvokeKind.STATIC:
+                if (invoke.target_class is None
+                        or invoke.target_class not in hierarchy):
+                    continue
+                signature = hierarchy.resolve(invoke.target_class,
+                                              invoke.method_name)
+                if (signature is not None
+                        and program.has_method(signature.qualified_name)):
+                    worklist.append(signature.qualified_name)
+            else:
+                worklist.extend(by_name.get(invoke.method_name, ()))
+    return reached
+
+
+def _check_dead_methods(context: CheckContext) -> List[Diagnostic]:
+    roots = _lint_roots(context)
+    if not roots:
+        return []
+    reached = _name_reachable(context.program, roots)
+    return [
+        Diagnostic(
+            id="IR002", severity=Severity.WARNING, check="dead-methods",
+            message=f"method {name} is unreachable from every root even "
+                    f"under name-based dispatch (roots: {', '.join(roots)})",
+            location=Location(method=name))
+        for name in sorted(set(context.program.methods) - reached)
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# IR003 / IR004 — write-only and read-only fields
+# --------------------------------------------------------------------------- #
+def _field_accesses(program: Program) -> Tuple[Set[str], Set[str]]:
+    """(stored names, loaded names) across every method body.
+
+    Receivers are SSA values whose classes are unknown statically, so the
+    match is by field *name*: a store to ``mode`` marks every declared
+    field called ``mode`` as stored.  That over-approximation only ever
+    silences findings, never invents them.
+    """
+    stored: Set[str] = set()
+    loaded: Set[str] = set()
+    for method in program.methods.values():
+        for statement in method.iter_statements():
+            if isinstance(statement, StoreField):
+                stored.add(statement.field_name)
+            elif isinstance(statement, LoadField):
+                loaded.add(statement.field_name)
+    return stored, loaded
+
+
+def _check_field_usage(context: CheckContext) -> List[Diagnostic]:
+    stored, loaded = _field_accesses(context.program)
+    diagnostics: List[Diagnostic] = []
+    for class_type in sorted(context.program.hierarchy,
+                             key=lambda cls: cls.name):
+        for field_name, declaration in sorted(class_type.fields.items()):
+            qualified = declaration.qualified_name
+            if field_name in stored and field_name not in loaded:
+                diagnostics.append(Diagnostic(
+                    id="IR003", severity=Severity.WARNING,
+                    check="field-usage",
+                    message=f"field {qualified} is stored but never loaded "
+                            f"(write-only)",
+                    location=Location(field=qualified)))
+            elif field_name in loaded and field_name not in stored:
+                diagnostics.append(Diagnostic(
+                    id="IR004", severity=Severity.WARNING,
+                    check="field-usage",
+                    message=f"field {qualified} is loaded but never stored "
+                            f"(reads only see null)",
+                    location=Location(field=qualified)))
+    return diagnostics
+
+
+# --------------------------------------------------------------------------- #
+# IR005 — virtual call sites no instantiable receiver could dispatch
+# --------------------------------------------------------------------------- #
+def _check_undispatchable_calls(context: CheckContext) -> List[Diagnostic]:
+    program = context.program
+    hierarchy = program.hierarchy
+    instantiable = [cls.name for cls in hierarchy
+                    if not cls.is_interface and not cls.is_abstract]
+    dispatchable: Dict[str, bool] = {}
+
+    def any_receiver(method_name: str) -> bool:
+        cached = dispatchable.get(method_name)
+        if cached is None:
+            cached = any(
+                hierarchy.resolve(class_name, method_name) is not None
+                for class_name in instantiable)
+            dispatchable[method_name] = cached
+        return cached
+
+    diagnostics: List[Diagnostic] = []
+    for name, method in sorted(program.methods.items()):
+        for invoke in method.iter_invokes():
+            if invoke.kind is InvokeKind.STATIC:
+                continue
+            if not any_receiver(invoke.method_name):
+                diagnostics.append(Diagnostic(
+                    id="IR005", severity=Severity.WARNING,
+                    check="undispatchable-calls",
+                    message=f"virtual call to {invoke.method_name!r} in "
+                            f"{name}: no instantiable class resolves it",
+                    location=Location(method=name)))
+    return diagnostics
+
+
+# --------------------------------------------------------------------------- #
+# IR006 — roots (entry points, explicit roots) naming unknown methods
+# --------------------------------------------------------------------------- #
+def _check_roots(context: CheckContext) -> List[Diagnostic]:
+    program = context.program
+    named: List[Tuple[str, str]] = [
+        (entry, "entry point") for entry in program.entry_points]
+    named.extend((root, "analysis root") for root in context.roots)
+    seen: Set[str] = set()
+    diagnostics: List[Diagnostic] = []
+    for name, origin in named:
+        if name in seen or program.has_method(name):
+            continue
+        seen.add(name)
+        diagnostics.append(Diagnostic(
+            id="IR006", severity=Severity.ERROR, check="roots",
+            message=f"{origin} {name!r} names no method of the program",
+            location=Location(method=name)))
+    return diagnostics
+
+
+# --------------------------------------------------------------------------- #
+# IR007 — non-monotone-risk patterns in a pending edit script
+# --------------------------------------------------------------------------- #
+def _check_delta_risk(context: CheckContext) -> List[Diagnostic]:
+    if context.delta is None:
+        return []
+    return [
+        Diagnostic(
+            id="IR007", severity=Severity.WARNING, check="delta-risk",
+            message=f"edit script {context.delta.name!r} is non-monotone "
+                    f"for this program: {reason}")
+        for reason in context.delta.non_monotone_reasons(context.program)
+    ]
+
+
+def _make(name: str, ids: Tuple[str, ...], description: str, fn) -> Check:
+    return register_check(Check(name=name, kind="lint", ids=ids,
+                                description=description, run=fn))
+
+
+LINT_CHECKS: Tuple[Check, ...] = (
+    _make("dead-blocks", ("IR001",),
+          "basic blocks unreachable from their method's entry block",
+          _check_dead_blocks),
+    _make("dead-methods", ("IR002",),
+          "methods unreachable from every root under name-based dispatch",
+          _check_dead_methods),
+    _make("field-usage", ("IR003", "IR004"),
+          "fields that are write-only or read-only across the whole program",
+          _check_field_usage),
+    _make("undispatchable-calls", ("IR005",),
+          "virtual call sites no instantiable receiver type resolves",
+          _check_undispatchable_calls),
+    _make("roots", ("IR006",),
+          "entry points and analysis roots naming unknown methods",
+          _check_roots),
+    _make("delta-risk", ("IR007",),
+          "non-monotone-risk patterns in a pending ProgramDelta",
+          _check_delta_risk),
+)
+
+
+def lint_program(program: Program, *, roots: Tuple[str, ...] = (),
+                 delta: Optional[object] = None) -> List[Diagnostic]:
+    """Run every lint pass over one program (convenience wrapper)."""
+    from repro.checks.registry import run_checks
+
+    context = CheckContext(program=program, roots=tuple(roots), delta=delta)
+    return run_checks(context, kind="lint")

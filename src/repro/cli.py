@@ -52,7 +52,7 @@ from repro.api import (
     has_engine_config,
     require_config_analyzer,
 )
-from repro.api.errors import exit_code_for
+from repro.api.errors import EXIT_CHECK, exit_code_for
 from repro.core.analysis import AnalysisConfig
 from repro.core.state import SolverState
 from repro.image.builder import NativeImageBuilder
@@ -60,6 +60,7 @@ from repro.image.optimizations import collect_optimizations
 from repro.image.reflection import ReflectionConfig
 from repro.ir.delta import DeltaError, diff_programs
 from repro.ir.program import ProgramError
+from repro.ir.validate import ValidationError
 from repro.lang.api import compile_source
 from repro.lang.errors import LangError
 from repro.reporting.graphviz import call_graph_to_dot, pvpg_to_dot
@@ -141,12 +142,30 @@ def _print_build_report(session: AnalysisSession, config: AnalysisConfig,
             print(f"    {name}")
 
 
+def _print_audit(result, *, warm_barrier: int = 0) -> int:
+    """Audit an analysis result and print the findings; the gate exit code.
+
+    Returns 0 when the audits are clean (or merely advisory) and
+    ``EXIT_CHECK`` when any error-severity finding survives — an artifact
+    that failed its own audit must not exit 0.
+    """
+    from repro.checks import audit_result, has_errors, render_text
+
+    diagnostics = audit_result(result, warm_barrier=warm_barrier)
+    if not diagnostics:
+        print("  audit:              clean (all post-solve audits passed)")
+        return 0
+    print(render_text(diagnostics, title="  audit findings:"))
+    return EXIT_CHECK if has_errors(diagnostics) else 0
+
+
 def _print_call_graph_report(session: AnalysisSession, name: str,
-                             args) -> None:
+                             args, report=None) -> None:
     # Passing set kernel flags through (even for CHA/RTA) means an
     # unsupported sweep errors out loudly instead of printing unchanged
     # numbers.
-    report = session.run(name, **_policy_options(args))
+    if report is None:
+        report = session.run(name, **_policy_options(args))
     print(f"[{report.analyzer}]")
     print(f"  reachable methods:  {report.reachable_method_count}")
     print(f"  call edges:         {report.call_edge_count}")
@@ -198,11 +217,18 @@ def _analyze_with_state(session: AnalysisSession, args) -> int:
         state = report.raw.solver_state
         Path(args.save_state).write_bytes(state.to_bytes(session.program))
         print(f"  saved state:        {args.save_state}")
+    if args.audit:
+        return _print_audit(report.raw, warm_barrier=session.warm_barrier)
     return 0
 
 
 def _cmd_analyze(args) -> int:
     session = _load_session(args)
+    if args.audit and (args.json or args.compare or args.optimizations):
+        raise ValueError(
+            "--audit cannot be combined with --json/--compare/"
+            "--optimizations; use `repro check --audit` for machine-readable "
+            "diagnostics")
     if args.json:
         incompatible = next(
             (flag for flag, value in (
@@ -226,6 +252,14 @@ def _cmd_analyze(args) -> int:
                 "--compare cannot be combined with --resume-from/--save-state "
                 "(one snapshot backs one configuration)")
         return _analyze_with_state(session, args)
+    if args.audit:
+        # --audit runs through the session: the audits verify the solver
+        # state, which the image-builder path does not expose.  The output
+        # is the call-graph report plus the audit verdict.
+        name = _selected_analysis(args)
+        report = session.run(name, **_policy_options(args))
+        _print_call_graph_report(session, name, args, report=report)
+        return _print_audit(report.raw)
     if args.compare:
         # ConfigAnalyzer.config is the one place that applies kernel knobs
         # to an engine configuration; the CLI only collects the flags.
@@ -270,15 +304,30 @@ def _cmd_delta(args) -> int:
     old_program = compile_source(Path(args.old).read_text())
     new_program = compile_source(Path(args.new).read_text())
     delta = diff_programs(old_program, new_program)
+    introduced = []
+    if args.check:
+        # Lint both sides and report only what the edit *introduced*: a
+        # finding whose key (id@anchor) already existed in the old program
+        # is pre-existing noise, not a regression of this edit.
+        from repro.checks import lint_program, sort_diagnostics
+
+        old_keys = {diag.key for diag in lint_program(old_program)}
+        introduced = sort_diagnostics(
+            diag for diag in lint_program(new_program)
+            if diag.key not in old_keys)
     if args.json:
-        print(json.dumps({
+        payload = {
             "monotone": delta.is_monotone,
             "added_classes": list(delta.added_classes),
             "added_methods": list(delta.added_methods),
             "added_fields": list(delta.added_fields),
             "added_entry_points": list(delta.added_entry_points),
             "violations": list(delta.violations),
-        }, indent=2))
+        }
+        if args.check:
+            payload["new_diagnostics"] = [diag.to_dict()
+                                          for diag in introduced]
+        print(json.dumps(payload, indent=2))
         return 0 if delta.is_monotone else 1
     print(f"delta {args.old} -> {args.new}: {delta.summary()}")
     for label, names in (("classes", delta.added_classes),
@@ -293,7 +342,72 @@ def _cmd_delta(args) -> int:
         print("  violations (warm resume would be unsound):")
         for violation in delta.violations:
             print(f"    ! {violation}")
+    if args.check:
+        if introduced:
+            print(f"  new diagnostics introduced by the edit "
+                  f"({len(introduced)}):")
+            for diag in introduced:
+                print(f"    * {diag.render()}")
+        else:
+            print("  new diagnostics introduced by the edit: none")
     return 0 if delta.is_monotone else 1
+
+
+def _cmd_check(args) -> int:
+    """Static diagnostics (``repro check``): lint passes, optional audit.
+
+    The lint passes run over the compiled program; with ``--audit`` the
+    selected analysis also runs and its artifacts go through the post-solve
+    audits (including the snapshot round-trip).  Exit code 0 when no
+    error-severity finding survives the baseline; with ``--strict``, any
+    surviving finding fails the gate (exit ``EXIT_CHECK``).
+    """
+    from repro.checks import (
+        Baseline,
+        CheckContext,
+        audit_result,
+        available_checks,
+        diagnostics_to_dict,
+        has_errors,
+        render_text,
+        run_checks,
+        sort_diagnostics,
+    )
+
+    if args.list:
+        for check in available_checks():
+            ids = ", ".join(check.ids)
+            print(f"{check.kind:<6} {check.name:<22} {ids:<14} "
+                  f"{check.description}")
+        return 0
+    if not args.source:
+        raise ValueError("a source file is required unless --list is given")
+    session = _load_session(args)
+    baseline = Baseline.from_file(args.baseline) if args.baseline else None
+    try:
+        roots = tuple(session.resolve_roots())
+    except NoEntryPointError:
+        # Unresolvable roots are a finding here, not a crash: hand the raw
+        # names to the roots lint so it reports them by id.
+        roots = tuple(args.entry or ())
+    diagnostics = run_checks(
+        CheckContext(program=session.program, roots=roots),
+        kind="lint", baseline=baseline)
+    if args.audit:
+        report = session.run(_selected_analysis(args),
+                             **_policy_options(args))
+        audits = audit_result(report.raw)
+        if baseline is not None:
+            audits, _ = baseline.apply(audits)
+        diagnostics = sort_diagnostics(list(diagnostics) + list(audits))
+    if args.json:
+        print(json.dumps(diagnostics_to_dict(diagnostics), indent=2,
+                         sort_keys=True))
+    else:
+        print(render_text(diagnostics, title=f"repro check: {args.source}"))
+    if has_errors(diagnostics) or (args.strict and diagnostics):
+        return EXIT_CHECK
+    return 0
 
 
 def _cmd_callgraph(args) -> int:
@@ -538,7 +652,38 @@ def build_parser() -> argparse.ArgumentParser:
                               "falls back to a cold solve (with a warning) "
                               "when the program is not a monotone extension "
                               "of the snapshotted one")
+    analyze.add_argument("--audit", action="store_true",
+                         help="run the post-solve audits over the result "
+                              "and fail (exit 7) on any error finding")
     analyze.set_defaults(func=_cmd_analyze)
+
+    check = subparsers.add_parser(
+        "check", help="static diagnostics: IR lint passes and post-solve "
+                      "audits")
+    check.add_argument("source", nargs="?", default=None,
+                       help="surface-language source file (omit with --list)")
+    check.add_argument("--entry", action="append",
+                       help="entry point (Class.method); may be repeated")
+    check.add_argument("--analysis", choices=available_analyzers(),
+                       default=None,
+                       help="analysis audited under --audit "
+                            "(default: skipflow)")
+    check.add_argument("--reflection-config",
+                       help="JSON reflection configuration file")
+    add_policy_flags(check)
+    check.add_argument("--audit", action="store_true",
+                       help="also run the selected analysis and audit its "
+                            "artifacts (solver state + snapshot round-trip)")
+    check.add_argument("--json", action="store_true",
+                       help="print diagnostics as JSON (the same shape the "
+                            "daemon's /v1/check endpoint serves)")
+    check.add_argument("--baseline", metavar="FILE",
+                       help="JSON suppression file of expected finding keys")
+    check.add_argument("--strict", action="store_true",
+                       help="fail on any surviving finding, not just errors")
+    check.add_argument("--list", action="store_true",
+                       help="list the registered checks and their ids")
+    check.set_defaults(func=_cmd_check, config=None)
 
     compare = subparsers.add_parser(
         "compare", help="compare N named analyses over one program")
@@ -560,6 +705,9 @@ def build_parser() -> argparse.ArgumentParser:
     delta.add_argument("new", help="the edited source file")
     delta.add_argument("--json", action="store_true",
                        help="print the delta as JSON")
+    delta.add_argument("--check", action="store_true",
+                       help="run the lint passes on both sides and report "
+                            "diagnostics the edit introduced")
     delta.set_defaults(func=_cmd_delta)
 
     callgraph = subparsers.add_parser("callgraph", help="export the call graph as DOT")
@@ -645,11 +793,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.func(args)
     except (NoEntryPointError, ProgramError, LangError, DeltaError,
-            ValueError) as error:
+            ValidationError, ValueError) as error:
         # Unknown analysis names arrive as UnknownAnalyzerError, a ValueError
         # subclass — a genuine internal KeyError still produces a traceback.
         # The exit code reflects the failure class (see repro.api.errors):
-        # 2 usage, 3 no entry point, 4 compile error, 5 delta, 6 session.
+        # 2 usage, 3 no entry point, 4 compile/validation error, 5 delta,
+        # 6 session, 7 failed diagnostics gate.
         print(f"repro: {error}", file=sys.stderr)
         return exit_code_for(error)
 

@@ -29,6 +29,15 @@ sentinel keeps pre-collapse arrivals on ``this`` parameter flows, which
 makes a saturated flow's exact state history-dependent by design — the
 canonical outputs above are the fixpoint-equality contract.)
 
+**Static audits.**  Every solver state the case produces — the exact and
+baseline solves, each cold combo, and every step of each warm chain — is
+additionally run through the post-solve audits of :mod:`repro.checks`
+(fixpoint stability, link closure, saturation and warm-barrier
+consistency; the snapshot round-trip is skipped for speed).  This is the
+cheap static oracle riding along with the expensive dynamic one: a state
+that is not a true fixpoint fails here even when its reachable set happens
+to cover the trace.
+
 A ``mutator`` hook post-filters each analyzer's reachable set, letting the
 mutation smoke test verify the oracle actually fires on a broken analyzer.
 """
@@ -42,6 +51,7 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tup
 from repro.api import AnalysisSession
 from repro.baselines.cha import ClassHierarchyAnalysis
 from repro.baselines.rta import RapidTypeAnalysis
+from repro.checks import audit_state
 from repro.core.analysis import run_baseline, run_skipflow
 from repro.core.kernel import (
     available_saturation_policies,
@@ -68,7 +78,7 @@ class OracleViolation:
     """One broken invariant, precise enough to reproduce by hand."""
 
     invariant: str  # executed-not-reachable | callee-not-covered |
-    #                 value-not-covered | warm-cold-mismatch
+    #                 value-not-covered | warm-cold-mismatch | audit
     analyzer: str
     step: int  # edit prefix length (0 = the base program)
     detail: str
@@ -245,6 +255,23 @@ def _canonical_outputs(report) -> Tuple[FrozenSet[str],
             frozenset(report.stub_methods))
 
 
+def _check_audits(state, program: Program, label: str, step: int,
+                  warm_barrier: int = 0) -> List[OracleViolation]:
+    """The static audits as one more (cheap) oracle over every solve.
+
+    Every fixpoint the case produces — cold combos and warm chains alike —
+    must re-audit clean; the snapshot round-trip is skipped for speed
+    (``repro check --audit`` and the check smoke exercise it).  States that
+    do not exist (CHA/RTA) audit trivially clean.
+    """
+    if state is None:
+        return []
+    return [OracleViolation("audit", label, step, diag.render())
+            for diag in audit_state(state, program,
+                                    warm_barrier=warm_barrier,
+                                    snapshot=False)]
+
+
 def check_case(script: EditScriptSpec, *,
                schedulings: Optional[Sequence[str]] = None,
                saturations: Optional[Sequence[str]] = None,
@@ -286,6 +313,9 @@ def check_case(script: EditScriptSpec, *,
         for analyzer, result in baselines.items():
             report.violations.extend(_check_trace_against(
                 result, analyzer, count, trace, mutator))
+            report.violations.extend(_check_audits(
+                getattr(result, "solver_state", None), program,
+                analyzer, count))
         if check_values:
             report.violations.extend(
                 _check_value_coverage(skipflow, count, trace))
@@ -302,6 +332,8 @@ def check_case(script: EditScriptSpec, *,
                     _canonical_outputs(combo))
                 report.violations.extend(_check_trace_against(
                     combo, label, count, trace, mutator))
+                report.violations.extend(_check_audits(
+                    combo.raw.solver_state, program, label, count))
 
     # Warm chains: one session per combination, resumed across every edit.
     for scheduling in schedulings:
@@ -324,6 +356,9 @@ def check_case(script: EditScriptSpec, *,
                         warm = session.run("skipflow", resume=state,
                                            **options)
                         state = warm.raw.solver_state
+                    report.violations.extend(_check_audits(
+                        state, session.program, f"{label} warm", count,
+                        warm_barrier=session.warm_barrier))
                     warm_outputs = _canonical_outputs(warm)
                     cold_outputs = cold[(scheduling, saturation, count)]
                     for kind, w, c in zip(

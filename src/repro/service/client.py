@@ -136,11 +136,24 @@ class ServiceClient:
         return self._request("update", payload)
 
     def analyze(self, session: str, analysis: str,
-                options: Optional[dict] = None) -> dict:
+                options: Optional[dict] = None, *,
+                audit: bool = False) -> dict:
         payload = {"session": session, "analysis": analysis}
         if options:
             payload["options"] = options
+        if audit:
+            payload["audit"] = True
         return self._request("analyze", payload)
+
+    def check(self, session: str, analysis: Optional[str] = None,
+              options: Optional[dict] = None) -> dict:
+        """Static diagnostics over a session (lint; audits with ``analysis``)."""
+        payload = {"session": session}
+        if analysis is not None:
+            payload["analysis"] = analysis
+        if options:
+            payload["options"] = options
+        return self._request("check", payload)
 
     def evict(self, session: str) -> dict:
         return self._request("evict", {"session": session})

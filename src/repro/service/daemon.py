@@ -10,9 +10,15 @@ map one-to-one onto manager methods:
                       ``"scale"?, "replace"?}`` — create a named session
 ``POST /v1/update``   ``{"session", "source" | "edit", "allow_rebuild"?}``
                       — queue a program change (no solve)
-``POST /v1/analyze``  ``{"session", "analysis", "options"?}`` — drain the
-                      queue and solve (warm when sound); the response
-                      embeds the versioned report payload
+``POST /v1/analyze``  ``{"session", "analysis", "options"?, "audit"?}`` —
+                      drain the queue and solve (warm when sound); the
+                      response embeds the versioned report payload; with
+                      ``audit`` the post-solve audits gate the response
+                      (a failing audit is a 500, not a result)
+``POST /v1/check``    ``{"session", "analysis"?, "options"?}`` — run the
+                      lint passes over the session's program, plus the
+                      full audits of the named analysis if one is given;
+                      the response lists the diagnostics
 ``POST /v1/evict``    ``{"session"}`` — spill to disk now (testing/ops)
 ``POST /v1/close``    ``{"session"}`` — drop the session
 ``GET /v1/sessions``  every session's status
@@ -146,6 +152,16 @@ def make_handler(manager: SessionManager):
                     result = manager.analyze(
                         self._field(payload, "session"),
                         self._field(payload, "analysis"),
+                        options=options,
+                        audit=bool(payload.get("audit", False)))
+                elif self.path == endpoint("check"):
+                    options = payload.get("options")
+                    if options is not None and not isinstance(options, dict):
+                        raise ServiceProtocolError(
+                            "'options' must be a JSON object")
+                    result = manager.check(
+                        self._field(payload, "session"),
+                        analysis=payload.get("analysis"),
                         options=options)
                 elif self.path == endpoint("evict"):
                     result = manager.evict(self._field(payload, "session"))

@@ -52,6 +52,8 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.errors import (
+    CheckFailedError,
+    NoEntryPointError,
     ServiceProtocolError,
     SessionExistsError,
     SessionNotFoundError,
@@ -120,6 +122,7 @@ class ServiceMetrics:
             "opens": 0, "updates": 0, "analyzes": 0, "closes": 0,
             "evictions": 0, "rehydrations": 0,
             "rehydration_state_misses": 0, "rebuilds": 0,
+            "checks": 0, "check_findings": 0,
         }
         self.modes: Dict[str, int] = {mode: 0 for mode in ANALYZE_MODES}
         self.warm_steps_paid = 0
@@ -456,7 +459,8 @@ class SessionManager:
     # Analyze: drain the queue, resume warm when sound
     # ------------------------------------------------------------------ #
     def analyze(self, name: str, analysis: str,
-                options: Optional[dict] = None) -> dict:
+                options: Optional[dict] = None, *,
+                audit: bool = False) -> dict:
         """Run one registered analysis on a session, warm whenever sound.
 
         Drains the session's queued deltas first (one solve pays for all of
@@ -466,6 +470,14 @@ class SessionManager:
         when one did, plain ``cold`` on a first solve.  The response embeds
         the full versioned report payload plus the mode, the steps this
         request actually paid, and the coalescing depth.
+
+        With ``audit``, the post-solve audits (:mod:`repro.checks.audit`,
+        minus the snapshot round-trip — that is ``check``'s job) run over
+        the slot's state before the response is built.  A failing audit
+        raises :class:`~repro.api.errors.CheckFailedError` instead of
+        returning: the daemon must not hand out an artifact that failed
+        its own soundness audit.  A clean audit adds an ``"audit"`` block
+        to the response.
         """
         started = time.perf_counter()
         options = dict(options or {})
@@ -487,6 +499,9 @@ class SessionManager:
                 mode, steps_paid, payload = self._solve(
                     managed, session, analyzer, key, slot, options,
                     fallback_reasons)
+            audit_block = None
+            if audit:
+                audit_block = self._audit_slot(managed, session, key)
             generation = session.generation
             managed.touch()
         latency = time.perf_counter() - started
@@ -494,7 +509,7 @@ class SessionManager:
                                     coalesced=coalesced,
                                     latency_seconds=latency)
         self._maybe_evict(exclude=name)
-        return {
+        response = {
             "session": name,
             "analysis": analyzer.name,
             "generation": generation,
@@ -504,6 +519,107 @@ class SessionManager:
             "fallback_reasons": fallback_reasons,
             "latency_ms": round(latency * 1000, 3),
             "report": payload,
+        }
+        if audit_block is not None:
+            response["audit"] = audit_block
+        return response
+
+    def _audit_slot(self, managed: ManagedSession,
+                    session: AnalysisSession, key: str) -> dict:
+        """Audit one slot's solver state; caller holds the session lock.
+
+        Raises :class:`CheckFailedError` on any error-severity finding —
+        an artifact failing its audit must not be served.
+        """
+        from repro.checks import (
+            audit_state,
+            diagnostics_to_dict,
+            has_errors,
+            render_text,
+        )
+
+        slot = managed.slots.get(key)
+        state = slot.state if slot is not None else None
+        if state is None:
+            # CHA/RTA produce no solver state: trivially clean.
+            diagnostics = []
+        else:
+            diagnostics = audit_state(state, session.program,
+                                      warm_barrier=session.warm_barrier,
+                                      snapshot=False)
+        if diagnostics:
+            self.metrics.bump("check_findings", len(diagnostics))
+        if has_errors(diagnostics):
+            raise CheckFailedError(
+                f"post-solve audit failed for session {managed.name!r}:\n"
+                + render_text(diagnostics))
+        return diagnostics_to_dict(diagnostics)
+
+    def check(self, name: str, *, analysis: Optional[str] = None,
+              options: Optional[dict] = None) -> dict:
+        """Static diagnostics over a session (the ``/v1/check`` endpoint).
+
+        Always runs the lint passes over the session's current program
+        (queued deltas are drained first, so the lint sees what the next
+        analyze would solve).  With ``analysis``, the named analyzer also
+        runs — through the same slot machinery as ``analyze``, so a warm
+        or cached state is reused, not re-solved — and its artifacts go
+        through the full audits including the snapshot round-trip.  The
+        response carries the rendered diagnostics; unlike audit-on-analyze
+        it never raises on findings, because the caller asked to *see*
+        them, not to gate on them.
+        """
+        from repro.checks import (
+            CheckContext,
+            audit_state,
+            diagnostics_to_dict,
+            run_checks,
+            sort_diagnostics,
+        )
+
+        options = dict(options or {})
+        validate_wire_options(options)
+        analyzer = get_analyzer(analysis) if analysis is not None else None
+        managed = self._require(name)
+        with managed.lock:
+            self._ensure_live(managed)
+            session = managed.session
+            managed.drain_pending()
+            try:
+                roots = tuple(session.resolve_roots())
+            except NoEntryPointError:
+                roots = ()
+            diagnostics = run_checks(
+                CheckContext(program=session.program, roots=roots),
+                kind="lint")
+            analyzed = None
+            if analyzer is not None:
+                key = _slot_key(analyzer.name, options)
+                slot = managed.slots.get(key)
+                if (slot is None or slot.payload is None
+                        or slot.generation != session.generation):
+                    self._solve(managed, session, analyzer, key, slot,
+                                options, [])
+                state = managed.slots[key].state
+                analyzed = analyzer.name
+                if state is not None:
+                    audits = audit_state(
+                        state, session.program,
+                        warm_barrier=session.warm_barrier)
+                    diagnostics = sort_diagnostics(
+                        list(diagnostics) + list(audits))
+            generation = session.generation
+            managed.touch()
+        self.metrics.bump("checks")
+        findings = diagnostics_to_dict(diagnostics)
+        if findings["diagnostics"]:
+            self.metrics.bump("check_findings",
+                              len(findings["diagnostics"]))
+        return {
+            "session": name,
+            "generation": generation,
+            "analysis": analyzed,
+            **findings,
         }
 
     def _solve(self, managed: ManagedSession, session: AnalysisSession,

@@ -25,7 +25,7 @@ WIRE_VERSION = 1
 WIRE_PREFIX = f"/v{WIRE_VERSION}"
 
 #: ``POST`` endpoints (JSON object body) and ``GET`` endpoints, by suffix.
-POST_ENDPOINTS = ("open", "update", "analyze", "evict", "close")
+POST_ENDPOINTS = ("open", "update", "analyze", "check", "evict", "close")
 GET_ENDPOINTS = ("sessions", "metrics", "health")
 
 #: Analyzer options accepted over the wire.  The subset of

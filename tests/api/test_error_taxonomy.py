@@ -9,12 +9,14 @@ renumber a failure mode.
 import pytest
 
 from repro.api.errors import (
+    EXIT_CHECK,
     EXIT_COMPILE,
     EXIT_DELTA,
     EXIT_FAILURE,
     EXIT_NO_ENTRY,
     EXIT_SESSION,
     EXIT_USAGE,
+    CheckFailedError,
     NoEntryPointError,
     ReproError,
     SchemaVersionError,
@@ -28,6 +30,7 @@ from repro.api.errors import (
 )
 from repro.ir.delta import DeltaError, NonMonotoneDeltaError
 from repro.ir.program import ProgramError
+from repro.ir.validate import ValidationError
 from repro.lang.errors import LangError
 
 
@@ -36,7 +39,7 @@ class TestTaxonomyClasses:
         for cls in (NoEntryPointError, UnknownAnalyzerError,
                     SessionNotFoundError, SessionExistsError,
                     SessionRehydrationError, ServiceProtocolError,
-                    SchemaVersionError):
+                    SchemaVersionError, CheckFailedError):
             assert issubclass(cls, ReproError)
             assert isinstance(cls.exit_code, int)
             assert isinstance(cls.http_status, int)
@@ -63,6 +66,8 @@ class TestExitCodes:
         (DeltaError("duplicate class"), EXIT_DELTA),
         (LangError("parse"), EXIT_COMPILE),
         (ProgramError("unknown entry"), EXIT_COMPILE),
+        (ValidationError("Main.main: block has no terminator"), EXIT_COMPILE),
+        (CheckFailedError("AUD001 fired"), EXIT_CHECK),
         (ValueError("generic usage"), EXIT_USAGE),
         (RuntimeError("anything else"), EXIT_FAILURE),
     ])
@@ -71,8 +76,8 @@ class TestExitCodes:
 
     def test_codes_are_distinct_and_documented(self):
         codes = {EXIT_FAILURE, EXIT_USAGE, EXIT_NO_ENTRY, EXIT_COMPILE,
-                 EXIT_DELTA, EXIT_SESSION}
-        assert codes == {1, 2, 3, 4, 5, 6}
+                 EXIT_DELTA, EXIT_SESSION, EXIT_CHECK}
+        assert codes == {1, 2, 3, 4, 5, 6, 7}
 
 
 class TestHttpStatuses:
@@ -88,6 +93,8 @@ class TestHttpStatuses:
         (DeltaError("duplicate class"), 422),
         (LangError("parse"), 422),
         (ProgramError("unknown entry"), 422),
+        (ValidationError("Main.main: block has no terminator"), 422),
+        (CheckFailedError("AUD001 fired"), 500),
         (ValueError("generic"), 400),
         (RuntimeError("anything else"), 500),
     ])

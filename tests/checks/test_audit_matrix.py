@@ -1,0 +1,99 @@
+"""Post-solve audits are green across every analyzer x policy combination.
+
+The matrix is the contract the fuzz oracle and the daemon rely on: a
+*correct* solve — any config-backed analyzer, any scheduling, saturation
+on or off, cold or warm — audits clean, including the snapshot round-trip.
+"""
+
+import pytest
+
+from repro.api import AnalysisSession
+from repro.api.registry import config_backed_analyzers, get_analyzer
+from repro.checks import audit_result, audit_snapshot, audit_state
+from repro.core.analysis import SkipFlowAnalysis
+from repro.core.kernel import SolverPolicy
+from repro.ir.delta import ProgramDelta
+from repro.lang import compile_source
+from repro.workloads.generator import generate_benchmark
+from repro.workloads.suites import wide_hierarchy_suite
+from tests.conftest import build_virtual_threads_program
+
+SCHEDULINGS = ("fifo", "lifo", "degree")
+SATURATIONS = (("off", None), ("declared-type", 8))
+
+SOURCE = """
+class Config {
+    boolean isFeatureEnabled() { return false; }
+}
+class Feature {
+    void start() { }
+}
+class Main {
+    static void main() {
+        Config config = new Config();
+        if (config.isFeatureEnabled()) {
+            Feature feature = new Feature();
+            feature.start();
+        }
+    }
+}
+"""
+
+
+def _programs():
+    yield "feature-flag", compile_source(SOURCE)
+    yield "virtual-threads", build_virtual_threads_program(True)
+    spec = min(wide_hierarchy_suite(), key=lambda s: s.name != "wide-flat-64")
+    yield spec.name, generate_benchmark(spec)
+
+
+@pytest.mark.parametrize("analyzer_name", config_backed_analyzers())
+@pytest.mark.parametrize("scheduling", SCHEDULINGS)
+@pytest.mark.parametrize("saturation,threshold", SATURATIONS)
+def test_every_combo_audits_clean(analyzer_name, scheduling, saturation,
+                                  threshold):
+    policy = SolverPolicy(scheduling=scheduling, saturation=saturation,
+                          saturation_threshold=threshold)
+    config = get_analyzer(analyzer_name).config(policy=policy)
+    for label, program in _programs():
+        result = SkipFlowAnalysis(program, config).run()
+        findings = audit_state(result.solver_state, program)
+        assert findings == [], (
+            f"{label} [{analyzer_name} {policy.label}]: "
+            + "; ".join(d.render() for d in findings))
+
+
+def test_audit_result_reads_the_report_payload():
+    program = compile_source(SOURCE)
+    report = get_analyzer("skipflow").analyze(program)
+    assert audit_result(report) == []
+
+
+def test_audit_result_without_solver_state_is_empty():
+    program = compile_source(SOURCE)
+    report = get_analyzer("cha").analyze(program)
+    assert audit_result(report) == []
+
+
+def test_stamped_snapshot_blob_audits_clean():
+    program = compile_source(SOURCE)
+    result = SkipFlowAnalysis(program,
+                              get_analyzer("skipflow").config()).run()
+    blob = result.solver_state.to_bytes(program)
+    assert audit_snapshot(blob, program) == []
+
+
+def test_warm_resumed_session_state_audits_clean():
+    session = AnalysisSession.from_source(SOURCE)
+    session.run("skipflow")
+    delta = ProgramDelta("extend")
+    delta.declare_class("LoudConfig", superclass="Config")
+    mb = delta.method("LoudConfig", "isFeatureEnabled", return_type="boolean")
+    one = mb.assign_int(1)
+    mb.return_(one)
+    delta.finish_method(mb)
+    session.update(delta)
+    report = session.run("skipflow")
+    findings = audit_state(report.raw.solver_state, session.program,
+                           warm_barrier=session.warm_barrier)
+    assert findings == []

@@ -1,0 +1,83 @@
+"""The check registry: registration, lookup, selection, and baselines."""
+
+import pytest
+
+from repro.checks import (
+    AUDIT_CHECKS,
+    Baseline,
+    Check,
+    CheckContext,
+    Diagnostic,
+    LINT_CHECKS,
+    Location,
+    Severity,
+    UnknownCheckError,
+    available_checks,
+    get_check,
+    register_check,
+    run_checks,
+    unregister_check,
+)
+from repro.ir.program import Program
+
+
+def _dummy_check(name="dummy", kind="lint", ids=("XX001",)):
+    def run(context):
+        return [Diagnostic(id=ids[0], severity=Severity.WARNING,
+                           check=name, message="dummy", location=Location())]
+    return Check(name=name, kind=kind, ids=ids, description="a test check",
+                 run=run)
+
+
+class TestRegistry:
+    def test_builtin_checks_are_registered(self):
+        names = {check.name for check in available_checks()}
+        for check in LINT_CHECKS + AUDIT_CHECKS:
+            assert check.name in names
+
+    def test_lint_sorts_before_audit(self):
+        kinds = [check.kind for check in available_checks()]
+        assert kinds == sorted(kinds, key=("lint", "audit").index)
+
+    def test_kind_filter(self):
+        audits = available_checks(kind="audit")
+        assert audits and all(check.kind == "audit" for check in audits)
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(UnknownCheckError, match="residue"):
+            get_check("no-such-check")
+
+    def test_register_replace_and_unregister(self):
+        check = _dummy_check()
+        register_check(check)
+        try:
+            with pytest.raises(ValueError):
+                register_check(check)
+            register_check(check, replace=True)
+        finally:
+            unregister_check("dummy")
+        with pytest.raises(UnknownCheckError):
+            get_check("dummy")
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            _dummy_check(kind="style")
+
+
+class TestRunChecks:
+    def test_names_selection_and_baseline(self):
+        check = _dummy_check()
+        register_check(check)
+        try:
+            context = CheckContext(program=Program())
+            found = run_checks(context, names=["dummy"])
+            assert [d.id for d in found] == ["XX001"]
+            silenced = run_checks(context, names=["dummy"],
+                                  baseline=Baseline(["XX001"]))
+            assert silenced == []
+        finally:
+            unregister_check("dummy")
+
+    def test_audit_checks_are_empty_without_state(self):
+        context = CheckContext(program=Program())
+        assert run_checks(context, kind="audit") == []

@@ -1,0 +1,91 @@
+"""Diagnostic records: ordering, rendering, JSON shape, and baselines."""
+
+import json
+
+import pytest
+
+from repro.checks import (
+    BASELINE_VERSION,
+    Baseline,
+    BaselineError,
+    Diagnostic,
+    Location,
+    Severity,
+    diagnostics_to_dict,
+    has_errors,
+    render_text,
+    sort_diagnostics,
+)
+
+
+def _diag(id="IR001", severity=Severity.WARNING, message="m", location=None):
+    return Diagnostic(id=id, severity=severity, check="c", message=message,
+                      location=location or Location())
+
+
+class TestSeverityAndLocation:
+    def test_severity_orders_worst_last_in_enum(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert Severity.ERROR.label == "error"
+
+    def test_anchor_composes_method_block_flow(self):
+        loc = Location(method="Main.main", block="entry", flow=3,
+                       flow_kind="invoke")
+        assert loc.anchor() == "method:Main.main/block:entry/flow:3(invoke)"
+
+    def test_key_combines_id_and_anchor(self):
+        diag = _diag(location=Location(method="A.f"))
+        assert diag.key == "IR001@method:A.f"
+
+    def test_program_wide_key_is_the_bare_id(self):
+        assert _diag(location=Location()).key == "IR001"
+
+
+class TestOrderingAndRendering:
+    def test_sort_puts_errors_first_then_id(self):
+        warning = _diag(id="IR005", severity=Severity.WARNING)
+        error = _diag(id="AUD002", severity=Severity.ERROR)
+        info = _diag(id="IR001", severity=Severity.INFO)
+        ordered = sort_diagnostics([info, warning, error])
+        assert [d.severity for d in ordered] == [
+            Severity.ERROR, Severity.WARNING, Severity.INFO]
+
+    def test_render_text_footer_counts(self):
+        text = render_text([_diag(severity=Severity.ERROR), _diag()])
+        assert "2 finding(s): 1 error(s), 1 warning(s)" in text
+
+    def test_to_dict_round_trips_through_json(self):
+        payload = diagnostics_to_dict([_diag(severity=Severity.ERROR)])
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["counts"] == {"error": 1, "warning": 0, "info": 0}
+        assert decoded["diagnostics"][0]["id"] == "IR001"
+
+    def test_has_errors_ignores_warnings(self):
+        assert not has_errors([_diag()])
+        assert has_errors([_diag(severity=Severity.ERROR)])
+
+
+class TestBaseline:
+    def test_suppresses_by_bare_id_and_full_key(self):
+        anchored = _diag(id="IR003", location=Location(field="A.x"))
+        other = _diag(id="IR004", location=Location(field="A.y"))
+        baseline = Baseline.from_json(json.dumps(
+            {"version": BASELINE_VERSION,
+             "suppress": ["IR003", "IR004@field:A.z"]}))
+        kept, suppressed = baseline.apply([anchored, other])
+        assert kept == [other]
+        assert suppressed == [anchored]
+
+    def test_rejects_wrong_version_and_shape(self):
+        with pytest.raises(BaselineError):
+            Baseline.from_json(json.dumps({"version": 99, "suppress": []}))
+        with pytest.raises(BaselineError):
+            Baseline.from_json(json.dumps({"version": BASELINE_VERSION,
+                                           "suppress": [1]}))
+        with pytest.raises(BaselineError):
+            Baseline.from_json("[]")
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(Baseline(["IR001"]).to_json())
+        assert Baseline.from_file(str(path)).suppresses(_diag())

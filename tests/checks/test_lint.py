@@ -1,0 +1,142 @@
+"""IR lint passes: each planted pattern fires its stable IR0xx id.
+
+Programs are hand-built with :class:`ProgramBuilder` (or compiled from
+source) so every finding is planted deliberately; the clean fixture
+asserts the converse — a tidy program lints silent.
+"""
+
+from repro.checks import CheckContext, Severity, lint_program, run_checks
+from repro.ir.builder import ProgramBuilder
+from repro.ir.delta import ProgramDelta
+from repro.lang import compile_source
+
+CLEAN_SOURCE = """
+class Greeter {
+    int greet() { return 1; }
+}
+class Main {
+    static void main() {
+        Greeter greeter = new Greeter();
+        greeter.greet();
+    }
+}
+"""
+
+
+def _ids(diagnostics):
+    return {diag.id for diag in diagnostics}
+
+
+def test_clean_program_lints_silent():
+    assert lint_program(compile_source(CLEAN_SOURCE)) == []
+
+
+def test_ir001_dead_block():
+    pb = ProgramBuilder()
+    pb.declare_class("Main")
+    mb = pb.method("Main", "main", is_static=True)
+    mb.return_void()
+    mb.label("orphanBlock")
+    mb.return_void()
+    pb.finish_method(mb)
+    pb.add_entry_point("Main.main")
+    program = pb.build()
+    diagnostics = lint_program(program)
+    assert "IR001" in _ids(diagnostics)
+    [finding] = [d for d in diagnostics if d.id == "IR001"]
+    assert finding.location.block == "orphanBlock"
+
+
+def test_ir002_unreachable_method():
+    pb = ProgramBuilder()
+    pb.declare_class("Main")
+    pb.declare_class("Util")
+    mb = pb.method("Main", "main", is_static=True)
+    mb.return_void()
+    pb.finish_method(mb)
+    mb = pb.method("Util", "neverCalled")
+    mb.return_void()
+    pb.finish_method(mb)
+    pb.add_entry_point("Main.main")
+    program = pb.build()
+    diagnostics = lint_program(program)
+    [finding] = [d for d in diagnostics if d.id == "IR002"]
+    assert finding.location.method == "Util.neverCalled"
+
+
+def test_ir002_name_based_closure_is_an_over_approximation():
+    # Main virtually calls poke(); *every* method named poke counts as
+    # reached, even on a class the solver would prove receiver-less.
+    source = CLEAN_SOURCE + """
+class Other {
+    int greet() { return 2; }
+}
+"""
+    diagnostics = lint_program(compile_source(source))
+    assert not any(d.id == "IR002" for d in diagnostics)
+
+
+def test_ir003_stored_never_loaded_and_ir004_loaded_never_stored():
+    pb = ProgramBuilder()
+    pb.declare_class("Main")
+    pb.declare_class("Box")
+    pb.declare_field("Box", "writeOnly", "Box")
+    pb.declare_field("Box", "readOnly", "Box")
+    mb = pb.method("Main", "main", is_static=True)
+    box = mb.assign_new("Box")
+    mb.store_field(box, "writeOnly", box)
+    mb.load_field(box, "readOnly")
+    mb.return_void()
+    pb.finish_method(mb)
+    pb.add_entry_point("Main.main")
+    program = pb.build()
+    diagnostics = lint_program(program)
+    ir003 = [d for d in diagnostics if d.id == "IR003"]
+    ir004 = [d for d in diagnostics if d.id == "IR004"]
+    assert [d.location.field for d in ir003] == ["Box.writeOnly"]
+    assert [d.location.field for d in ir004] == ["Box.readOnly"]
+
+
+def test_ir005_undispatchable_virtual_call():
+    pb = ProgramBuilder()
+    pb.declare_class("Main")
+    pb.declare_class("Ghost")
+    mb = pb.method("Ghost", "haunt")
+    mb.return_void()
+    pb.finish_method(mb)
+    mb = pb.method("Main", "main", is_static=True)
+    phantom = mb.assign_null()
+    mb.invoke_virtual(phantom, "vanish")
+    mb.return_void()
+    pb.finish_method(mb)
+    pb.add_entry_point("Main.main")
+    program = pb.build()
+    [finding] = [d for d in lint_program(program) if d.id == "IR005"]
+    assert "vanish" in finding.message
+
+
+def test_ir006_root_naming_nothing_is_an_error():
+    program = compile_source(CLEAN_SOURCE)
+    diagnostics = lint_program(program, roots=("Main.noSuchRoot",))
+    [finding] = [d for d in diagnostics if d.id == "IR006"]
+    assert finding.severity is Severity.ERROR
+
+
+def test_ir007_non_monotone_delta_pattern():
+    # Grafting a field onto a class the program already has would break
+    # warm resumption; the lint flags the script before anyone applies it.
+    program = compile_source(CLEAN_SOURCE)
+    delta = ProgramDelta("graft")
+    delta.declare_field("Greeter", "grafted", "Greeter")
+    context = CheckContext(program=program, delta=delta)
+    diagnostics = run_checks(context, names=["delta-risk"])
+    assert "IR007" in _ids(diagnostics)
+
+
+def test_ir007_monotone_delta_is_silent():
+    program = compile_source(CLEAN_SOURCE)
+    delta = ProgramDelta("fresh")
+    delta.declare_class("Fresh", superclass="Greeter")
+    delta.declare_field("Fresh", "x", "Fresh")
+    context = CheckContext(program=program, delta=delta)
+    assert run_checks(context, names=["delta-risk"]) == []

@@ -1,0 +1,137 @@
+"""The ``repro check`` subcommand, ``analyze --audit``, and ``delta --check``.
+
+Exit-code contract under test: lint warnings alone exit 0 (advisory),
+``--strict`` turns any finding into exit 7, ERROR findings (roots naming
+nothing, failed audits) exit 7 on their own, and a baseline file silences
+by stable id.
+"""
+
+import json
+
+import pytest
+
+from repro.api.errors import EXIT_CHECK
+from repro.checks import BASELINE_VERSION
+from repro.cli import main as cli_main
+
+CLEAN_SOURCE = """
+class Greeter {
+    int greet() { return 1; }
+}
+class Main {
+    static void main() {
+        Greeter greeter = new Greeter();
+        greeter.greet();
+    }
+}
+"""
+
+# One planted lint warning: a method no root reaches.
+WARNING_SOURCE = CLEAN_SOURCE + """
+class Attic {
+    void dusty() { }
+}
+"""
+
+EDITED_SOURCE = CLEAN_SOURCE.replace("return 1", "return 5")
+
+
+@pytest.fixture
+def clean(tmp_path):
+    path = tmp_path / "clean.lang"
+    path.write_text(CLEAN_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def warning(tmp_path):
+    path = tmp_path / "warning.lang"
+    path.write_text(WARNING_SOURCE)
+    return str(path)
+
+
+class TestCheckCommand:
+    def test_clean_source_exits_zero(self, clean, capsys):
+        assert cli_main(["check", clean]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_warnings_are_advisory(self, warning, capsys):
+        assert cli_main(["check", warning]) == 0
+        output = capsys.readouterr().out
+        assert "IR002" in output and "Attic.dusty" in output
+
+    def test_strict_turns_warnings_into_exit_7(self, warning):
+        assert cli_main(["check", warning, "--strict"]) == EXIT_CHECK
+
+    def test_bad_root_is_an_error_exit_7(self, clean, capsys):
+        assert cli_main(["check", clean, "--entry", "Main.nope"]) == EXIT_CHECK
+        assert "IR006" in capsys.readouterr().out
+
+    def test_json_shape(self, warning, capsys):
+        assert cli_main(["check", warning, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["warning"] >= 1
+        assert all("id" in diag for diag in payload["diagnostics"])
+
+    def test_baseline_suppresses_by_id(self, warning, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(
+            {"version": BASELINE_VERSION, "suppress": ["IR002"]}))
+        code = cli_main(["check", warning, "--strict",
+                         "--baseline", str(baseline)])
+        assert code == 0
+
+    def test_audit_flag_runs_the_post_solve_audits(self, clean, capsys):
+        assert cli_main(["check", clean, "--audit", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["error"] == 0
+
+    def test_list_prints_the_catalog(self, capsys):
+        assert cli_main(["check", "--list"]) == 0
+        output = capsys.readouterr().out
+        for token in ("IR001", "AUD006", "lint", "audit"):
+            assert token in output
+
+    def test_source_required_without_list(self, capsys):
+        assert cli_main(["check"]) == 2
+        assert "source" in capsys.readouterr().err
+
+
+class TestAnalyzeAudit:
+    def test_audit_clean_after_analyze(self, clean, capsys):
+        assert cli_main(["analyze", clean, "--analysis", "skipflow",
+                         "--audit"]) == 0
+        assert "audit" in capsys.readouterr().out
+
+    def test_audit_rejected_with_json(self, clean, capsys):
+        assert cli_main(["analyze", clean, "--audit", "--json"]) == 2
+        assert "repro check --audit" in capsys.readouterr().err
+
+
+class TestDeltaCheck:
+    def test_monotone_extension_reports_no_new_diagnostics(
+            self, clean, tmp_path, capsys):
+        new = tmp_path / "new.lang"
+        new.write_text(CLEAN_SOURCE + """
+class EagerGreeter extends Greeter {
+    int greet() { return 2; }
+}
+""")
+        assert cli_main(["delta", clean, str(new), "--check"]) == 0
+        assert "none" in capsys.readouterr().out
+
+    def test_edit_introducing_dead_method_is_reported(
+            self, clean, tmp_path, capsys):
+        new = tmp_path / "new.lang"
+        new.write_text(WARNING_SOURCE)
+        assert cli_main(["delta", clean, str(new), "--check"]) == 0
+        output = capsys.readouterr().out
+        assert "IR002" in output and "Attic.dusty" in output
+
+    def test_check_json_lists_new_diagnostics(self, clean, tmp_path, capsys):
+        new = tmp_path / "new.lang"
+        new.write_text(WARNING_SOURCE)
+        assert cli_main(["delta", clean, str(new), "--check",
+                         "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert any(d["id"] == "IR002" for d in payload["new_diagnostics"])
