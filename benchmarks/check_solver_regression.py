@@ -12,6 +12,10 @@ unchanged algorithm the measured steps are *exactly* the baseline.  After an
 intentional solver change, regenerate with::
 
     python benchmarks/check_solver_regression.py --update
+
+``--kernel arena`` runs the same gate through the arena propagation kernel
+against the *same* baseline — the kernels are bit-identical by contract, so
+one baseline file serves both and any divergence fails loudly here.
 """
 
 from __future__ import annotations
@@ -30,7 +34,7 @@ BASELINE_PATH = Path(__file__).parent / "baselines" / "solver_steps.json"
 SIZES = (100, 300, 600)
 
 
-def measure() -> dict:
+def measure(kernel: str = "object") -> dict:
     measurements = {}
     for size in SIZES:
         spec = spec_from_reduction(
@@ -38,7 +42,10 @@ def measure() -> dict:
             total_methods=size, reduction_percent=10.0,
         )
         for config in (AnalysisConfig.baseline_pta(), AnalysisConfig.skipflow()):
+            config = config.with_kernel(kernel)
             result = SkipFlowAnalysis(generate_benchmark(spec), config).run()
+            # Baseline keys deliberately omit the kernel: both kernels must
+            # reproduce the same counts, so they share one baseline file.
             measurements[f"{spec.name}/{config.name}"] = result.steps
     return measurements
 
@@ -47,11 +54,14 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed fractional increase over the baseline")
+    parser.add_argument("--kernel", choices=("object", "arena"),
+                        default="object",
+                        help="propagation kernel to gate (same baseline)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current measurement")
     args = parser.parse_args(argv)
 
-    measurements = measure()
+    measurements = measure(args.kernel)
     if args.update:
         BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
         BASELINE_PATH.write_text(json.dumps(measurements, indent=1, sort_keys=True) + "\n")

@@ -24,11 +24,14 @@ from typing import Iterable, Optional
 
 from repro.core.kernel.policy import SolverPolicy
 from repro.core.kernel.saturation import OFF
-from repro.core.results import AnalysisResult, SolverStats
+from repro.core.results import AnalysisResult, Deferred, SolverStats
 from repro.core.solver import SkipFlowSolver
 from repro.core.state import SolverState
 from repro.ir.program import Program
 from repro.ir.validate import validate_program
+
+#: The propagation kernels a config may select (``AnalysisConfig.kernel``).
+KERNELS = ("object", "arena")
 
 
 @dataclass(frozen=True)
@@ -67,6 +70,16 @@ class AnalysisConfig:
         are the seed solver, bit-identical down to step counts; see
         :attr:`solver_policy` / :meth:`with_policy` for the bundled
         :class:`~repro.core.kernel.policy.SolverPolicy` view.
+    ``kernel``
+        Which propagation kernel executes the solve: ``object`` (the seed
+        solver over :class:`~repro.core.flows.Flow` objects) or ``arena``
+        (:class:`~repro.core.kernel.arena_kernel.ArenaKernelSolver`, the
+        flat integer-id kernel over a frozen
+        :mod:`~repro.ir.arena` buffer).  The two are bit-identical —
+        same reachable sets, value states, and step counts — so the choice
+        is purely a performance lever; solves the arena kernel cannot
+        mirror (warm resumes, custom registered policies) fall back to
+        ``object`` transparently.
     """
 
     name: str = "skipflow"
@@ -78,6 +91,7 @@ class AnalysisConfig:
     saturation_threshold: Optional[int] = None
     scheduling: str = "fifo"
     saturation_policy: str = OFF
+    kernel: str = "object"
 
     def __post_init__(self) -> None:
         # Canonicalize the saturation half (see the class docstring), then
@@ -87,6 +101,10 @@ class AnalysisConfig:
             object.__setattr__(self, "saturation_policy", "closed-world")
         elif self.saturation_threshold is None and self.saturation_policy != OFF:
             object.__setattr__(self, "saturation_policy", OFF)
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; available: "
+                f"{', '.join(KERNELS)}")
         self.solver_policy  # noqa: B018 — constructing it validates the names
 
     # ------------------------------------------------------------------ #
@@ -169,6 +187,10 @@ class AnalysisConfig:
                        saturation_policy=policy.saturation,
                        saturation_threshold=policy.saturation_threshold)
 
+    def with_kernel(self, kernel: str) -> "AnalysisConfig":
+        """This config executed by a different propagation kernel."""
+        return replace(self, kernel=kernel)
+
     @property
     def solver_policy(self) -> SolverPolicy:
         """The kernel policy bundle this config solves under."""
@@ -210,14 +232,14 @@ class SkipFlowAnalysis:
         """Solve to a fixed point and return an :class:`AnalysisResult`."""
         if self.config.validate:
             validate_program(self.program)
-        solver = SkipFlowSolver(self.program, self.config, state=self.state)
-        started = time.perf_counter()
-        solver.solve(roots)
-        elapsed = time.perf_counter() - started
+        solver, elapsed, backend = self._solve(roots)
+        # ``pvpg`` / ``solver_state`` are handed over as thunks: the object
+        # solver already holds both (the thunk is free), while the arena
+        # kernel inflates its object graph only if a consumer actually asks.
         return AnalysisResult(
             program=self.program,
             config=self.config,
-            pvpg=solver.pvpg,
+            pvpg=Deferred(lambda: solver.pvpg),
             reachable_methods=set(solver.reachable),
             stub_methods=set(solver.stub_methods),
             analysis_time_seconds=elapsed,
@@ -228,8 +250,41 @@ class SkipFlowAnalysis:
                 transfers=solver.transfers,
                 saturated_flows=solver.saturated_flows,
             ),
-            solver_state=solver.state,
+            solver_state=Deferred(lambda: solver.state),
+            kernel_backend=backend,
         )
+
+    def _solve(self, roots: Optional[Iterable[str]]):
+        """Run the configured kernel; fall back to the object solver loudly-never.
+
+        The arena kernel only takes cold solves it can prove bit-identical;
+        anything else (warm resume, custom registered policies) raises
+        :class:`~repro.core.kernel.arena_kernel.ArenaKernelUnsupported`
+        before or during :meth:`solve`, and the fallback below reruns cold
+        with the object solver — safe because the arena path is only taken
+        when there is no borrowed state to corrupt.
+        """
+        if self.config.kernel == "arena" and self.state is None:
+            from repro.core.kernel.arena_kernel import (
+                ArenaKernelSolver,
+                ArenaKernelUnsupported,
+            )
+
+            # The timer covers construction too: freezing a plain program
+            # into an arena is real analysis-path work (an attached
+            # ``ArenaProgram`` makes it near-free, which is the point of
+            # the store's arena blobs).
+            started = time.perf_counter()
+            try:
+                solver = ArenaKernelSolver(self.program, self.config)
+                solver.solve(roots)
+                return solver, time.perf_counter() - started, solver
+            except ArenaKernelUnsupported:
+                pass
+        solver = SkipFlowSolver(self.program, self.config, state=self.state)
+        started = time.perf_counter()
+        solver.solve(roots)
+        return solver, time.perf_counter() - started, None
 
 
 def run_skipflow(program: Program, roots: Optional[Iterable[str]] = None) -> AnalysisResult:

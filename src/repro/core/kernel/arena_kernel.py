@@ -1,0 +1,1170 @@
+"""The arena propagation kernel: the fixed-point solve over integer flow ids.
+
+:class:`ArenaKernelSolver` is a transliteration of
+:class:`~repro.core.solver.SkipFlowSolver` onto the struct-of-arrays program
+encoding of :mod:`repro.ir.arena`.  Where the object solver walks a graph of
+:class:`~repro.core.flows.Flow` objects that it builds lazily per reachable
+method, the arena kernel works on *flow ids* (fids) into preallocated flat
+side tables:
+
+* value states and input states live in two plain lists indexed by fid
+  (the states themselves are the same hash-consed
+  :class:`~repro.lattice.value_state.ValueState` objects, so ``is``-based
+  change detection carries over unchanged);
+* the enabled / worklist-membership / link-queue / saturated bits live in
+  ``bytearray``\\ s instead of per-object attributes;
+* the build-time edges (uses, observers, predicate targets, incoming
+  predicates) are read straight from the arena's CSR columns — zero-copy
+  ``memoryview`` slices, no per-``_process`` list copies of object edge
+  lists — while the edges the solve *adds* (field links, call links,
+  ``pred_on`` fan-out) go to small dynamic side tables, exactly like the
+  object solver grows its graph;
+* "make a method reachable" is "enable an fid range" — no PVPG build, no
+  method-body decode: the kernel never touches ``method.blocks``.
+
+The kernel is **bit-identical** to the object solver: same reachable sets,
+same value states, same ``steps`` / ``joins`` / ``transfers`` /
+``saturated_flows`` counters under every built-in scheduling × saturation
+policy.  Every method below mirrors its namesake in ``solver.py`` statement
+for statement; when editing one, edit the other (the cross-kernel grid in
+``tests/core/test_arena_kernel.py`` and the CI solver-steps gate both fail
+loudly on drift).
+
+Because bit-identity is only *proven* for the built-in policies, the kernel
+refuses anything it cannot mirror — custom registered scheduling or
+saturation policies, and warm resumption from a prior
+:class:`~repro.core.state.SolverState` (the object solver borrows caller
+state; the arena kernel owns flat tables) — by raising
+:class:`ArenaKernelUnsupported`, which callers
+(:class:`~repro.core.analysis.SkipFlowAnalysis`) catch to fall back to the
+object solver.
+
+After the fixpoint, the :attr:`ArenaKernelSolver.state` property lazily
+materializes a real :class:`~repro.core.state.SolverState` (PVPG objects,
+edge lists, counters) from the flat tables so every downstream consumer —
+value-state queries, call-graph walks, snapshots, warm resumes — sees
+exactly what the object solver would have produced.  Inflation reconstructs
+flows through their real constructors and never thaws a method body; it
+costs more than the propagation itself, which is why it is deferred and why
+the image-report inputs (:meth:`ArenaKernelSolver.image_counters`,
+:meth:`ArenaKernelSolver.dead_code_rows`) are computed directly from the
+flat tables instead.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.flows import (
+    FilterCompareFlow,
+    FilterTypeFlow,
+    Flow,
+    InvokeFlow,
+    LoadFieldFlow,
+    ParameterFlow,
+    PhiFlow,
+    PhiPredFlow,
+    PredOnFlow,
+    ReturnFlow,
+    SourceFlow,
+    StoreFieldFlow,
+)
+from repro.core.compare import compare_states
+from repro.core.kernel.policy import DEFAULT_POLICY, SolverPolicy
+from repro.core.kernel.saturation import (
+    AllocatedTypeSaturation,
+    ClosedWorldSaturation,
+    DeclaredTypeSaturation,
+    ReachableAllocatedSaturation,
+    make_saturation_policy,
+)
+from repro.core.pvpg import BranchKind, BranchRecord, MethodPVPG, ProgramPVPG
+from repro.core.state import SolverState
+from repro.ir.arena import ProgramArena, freeze, schema
+from repro.ir.instructions import (
+    Condition,
+    If,
+    InstanceOfCondition,
+    Invoke,
+    InvokeKind,
+)
+from repro.ir.program import Program
+from repro.ir.types import INT_TYPE_NAME, NULL_TYPE_NAME, MethodSignature
+from repro.ir.values import ConstantExpr, ConstKind, Value
+from repro.lattice.typeset import filter_instanceof
+from repro.lattice.value_state import ValueState
+
+
+class ArenaKernelUnsupported(Exception):
+    """The arena kernel cannot run this solve bit-identically; run the object solver."""
+
+
+#: Scheduling policies the kernel mirrors with integer worklists.  A custom
+#: registered policy operates on Flow objects, which the kernel does not have.
+_SUPPORTED_SCHEDULING = frozenset({"fifo", "lifo", "degree", "rpo", "hybrid"})
+
+#: Saturation policies whose ``collapse``/``sentinel_for`` the kernel inlines.
+#: The check is on the *exact* type: a subclass may override either hook.
+_KNOWN_SATURATIONS = (
+    ClosedWorldSaturation,
+    DeclaredTypeSaturation,
+    AllocatedTypeSaturation,
+    ReachableAllocatedSaturation,
+)
+
+_EMPTY = ValueState.empty()
+_INT_ONE = ValueState.of_int(1)
+
+_C_INT = schema.CONST_INDEX[ConstKind.INT]
+_C_ANY = schema.CONST_INDEX[ConstKind.ANY]
+_C_NEW = schema.CONST_INDEX[ConstKind.NEW]
+_CS_STATIC = schema.INVOKE_INDEX[InvokeKind.STATIC]
+_CS_VIRTUAL = schema.INVOKE_INDEX[InvokeKind.VIRTUAL]
+
+#: Flow kinds that correspond to actual instructions in the method body —
+#: mirror of ``repro.image.dce._INSTRUCTION_FLOW_KINDS`` as kind indices.
+_INSTRUCTION_KINDS = frozenset({
+    schema.K_SOURCE,
+    schema.K_LOAD_FIELD,
+    schema.K_STORE_FIELD,
+    schema.K_INVOKE,
+    schema.K_RETURN,
+})
+
+
+# ---------------------------------------------------------------------- #
+# Integer worklists (fid mirrors of repro.core.kernel.scheduling)
+# ---------------------------------------------------------------------- #
+class _FifoFids:
+    """Mirror of ``FifoScheduling`` over fids."""
+
+    def __init__(self, solver: "ArenaKernelSolver") -> None:
+        self._queue: Deque[int] = deque()
+
+    def push(self, fid: int) -> None:
+        self._queue.append(fid)
+
+    def pop(self) -> int:
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class _LifoFids:
+    """Mirror of ``LifoScheduling`` over fids."""
+
+    def __init__(self, solver: "ArenaKernelSolver") -> None:
+        self._stack: List[int] = []
+
+    def push(self, fid: int) -> None:
+        self._stack.append(fid)
+
+    def pop(self) -> int:
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class _DegreeFids:
+    """Mirror of ``DegreeScheduling``: push-time out-degree, push-order ties."""
+
+    def __init__(self, solver: "ArenaKernelSolver") -> None:
+        self._solver = solver
+        self._heap: List[Tuple[int, int, int]] = []
+        self._pushes = 0
+
+    def push(self, fid: int) -> None:
+        self._pushes += 1
+        heapq.heappush(
+            self._heap, (-self._solver._degree(fid), self._pushes, fid))
+
+    def pop(self) -> int:
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class _RpoFids:
+    """Mirror of ``RpoScheduling``: reverse-postorder batches over use edges."""
+
+    def __init__(self, solver: "ArenaKernelSolver") -> None:
+        self._solver = solver
+        self._pending: List[int] = []
+        self._batch: List[int] = []
+
+    def push(self, fid: int) -> None:
+        self._pending.append(fid)
+
+    def pop(self) -> int:
+        if not self._batch:
+            self._batch = _postorder_fids(self._solver, self._pending)
+            self._pending = []
+        return self._batch.pop()
+
+    def __len__(self) -> int:
+        return len(self._pending) + len(self._batch)
+
+
+class _HybridFids:
+    """Mirror of ``HybridScheduling``: degree priority within rpo batches."""
+
+    def __init__(self, solver: "ArenaKernelSolver") -> None:
+        self._solver = solver
+        self._pending: List[int] = []
+        self._batch: List[int] = []
+
+    def push(self, fid: int) -> None:
+        self._pending.append(fid)
+
+    def pop(self) -> int:
+        if not self._batch:
+            solver = self._solver
+            postorder = _postorder_fids(solver, self._pending)
+            rank = {fid: position
+                    for position, fid in enumerate(reversed(postorder))}
+            ordered = sorted(
+                postorder,
+                key=lambda fid: (-solver._degree(fid), rank[fid]))
+            ordered.reverse()
+            self._batch = ordered
+            self._pending = []
+        return self._batch.pop()
+
+    def __len__(self) -> int:
+        return len(self._pending) + len(self._batch)
+
+
+def _postorder_fids(solver: "ArenaKernelSolver", fids: List[int]) -> List[int]:
+    """Mirror of ``scheduling._postorder`` over fids (use edges = static + extra)."""
+    members = set(fids)
+    visited: Set[int] = set()
+    postorder: List[int] = []
+    for root in fids:
+        if root in visited:
+            continue
+        visited.add(root)
+        stack = [(root, iter(solver._uses_of(root)))]
+        while stack:
+            fid, edges = stack[-1]
+            descended = False
+            for target in edges:
+                if target in members and target not in visited:
+                    visited.add(target)
+                    stack.append((target, iter(solver._uses_of(target))))
+                    descended = True
+                    break
+            if not descended:
+                postorder.append(fid)
+                stack.pop()
+    return postorder
+
+
+_WORKLISTS = {
+    "fifo": _FifoFids,
+    "lifo": _LifoFids,
+    "degree": _DegreeFids,
+    "rpo": _RpoFids,
+    "hybrid": _HybridFids,
+}
+
+
+class ArenaKernelSolver:
+    """The fixed-point solver over an attached arena's integer flow ids.
+
+    Drop-in for :class:`~repro.core.solver.SkipFlowSolver` on the cold path:
+    same constructor shape, same :meth:`solve`, and afterwards the same
+    ``state`` / ``pvpg`` / counter surface (``state`` inflates lazily on
+    first access).  ``program`` may be an
+    :class:`~repro.ir.arena.ArenaProgram` (its buffer is used directly — the
+    zero-decode worker path) or any plain program (frozen on the fly, which
+    still wins when several configs solve the same program).
+    """
+
+    def __init__(self, program: Program, config,
+                 *, arena: Optional[ProgramArena] = None,
+                 state: Optional[SolverState] = None) -> None:
+        if state is not None:
+            # Warm resumption borrows a caller's object-graph state; the
+            # arena kernel owns flat tables and cannot continue it.
+            raise ArenaKernelUnsupported(
+                "the arena kernel only runs cold solves; resume with the "
+                "object kernel")
+        self.program = program
+        self.hierarchy = program.hierarchy
+        self.config = config
+        self.policy: SolverPolicy = getattr(config, "solver_policy", DEFAULT_POLICY)
+        scheduling = self.policy.scheduling.strip().lower()
+        if scheduling not in _SUPPORTED_SCHEDULING:
+            raise ArenaKernelUnsupported(
+                f"scheduling policy {self.policy.scheduling!r} has no arena "
+                f"mirror (supported: {', '.join(sorted(_SUPPORTED_SCHEDULING))})")
+        if arena is None:
+            arena = getattr(program, "arena", None)
+        if arena is None:
+            arena = ProgramArena(freeze(program))
+        self.arena = arena
+
+        n = arena.num_flows
+        #: ``VSout`` / ``VSin`` per fid (hash-consed ValueState objects).
+        self._st: List[ValueState] = [_EMPTY] * n
+        self._inp: List[ValueState] = [_EMPTY] * n
+        self._enabled = bytearray(n)
+        self._in_worklist = bytearray(n)
+        self._in_link_queue = bytearray(n)
+        self._saturated = bytearray(n)
+        # Field flows are enabled from the start (FieldFlow.__init__); they
+        # are never predicate targets, so pre-setting the bits is inert
+        # until a store links one.
+        for fid in range(1, 1 + arena.num_fields):
+            self._enabled[fid] = 1
+
+        #: Solve-time use edges per source fid, in addition order (the
+        #: object solver appends them to ``flow.uses``).
+        self._extra_uses: Dict[int, List[int]] = {}
+        #: Per-source use-target sets for O(1) duplicate-edge checks;
+        #: lazily seeded from the static CSR row on first dynamic add.
+        self._use_seen: Dict[int, Set[int]] = {}
+        #: Mirror of ``InvokeFlow.linked_callees`` per invoke fid.
+        self._linked_callees: Dict[int, Set[str]] = {}
+        #: ``pred_on``'s fan-out, replayed per method activation (the object
+        #: solver grows it while *building* each reachable method).
+        self._pred_on_targets: List[int] = []
+        self._activated = bytearray(arena.num_methods)
+        #: Activation order — the object PVPG's method-graph insertion order.
+        self._activated_mids: List[int] = []
+        #: Field fids in first-link order — the object PVPG's lazy
+        #: ``FieldFlow`` creation order (``all_flows`` iterates it).
+        self._touched_fields: List[int] = []
+        self._touched_field_set: Set[int] = set()
+
+        self._reachable: Set[str] = set()
+        self._stub_methods: Set[str] = set()
+        self._steps = 0
+        self._joins = 0
+        self._transfers = 0
+        self._saturated_count = 0
+        self._seeded_roots: List[str] = []
+        self._stub_links: List[Tuple[int, MethodSignature]] = []
+        self._solve_count = 0
+
+        self._worklist = _WORKLISTS[scheduling](self)
+        self._pending_links: Deque[int] = deque()
+        self._saturation = None
+        self._solve_roots: tuple = ()
+        self._signatures: Dict[int, MethodSignature] = {}
+
+        #: Lazily inflated by the :attr:`state` property after :meth:`solve`.
+        self._inflated: Optional[SolverState] = None
+        self._solved = False
+
+    # ------------------------------------------------------------------ #
+    # State views (the object solver's read surface)
+    # ------------------------------------------------------------------ #
+    @property
+    def reachable(self) -> Set[str]:
+        return self._reachable
+
+    @property
+    def stub_methods(self) -> Set[str]:
+        return self._stub_methods
+
+    @property
+    def steps(self) -> int:
+        return self._steps
+
+    @property
+    def joins(self) -> int:
+        return self._joins
+
+    @property
+    def transfers(self) -> int:
+        return self._transfers
+
+    @property
+    def saturated_flows(self) -> int:
+        return self._saturated_count
+
+    @property
+    def state(self) -> SolverState:
+        """The fixpoint as an object-graph :class:`SolverState` (lazy).
+
+        Inflation rebuilds real :class:`~repro.core.flows.Flow` objects from
+        the flat tables, which costs more than the propagation itself —
+        consumers that only need counters, reachable sets, or the image
+        reports (:meth:`image_counters`, :meth:`dead_code_rows`) never pay
+        it.  The first access materializes and memoizes.
+        """
+        if self._inflated is None:
+            if not self._solved:
+                raise RuntimeError("solve() has not run; no state to inflate")
+            self._inflated = self._inflate()
+        return self._inflated
+
+    @property
+    def pvpg(self) -> ProgramPVPG:
+        return self.state.pvpg
+
+    # ------------------------------------------------------------------ #
+    # Image-report extraction (no inflation)
+    # ------------------------------------------------------------------ #
+    def image_counters(self) -> Dict[str, int]:
+        """The Section 6 counter metrics straight from the flat tables.
+
+        Bit-identical to walking the inflated PVPG with
+        :func:`repro.image.metrics.collect_counter_metrics`: a branch counts
+        when both of its filter predicates are live (enabled with a
+        non-empty state), an invoke counts as polymorphic when it is an
+        enabled virtual call with a receiver and at least two linked
+        callees.
+        """
+        arena = self.arena
+        enabled = self._enabled
+        st = self._st
+        type_checks = null_checks = primitive_checks = poly_calls = 0
+        for mid in self._activated_mids:
+            for row in range(arena.method_br_ptr[mid],
+                             arena.method_br_ptr[mid + 1]):
+                then_fid = arena.br_then[row]
+                else_fid = arena.br_else[row]
+                if not (enabled[then_fid] and not st[then_fid].is_empty
+                        and enabled[else_fid] and not st[else_fid].is_empty):
+                    continue  # removable: at most one branch is live
+                kind = schema.BRANCH_KINDS[arena.br_kind[row]]
+                if kind is BranchKind.TYPE_CHECK:
+                    type_checks += 1
+                elif kind is BranchKind.NULL_CHECK:
+                    null_checks += 1
+                else:
+                    primitive_checks += 1
+            for index in range(arena.method_inv_ptr[mid],
+                               arena.method_inv_ptr[mid + 1]):
+                fid = arena.method_inv_val[index]
+                if arena.flow_aux2[fid] < 0:  # no receiver: not virtual
+                    continue
+                if arena.cs_kind[arena.flow_aux1[fid]] != _CS_VIRTUAL:
+                    continue
+                if not enabled[fid]:
+                    continue
+                callees = self._linked_callees.get(fid)
+                if callees is not None and len(callees) >= 2:
+                    poly_calls += 1
+        return {
+            "type_checks": type_checks,
+            "null_checks": null_checks,
+            "primitive_checks": primitive_checks,
+            "poly_calls": poly_calls,
+        }
+
+    def dead_code_rows(self) -> List[Tuple[str, int, int, int, int]]:
+        """Per-method ``(name, live, dead, removable_branches, total_branches)``.
+
+        One row per reachable method with a body (stubs have none), sorted
+        by qualified name like
+        :meth:`~repro.core.results.AnalysisResult.reachable_graphs`; live
+        and dead count instruction-kind flows (sources, loads, stores,
+        invokes, returns) by their enabled bit — the inputs of
+        :func:`repro.image.dce.eliminate_dead_code`, without the PVPG.
+        """
+        arena = self.arena
+        enabled = self._enabled
+        st = self._st
+        flow_kind = arena.flow_kind
+        rows: List[Tuple[str, int, int, int, int]] = []
+        for mid in self._activated_mids:
+            live = dead = 0
+            for fid in range(arena.method_flow_lo[mid],
+                             arena.method_flow_hi[mid]):
+                if flow_kind[fid] not in _INSTRUCTION_KINDS:
+                    continue
+                if enabled[fid]:
+                    live += 1
+                else:
+                    dead += 1
+            removable = 0
+            lo = arena.method_br_ptr[mid]
+            hi = arena.method_br_ptr[mid + 1]
+            for row in range(lo, hi):
+                then_fid = arena.br_then[row]
+                else_fid = arena.br_else[row]
+                if not (enabled[then_fid] and not st[then_fid].is_empty
+                        and enabled[else_fid] and not st[else_fid].is_empty):
+                    removable += 1
+            rows.append((arena.qualified_name(mid), live, dead, removable,
+                         hi - lo))
+        rows.sort(key=lambda entry: entry[0])
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def solve(self, roots: Optional[Iterable[str]] = None) -> None:
+        """Run the cold solve to a fixed point (mirror of ``SkipFlowSolver.solve``)."""
+        self._enabled[0] = 1
+        self._st[0] = PredOnFlow.artificial_on_enable
+
+        root_names = (list(roots) if roots is not None
+                      else list(self.program.entry_points))
+        if not root_names:
+            raise ValueError("no root methods: provide roots or program entry points")
+        saturation = make_saturation_policy(
+            self.policy.saturation, self.hierarchy,
+            self.policy.saturation_threshold,
+            program=self.program, roots=tuple(root_names))
+        if saturation is not None and type(saturation) not in _KNOWN_SATURATIONS:
+            raise ArenaKernelUnsupported(
+                f"saturation policy {self.policy.saturation!r} resolves to "
+                f"{type(saturation).__name__}, which the arena kernel has "
+                f"not proven bit-identical")
+        self._saturation = saturation
+        self._solve_roots = tuple(dict.fromkeys(root_names))
+        self._refresh_saturation()
+        previously_seeded: Set[str] = set()
+        for root in root_names:
+            mid = self._activate(root)
+            if mid is None:
+                continue
+            self._seed_root_parameters(mid)
+            if root not in previously_seeded:
+                self._seeded_roots.append(root)
+                previously_seeded.add(root)
+        self._solve_count = 1
+        self._run()
+        while self._refresh_saturation():
+            self._recollapse_saturated()
+            self._run()
+        self._solved = True
+
+    # ------------------------------------------------------------------ #
+    # Edge views
+    # ------------------------------------------------------------------ #
+    def _uses_of(self, fid: int) -> List[int]:
+        """Current use targets: static CSR row, then solve-time additions."""
+        arena = self.arena
+        targets = list(arena.use_val[arena.use_ptr[fid]:arena.use_ptr[fid + 1]])
+        extras = self._extra_uses.get(fid)
+        if extras:
+            targets.extend(extras)
+        return targets
+
+    def _degree(self, fid: int) -> int:
+        """Total fan-out (use + observe + predicate edges), as the object counts it."""
+        arena = self.arena
+        degree = (arena.use_ptr[fid + 1] - arena.use_ptr[fid]
+                  + len(self._extra_uses.get(fid, ()))
+                  + arena.obs_ptr[fid + 1] - arena.obs_ptr[fid])
+        if fid == 0:
+            degree += len(self._pred_on_targets)
+        else:
+            degree += arena.ptgt_ptr[fid + 1] - arena.ptgt_ptr[fid]
+        return degree
+
+    # ------------------------------------------------------------------ #
+    # Reachability
+    # ------------------------------------------------------------------ #
+    def _activate(self, qualified_name: str) -> Optional[int]:
+        """Mirror of ``_make_reachable``: enable a method's fid range."""
+        arena = self.arena
+        mid = arena.mid_of(qualified_name)
+        if mid is None:
+            self._stub_methods.add(qualified_name)
+            return None
+        if self._activated[mid]:
+            return mid
+        self._activated[mid] = 1
+        self._activated_mids.append(mid)
+        self._reachable.add(qualified_name)
+        # The object solver records pred_on fan-out while *building* the
+        # method graph, i.e. before the enable loop below runs.
+        plo = arena.method_pred_ptr[mid]
+        phi = arena.method_pred_ptr[mid + 1]
+        self._pred_on_targets.extend(arena.method_pred_val[plo:phi])
+        lo = arena.method_flow_lo[mid]
+        hi = arena.method_flow_hi[mid]
+        enabled = self._enabled
+        st = self._st
+        if self.config.use_predicates:
+            pin_ptr = arena.pin_ptr
+            pin_val = arena.pin_val
+            for fid in range(lo, hi):
+                for predicate in pin_val[pin_ptr[fid]:pin_ptr[fid + 1]]:
+                    if enabled[predicate] and not st[predicate].is_empty:
+                        self._enable(fid)
+                        break
+        else:
+            for fid in range(lo, hi):
+                self._enable(fid)
+        return mid
+
+    def _signature_of(self, mid: int) -> MethodSignature:
+        signature = self._signatures.get(mid)
+        if signature is None:
+            signature = self.arena.method_signature(mid)
+            self._signatures[mid] = signature
+        return signature
+
+    def _seed_root_parameters(self, mid: int) -> None:
+        arena = self.arena
+        signature = self._signature_of(mid)
+        lo = arena.method_param_ptr[mid]
+        hi = arena.method_param_ptr[mid + 1]
+        for fid in arena.method_param_val[lo:hi]:
+            declared = self._declared_parameter_type(signature, fid)
+            self._inject(fid, self._conservative_state(declared))
+
+    def _declared_parameter_type(self, signature: MethodSignature,
+                                 fid: int) -> Optional[str]:
+        arena = self.arena
+        declared = arena.opt_string(arena.flow_aux2[fid])
+        if declared is not None:
+            return declared
+        index = arena.flow_aux1[fid]
+        if not signature.is_static:
+            if index == 0:
+                return signature.declaring_class
+            index -= 1
+        if 0 <= index < len(signature.param_types):
+            return signature.param_types[index]
+        return None
+
+    def _conservative_state(self, declared_type: Optional[str]) -> ValueState:
+        if declared_type is None or declared_type in (INT_TYPE_NAME, "void"):
+            return ValueState.any_primitive()
+        if declared_type in self.hierarchy:
+            types = set(self.hierarchy.instantiable_subtypes(declared_type))
+            types.add(NULL_TYPE_NAME)
+            return ValueState.of_types(types)
+        return ValueState.any_primitive()
+
+    # ------------------------------------------------------------------ #
+    # Saturation refinement (mirrors of the object solver's loop hooks)
+    # ------------------------------------------------------------------ #
+    def _refresh_saturation(self) -> bool:
+        refresh = getattr(self._saturation, "refresh_origins", None)
+        if refresh is None:
+            return False
+        return refresh(
+            frozenset(self._reachable),
+            tuple(signature for _, signature in self._stub_links),
+            self._solve_roots)
+
+    def _iter_all_fids(self) -> Iterator[int]:
+        """Fids in the object PVPG's ``all_flows()`` order: pred_on, field
+        flows in creation (first-link) order, then per-method flows in
+        activation order."""
+        arena = self.arena
+        yield 0
+        yield from self._touched_fields
+        for mid in self._activated_mids:
+            yield from range(arena.method_flow_lo[mid],
+                             arena.method_flow_hi[mid])
+
+    def _recollapse_saturated(self) -> None:
+        if self._saturation is None:
+            return
+        st = self._st
+        for fid in self._iter_all_fids():
+            if not self._saturated[fid]:
+                continue
+            refreshed = st[fid].join(self._sentinel_for(fid))
+            if refreshed is not st[fid]:
+                self._inp[fid] = refreshed
+                st[fid] = refreshed
+                if self._enabled[fid]:
+                    self._schedule(fid)
+
+    def _sentinel_for(self, fid: int) -> ValueState:
+        """Mirror of ``SaturationPolicy.sentinel_for`` on fid payloads."""
+        saturation = self._saturation
+        if type(saturation) is DeclaredTypeSaturation:
+            arena = self.arena
+            kind = arena.flow_kind[fid]
+            declared: Optional[str] = None
+            if kind == schema.K_PARAMETER:
+                declared = arena.opt_string(arena.flow_aux2[fid])
+            elif kind == schema.K_FIELD:
+                declared = arena.string(arena.field_type[arena.flow_aux1[fid]])
+            top: Optional[ValueState] = None
+            if declared is not None:
+                top = saturation._declared_top(declared)
+            elif kind in (schema.K_LOAD_FIELD, schema.K_STORE_FIELD):
+                top = saturation._field_top(arena.string(arena.flow_aux1[fid]))
+            return top if top is not None else saturation._closed_world_top()
+        # Closed-world / allocated tops are flow-independent.
+        return saturation._sentinel(None)  # type: ignore[union-attr, arg-type]
+
+    # ------------------------------------------------------------------ #
+    # Worklist machinery
+    # ------------------------------------------------------------------ #
+    def _schedule(self, fid: int) -> None:
+        if not self._in_worklist[fid]:
+            self._in_worklist[fid] = 1
+            self._worklist.push(fid)
+
+    def _schedule_link(self, fid: int) -> None:
+        if not self._in_link_queue[fid]:
+            self._in_link_queue[fid] = 1
+            self._pending_links.append(fid)
+
+    def _run(self) -> None:
+        worklist = self._worklist
+        pending = self._pending_links
+        while len(worklist) or pending:
+            if pending:
+                fid = pending.popleft()
+                self._in_link_queue[fid] = 0
+                if self._enabled[fid]:
+                    self._link_invoke(fid)
+                self._steps += 1
+                continue
+            fid = worklist.pop()
+            self._in_worklist[fid] = 0
+            self._steps += 1
+            self._process(fid)
+
+    def _process(self, fid: int) -> None:
+        if not self._enabled[fid]:
+            return
+        arena = self.arena
+        for target in self._uses_of(fid):
+            self._deliver(fid, target)
+        for observer in list(
+                arena.obs_val[arena.obs_ptr[fid]:arena.obs_ptr[fid + 1]]):
+            self._notify(observer)
+        if not self._st[fid].is_empty:
+            if fid == 0:
+                targets = list(self._pred_on_targets)
+            else:
+                targets = list(arena.ptgt_val[
+                    arena.ptgt_ptr[fid]:arena.ptgt_ptr[fid + 1]])
+            for target in targets:
+                self._enable(target)
+
+    def _deliver(self, source: int, target: int) -> None:
+        if self._saturated[target]:
+            return
+        self._joins += 1
+        new_input = self._inp[target].join(self._st[source])
+        if new_input is not self._inp[target]:
+            self._inp[target] = new_input
+            self._recompute(target)
+
+    def _inject(self, fid: int, state: ValueState) -> None:
+        if self._saturated[fid]:
+            return
+        self._joins += 1
+        new_input = self._inp[fid].join(state)
+        if new_input is not self._inp[fid]:
+            self._inp[fid] = new_input
+            self._recompute(fid)
+
+    def _transfer(self, fid: int) -> ValueState:
+        """The per-kind transfer function (TypeCheck / Cond / PassThrough)."""
+        arena = self.arena
+        kind = arena.flow_kind[fid]
+        if kind == schema.K_FILTER_TYPE and self.config.filter_type_checks:
+            return filter_instanceof(
+                self._inp[fid], self.hierarchy,
+                arena.string(arena.flow_aux1[fid]),
+                bool(arena.flow_aux2[fid]))
+        if kind == schema.K_FILTER_COMPARE and self.config.filter_comparisons:
+            observed_fid = arena.flow_aux2[fid]
+            observed = self._st[observed_fid] if observed_fid >= 0 else _EMPTY
+            return compare_states(
+                schema.COMPARE_OPS[arena.flow_aux1[fid]],
+                self._inp[fid], observed)
+        return self._inp[fid]
+
+    def _recompute(self, fid: int) -> None:
+        self._transfers += 1
+        output = self._transfer(fid)
+        new_state = self._st[fid].join(output)
+        if new_state is not self._st[fid]:
+            saturation = self._saturation
+            if saturation is not None:
+                # Inlined ClosedWorldSaturation.collapse (inherited
+                # unchanged by every _KNOWN_SATURATIONS policy).
+                if len(new_state.reference_types) > saturation.threshold:
+                    self._saturate(fid, new_state.join(self._sentinel_for(fid)))
+                    return
+            self._st[fid] = new_state
+            if self._enabled[fid]:
+                self._schedule(fid)
+
+    def _saturate(self, fid: int, sentinel: ValueState) -> None:
+        self._saturated_count += 1
+        self._saturated[fid] = 1
+        self._inp[fid] = sentinel
+        self._st[fid] = sentinel
+        if self._enabled[fid]:
+            self._schedule(fid)
+
+    def _notify(self, fid: int) -> None:
+        kind = self.arena.flow_kind[fid]
+        if kind == schema.K_INVOKE:
+            if self._enabled[fid]:
+                self._schedule_link(fid)
+        elif kind == schema.K_LOAD_FIELD or kind == schema.K_STORE_FIELD:
+            if self._enabled[fid]:
+                self._link_fields(fid)
+        elif kind == schema.K_FILTER_COMPARE:
+            self._recompute(fid)
+
+    def _source_state(self, fid: int) -> ValueState:
+        """Mirror of ``SourceFlow.source_state`` from the constant table."""
+        arena = self.arena
+        row = arena.flow_aux1[fid]
+        kind = arena.const_kind[row]
+        if kind == _C_INT:
+            if self.config.track_primitives:
+                return ValueState.of_int(arena.const_int[row])
+            return ValueState.any_primitive()
+        if kind == _C_ANY:
+            return ValueState.any_primitive()
+        if kind == _C_NEW:
+            return ValueState.of_type(arena.string(arena.const_type[row]))
+        return ValueState.null()
+
+    def _enable(self, fid: int) -> None:
+        if self._enabled[fid]:
+            return
+        self._enabled[fid] = 1
+        kind = self.arena.flow_kind[fid]
+        st = self._st
+        if kind == schema.K_SOURCE:
+            st[fid] = st[fid].join(self._source_state(fid))
+        # artificial_on_enable: pred_on / phi-pred carry int 1, void
+        # returns carry primitive Any.
+        if kind == schema.K_PHI_PRED or kind == schema.K_PRED_ON:
+            st[fid] = st[fid].join(_INT_ONE)
+        elif kind == schema.K_RETURN and self.arena.flow_aux1[fid]:
+            st[fid] = st[fid].join(ValueState.any_primitive())
+        if kind == schema.K_INVOKE:
+            self._schedule_link(fid)
+        if kind == schema.K_LOAD_FIELD or kind == schema.K_STORE_FIELD:
+            self._link_fields(fid)
+        if not st[fid].is_empty:
+            self._schedule(fid)
+
+    def _add_use_edge(self, source: int, target: int) -> None:
+        seen = self._use_seen.get(source)
+        if seen is None:
+            arena = self.arena
+            seen = set(arena.use_val[
+                arena.use_ptr[source]:arena.use_ptr[source + 1]])
+            self._use_seen[source] = seen
+        if target in seen:
+            return
+        seen.add(target)
+        self._extra_uses.setdefault(source, []).append(target)
+        if self._enabled[source] and not self._st[source].is_empty:
+            self._deliver(source, target)
+
+    # ------------------------------------------------------------------ #
+    # Field linking (Load / Store rules)
+    # ------------------------------------------------------------------ #
+    def _link_fields(self, fid: int) -> None:
+        arena = self.arena
+        field_name = arena.string(arena.flow_aux1[fid])
+        receiver_state = self._st[arena.flow_aux2[fid]]
+        is_load = arena.flow_kind[fid] == schema.K_LOAD_FIELD
+        for type_name in receiver_state.reference_types:
+            declaration = self.hierarchy.lookup_field(type_name, field_name)
+            if declaration is None:
+                continue
+            field_fid = arena.field_fid(declaration.qualified_name)
+            if field_fid is None:  # pragma: no cover — fields are all frozen
+                continue
+            # The object PVPG creates the FieldFlow here (lazily); record
+            # the creation order for all_flows()-order mirrors.
+            if field_fid not in self._touched_field_set:
+                self._touched_field_set.add(field_fid)
+                self._touched_fields.append(field_fid)
+            if is_load:
+                self._add_use_edge(field_fid, fid)
+            else:
+                self._add_use_edge(fid, field_fid)
+
+    # ------------------------------------------------------------------ #
+    # Invoke linking (Invoke rule)
+    # ------------------------------------------------------------------ #
+    def _link_invoke(self, fid: int) -> None:
+        arena = self.arena
+        row = arena.flow_aux1[fid]
+        method_name = arena.string(arena.cs_method_name[row])
+        if arena.cs_kind[row] == _CS_STATIC:
+            target_class = arena.opt_string(arena.cs_target_class[row])
+            signature = self._resolve_static(target_class, method_name)
+            if signature is not None:
+                self._link_callee(fid, signature)
+            elif target_class is not None:
+                self._record_unknown_callee(
+                    fid, f"{target_class}.{method_name}")
+            return
+        receiver_state = self._st[arena.flow_aux2[fid]]
+        for type_name in sorted(receiver_state.reference_types):
+            signature = self.hierarchy.resolve(type_name, method_name)
+            if signature is not None:
+                self._link_callee(fid, signature)
+
+    def _resolve_static(self, target_class: Optional[str], method_name: str
+                        ) -> Optional[MethodSignature]:
+        if target_class is None or target_class not in self.hierarchy:
+            return None
+        return self.hierarchy.resolve(target_class, method_name)
+
+    def _record_unknown_callee(self, fid: int, qualified_name: str) -> None:
+        callees = self._linked_callees.setdefault(fid, set())
+        if qualified_name in callees:
+            return
+        callees.add(qualified_name)
+        self._stub_methods.add(qualified_name)
+        self._inject(fid, ValueState.any_primitive())
+
+    def _link_callee(self, fid: int, signature: MethodSignature) -> None:
+        qualified = signature.qualified_name
+        callees = self._linked_callees.setdefault(fid, set())
+        if qualified in callees:
+            return
+        callees.add(qualified)
+        mid = self._activate(qualified)
+        if mid is None:
+            self._stub_links.append((fid, signature))
+            self._apply_stub_effects(fid, signature)
+            return
+        arena = self.arena
+        row = arena.flow_aux1[fid]
+        arguments = arena.inv_args_val[
+            arena.inv_args_ptr[row]:arena.inv_args_ptr[row + 1]]
+        parameters = arena.method_param_val[
+            arena.method_param_ptr[mid]:arena.method_param_ptr[mid + 1]]
+        for argument, parameter in zip(arguments, parameters):
+            self._add_use_edge(argument, parameter)
+        for return_fid in arena.method_ret_val[
+                arena.method_ret_ptr[mid]:arena.method_ret_ptr[mid + 1]]:
+            self._add_use_edge(return_fid, fid)
+
+    def _apply_stub_effects(self, fid: int, signature: MethodSignature) -> None:
+        if signature.returns_reference:
+            result = self._conservative_state(signature.return_type)
+        else:
+            result = ValueState.any_primitive()
+        self._inject(fid, result)
+
+    # ------------------------------------------------------------------ #
+    # Inflation: flat tables -> the object solver's SolverState
+    # ------------------------------------------------------------------ #
+    def _value_of(self, name_sid: int, type_sid: int) -> Optional[Value]:
+        if name_sid == schema.NONE_ID:
+            return None
+        arena = self.arena
+        return Value(arena.string(name_sid), arena.opt_string(type_sid))
+
+    def _const_of(self, row: int) -> ConstantExpr:
+        arena = self.arena
+        kind = schema.CONST_KINDS[arena.const_kind[row]]
+        if kind is ConstKind.INT:
+            return ConstantExpr(kind, int_value=arena.const_int[row])
+        return ConstantExpr(
+            kind, type_name=arena.opt_string(arena.const_type[row]))
+
+    def _invoke_of(self, row: int) -> Invoke:
+        arena = self.arena
+        lo = arena.cs_args_ptr[row]
+        hi = arena.cs_args_ptr[row + 1]
+        arguments = tuple(
+            Value(arena.string(name_sid), arena.opt_string(type_sid))
+            for name_sid, type_sid in zip(
+                arena.cs_args_name[lo:hi], arena.cs_args_type[lo:hi]))
+        return Invoke(
+            result=self._value_of(arena.cs_result_name[row],
+                                  arena.cs_result_type[row]),
+            method_name=arena.string(arena.cs_method_name[row]),
+            arguments=arguments,
+            receiver=self._value_of(arena.cs_recv_name[row],
+                                    arena.cs_recv_type[row]),
+            kind=schema.INVOKE_KINDS[arena.cs_kind[row]],
+            target_class=arena.opt_string(arena.cs_target_class[row]),
+        )
+
+    def _construct_flow(self, fid: int, qualified_name: str) -> Flow:
+        """Rebuild one flow through its real constructor (no body thaw).
+
+        Intra-flow references (compare observed, load/store receiver, invoke
+        receiver and argument flows) are wired by the caller's fixup pass,
+        after every flow object exists.
+        """
+        arena = self.arena
+        config = self.config
+        kind = arena.flow_kind[fid]
+        label = arena.string(arena.flow_label[fid])
+        aux1 = arena.flow_aux1[fid]
+        if kind == schema.K_SOURCE:
+            return SourceFlow(label, qualified_name, self._const_of(aux1))
+        if kind == schema.K_PARAMETER:
+            return ParameterFlow(label, qualified_name, aux1,
+                                 arena.opt_string(arena.flow_aux2[fid]))
+        if kind == schema.K_PHI:
+            return PhiFlow(label, qualified_name)
+        if kind == schema.K_PHI_PRED:
+            return PhiPredFlow(label, qualified_name)
+        if kind == schema.K_FILTER_TYPE:
+            return FilterTypeFlow(label, qualified_name,
+                                  arena.string(aux1),
+                                  bool(arena.flow_aux2[fid]),
+                                  config.filter_type_checks)
+        if kind == schema.K_FILTER_COMPARE:
+            return FilterCompareFlow(label, qualified_name,
+                                     schema.COMPARE_OPS[aux1],
+                                     observed=None,
+                                     filtering_enabled=config.filter_comparisons)
+        if kind == schema.K_LOAD_FIELD:
+            return LoadFieldFlow(label, qualified_name,
+                                 arena.string(aux1), None)  # type: ignore[arg-type]
+        if kind == schema.K_STORE_FIELD:
+            return StoreFieldFlow(label, qualified_name,
+                                  arena.string(aux1), None)  # type: ignore[arg-type]
+        if kind == schema.K_INVOKE:
+            return InvokeFlow(label, qualified_name, self._invoke_of(aux1),
+                              receiver=None, argument_flows=[])
+        if kind == schema.K_RETURN:
+            return ReturnFlow(label, qualified_name, bool(aux1))
+        raise AssertionError(
+            f"fid {fid}: kind {schema.FLOW_KINDS[kind]} is not method-owned")
+
+    def _branch_record(self, row: int,
+                       flows: Dict[int, Flow]) -> BranchRecord:
+        arena = self.arena
+        if arena.br_is_instanceof[row]:
+            condition: object = InstanceOfCondition(
+                value=Value(arena.string(arena.br_val_name[row]),
+                            arena.opt_string(arena.br_val_type[row])),
+                type_name=arena.string(arena.br_type_name[row]),
+                negated=bool(arena.br_negated[row]))
+        else:
+            condition = Condition(
+                op=schema.COMPARE_OPS[arena.br_op[row]],
+                left=Value(arena.string(arena.br_left_name[row]),
+                           arena.opt_string(arena.br_left_type[row])),
+                right=Value(arena.string(arena.br_right_name[row]),
+                            arena.opt_string(arena.br_right_type[row])))
+        instruction = If(condition,
+                         arena.string(arena.br_then_label[row]),
+                         arena.string(arena.br_else_label[row]))
+        return BranchRecord(
+            instruction=instruction,
+            kind=schema.BRANCH_KINDS[arena.br_kind[row]],
+            then_predicate=flows[arena.br_then[row]],
+            else_predicate=flows[arena.br_else[row]],
+            block_predicate=flows[arena.br_block[row]])
+
+    def _inflate(self) -> SolverState:
+        """Materialize the fixpoint as a real :class:`SolverState`.
+
+        The inflated PVPG is structurally identical to what the object
+        solver builds: same flows (value-equal payloads, fresh uids), same
+        edge lists in the same order, same scalar bits, the method-graph
+        map in activation order and the field flows in creation order.  The
+        only documented divergence is each flow's incoming ``predicates``
+        list order, which the snapshot codec already treats as semantically
+        inert.  Method bodies stay frozen: flows are rebuilt from columns.
+        """
+        arena = self.arena
+        hierarchy = self.hierarchy
+        pvpg = ProgramPVPG()
+        flows: Dict[int, Flow] = {0: pvpg.pred_on}
+        for field_fid in self._touched_fields:
+            row = field_fid - 1
+            cls = hierarchy.get(arena.string(arena.field_class[row]))
+            declaration = cls.fields[arena.string(arena.field_name[row])]
+            flows[field_fid] = pvpg.field_flow(declaration)
+        for mid in self._activated_mids:
+            qualified_name = arena.qualified_name(mid)
+            graph = MethodPVPG(method=self.program.methods[qualified_name])
+            for fid in range(arena.method_flow_lo[mid],
+                             arena.method_flow_hi[mid]):
+                flow = self._construct_flow(fid, qualified_name)
+                flows[fid] = flow
+                graph.register(flow)
+            graph.parameter_flows = [
+                flows[fid] for fid in arena.method_param_val[
+                    arena.method_param_ptr[mid]:arena.method_param_ptr[mid + 1]]]
+            graph.return_flows = [
+                flows[fid] for fid in arena.method_ret_val[
+                    arena.method_ret_ptr[mid]:arena.method_ret_ptr[mid + 1]]]
+            graph.invoke_flows = [
+                flows[fid] for fid in arena.method_inv_val[
+                    arena.method_inv_ptr[mid]:arena.method_inv_ptr[mid + 1]]]
+            graph.branch_records = [
+                self._branch_record(row, flows)
+                for row in range(arena.method_br_ptr[mid],
+                                 arena.method_br_ptr[mid + 1])]
+            pvpg.add_method_graph(graph)
+
+        # Wiring: static CSR edges first (build order), then the solve-time
+        # additions in addition order — exactly how the object lists grew.
+        for fid, flow in flows.items():
+            for target in arena.use_val[
+                    arena.use_ptr[fid]:arena.use_ptr[fid + 1]]:
+                flow.add_use(flows[target])
+            for target in self._extra_uses.get(fid, ()):
+                flow.add_use(flows[target])
+            for observer in arena.obs_val[
+                    arena.obs_ptr[fid]:arena.obs_ptr[fid + 1]]:
+                flow.add_observer(flows[observer])
+            if fid == 0:
+                for target in self._pred_on_targets:
+                    flow.add_predicate_target(flows[target])
+            else:
+                for target in arena.ptgt_val[
+                        arena.ptgt_ptr[fid]:arena.ptgt_ptr[fid + 1]]:
+                    flow.add_predicate_target(flows[target])
+
+        # Kind fixups: intra-method flow references and linked callees.
+        for fid, flow in flows.items():
+            if isinstance(flow, FilterCompareFlow):
+                observed_fid = arena.flow_aux2[fid]
+                flow.observed = (flows[observed_fid]
+                                 if observed_fid >= 0 else None)
+            elif isinstance(flow, (LoadFieldFlow, StoreFieldFlow)):
+                flow.receiver = flows[arena.flow_aux2[fid]]
+            elif isinstance(flow, InvokeFlow):
+                receiver_fid = arena.flow_aux2[fid]
+                flow.receiver = (flows[receiver_fid]
+                                 if receiver_fid >= 0 else None)
+                row = arena.flow_aux1[fid]
+                flow.argument_flows = [
+                    flows[argument] for argument in arena.inv_args_val[
+                        arena.inv_args_ptr[row]:arena.inv_args_ptr[row + 1]]]
+                callees = self._linked_callees.get(fid)
+                if callees:
+                    flow.linked_callees = set(callees)
+
+        # Scalars: value states, enabled/saturated bits (worklist bits are
+        # all clear at a fixpoint).
+        for fid, flow in flows.items():
+            flow.state = self._st[fid]
+            flow.input_state = self._inp[fid]
+            flow.enabled = bool(self._enabled[fid])
+            flow.saturated = bool(self._saturated[fid])
+
+        state = SolverState(self.config)
+        state.pvpg = pvpg
+        state.reachable = self._reachable
+        state.stub_methods = self._stub_methods
+        state.steps = self._steps
+        state.joins = self._joins
+        state.transfers = self._transfers
+        state.saturated_flows = self._saturated_count
+        state.seeded_roots = list(self._seeded_roots)
+        state.stub_links = [
+            (flows[fid], signature) for fid, signature in self._stub_links]
+        state.solve_count = self._solve_count
+        return state
+
+
+__all__ = ["ArenaKernelSolver", "ArenaKernelUnsupported"]

@@ -342,15 +342,22 @@ def reachable_allocated_types(
     """
     allocated = set()
     hierarchy = program.hierarchy
-    for qualified_name in reachable:
-        method = program.methods.get(qualified_name)
-        if method is None:
-            continue
-        for block in method.blocks:
-            for statement in block.statements:
-                if (isinstance(statement, Assign)
-                        and statement.expr.kind is ConstKind.NEW):
-                    allocated.add(statement.expr.type_name)
+    # Duck-typed fast path: arena-attached programs precompute their
+    # allocation sites per method, so no body is ever decoded here.
+    site_index = getattr(program, "allocation_site_index", None)
+    if site_index is not None:
+        for qualified_name in reachable:
+            allocated.update(site_index.get(qualified_name, ()))
+    else:
+        for qualified_name in reachable:
+            method = program.methods.get(qualified_name)
+            if method is None:
+                continue
+            for block in method.blocks:
+                for statement in block.statements:
+                    if (isinstance(statement, Assign)
+                            and statement.expr.kind is ConstKind.NEW):
+                        allocated.add(statement.expr.type_name)
     for root in roots or tuple(program.entry_points):
         method = program.methods.get(root)
         if method is None:
@@ -389,12 +396,19 @@ def allocated_types(program: "Program",
         callee is linked, so the sentinel must dominate it too.
     """
     allocated = set()
-    for method in program.methods.values():
-        for block in method.blocks:
-            for statement in block.statements:
-                if (isinstance(statement, Assign)
-                        and statement.expr.kind is ConstKind.NEW):
-                    allocated.add(statement.expr.type_name)
+    # Duck-typed fast path: arena-attached programs precompute their
+    # allocation sites per method, so no body is ever decoded here.
+    site_index = getattr(program, "allocation_site_index", None)
+    if site_index is not None:
+        for site_types in site_index.values():
+            allocated.update(site_types)
+    else:
+        for method in program.methods.values():
+            for block in method.blocks:
+                for statement in block.statements:
+                    if (isinstance(statement, Assign)
+                            and statement.expr.kind is ConstKind.NEW):
+                        allocated.add(statement.expr.type_name)
     hierarchy = program.hierarchy
     for root in roots or tuple(program.entry_points):
         method = program.methods.get(root)

@@ -11,7 +11,7 @@ gate) may compare them with ``==`` across processes, hosts, and runs.  Only
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.core.flows import InvokeFlow
 from repro.core.pvpg import BranchRecord, MethodPVPG, ProgramPVPG
@@ -58,12 +58,58 @@ class MethodSummary:
         return self.flow_count - self.enabled_flow_count
 
 
+class Deferred:
+    """A field value that is produced on first access.
+
+    Wraps a zero-argument thunk.  The :class:`AnalysisResult` fields backed
+    by :class:`_LazyField` accept either the value itself or a ``Deferred``
+    around it, resolving (and memoizing) the thunk transparently on first
+    read — so a kernel can hand over an expensive view, like the arena
+    kernel's inflated object PVPG, without anyone paying for it unless it is
+    actually looked at.
+    """
+
+    __slots__ = ("thunk",)
+
+    def __init__(self, thunk: Callable[[], object]) -> None:
+        self.thunk = thunk
+
+
+class _LazyField:
+    """Data descriptor behind a dataclass field that accepts :class:`Deferred`.
+
+    Attached to the class *after* ``@dataclass`` builds it, so the generated
+    ``__init__`` keeps its signature while field assignment and access route
+    through a shadow slot where a ``Deferred`` is resolved exactly once.
+    """
+
+    def __init__(self, name: str) -> None:
+        self._slot = "_lazy_" + name
+
+    def __get__(self, obj: object, owner: Optional[type] = None) -> object:
+        if obj is None:
+            return self
+        value = getattr(obj, self._slot)
+        if isinstance(value, Deferred):
+            value = value.thunk()
+            setattr(obj, self._slot, value)
+        return value
+
+    def __set__(self, obj: object, value: object) -> None:
+        setattr(obj, self._slot, value)
+
+
 @dataclass
 class AnalysisResult:
     """The outcome of one analysis run.
 
     Exposes the fixed-point PVPG together with convenience accessors used by
-    the image builder, the metrics collector, and the tests.
+    the image builder, the metrics collector, and the tests.  ``pvpg`` and
+    ``solver_state`` may be constructed with :class:`Deferred` thunks: the
+    arena kernel propagates on flat integer tables and only inflates the
+    object graph when one of these fields is actually read, so consumers
+    that stick to counters, reachable sets, and the image reports never
+    trigger it.
     """
 
     program: Program
@@ -79,6 +125,11 @@ class AnalysisResult:
     #: the state continues mutating it (the scalar fields of this result —
     #: counts, sets, stats — are copies taken at solve time and stay put).
     solver_state: Optional[object] = None
+    #: The kernel solver that produced this result, when it can answer the
+    #: image-report queries directly from its own representation (the arena
+    #: kernel's ``image_counters`` / ``dead_code_rows``); ``None`` for the
+    #: object kernel, whose only view *is* the PVPG.
+    kernel_backend: Optional[object] = None
 
     # ------------------------------------------------------------------ #
     # Reachability
@@ -169,3 +220,10 @@ class AnalysisResult:
         if graph is None:
             raise KeyError(f"method {qualified_name!r} was not analyzed (not reachable)")
         return graph
+
+
+# The lazy fields (see the class docstring).  Attached post-decoration so
+# ``@dataclass`` generates a normal ``__init__``; at runtime its assignments
+# hit these data descriptors instead of the instance dict.
+AnalysisResult.pvpg = _LazyField("pvpg")  # type: ignore[assignment]
+AnalysisResult.solver_state = _LazyField("solver_state")  # type: ignore[assignment]

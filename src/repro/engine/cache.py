@@ -77,6 +77,9 @@ class ResultCache:
         self.code_version = code_version or compute_code_version()
         self.hits = 0
         self.misses = 0
+        #: Bytes reclaimed by the most recent :meth:`gc` / :meth:`clear`
+        #: (``repro bench --gc`` reports it).
+        self.last_gc_bytes = 0
 
     # ------------------------------------------------------------------ #
     # Keys
@@ -118,11 +121,17 @@ class ResultCache:
         os.replace(temp, target)
 
     def clear(self) -> int:
-        """Delete every entry; returns the number of files removed."""
+        """Delete every entry; returns the number of files removed.
+
+        ``last_gc_bytes`` records how many bytes the deletions reclaimed.
+        """
         removed = 0
+        freed = 0
         for path in self.directory.glob("*.json"):
+            freed += _size_of(path)
             path.unlink()
             removed += 1
+        self.last_gc_bytes = freed
         return removed
 
     def gc(self) -> int:
@@ -138,9 +147,19 @@ class ResultCache:
         """
         prefix = f"{self.code_version}-"
         removed = 0
+        freed = 0
         for pattern in ("*.json", "*.json.tmp*"):
             for path in self.directory.glob(pattern):
                 if not path.name.startswith(prefix):
+                    freed += _size_of(path)
                     path.unlink()
                     removed += 1
+        self.last_gc_bytes = freed
         return removed
+
+
+def _size_of(path: Path) -> int:
+    try:
+        return path.stat().st_size
+    except OSError:
+        return 0

@@ -15,6 +15,16 @@ mutable program).  Analysis results obtained from an unpickled program are
 bit-identical to results from a freshly generated one (covered by
 ``tests/engine/test_program_store.py``).
 
+Next to every pickle the store also writes the program's **arena blob** — the
+flat struct-of-arrays encoding of :mod:`repro.ir.arena`.  :meth:`ProgramStore.
+attach` maps that blob read-only (``mmap``) and hands back an
+:class:`~repro.ir.arena.ArenaProgram` with *zero* per-worker decode: no
+unpickling, no object graph, method bodies materialize lazily if anything
+asks.  The arena kernel solves straight on the mapped buffer, which is what
+eliminates the worker warm-up that unpickling used to cost;
+:meth:`ProgramStore.attach_or_build` is the worker-facing entry
+(:func:`repro.engine.runner._program_for` uses it for arena-kernel configs).
+
 Store entries are keyed by ``(spec hash, code version)`` — the same
 ``code_version`` used by :class:`~repro.engine.cache.ResultCache` — so any
 change to the generator or the IR invalidates every blob.  Writes are atomic
@@ -25,12 +35,15 @@ result cache's crash-safety story.
 from __future__ import annotations
 
 import hashlib
+import mmap
 import os
 import pickle
+import struct
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 from repro.engine.cache import compute_code_version, hash_dataclass
+from repro.ir.arena import ArenaFormatError, ArenaProgram, freeze, open_program
 from repro.ir.program import Program
 from repro.workloads.generator import BenchmarkSpec, generate_benchmark
 
@@ -52,6 +65,9 @@ class ProgramStore:
         self.code_version = code_version or compute_code_version()
         self.hits = 0
         self.misses = 0
+        #: Bytes reclaimed by the most recent :meth:`gc` / :meth:`clear`
+        #: (``repro bench --gc`` reports it).
+        self.last_gc_bytes = 0
 
     # ------------------------------------------------------------------ #
     # Keys
@@ -66,6 +82,10 @@ class ProgramStore:
         # it lets gc() spot blobs from other code versions without having to
         # unpickle anything (the key itself is an opaque hash).
         return self.directory / f"{self.code_version}-{self.key(spec)}.pickle"
+
+    def arena_path_for(self, spec: BenchmarkSpec) -> Path:
+        """The sibling arena blob of :meth:`path_for` (same key, ``.arena``)."""
+        return self.directory / f"{self.code_version}-{self.key(spec)}.arena"
 
     # ------------------------------------------------------------------ #
     # Blobs
@@ -86,11 +106,72 @@ class ProgramStore:
             return None
 
     def store(self, spec: BenchmarkSpec, program: Program) -> None:
-        """Atomically pickle ``program`` as the blob for ``spec``."""
-        target = self.path_for(spec)
+        """Atomically persist ``program`` for ``spec``: pickle plus arena blob.
+
+        The two writes are individually atomic but not joint — a crash can
+        leave one without the other; both read paths treat a missing sibling
+        as an ordinary miss (:meth:`attach_or_build` backfills the arena).
+
+        An already-attached :class:`~repro.ir.arena.ArenaProgram` is written
+        back as its own buffer only (no pickle: an mmap-backed program does
+        not pickle, and re-serializing the buffer is exact and free).
+        """
+        if isinstance(program, ArenaProgram):
+            self._write_atomic(self.arena_path_for(spec),
+                               program.arena.to_bytes())
+            return
+        self._write_atomic(self.path_for(spec),
+                           pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL))
+        self._write_atomic(self.arena_path_for(spec), freeze(program))
+
+    def _write_atomic(self, target: Path, blob: bytes) -> None:
         temp = target.with_name(target.name + f".tmp{os.getpid()}")
-        temp.write_bytes(pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL))
+        temp.write_bytes(blob)
         os.replace(temp, target)
+
+    # ------------------------------------------------------------------ #
+    # Arena attach (the zero-decode worker path)
+    # ------------------------------------------------------------------ #
+    def attach(self, spec: BenchmarkSpec) -> Optional[ArenaProgram]:
+        """Map the arena blob read-only and attach it; ``None`` on a miss.
+
+        The returned :class:`~repro.ir.arena.ArenaProgram` reads straight
+        from the page cache — nothing is decoded up front, and several
+        worker processes attaching the same blob share its physical pages.
+        Corrupt or truncated blobs (bad magic, foreign format version, short
+        sections) are misses, like an unreadable pickle.
+        """
+        try:
+            with open(self.arena_path_for(spec), "rb") as handle:
+                buffer = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            return open_program(buffer)
+        except (OSError, ArenaFormatError, struct.error, ValueError,
+                IndexError, KeyError):
+            # mmap raises ValueError on an empty file; a truncated buffer
+            # surfaces as struct/index errors while binding the sections.
+            return None
+
+    def attach_or_build(self, spec: BenchmarkSpec) -> Tuple[Union[Program, ArenaProgram], bool]:
+        """The program for ``spec`` as an attached arena whenever possible.
+
+        Priority: attach the arena blob (zero decode); otherwise fall back
+        to :meth:`load_or_build` and backfill the missing arena blob from
+        the loaded program (store directories written before arena blobs
+        existed heal on first touch), re-attaching if the backfill
+        succeeded.  The boolean matches :meth:`load_or_build`: whether
+        program *generation* was skipped.
+        """
+        attached = self.attach(spec)
+        if attached is not None:
+            self.hits += 1
+            return attached, True
+        program, from_store = self.load_or_build(spec)
+        if not self.arena_path_for(spec).is_file():
+            self._write_atomic(self.arena_path_for(spec), freeze(program))
+        attached = self.attach(spec)
+        if attached is not None:
+            return attached, from_store
+        return program, from_store
 
     def load_or_build(self, spec: BenchmarkSpec) -> Tuple[Program, bool]:
         """The program for ``spec`` plus whether it came from the store.
@@ -110,11 +191,18 @@ class ProgramStore:
         return program, False
 
     def clear(self) -> int:
-        """Delete every blob; returns the number of files removed."""
+        """Delete every blob (pickles and arenas); returns files removed.
+
+        ``last_gc_bytes`` records how many bytes the deletions reclaimed.
+        """
         removed = 0
-        for path in self.directory.glob("*.pickle"):
-            path.unlink()
-            removed += 1
+        freed = 0
+        for pattern in ("*.pickle", "*.arena"):
+            for path in self.directory.glob(pattern):
+                freed += self._size_of(path)
+                path.unlink()
+                removed += 1
+        self.last_gc_bytes = freed
         return removed
 
     def gc(self) -> int:
@@ -123,13 +211,26 @@ class ProgramStore:
         Mirrors :meth:`repro.engine.cache.ResultCache.gc`: blob filenames are
         prefixed with the code version that wrote them, so mismatched (and
         pre-versioning flat-named) blobs are stale by construction, as are
-        ``.tmp`` files orphaned by crashed writers of other versions.
+        ``.tmp`` files orphaned by crashed writers of other versions.  Arena
+        blobs are collected by the same rule — an orphaned arena (foreign
+        code version, or a ``.tmp`` from a crashed freeze) can never be
+        attached again.  ``last_gc_bytes`` records the bytes reclaimed.
         """
         prefix = f"{self.code_version}-"
         removed = 0
-        for pattern in ("*.pickle", "*.pickle.tmp*"):
+        freed = 0
+        for pattern in ("*.pickle", "*.pickle.tmp*", "*.arena", "*.arena.tmp*"):
             for path in self.directory.glob(pattern):
                 if not path.name.startswith(prefix):
+                    freed += self._size_of(path)
                     path.unlink()
                     removed += 1
+        self.last_gc_bytes = freed
         return removed
+
+    @staticmethod
+    def _size_of(path: Path) -> int:
+        try:
+            return path.stat().st_size
+        except OSError:
+            return 0

@@ -30,7 +30,11 @@ Workers obtain their program from the shared
 (derived automatically from the result cache directory): the first solve of a
 spec pickles the built IR, every later solve — including the other half of
 the same comparison — unpickles it instead of regenerating and re-lowering
-the program.  On top of the store, each worker *process* memoizes the
+the program.  Halves solved under the **arena kernel** skip even the
+unpickle: the store's sibling ``.arena`` blob is mapped read-only and
+attached as an :class:`~repro.ir.arena.ArenaProgram` with zero per-worker
+decode, and the kernel propagates directly on the mapped buffer.  On top of
+the store, each worker *process* memoizes the
 unpickled programs it has already loaded (:func:`_program_for`), so an
 N-configuration matrix over one spec deserializes the IR once per process,
 not once per half — safe because the analysis treats programs as read-only
@@ -255,21 +259,30 @@ _WORKER_PROGRAM_CAPACITY = 8
 
 
 def _program_for(spec: BenchmarkSpec,
-                 store: Optional[ProgramStore]) -> Tuple[Program, bool]:
+                 store: Optional[ProgramStore],
+                 arena: bool = False) -> Tuple[Program, bool]:
     """The program for one half, via the process memo and the store.
 
     Returns the program plus whether it came from shared storage (the memo
     or the store's blob).  Memo hits count as store hits so the store's
     counters keep meaning "solves that skipped program generation".
+
+    With ``arena`` (arena-kernel halves) the store's ``.arena`` blob is
+    mapped and attached instead of unpickling — zero per-worker decode; the
+    attached program is memoized under the arena blob path, so the same
+    process can hold both representations of a spec without confusion.
     """
     if store is None:
         return generate_benchmark(spec), False
-    memo_key = str(store.path_for(spec))
+    memo_key = str(store.arena_path_for(spec) if arena else store.path_for(spec))
     program = _WORKER_PROGRAMS.get(memo_key)
     if program is not None:
         store.hits += 1
         return program, True
-    program, from_store = store.load_or_build(spec)
+    if arena:
+        program, from_store = store.attach_or_build(spec)
+    else:
+        program, from_store = store.load_or_build(spec)
     _WORKER_PROGRAMS[memo_key] = program
     while len(_WORKER_PROGRAMS) > _WORKER_PROGRAM_CAPACITY:
         _WORKER_PROGRAMS.pop(next(iter(_WORKER_PROGRAMS)))
@@ -288,7 +301,8 @@ def solve_config(spec: BenchmarkSpec,
     ``program_from_store`` records whether generation was skipped.
     """
     started = time.perf_counter()
-    program, from_store = _program_for(spec, store)
+    arena = getattr(config, "kernel", "object") == "arena"
+    program, from_store = _program_for(spec, store, arena=arena)
     report = NativeImageBuilder(program, config, benchmark_name=spec.name).build()
     return {
         "payload_version": PAYLOAD_VERSION,

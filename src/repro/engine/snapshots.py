@@ -59,6 +59,9 @@ class SnapshotStore:
         self.code_version = code_version or compute_code_version()
         self.hits = 0
         self.misses = 0
+        #: Bytes reclaimed by the most recent :meth:`gc` / :meth:`clear`
+        #: (``repro bench --gc`` reports it).
+        self.last_gc_bytes = 0
 
     # ------------------------------------------------------------------ #
     # Keys
@@ -111,11 +114,17 @@ class SnapshotStore:
         os.replace(temp, target)
 
     def clear(self) -> int:
-        """Delete every snapshot; returns the number of files removed."""
+        """Delete every snapshot; returns the number of files removed.
+
+        ``last_gc_bytes`` records how many bytes the deletions reclaimed.
+        """
         removed = 0
+        freed = 0
         for path in self.directory.glob("*.state"):
+            freed += self._size_of(path)
             path.unlink()
             removed += 1
+        self.last_gc_bytes = freed
         return removed
 
     def gc(self) -> int:
@@ -124,13 +133,24 @@ class SnapshotStore:
         Mirrors :meth:`repro.engine.cache.ResultCache.gc`: filenames are
         prefixed with the code version that wrote them, so mismatched blobs
         are stale by construction, as are ``.tmp`` files orphaned by
-        crashed writers of other versions.
+        crashed writers of other versions.  ``last_gc_bytes`` records the
+        bytes reclaimed.
         """
         prefix = f"{self.code_version}-"
         removed = 0
+        freed = 0
         for pattern in ("*.state", "*.state.tmp*"):
             for path in self.directory.glob(pattern):
                 if not path.name.startswith(prefix):
+                    freed += self._size_of(path)
                     path.unlink()
                     removed += 1
+        self.last_gc_bytes = freed
         return removed
+
+    @staticmethod
+    def _size_of(path) -> int:
+        try:
+            return path.stat().st_size
+        except OSError:
+            return 0

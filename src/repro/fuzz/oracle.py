@@ -278,18 +278,26 @@ def check_case(script: EditScriptSpec, *,
                threshold: int = DEFAULT_THRESHOLD,
                max_steps: int = DEFAULT_MAX_STEPS,
                check_values: bool = True,
+               kernels: Sequence[str] = ("object",),
                mutator: Optional[Mutator] = None) -> OracleReport:
     """Run one case through the full differential oracle.
 
     ``schedulings``/``saturations`` default to *every* registered policy;
-    pass smaller sequences for cheap smoke checks.  Returns an
-    :class:`OracleReport` whose ``violations`` is empty iff every invariant
-    held at every edit prefix for every combination.
+    pass smaller sequences for cheap smoke checks.  ``kernels`` lists the
+    propagation kernels to exercise: the first is the reference, and every
+    cold combination additionally runs under each other kernel, which must
+    reproduce the reference's canonical outputs *and step count* exactly
+    (the ``kernel-divergence`` invariant) on top of passing the trace and
+    audit oracles itself.  Returns an :class:`OracleReport` whose
+    ``violations`` is empty iff every invariant held at every edit prefix
+    for every combination.
     """
     if schedulings is None:
         schedulings = available_scheduling_policies()
     if saturations is None:
         saturations = available_saturation_policies()
+    alternate_kernels = [kernel for kernel in kernels
+                         if kernel != kernels[0]]
     report = OracleReport(case=script.name)
     prefixes = range(len(script.steps) + 1)
 
@@ -327,13 +335,32 @@ def check_case(script: EditScriptSpec, *,
                 combo = session.run(
                     "skipflow", scheduling=scheduling,
                     saturation_policy=saturation,
-                    saturation_threshold=threshold)
+                    saturation_threshold=threshold,
+                    kernel=kernels[0])
                 cold[(scheduling, saturation, count)] = (
                     _canonical_outputs(combo))
                 report.violations.extend(_check_trace_against(
                     combo, label, count, trace, mutator))
                 report.violations.extend(_check_audits(
                     combo.raw.solver_state, program, label, count))
+                for kernel in alternate_kernels:
+                    klabel = label[:-1] + f"/{kernel}]"
+                    alt = AnalysisSession(program).run(
+                        "skipflow", scheduling=scheduling,
+                        saturation_policy=saturation,
+                        saturation_threshold=threshold, kernel=kernel)
+                    if (_canonical_outputs(alt)
+                            != cold[(scheduling, saturation, count)]
+                            or alt.solver_steps != combo.solver_steps):
+                        report.violations.append(OracleViolation(
+                            "kernel-divergence", klabel, count,
+                            f"kernel {kernel!r} diverged from "
+                            f"{kernels[0]!r}: steps {alt.solver_steps} vs "
+                            f"{combo.solver_steps}"))
+                    report.violations.extend(_check_trace_against(
+                        alt, klabel, count, trace, mutator))
+                    report.violations.extend(_check_audits(
+                        alt.raw.solver_state, program, klabel, count))
 
     # Warm chains: one session per combination, resumed across every edit.
     for scheduling in schedulings:

@@ -14,8 +14,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Optional
+
 from repro.core.results import AnalysisResult
-from repro.image.dce import eliminate_dead_code
+from repro.image.dce import DeadCodeReport, eliminate_dead_code
 
 
 @dataclass(frozen=True)
@@ -34,9 +36,17 @@ class BinarySizeModel:
     #: Per live (enabled) instruction: generated machine code.
     instruction_bytes: int = 40
 
-    def estimate(self, result: AnalysisResult) -> int:
-        """Estimate the binary size in bytes for a solved analysis."""
-        dce = eliminate_dead_code(result)
+    def estimate(self, result: AnalysisResult,
+                 dce: Optional[DeadCodeReport] = None) -> int:
+        """Estimate the binary size in bytes for a solved analysis.
+
+        ``dce`` reuses an already-computed dead-code report (DCE is
+        deterministic, so passing the builder's report is purely a
+        performance lever — it also keeps the arena fast path from
+        inflating the PVPG just to recount live instructions).
+        """
+        if dce is None:
+            dce = eliminate_dead_code(result)
         live_instructions = dce.live_instructions
         reachable_methods = result.reachable_method_count
         reachable_classes = {

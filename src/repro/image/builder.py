@@ -15,8 +15,12 @@ from typing import Iterable, Optional, Union
 from repro.core.analysis import AnalysisConfig, SkipFlowAnalysis
 from repro.core.results import AnalysisResult
 from repro.image.binary import BinarySizeModel
-from repro.image.dce import DeadCodeReport, eliminate_dead_code
-from repro.image.metrics import ImageMetrics, collect_metrics
+from repro.image.dce import DeadCodeReport, MethodDeadCode, eliminate_dead_code
+from repro.image.metrics import (
+    CounterMetrics,
+    ImageMetrics,
+    collect_metrics,
+)
 from repro.image.reflection import ReflectionConfig
 from repro.ir.program import Program
 
@@ -64,6 +68,47 @@ def _config_from_analyzer_name(name: str) -> AnalysisConfig:
     return require_config_analyzer(name, purpose="the image builder").config()
 
 
+def _kernel_fast_reports(
+    result: AnalysisResult,
+) -> Optional[tuple[ImageMetrics, DeadCodeReport]]:
+    """Metrics and DCE straight from the producing kernel, when it offers them.
+
+    The arena kernel answers the image-report queries from its flat integer
+    tables (``image_counters`` / ``dead_code_rows``) — bit-identical to the
+    PVPG walks in :mod:`repro.image.metrics` / :mod:`repro.image.dce`, but
+    without inflating the object graph the PVPG walks would force.  Returns
+    ``None`` when the result has no such backend (the object kernel).
+    """
+    backend = result.kernel_backend
+    counters_of = getattr(backend, "image_counters", None)
+    rows_of = getattr(backend, "dead_code_rows", None)
+    if counters_of is None or rows_of is None:
+        return None
+    counts = counters_of()
+    metrics = ImageMetrics(
+        configuration=getattr(result.config, "name", "unknown"),
+        reachable_methods=result.reachable_method_count,
+        counters=CounterMetrics(
+            type_checks=counts["type_checks"],
+            null_checks=counts["null_checks"],
+            primitive_checks=counts["primitive_checks"],
+            poly_calls=counts["poly_calls"],
+        ),
+        analysis_time_seconds=result.analysis_time_seconds,
+        solver_steps=result.steps,
+    )
+    dead_code = DeadCodeReport()
+    for name, live, dead, removable, total in rows_of():
+        dead_code.methods[name] = MethodDeadCode(
+            qualified_name=name,
+            live_instructions=live,
+            dead_instructions=dead,
+            removable_branches=removable,
+            total_branches=total,
+        )
+    return metrics, dead_code
+
+
 class NativeImageBuilder:
     """Builds a (simulated) native image for one program and configuration.
 
@@ -96,9 +141,13 @@ class NativeImageBuilder:
             self._reflection_applied = True
         analysis = SkipFlowAnalysis(self.program, self.config)
         result = analysis.run(roots)
-        metrics = collect_metrics(result)
-        dead_code = eliminate_dead_code(result)
-        binary_size = self.size_model.estimate(result)
+        fast = _kernel_fast_reports(result)
+        if fast is not None:
+            metrics, dead_code = fast
+        else:
+            metrics = collect_metrics(result)
+            dead_code = eliminate_dead_code(result)
+        binary_size = self.size_model.estimate(result, dead_code)
         compile_time = (
             _COMPILE_FIXED_SECONDS
             + dead_code.live_instructions * _COMPILE_SECONDS_PER_INSTRUCTION

@@ -1,0 +1,32 @@
+"""Flat shared-memory program arena (struct-of-arrays IR encoding).
+
+``freeze(program)`` lowers a built program into one contiguous buffer of
+integer-id tables; ``open_program(buffer)`` attaches it (zero-copy, lazy
+bodies) as a read-only :class:`~repro.ir.arena.program.ArenaProgram`;
+``thaw(buffer)`` decodes it back into a plain mutable Program.  See
+``docs/architecture.md`` (Arena section) for the layout and id schema.
+"""
+
+from repro.ir.arena.freeze import freeze
+from repro.ir.arena.layout import ARENA_VERSION, ArenaFormatError, BufferLike
+from repro.ir.arena.program import (
+    ArenaMethod,
+    ArenaProgram,
+    LazyMethodMap,
+    ProgramArena,
+    open_program,
+    thaw,
+)
+
+__all__ = [
+    "ARENA_VERSION",
+    "ArenaFormatError",
+    "ArenaMethod",
+    "ArenaProgram",
+    "BufferLike",
+    "LazyMethodMap",
+    "ProgramArena",
+    "freeze",
+    "open_program",
+    "thaw",
+]

@@ -1,0 +1,453 @@
+"""``freeze(program)``: flatten a built program into one arena buffer.
+
+The freeze pass runs the PVPG builder over *every* method of the program
+once (the object solver builds method graphs lazily per reachable method;
+freezing all of them up front is a one-time cost paid when the program is
+stored) and lowers the resulting object graph into the struct-of-arrays
+schema of :mod:`repro.ir.arena.layout`:
+
+* every flow gets a dense integer id (*fid*): fid 0 is ``pred_on``, fids
+  ``1..NF`` are the program's declared fields in declaration order, and
+  each method owns the contiguous fid range of its flows in registration
+  order — so "activate a method" becomes "enable an fid range";
+* build-time edges (uses / observers / predicate targets / incoming
+  predicates) become CSR ranges over fids.  Edges created *during* a solve
+  (field linking, call linking, ``pred_on`` fan-out to activated methods)
+  are intentionally absent: the kernel adds them to dynamic side tables,
+  exactly as the object solver grows the object graph;
+* per-kind flow payloads (constants, call sites, compared operands, ...)
+  become integer columns over small auxiliary tables;
+* method bodies are pickled *individually* so an attached program can thaw
+  one method without touching the rest — and the arena kernel never thaws
+  any;
+* the whole buffer is stamped with the pickled
+  :class:`~repro.ir.delta.ProgramFingerprint` of the source program, so
+  attach-side consumers validate against exactly what was frozen.
+
+``filtering_enabled`` of filter flows is *not* encoded: it is a property
+of the analysis config, reapplied when flows are inflated, which keeps the
+frozen structure config-independent (one arena serves every config).
+"""
+
+from __future__ import annotations
+
+import pickle
+from array import array
+from typing import Dict, List, Optional
+
+from repro.core.flows import Flow, FlowKind
+from repro.core.pvpg import MethodPVPG, ProgramPVPG
+from repro.core.pvpg_builder import PVPGBuilder
+from repro.ir.arena import schema
+from repro.ir.arena.layout import BufferWriter
+from repro.ir.delta import ProgramFingerprint
+from repro.ir.instructions import (
+    Assign,
+    Condition,
+    InstanceOfCondition,
+)
+from repro.ir.program import Program
+from repro.ir.types import FieldDecl
+from repro.ir.values import ConstantExpr, ConstKind
+
+
+class _FreezeConfig:
+    """Build-time stand-in config: filters on, structure config-independent."""
+
+    filter_type_checks = True
+    filter_comparisons = True
+
+
+class _Strings:
+    """Interning UTF-8 string table (``str_offsets`` + ``str_blob``)."""
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {}
+        self._parts: List[bytes] = []
+        self._offsets = array("q", [0])
+        self._size = 0
+
+    def intern(self, text: str) -> int:
+        sid = self._ids.get(text)
+        if sid is None:
+            sid = len(self._ids)
+            self._ids[text] = sid
+            encoded = text.encode("utf-8")
+            self._parts.append(encoded)
+            self._size += len(encoded)
+            self._offsets.append(self._size)
+        return sid
+
+    def opt(self, text: Optional[str]) -> int:
+        return schema.NONE_ID if text is None else self.intern(text)
+
+    def write(self, writer: BufferWriter) -> None:
+        writer.add_ints("str_offsets", self._offsets)
+        writer.add_bytes("str_blob", b"".join(self._parts))
+
+
+def _add_csr(writer: BufferWriter, ptr_name: str, val_name: str,
+             rows: List[List[int]]) -> None:
+    ptr = array("q", [0])
+    val = array("q")
+    total = 0
+    for row in rows:
+        total += len(row)
+        ptr.append(total)
+        val.extend(row)
+    writer.add_ints(ptr_name, ptr)
+    writer.add_ints(val_name, val)
+
+
+def _allocation_sites(method) -> List[str]:
+    """Types NEW'd in a method body, deduplicated in order of appearance."""
+    seen: Dict[str, None] = {}
+    for statement in method.iter_statements():
+        if isinstance(statement, Assign) and statement.expr.kind is ConstKind.NEW:
+            seen.setdefault(statement.expr.type_name)
+    return list(seen)
+
+
+def freeze(program: Program) -> bytes:
+    """Flatten ``program`` into a single serialized arena buffer."""
+    strings = _Strings()
+    writer = BufferWriter()
+    fingerprint = ProgramFingerprint.of(program)
+
+    # ------------------------------------------------------------------ #
+    # Type hierarchy, signature, and field tables
+    # ------------------------------------------------------------------ #
+    field_ids: Dict[str, int] = {}  # qualified field name -> field row
+    field_decls: List[FieldDecl] = []
+    type_name = array("q")
+    type_super = array("q")
+    type_flags = array("q")
+    iface_rows: List[List[int]] = []
+    fields_ptr = array("q", [0])
+    sigs_ptr = array("q", [0])
+    field_class = array("q")
+    field_name = array("q")
+    field_type = array("q")
+    sig_class = array("q")
+    sig_name = array("q")
+    sig_return = array("q")
+    sig_static = array("q")
+    sig_param_rows: List[List[int]] = []
+
+    for cls in program.hierarchy:
+        type_name.append(strings.intern(cls.name))
+        type_super.append(strings.opt(cls.superclass))
+        type_flags.append(
+            (schema.TYPE_FLAG_INTERFACE if cls.is_interface else 0)
+            | (schema.TYPE_FLAG_ABSTRACT if cls.is_abstract else 0))
+        iface_rows.append([strings.intern(name) for name in cls.interfaces])
+        for decl in cls.fields.values():
+            field_ids[decl.qualified_name] = len(field_decls)
+            field_decls.append(decl)
+            field_class.append(strings.intern(decl.declaring_class))
+            field_name.append(strings.intern(decl.name))
+            field_type.append(strings.intern(decl.declared_type))
+        fields_ptr.append(len(field_decls))
+        for sig in cls.declared_methods.values():
+            sig_class.append(strings.intern(sig.declaring_class))
+            sig_name.append(strings.intern(sig.name))
+            sig_return.append(strings.intern(sig.return_type))
+            sig_static.append(1 if sig.is_static else 0)
+            sig_param_rows.append([strings.intern(p) for p in sig.param_types])
+        sigs_ptr.append(len(sig_class))
+
+    writer.add_ints("type_name", type_name)
+    writer.add_ints("type_super", type_super)
+    writer.add_ints("type_flags", type_flags)
+    _add_csr(writer, "type_ifaces_ptr", "type_ifaces_val", iface_rows)
+    writer.add_ints("type_fields_ptr", fields_ptr)
+    writer.add_ints("type_sigs_ptr", sigs_ptr)
+    writer.add_ints("field_class", field_class)
+    writer.add_ints("field_name", field_name)
+    writer.add_ints("field_type", field_type)
+    writer.add_ints("sig_class", sig_class)
+    writer.add_ints("sig_name", sig_name)
+    writer.add_ints("sig_return", sig_return)
+    writer.add_ints("sig_static", sig_static)
+    _add_csr(writer, "sig_params_ptr", "sig_params_val", sig_param_rows)
+
+    # ------------------------------------------------------------------ #
+    # Build every method's PVPG within one shared program graph
+    # ------------------------------------------------------------------ #
+    pvpg = ProgramPVPG()
+    builder = PVPGBuilder(program, pvpg, _FreezeConfig())
+    graphs: List[MethodPVPG] = []
+    pred_rows_flows: List[List[Flow]] = []  # pred_on targets per method
+    for method in program.methods.values():
+        before = len(pvpg.pred_on.predicate_targets)
+        graph = pvpg.add_method_graph(builder.build_method(method))
+        graphs.append(graph)
+        pred_rows_flows.append(pvpg.pred_on.predicate_targets[before:])
+
+    # Dense flow ids: 0 = pred_on, 1..NF = fields, then per-method ranges.
+    fid_of: Dict[int, int] = {pvpg.pred_on.uid: 0}
+    num_fields = len(field_decls)
+    flow_lo = array("q")
+    flow_hi = array("q")
+    next_fid = 1 + num_fields
+    for graph in graphs:
+        flow_lo.append(next_fid)
+        for flow in graph.flows:
+            fid_of[flow.uid] = next_fid
+            next_fid += 1
+        flow_hi.append(next_fid)
+    num_flows = next_fid
+
+    # ------------------------------------------------------------------ #
+    # Method table
+    # ------------------------------------------------------------------ #
+    method_name = array("q")
+    m_sig_class = array("q")
+    m_sig_name = array("q")
+    m_sig_return = array("q")
+    m_sig_static = array("q")
+    m_sig_param_rows: List[List[int]] = []
+    m_never_returns = array("q")
+    m_instr_count = array("q")
+    pred_rows: List[List[int]] = []
+    param_rows: List[List[int]] = []
+    ret_rows: List[List[int]] = []
+    inv_rows: List[List[int]] = []
+    alloc_rows: List[List[int]] = []
+    body_ptr = array("q", [0])
+    body_parts: List[bytes] = []
+    body_size = 0
+    br_ptr = array("q", [0])
+    br_count = 0
+
+    branch_cols = {name: array("q") for name in (
+        "br_kind", "br_then", "br_else", "br_block",
+        "br_then_label", "br_else_label", "br_is_instanceof",
+        "br_val_name", "br_val_type", "br_type_name", "br_negated",
+        "br_op", "br_left_name", "br_left_type",
+        "br_right_name", "br_right_type",
+    )}
+
+    for graph, method, pred_targets in zip(
+            graphs, program.methods.values(), pred_rows_flows):
+        sig = method.signature
+        method_name.append(strings.intern(method.qualified_name))
+        m_sig_class.append(strings.intern(sig.declaring_class))
+        m_sig_name.append(strings.intern(sig.name))
+        m_sig_return.append(strings.intern(sig.return_type))
+        m_sig_static.append(1 if sig.is_static else 0)
+        m_sig_param_rows.append([strings.intern(p) for p in sig.param_types])
+        m_never_returns.append(1 if method.never_returns else 0)
+        m_instr_count.append(method.instruction_count)
+        pred_rows.append([fid_of[f.uid] for f in pred_targets])
+        param_rows.append([fid_of[f.uid] for f in graph.parameter_flows])
+        ret_rows.append([fid_of[f.uid] for f in graph.return_flows])
+        inv_rows.append([fid_of[f.uid] for f in graph.invoke_flows])
+        alloc_rows.append(
+            [strings.intern(name) for name in _allocation_sites(method)])
+        blob = pickle.dumps(method.blocks, protocol=pickle.HIGHEST_PROTOCOL)
+        body_parts.append(blob)
+        body_size += len(blob)
+        body_ptr.append(body_size)
+
+        for record in graph.branch_records:
+            instruction = record.instruction
+            condition = instruction.condition
+            cols = branch_cols
+            cols["br_kind"].append(schema.BRANCH_INDEX[record.kind])
+            cols["br_then"].append(fid_of[record.then_predicate.uid])
+            cols["br_else"].append(fid_of[record.else_predicate.uid])
+            cols["br_block"].append(fid_of[record.block_predicate.uid])
+            cols["br_then_label"].append(strings.intern(instruction.then_label))
+            cols["br_else_label"].append(strings.intern(instruction.else_label))
+            if isinstance(condition, InstanceOfCondition):
+                cols["br_is_instanceof"].append(1)
+                cols["br_val_name"].append(strings.intern(condition.value.name))
+                cols["br_val_type"].append(
+                    strings.opt(condition.value.declared_type))
+                cols["br_type_name"].append(strings.intern(condition.type_name))
+                cols["br_negated"].append(1 if condition.negated else 0)
+                for name in ("br_op", "br_left_name", "br_left_type",
+                             "br_right_name", "br_right_type"):
+                    cols[name].append(schema.NONE_ID)
+            else:
+                assert isinstance(condition, Condition)
+                cols["br_is_instanceof"].append(0)
+                for name in ("br_val_name", "br_val_type",
+                             "br_type_name", "br_negated"):
+                    cols[name].append(schema.NONE_ID)
+                cols["br_op"].append(schema.OP_INDEX[condition.op])
+                cols["br_left_name"].append(strings.intern(condition.left.name))
+                cols["br_left_type"].append(
+                    strings.opt(condition.left.declared_type))
+                cols["br_right_name"].append(strings.intern(condition.right.name))
+                cols["br_right_type"].append(
+                    strings.opt(condition.right.declared_type))
+            br_count += 1
+        br_ptr.append(br_count)
+
+    writer.add_ints("method_name", method_name)
+    writer.add_ints("method_sig_class", m_sig_class)
+    writer.add_ints("method_sig_name", m_sig_name)
+    writer.add_ints("method_sig_return", m_sig_return)
+    writer.add_ints("method_sig_static", m_sig_static)
+    _add_csr(writer, "method_sig_params_ptr", "method_sig_params_val",
+             m_sig_param_rows)
+    writer.add_ints("method_never_returns", m_never_returns)
+    writer.add_ints("method_instr_count", m_instr_count)
+    writer.add_ints("method_flow_lo", flow_lo)
+    writer.add_ints("method_flow_hi", flow_hi)
+    _add_csr(writer, "method_pred_ptr", "method_pred_val", pred_rows)
+    _add_csr(writer, "method_param_ptr", "method_param_val", param_rows)
+    _add_csr(writer, "method_ret_ptr", "method_ret_val", ret_rows)
+    _add_csr(writer, "method_inv_ptr", "method_inv_val", inv_rows)
+    _add_csr(writer, "method_alloc_ptr", "method_alloc_val", alloc_rows)
+    writer.add_ints("method_body_ptr", body_ptr)
+    writer.add_bytes("body_blob", b"".join(body_parts))
+    writer.add_ints("method_br_ptr", br_ptr)
+    for name, column in branch_cols.items():
+        writer.add_ints(name, column)
+
+    writer.add_ints(
+        "entry_points",
+        array("q", [strings.intern(name) for name in program.entry_points]))
+
+    # ------------------------------------------------------------------ #
+    # Flow table: kind/label/method/aux columns + edge CSRs
+    # ------------------------------------------------------------------ #
+    flow_kind = array("q")
+    flow_label = array("q")
+    flow_method = array("q")
+    flow_aux1 = array("q")
+    flow_aux2 = array("q")
+    use_rows: List[List[int]] = [[] for _ in range(num_flows)]
+    obs_rows: List[List[int]] = [[] for _ in range(num_flows)]
+    ptgt_rows: List[List[int]] = [[] for _ in range(num_flows)]
+    pin_rows: List[List[int]] = [[] for _ in range(num_flows)]
+
+    const_ids: Dict[ConstantExpr, int] = {}
+    const_kind = array("q")
+    const_int = array("q")
+    const_type = array("q")
+
+    cs_cols = {name: array("q") for name in (
+        "cs_kind", "cs_method_name", "cs_target_class",
+        "cs_result_name", "cs_result_type", "cs_recv_name", "cs_recv_type",
+    )}
+    cs_arg_name_rows: List[List[int]] = []
+    cs_arg_type_rows: List[List[int]] = []
+    inv_arg_rows: List[List[int]] = []
+
+    def const_row(expr: ConstantExpr) -> int:
+        row = const_ids.get(expr)
+        if row is None:
+            row = len(const_ids)
+            const_ids[expr] = row
+            const_kind.append(schema.CONST_INDEX[expr.kind])
+            const_int.append(expr.int_value if expr.kind is ConstKind.INT else 0)
+            const_type.append(strings.opt(expr.type_name))
+        return row
+
+    def emit_flow(flow: Flow, method_id: int) -> None:
+        kind = flow.kind
+        flow_kind.append(schema.KIND_INDEX[kind])
+        flow_label.append(strings.intern(flow.label))
+        flow_method.append(method_id)
+        aux1 = aux2 = schema.NONE_ID
+        if kind is FlowKind.SOURCE:
+            aux1 = const_row(flow.expr)
+        elif kind is FlowKind.PARAMETER:
+            aux1 = flow.index
+            aux2 = strings.opt(flow.declared_type)
+        elif kind is FlowKind.FILTER_TYPE:
+            aux1 = strings.intern(flow.type_name)
+            aux2 = 1 if flow.negated else 0
+        elif kind is FlowKind.FILTER_COMPARE:
+            aux1 = schema.OP_INDEX[flow.op]
+            aux2 = (schema.NONE_ID if flow.observed is None
+                    else fid_of[flow.observed.uid])
+        elif kind in (FlowKind.LOAD_FIELD, FlowKind.STORE_FIELD):
+            aux1 = strings.intern(flow.field_name)
+            aux2 = fid_of[flow.receiver.uid]
+        elif kind is FlowKind.INVOKE:
+            invoke = flow.invoke
+            aux1 = len(cs_cols["cs_kind"])
+            aux2 = (schema.NONE_ID if flow.receiver is None
+                    else fid_of[flow.receiver.uid])
+            cs_cols["cs_kind"].append(schema.INVOKE_INDEX[invoke.kind])
+            cs_cols["cs_method_name"].append(strings.intern(invoke.method_name))
+            cs_cols["cs_target_class"].append(strings.opt(invoke.target_class))
+            if invoke.result is None:
+                cs_cols["cs_result_name"].append(schema.NONE_ID)
+                cs_cols["cs_result_type"].append(schema.NONE_ID)
+            else:
+                cs_cols["cs_result_name"].append(
+                    strings.intern(invoke.result.name))
+                cs_cols["cs_result_type"].append(
+                    strings.opt(invoke.result.declared_type))
+            if invoke.receiver is None:
+                cs_cols["cs_recv_name"].append(schema.NONE_ID)
+                cs_cols["cs_recv_type"].append(schema.NONE_ID)
+            else:
+                cs_cols["cs_recv_name"].append(
+                    strings.intern(invoke.receiver.name))
+                cs_cols["cs_recv_type"].append(
+                    strings.opt(invoke.receiver.declared_type))
+            cs_arg_name_rows.append(
+                [strings.intern(value.name) for value in invoke.arguments])
+            cs_arg_type_rows.append(
+                [strings.opt(value.declared_type) for value in invoke.arguments])
+            inv_arg_rows.append([fid_of[f.uid] for f in flow.argument_flows])
+        elif kind is FlowKind.RETURN:
+            aux1 = 1 if flow.artificial_on_enable is not None else 0
+        flow_aux1.append(aux1)
+        flow_aux2.append(aux2)
+
+        fid = fid_of[flow.uid]
+        use_rows[fid] = [fid_of[t.uid] for t in flow.uses]
+        obs_rows[fid] = [fid_of[t.uid] for t in flow.observers]
+        if kind is not FlowKind.PRED_ON:
+            # pred_on's build-time fan-out lives in method_pred_val; the
+            # kernel replays it per method activation, in activation order.
+            ptgt_rows[fid] = [fid_of[t.uid] for t in flow.predicate_targets]
+        pin_rows[fid] = [fid_of[p.uid] for p in flow.predicates]
+
+    emit_flow(pvpg.pred_on, schema.NONE_ID)
+    for index, decl in enumerate(field_decls):
+        flow_kind.append(schema.K_FIELD)
+        flow_label.append(strings.intern(decl.qualified_name))
+        flow_method.append(schema.NONE_ID)
+        flow_aux1.append(index)
+        flow_aux2.append(schema.NONE_ID)
+    for method_id, graph in enumerate(graphs):
+        for flow in graph.flows:
+            emit_flow(flow, method_id)
+
+    writer.add_ints("flow_kind", flow_kind)
+    writer.add_ints("flow_label", flow_label)
+    writer.add_ints("flow_method", flow_method)
+    writer.add_ints("flow_aux1", flow_aux1)
+    writer.add_ints("flow_aux2", flow_aux2)
+    _add_csr(writer, "use_ptr", "use_val", use_rows)
+    _add_csr(writer, "obs_ptr", "obs_val", obs_rows)
+    _add_csr(writer, "ptgt_ptr", "ptgt_val", ptgt_rows)
+    _add_csr(writer, "pin_ptr", "pin_val", pin_rows)
+
+    writer.add_ints("const_kind", const_kind)
+    writer.add_ints("const_int", const_int)
+    writer.add_ints("const_type", const_type)
+    for name, column in cs_cols.items():
+        writer.add_ints(name, column)
+    _add_csr(writer, "cs_args_ptr", "cs_args_name", cs_arg_name_rows)
+    # cs_args_type shares cs_args_ptr (one name and one type per argument).
+    writer.add_ints(
+        "cs_args_type",
+        array("q", [sid for row in cs_arg_type_rows for sid in row]))
+    _add_csr(writer, "inv_args_ptr", "inv_args_val", inv_arg_rows)
+
+    writer.add_bytes(
+        "fingerprint_blob",
+        pickle.dumps(fingerprint, protocol=pickle.HIGHEST_PROTOCOL))
+
+    strings.write(writer)
+    return writer.to_bytes()

@@ -1,0 +1,160 @@
+"""The arena's physical layout: named sections in one contiguous buffer.
+
+An arena is a *single* buffer so that engine workers can attach it with one
+``mmap`` and read every table through zero-copy ``memoryview`` casts — no
+per-worker unpickle, no object graph to rebuild.  The buffer is a sequence
+of named sections of two kinds:
+
+* **integer columns** — ``array('q')`` payloads (little-endian signed 64-bit
+  on every platform CPython supports) exposed as ``memoryview.cast('q')``;
+  these carry the id tables and CSR edge ranges of the arena schema;
+* **byte blobs** — opaque payloads (the UTF-8 string table, the per-method
+  pickled bodies, the pickled program fingerprint) that are only decoded
+  lazily, if ever.
+
+Layout::
+
+    +-------------------------------+
+    | magic  "RPRA"        (4 B)    |
+    | version              (u32 LE) |
+    | index offset         (u64 LE) |
+    | index length         (u64 LE) |
+    +-------------------------------+
+    | section payloads, 8-aligned   |
+    |  ...                          |
+    +-------------------------------+
+    | index: pickled                |
+    |   {name: (offset, len, kind)} |
+    +-------------------------------+
+
+The index is tiny (one entry per section, a few dozen total) and is the
+only thing decoded at attach time; everything else stays raw bytes until a
+table is actually indexed into.  Integers in the header are little-endian
+regardless of host order, and integer columns are rejected at attach time
+if the host's ``array('q')`` item size is not 8 bytes.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from array import array
+from typing import Dict, Tuple, Union
+
+MAGIC = b"RPRA"
+
+#: Bumped whenever the schema (section set or column meaning) changes;
+#: attach refuses other versions so stale buffers read as misses upstream.
+ARENA_VERSION = 1
+
+_HEADER = struct.Struct("<4sIQQ")
+
+_KIND_INTS = 0
+_KIND_BYTES = 1
+
+
+class ArenaFormatError(ValueError):
+    """A buffer that is not (or no longer) a readable arena."""
+
+
+def _check_int_width() -> None:
+    if array("q").itemsize != 8:
+        raise ArenaFormatError(
+            "this platform's array('q') is not 8 bytes wide; "
+            "arena buffers are not portable to it")
+
+
+class BufferWriter:
+    """Accumulates named sections and serializes them into one buffer."""
+
+    def __init__(self) -> None:
+        self._sections: Dict[str, Tuple[int, bytes]] = {}
+
+    def add_ints(self, name: str, values) -> None:
+        """Add an integer column (stored as a little-endian ``array('q')``)."""
+        _check_int_width()
+        column = values if isinstance(values, array) else array("q", values)
+        if column.typecode != "q":
+            raise ArenaFormatError(f"section {name!r}: expected array('q')")
+        self._add(name, _KIND_INTS, column.tobytes())
+
+    def add_bytes(self, name: str, blob: bytes) -> None:
+        """Add an opaque byte blob section."""
+        self._add(name, _KIND_BYTES, bytes(blob))
+
+    def _add(self, name: str, kind: int, payload: bytes) -> None:
+        if name in self._sections:
+            raise ArenaFormatError(f"section {name!r} written twice")
+        self._sections[name] = (kind, payload)
+
+    def to_bytes(self) -> bytes:
+        parts = [b"\x00" * _HEADER.size]
+        offset = _HEADER.size
+        index: Dict[str, Tuple[int, int, int]] = {}
+        for name, (kind, payload) in self._sections.items():
+            pad = (-offset) % 8
+            if pad:
+                parts.append(b"\x00" * pad)
+                offset += pad
+            index[name] = (offset, len(payload), kind)
+            parts.append(payload)
+            offset += len(payload)
+        index_blob = pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
+        parts.append(index_blob)
+        parts[0] = _HEADER.pack(MAGIC, ARENA_VERSION, offset, len(index_blob))
+        return b"".join(parts)
+
+
+class BufferReader:
+    """Zero-copy view over a serialized arena buffer (bytes or mmap)."""
+
+    def __init__(self, buffer) -> None:
+        self._view = memoryview(buffer)
+        if len(self._view) < _HEADER.size:
+            raise ArenaFormatError("buffer too short to be an arena")
+        magic, version, index_offset, index_length = _HEADER.unpack_from(
+            self._view, 0)
+        if magic != MAGIC:
+            raise ArenaFormatError("bad magic: not an arena buffer")
+        if version != ARENA_VERSION:
+            raise ArenaFormatError(
+                f"unsupported arena version {version} "
+                f"(expected {ARENA_VERSION})")
+        if index_offset + index_length > len(self._view):
+            raise ArenaFormatError("truncated arena buffer")
+        try:
+            self._index: Dict[str, Tuple[int, int, int]] = pickle.loads(
+                self._view[index_offset:index_offset + index_length])
+        except Exception as error:  # pickle raises a wide range here
+            raise ArenaFormatError(f"unreadable arena index: {error}") from error
+
+    def section_names(self) -> Tuple[str, ...]:
+        return tuple(self._index)
+
+    @property
+    def raw(self) -> memoryview:
+        """The whole serialized buffer (lets an attached arena be re-written)."""
+        return self._view
+
+    def _section(self, name: str, kind: int) -> memoryview:
+        try:
+            offset, length, stored_kind = self._index[name]
+        except KeyError:
+            raise ArenaFormatError(f"arena has no section {name!r}") from None
+        if stored_kind != kind:
+            raise ArenaFormatError(f"section {name!r} has the wrong kind")
+        if offset + length > len(self._view):
+            raise ArenaFormatError(f"section {name!r} is truncated")
+        return self._view[offset:offset + length]
+
+    def ints(self, name: str) -> memoryview:
+        """An integer column as a ``memoryview`` of signed 64-bit ints."""
+        _check_int_width()
+        return self._section(name, _KIND_INTS).cast("q")
+
+    def bytes_(self, name: str) -> memoryview:
+        """A byte-blob section (decode lazily at the call site)."""
+        return self._section(name, _KIND_BYTES)
+
+
+BufferLike = Union[bytes, bytearray, memoryview]

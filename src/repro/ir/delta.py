@@ -107,6 +107,11 @@ class ProgramFingerprint:
 
     @staticmethod
     def of(program: Program) -> "ProgramFingerprint":
+        # Duck-typed fast path: arena-attached programs carry the
+        # fingerprint stamped at freeze time, so no body is re-digested.
+        stamped = getattr(program, "program_fingerprint", None)
+        if stamped is not None:
+            return stamped
         classes = tuple(sorted(
             (cls.name, ClassShape(
                 superclass=cls.superclass,

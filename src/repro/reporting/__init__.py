@@ -35,6 +35,12 @@ from repro.reporting.table import (
     matrix_table_rows,
     table1_rows,
 )
+from repro.reporting.trajectory import (
+    TrajectoryRow,
+    format_trend,
+    load_history,
+    write_trajectory,
+)
 
 __all__ = [
     "BenchmarkComparison",
@@ -43,6 +49,7 @@ __all__ = [
     "PolicyPoint",
     "SaturationPoint",
     "ServicePoint",
+    "TrajectoryRow",
     "call_graph_to_dot",
     "compare_configurations",
     "figure9_series",
@@ -55,6 +62,8 @@ __all__ = [
     "format_saturation_study",
     "format_service_study",
     "format_table1",
+    "format_trend",
+    "load_history",
     "matrix_table_rows",
     "policy_points",
     "pvpg_to_dot",
@@ -64,4 +73,5 @@ __all__ = [
     "summarize_service",
     "summarize_sweep",
     "table1_rows",
+    "write_trajectory",
 ]

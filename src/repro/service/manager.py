@@ -63,6 +63,7 @@ from repro.api.registry import get_analyzer
 from repro.api.session import AnalysisSession, SessionUpdate
 from repro.engine.program_store import ProgramStore
 from repro.engine.snapshots import SnapshotStore
+from repro.ir.arena import ArenaProgram, thaw
 from repro.ir.delta import NonMonotoneDeltaError, ProgramDelta, delta_between
 from repro.lang.api import compile_source
 from repro.service.wire import WIRE_OPTIONS
@@ -227,6 +228,11 @@ class ManagedSession:
     def drain_pending(self) -> List[SessionUpdate]:
         """Apply every queued delta to the live session, in queue order."""
         applied: List[SessionUpdate] = []
+        if self.pending and isinstance(self.session.program, ArenaProgram):
+            # Deltas mutate the program in place, and an attached arena is
+            # read-only (it may be an mmap of a shared store blob) — thaw
+            # it into an equal mutable program before the first edit lands.
+            self.session.program = thaw(self.session.program.arena)
         while self.pending:
             delta = self.pending.pop(0)
             applied.append(self.session.update(delta))
@@ -302,7 +308,10 @@ class SessionManager:
             origin, spec = "source", None
         else:
             spec = self._find_benchmark(benchmark, scale)
-            program, _ = self._programs.load_or_build(spec)
+            # Attach the spec's arena blob when one exists (zero decode;
+            # analyzers only read); the first *edit* thaws it into a
+            # mutable twin (see ManagedSession.drain_pending).
+            program, _ = self._programs.attach_or_build(spec)
             session = AnalysisSession(program, name=name, roots=root_list)
             origin = "benchmark"
         managed = ManagedSession(name=name, origin=origin, session=session,
@@ -744,7 +753,11 @@ class SessionManager:
             raise SessionRehydrationError(
                 f"session {managed.name!r} has neither a live session nor "
                 f"an eviction record")
-        program = self._programs.load(evicted.program_spec)
+        # An unedited arena-backed session spilled as its own arena blob
+        # (no pickle), so try the zero-decode attach first; edited sessions
+        # spilled a pickle and rehydrate through the ordinary load.
+        program = (self._programs.attach(evicted.program_spec)
+                   or self._programs.load(evicted.program_spec))
         if program is None:
             raise SessionRehydrationError(
                 f"session {managed.name!r}: the evicted program blob "

@@ -31,9 +31,10 @@ GET_ENDPOINTS = ("sessions", "metrics", "health")
 #: Analyzer options accepted over the wire.  The subset of
 #: :class:`~repro.api.registry.ConfigAnalyzer` options whose values are
 #: JSON scalars — ``policy`` (a live :class:`SolverPolicy` object) stays
-#: in-process only.
+#: in-process only.  ``kernel`` selects the bit-identical propagation
+#: kernel (``object``/``arena``); it changes throughput, never results.
 WIRE_OPTIONS = frozenset(
-    {"saturation_threshold", "saturation_policy", "scheduling"})
+    {"saturation_threshold", "saturation_policy", "scheduling", "kernel"})
 
 
 def endpoint(name: str) -> str:

@@ -218,8 +218,9 @@ class TestBenchGc:
         assert cli_main(["bench", "--gc", "--cache-dir", str(cache_dir),
                          "--suite", "DaCapo"]) == 0
         output = capsys.readouterr().out
-        assert ("removed 1 stale result entries, 2 stale IR blobs, "
-                "and 1 stale snapshots") in output
+        assert ("removed 1 stale result entries, 2 stale IR blobs "
+                "(pickles and arena buffers), and 1 stale snapshots") in output
+        assert "reclaimed" in output and "bytes" in output
         assert list(snapshots.glob("*.state")) == []
         assert current.contains("aa" * 16)
         assert not stale.contains("bb" * 16)

@@ -1,0 +1,75 @@
+"""The --kernel CLI flag: parsing, bit-identical output, fuzz plumbing."""
+
+import pytest
+
+from repro.cli import build_parser, main as cli_main
+
+SOURCE = """
+class Animal {
+    int speak() { return 0; }
+}
+class Dog extends Animal {
+    int speak() { return 1; }
+}
+class Main {
+    static void main() {
+        Animal pet = new Dog();
+        pet.speak();
+    }
+}
+"""
+
+
+@pytest.fixture
+def source(tmp_path):
+    path = tmp_path / "app.lang"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestParser:
+    def test_analyze_accepts_the_registered_kernels(self):
+        args = build_parser().parse_args(
+            ["analyze", "app.lang", "--kernel", "arena"])
+        assert args.kernel == "arena"
+
+    def test_unknown_kernel_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["analyze", "app.lang", "--kernel", "vectorized"])
+
+    def test_check_and_compare_carry_the_flag_too(self):
+        for head in (["check", "app.lang"],
+                     ["compare", "app.lang", "pta", "skipflow"]):
+            args = build_parser().parse_args(head + ["--kernel", "arena"])
+            assert args.kernel == "arena"
+
+    def test_fuzz_kernel_repeats_into_a_list(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--cases", "1",
+             "--kernel", "object", "--kernel", "arena"])
+        assert args.kernel == ["object", "arena"]
+
+
+class TestAnalyze:
+    def test_arena_kernel_preserves_results(self, source, capsys):
+        assert cli_main(["analyze", source]) == 0
+        plain = capsys.readouterr().out
+        assert cli_main(["analyze", source, "--kernel", "arena"]) == 0
+        arena = capsys.readouterr().out
+        # The kernel changes throughput, never results: everything but
+        # the timing lines must match byte for byte.
+        strip = lambda text: [line for line in text.splitlines()  # noqa: E731
+                              if "time" not in line]
+        assert strip(plain) == strip(arena)
+
+    def test_compare_mode_accepts_the_kernel(self, source, capsys):
+        assert cli_main(["analyze", source, "--compare",
+                         "--kernel", "arena"]) == 0
+        output = capsys.readouterr().out
+        assert "[PTA]" in output and "[SkipFlow]" in output
+
+    def test_check_audits_pass_under_the_arena_kernel(self, source, capsys):
+        assert cli_main(["check", source, "--audit",
+                         "--kernel", "arena"]) == 0
+        assert "audit" in capsys.readouterr().out.lower()

@@ -5,6 +5,7 @@ import pytest
 from repro.core.analysis import AnalysisConfig, SkipFlowAnalysis
 from repro.engine import ProgramStore, ResultCache, run_specs
 from repro.engine.runner import solve_config
+from repro.ir.arena import ArenaProgram
 from repro.workloads.generator import generate_benchmark, spec_from_reduction
 
 
@@ -80,8 +81,11 @@ class TestRoundTrip:
     def test_clear_removes_blobs(self, tmp_path):
         store = ProgramStore(tmp_path)
         store.load_or_build(_spec())
-        assert store.clear() == 1
+        # One pickle plus its sibling arena blob.
+        assert store.clear() == 2
+        assert store.last_gc_bytes > 0
         assert not store.contains(_spec())
+        assert store.attach(_spec()) is None
 
 
 class TestEngineIntegration:
@@ -152,6 +156,84 @@ class TestEngineIntegration:
                 == cold["report"]["reachable_methods"])
 
 
+class TestArenaAttach:
+    def test_store_writes_arena_sibling(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        store.load_or_build(_spec())
+        assert store.arena_path_for(_spec()).is_file()
+
+    def test_attach_returns_arena_program(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        store.load_or_build(_spec())
+        attached = store.attach(_spec())
+        assert isinstance(attached, ArenaProgram)
+        assert attached.has_method("Main.main")
+
+    def test_attach_or_build_prefers_the_arena(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        store.load_or_build(_spec())
+        program, from_store = store.attach_or_build(_spec())
+        assert from_store
+        assert isinstance(program, ArenaProgram)
+
+    def test_attach_or_build_backfills_missing_arena(self, tmp_path):
+        """Stores written before arena blobs existed heal on first touch."""
+        store = ProgramStore(tmp_path)
+        store.load_or_build(_spec())
+        store.arena_path_for(_spec()).unlink()
+        program, from_store = store.attach_or_build(_spec())
+        assert from_store
+        assert isinstance(program, ArenaProgram)
+        assert store.arena_path_for(_spec()).is_file()
+
+    @pytest.mark.parametrize("blob", [
+        b"not an arena",
+        b"RPRA" + b"\x00" * 4,          # truncated header
+        b"RPRA\x63\x00\x00\x00" + b"\x00" * 16,  # foreign format version
+        b"",
+    ])
+    def test_corrupt_arena_is_a_miss(self, tmp_path, blob):
+        store = ProgramStore(tmp_path)
+        store.load_or_build(_spec())
+        store.arena_path_for(_spec()).write_bytes(blob)
+        assert store.attach(_spec()) is None
+        # ... and attach_or_build recovers through the pickle + backfill.
+        program, _ = store.attach_or_build(_spec())
+        assert program.has_method("Main.main")
+
+    def test_attached_solve_is_bit_identical(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        store.load_or_build(_spec())
+        config = AnalysisConfig.skipflow()
+        from_arena = SkipFlowAnalysis(
+            store.attach(_spec()), config.with_kernel("arena")).run()
+        from_fresh = SkipFlowAnalysis(generate_benchmark(_spec()), config).run()
+        assert from_arena.reachable_methods == from_fresh.reachable_methods
+        assert from_arena.steps == from_fresh.steps
+        assert from_arena.stats.joins == from_fresh.stats.joins
+
+    def test_storing_an_attached_arena_writes_the_buffer_back(self, tmp_path):
+        store = ProgramStore(tmp_path)
+        store.load_or_build(_spec())
+        attached = store.attach(_spec())
+        other = ProgramStore(tmp_path / "other",
+                             code_version=store.code_version)
+        other.store(_spec(), attached)
+        assert not other.path_for(_spec()).is_file()  # no pickle for arenas
+        assert (other.arena_path_for(_spec()).read_bytes()
+                == store.arena_path_for(_spec()).read_bytes())
+
+    def test_arena_kernel_config_routes_through_attach(self, tmp_path):
+        """The engine's arena-kernel half maps the blob instead of unpickling."""
+        store = ProgramStore(tmp_path)
+        config = AnalysisConfig.skipflow().with_kernel("arena")
+        cold = solve_config(_spec(), AnalysisConfig.skipflow())
+        warm = solve_config(_spec(), config, store)
+        assert warm["report"]["solver_steps"] == cold["report"]["solver_steps"]
+        assert (warm["report"]["reachable_methods"]
+                == cold["report"]["reachable_methods"])
+
+
 class TestKeying:
     def test_key_is_filesystem_safe_hex(self, tmp_path):
         key = ProgramStore(tmp_path).key(_spec())
@@ -187,9 +269,13 @@ class TestGc:
         # Pre-versioning flat-named blobs are unidentifiable, hence stale.
         (tmp_path / "deadbeef.pickle").write_bytes(b"x")
 
-        assert current.gc() == 2
+        # The foreign version's pickle + arena, plus the flat-named pickle.
+        assert current.gc() == 3
+        assert current.last_gc_bytes > 0
         assert current.contains(_spec())
+        assert current.attach(_spec()) is not None
         assert not stale.contains(_spec())
+        assert stale.attach(_spec()) is None
 
     def test_blob_filenames_carry_the_code_version(self, tmp_path):
         store = ProgramStore(tmp_path, code_version="cafe")
@@ -204,3 +290,14 @@ class TestGc:
         assert store.gc() == 1
         assert not stale_tmp.exists()
         assert live_tmp.exists()
+
+    def test_gc_reclaims_orphaned_arena_buffers(self, tmp_path):
+        store = ProgramStore(tmp_path, code_version="aaaa")
+        orphan = tmp_path / "bbbb-44.arena"
+        orphan.write_bytes(b"x" * 128)
+        orphan_tmp = tmp_path / "bbbb-44.arena.tmp999"
+        orphan_tmp.write_bytes(b"x" * 64)
+        assert store.gc() == 2
+        assert store.last_gc_bytes == 192
+        assert not orphan.exists()
+        assert not orphan_tmp.exists()

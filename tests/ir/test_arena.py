@@ -1,0 +1,168 @@
+"""Arena round-trip: freeze → encode → attach → thaw equals the source.
+
+The contract under test is :mod:`repro.ir.arena`'s whole reason to exist:
+the flat buffer is a *lossless* re-encoding of a built program.  Losslessness
+is checked three ways — the stamped :class:`~repro.ir.delta.
+ProgramFingerprint` (shapes + body digests), the printed method bodies, and
+analysis results over the attached/thawed programs (see
+``tests/core/test_arena_kernel.py`` for the kernel side).
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.arena import (
+    ARENA_VERSION,
+    ArenaFormatError,
+    ArenaProgram,
+    freeze,
+    open_program,
+    thaw,
+)
+from repro.ir.delta import ProgramFingerprint
+from repro.ir.printer import format_method
+from repro.lang.api import compile_source
+from repro.workloads.generator import generate_benchmark, spec_from_reduction
+from repro.workloads.suites import extended_suites
+
+_SOURCE = """
+class Main {
+  static void main() {
+    Shape s = new Circle();
+    s.area();
+    if (s instanceof Circle) { s.name(); }
+  }
+}
+class Shape {
+  int area() { return 0; }
+  int name() { return 1; }
+}
+class Circle extends Shape {
+  int area() { return 3; }
+  int name() { return 4; }
+}
+"""
+
+
+def _spec(total=90, reduction=10.0, name=None):
+    return spec_from_reduction(
+        name=name or f"arena-rt-{total}-{int(reduction)}",
+        suite="test", total_methods=total, reduction_percent=reduction)
+
+
+def _assert_programs_equal(original, thawed):
+    """Structural equality, strongest form first: the fingerprint."""
+    assert (ProgramFingerprint.of(thawed)
+            == ProgramFingerprint.of(original))
+    assert sorted(thawed.methods) == sorted(original.methods)
+    assert thawed.entry_points == original.entry_points
+    for name, method in original.methods.items():
+        assert format_method(thawed.methods[name]) == format_method(method)
+
+
+class TestRoundTrip:
+    @settings(max_examples=8, deadline=None)
+    @given(total=st.integers(min_value=30, max_value=140),
+           reduction=st.sampled_from([0.0, 10.0, 35.0]))
+    def test_freeze_thaw_is_lossless(self, total, reduction):
+        original = generate_benchmark(_spec(total, reduction))
+        _assert_programs_equal(original, thaw(freeze(original)))
+
+    def test_compiled_source_round_trips(self):
+        original = compile_source(_SOURCE, validate=True)
+        _assert_programs_equal(original, thaw(freeze(original)))
+
+    @pytest.mark.parametrize(
+        "spec",
+        [specs[0] for specs in extended_suites().values()],
+        ids=lambda spec: spec.name)
+    def test_suite_programs_round_trip(self, spec):
+        original = generate_benchmark(spec)
+        _assert_programs_equal(original, thaw(freeze(original)))
+
+    def test_id_tables_are_deterministic(self):
+        """Two builds of one spec freeze to identical integer tables.
+
+        The pickled per-method body blobs may differ byte-wise between
+        builds (pickle is not canonical over equal object graphs), so the
+        determinism contract covers the id tables the kernel solves on.
+        """
+        first = open_program(freeze(generate_benchmark(_spec()))).arena
+        second = open_program(freeze(generate_benchmark(_spec()))).arena
+        names = first.reader.section_names()
+        assert names == second.reader.section_names()
+        for name in names:
+            try:
+                a, b = first.reader.ints(name), second.reader.ints(name)
+            except ArenaFormatError:
+                continue  # a byte-blob section (bodies, strings, fingerprint)
+            assert a.tolist() == b.tolist(), f"section {name!r} diverged"
+
+
+class TestAttachedFacade:
+    def test_attach_exposes_the_program_interface(self):
+        original = generate_benchmark(_spec())
+        attached = open_program(freeze(original))
+        assert isinstance(attached, ArenaProgram)
+        assert sorted(attached.methods) == sorted(original.methods)
+        assert attached.entry_points == original.entry_points
+        for name in original.methods:
+            assert attached.has_method(name)
+            assert (format_method(attached.methods[name])
+                    == format_method(original.methods[name]))
+
+    def test_fingerprint_is_stamped_not_recomputed(self):
+        original = generate_benchmark(_spec())
+        attached = open_program(freeze(original))
+        assert attached.program_fingerprint == ProgramFingerprint.of(original)
+        # ProgramFingerprint.of takes the stamped fast path on arenas.
+        assert ProgramFingerprint.of(attached) is attached.program_fingerprint
+
+    def test_thaw_accepts_an_attached_arena(self):
+        original = generate_benchmark(_spec())
+        attached = open_program(freeze(original))
+        _assert_programs_equal(original, thaw(attached.arena))
+
+    def test_hierarchy_round_trips(self):
+        original = generate_benchmark(_spec())
+        attached = open_program(freeze(original))
+        by_name = {cls.name: cls for cls in original.hierarchy}
+        for cls in attached.hierarchy:
+            source = by_name.pop(cls.name)
+            assert cls.superclass == source.superclass
+            assert tuple(cls.interfaces) == tuple(source.interfaces)
+            assert cls.is_interface == source.is_interface
+            assert cls.is_abstract == source.is_abstract
+        assert not by_name
+
+
+class TestFormatSafety:
+    def test_bad_magic_is_rejected(self):
+        blob = bytearray(freeze(generate_benchmark(_spec(total=40))))
+        blob[:4] = b"NOPE"
+        with pytest.raises(ArenaFormatError):
+            open_program(bytes(blob))
+
+    def test_foreign_version_is_rejected(self):
+        blob = bytearray(freeze(generate_benchmark(_spec(total=40))))
+        blob[4] = (ARENA_VERSION + 1) & 0xFF
+        with pytest.raises(ArenaFormatError):
+            open_program(bytes(blob))
+
+    def test_short_buffer_is_rejected(self):
+        with pytest.raises(ArenaFormatError):
+            open_program(b"RPRA")
+
+    @settings(max_examples=12, deadline=None)
+    @given(cut=st.floats(min_value=0.01, max_value=0.99))
+    def test_truncation_never_crashes_unstructured(self, cut):
+        """Truncated buffers raise a typed error, never segfault/garbage."""
+        blob = freeze(generate_benchmark(_spec(total=40)))
+        truncated = blob[:max(1, int(len(blob) * cut))]
+        with pytest.raises((ArenaFormatError, pickle.UnpicklingError,
+                            ValueError, EOFError, IndexError, KeyError)):
+            program = open_program(truncated)
+            # Attach may succeed if the index survived; force full decode.
+            thaw(program.arena)

@@ -1,0 +1,115 @@
+"""Arena-backed service sessions: zero-decode open, thaw-on-edit, spill.
+
+Benchmark sessions attach the program store's arena blob instead of
+unpickling (the tentpole's decode win carried into the service layer).
+The invariants under test: analyzers read the attached arena directly and
+produce byte-identical reports; the first *edit* thaws the read-only arena
+into a mutable twin; spill/rehydrate keeps arena backing for unedited
+sessions and re-freezes edited ones so rehydration is arena-backed again.
+"""
+
+import pytest
+
+from repro.ir.arena import ArenaProgram
+from repro.service import SessionManager
+
+BENCHMARK = "wide-flat-64"
+
+
+@pytest.fixture
+def manager(tmp_path):
+    return SessionManager(max_live_sessions=4, spill_dir=tmp_path / "spill")
+
+
+def _program(manager, name):
+    return manager._sessions[name].session.program
+
+
+class TestZeroDecodeOpen:
+    def test_benchmark_sessions_attach_an_arena(self, manager):
+        manager.open("s", benchmark=BENCHMARK)
+        assert isinstance(_program(manager, "s"), ArenaProgram)
+
+    def test_source_sessions_stay_plain_programs(self, manager):
+        manager.open("s", source="class Main { static void main() { } }")
+        assert not isinstance(_program(manager, "s"), ArenaProgram)
+
+    def test_analyze_reads_the_arena_in_place(self, manager):
+        manager.open("s", benchmark=BENCHMARK)
+        cold = manager.analyze("s", "skipflow")
+        assert cold["mode"] == "cold"
+        # Read-only analysis never forces a thaw.
+        assert isinstance(_program(manager, "s"), ArenaProgram)
+
+    def test_arena_session_reports_match_a_pickled_one(self, manager, tmp_path):
+        manager.open("s", benchmark=BENCHMARK)
+        arena_report = manager.analyze("s", "skipflow")["report"]
+        plain = SessionManager(spill_dir=tmp_path / "plain")
+        plain.open("s", benchmark=BENCHMARK)
+        plain_report = plain.analyze("s", "skipflow")["report"]
+        def strip(report):
+            clean = dict(report, metrics=dict(report["metrics"]))
+            clean["metrics"].pop("analysis_time_seconds")
+            return clean
+
+        assert strip(arena_report) == strip(plain_report)
+
+
+class TestThawOnEdit:
+    def test_first_edit_thaws_the_arena(self, manager):
+        manager.open("s", benchmark=BENCHMARK)
+        cold = manager.analyze("s", "skipflow")
+        manager.update("s", edit={"kind": "add-variant", "index": 0})
+        warm = manager.analyze("s", "skipflow")
+        assert warm["mode"] == "warm"
+        assert 0 < warm["steps_paid"] < cold["steps_paid"]
+        # The mutable twin replaced the read-only mmap façade.
+        assert not isinstance(_program(manager, "s"), ArenaProgram)
+
+
+class TestSpillAndRehydrate:
+    def test_unedited_session_rehydrates_arena_backed(self, manager):
+        manager.open("s", benchmark=BENCHMARK)
+        cold = manager.analyze("s", "skipflow")
+        assert manager.evict("s")["evicted"]
+        cached = manager.analyze("s", "skipflow")
+        assert cached["mode"] == "cached"
+        assert cached["report"] == cold["report"]
+        assert isinstance(_program(manager, "s"), ArenaProgram)
+
+    def test_edited_session_refreezes_at_spill(self, manager):
+        manager.open("s", benchmark=BENCHMARK)
+        manager.analyze("s", "skipflow")
+        manager.update("s", edit={"kind": "add-variant", "index": 0})
+        warm = manager.analyze("s", "skipflow")
+        assert manager.evict("s")["evicted"]
+        # The spill froze the edited program, so rehydration attaches the
+        # fresh arena rather than unpickling.
+        cached = manager.analyze("s", "skipflow")
+        assert cached["mode"] == "cached"
+        assert cached["report"] == warm["report"]
+        assert isinstance(_program(manager, "s"), ArenaProgram)
+
+    def test_edit_after_rehydrate_still_resumes_warm(self, manager):
+        manager.open("s", benchmark=BENCHMARK)
+        cold = manager.analyze("s", "skipflow")
+        manager.evict("s")
+        manager.update("s", edit={"kind": "add-variant", "index": 0})
+        warm = manager.analyze("s", "skipflow")
+        assert warm["mode"] == "warm"
+        assert 0 < warm["steps_paid"] < cold["steps_paid"]
+
+
+class TestKernelOption:
+    def test_arena_kernel_option_rides_the_wire_schema(self, manager):
+        manager.open("s", benchmark=BENCHMARK)
+        reference = manager.analyze("s", "skipflow")
+        arena = manager.analyze("s", "skipflow",
+                                options={"kernel": "arena"})
+        assert arena["mode"] == "cold"  # its own (analyzer, options) slot
+        ref_stats = reference["report"]["solver_stats"]
+        arena_stats = arena["report"]["solver_stats"]
+        assert arena_stats["steps"] == ref_stats["steps"]
+        assert arena_stats["joins"] == ref_stats["joins"]
+        assert (arena["report"]["call_graph"]
+                == reference["report"]["call_graph"])
