@@ -8,6 +8,8 @@ Usage::
                                                [--saturation-policy declared-type
                                                 --threshold 16]
                                                [--cache-dir .bench-cache]
+                                               [--bench-dir benchmarks/trajectories]
+                                               [--bench-index N]
                                                [--output incremental_study.txt]
                                                [--quick]
 
@@ -31,6 +33,12 @@ and every post-edit solver state is persisted into the
 ``<cache dir>/snapshots``, keyed by the edit-script prefix — a later run
 (or the CI smoke) can resume any step without replaying the chain.
 ``--quick`` shrinks the sweep to the two cheapest specs and two steps.
+
+Every run is also persisted as a versioned ``BENCH_<n>.json`` trajectory
+under ``--bench-dir`` (:mod:`repro.reporting.trajectory`): per spec, one
+``warm``-policy row (the edit sequence's total warm cost) and one ``cold``
+row, with the aggregate first-step warm percentage as the headline the
+trend renderer tracks.
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import List
 
 from repro.core.analysis import AnalysisConfig, SkipFlowAnalysis
@@ -48,6 +57,7 @@ from repro.reporting.incremental import (
     format_incremental_study,
     summarize_incremental,
 )
+from repro.reporting.trajectory import TrajectoryRow, write_trajectory
 from repro.workloads.edits import build_edit_delta, default_edit_script
 from repro.workloads.generator import generate_benchmark
 from repro.workloads.suites import wide_hierarchy_suite
@@ -134,6 +144,13 @@ def main(argv=None) -> int:
     parser.add_argument("--cache-dir", type=str, default=None,
                         help="engine cache directory (program store + "
                              "snapshot store)")
+    parser.add_argument("--bench-dir", type=str, default=None,
+                        help="directory for the BENCH_<n>.json trajectory "
+                             "(default: benchmarks/trajectories; pass '' "
+                             "to skip writing)")
+    parser.add_argument("--bench-index", type=int, default=None,
+                        help="pin the trajectory number instead of taking "
+                             "the next free one")
     parser.add_argument("--output", type=str, default=None,
                         help="also write the tables to this file")
     parser.add_argument("--quick", action="store_true",
@@ -171,12 +188,27 @@ def main(argv=None) -> int:
     print(f"incremental study: {len(specs)} benchmarks x {steps} edits "
           f"(config {config.solver_policy.label})...", file=sys.stderr)
     sections: List[str] = []
+    trajectory_rows: List[TrajectoryRow] = []
+    first_step_percents: List[float] = []
     mismatches = 0
     for spec in specs:
         script, points, stored, base_steps, base_time = run_edit_sequence(
             spec, config, steps, program_store=program_store,
             snapshot_store=snapshot_store)
         summary = summarize_incremental(points)
+        trajectory_rows.append(TrajectoryRow(
+            spec=spec.name, policy="warm", kernel="object",
+            steps=summary["total_warm_steps"],
+            joins=sum(point.warm_joins for point in points),
+            wall_time_seconds=sum(
+                point.warm_time_seconds for point in points)))
+        trajectory_rows.append(TrajectoryRow(
+            spec=spec.name, policy="cold", kernel="object",
+            steps=summary["total_cold_steps"],
+            joins=sum(point.cold_joins for point in points),
+            wall_time_seconds=sum(
+                point.cold_time_seconds for point in points)))
+        first_step_percents.append(summary["first_step_warm_percent"])
         section = format_incremental_study(script.name, points)
         section += (
             f"\n\nbase (cold) solve: {base_steps} steps, "
@@ -194,6 +226,20 @@ def main(argv=None) -> int:
         sections.append(section)
         print(section)
 
+    bench_dir = args.bench_dir
+    if bench_dir is None:
+        bench_dir = str(Path(__file__).parent / "trajectories")
+    if bench_dir and trajectory_rows:
+        headline = round(
+            sum(first_step_percents) / len(first_step_percents), 3)
+        target = write_trajectory(
+            bench_dir, study="incremental-warm-resume",
+            rows=trajectory_rows,
+            headline=("first_step_warm_percent", headline),
+            extra={"benchmarks": [spec.name for spec in specs],
+                   "steps": steps, "quick": args.quick},
+            index=args.bench_index)
+        print(f"wrote {target}", file=sys.stderr)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write("\n\n".join(sections))

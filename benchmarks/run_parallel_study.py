@@ -1,0 +1,366 @@
+"""Standalone runner: parallel-kernel cold-solve throughput vs the serial arena.
+
+Usage::
+
+    python benchmarks/run_parallel_study.py [--benchmark fop]
+                                            [--cache-dir .bench-cache]
+                                            [--partitions N]
+                                            [--min-speedup 2.0]
+                                            [--bench-dir benchmarks/trajectories]
+                                            [--bench-index N]
+                                            [--output parallel_study.txt]
+                                            [--quick]
+
+The study has two phases, and the identity phase always runs first —
+no timing number is reported for a configuration whose results were not
+first proven bit-identical.
+
+**Phase 1 — identity.**  On representative specs the study sweeps the full
+scheduling x saturation grid and asserts, per cell, that the parallel
+kernel's payload (reachable methods, image check counts, call-edge-derived
+metrics, per-flow-derived sizes — everything ``repro.engine.runner.
+_report_payload`` reports) equals the object kernel's, modulo timing *and*
+the solver step/join/transfer counters: the parallel counters are sums over
+partition workers and legitimately differ from any serial schedule, so they
+are excluded from the identity contract (``saturated_flows`` is not — the
+saturated set is schedule-independent and must match exactly).  Cells whose
+saturation policy the parallel kernel cannot honour bit-exactly
+(``declared-type``) exercise the documented fallback to the serial arena
+kernel and must *still* match.
+
+**Phase 2 — timing.**  On the largest specs of the DaCapo-style suite plus
+the wide-hierarchy matrices (``wide-huge-512`` tier), the study measures a
+cold solve — arena attach plus analysis plus image reports — under the
+serial ``arena`` kernel and the ``parallel`` kernel, re-asserting payload
+identity per timed cell.  The headline is total serial wall time over total
+parallel wall time; ``--min-speedup`` (default 2.0, the tentpole target on
+four cores) is enforced only when the machine actually has at least four
+cores — on smaller hosts (including single-core CI runners, where thread
+mode cannot beat the GIL) the speedup is reported but the gate is skipped
+with a loud note, while the identity assertions remain hard failures
+everywhere.
+
+Every run is persisted as a versioned ``BENCH_<n>.json`` trajectory under
+``--bench-dir`` (:mod:`repro.reporting.trajectory`).  ``--quick`` shrinks
+both phases to CI size: one identity spec under a reduced grid, the two
+cheapest timed specs, two configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.core.analysis import AnalysisConfig, SkipFlowAnalysis
+from repro.core.kernel import (
+    available_saturation_policies,
+    available_scheduling_policies,
+)
+from repro.engine import ProgramStore, ResultCache
+from repro.engine.runner import _report_payload
+from repro.engine.scheduler import estimated_cost
+from repro.image.builder import NativeImageBuilder
+from repro.reporting.trajectory import TrajectoryRow, write_trajectory
+from repro.workloads.suites import dacapo_suite, suite_by_name
+
+DEFAULT_MIN_SPEEDUP = 2.0
+QUICK_MIN_SPEEDUP = 1.0
+#: The gate needs this many cores to be meaningful (the tentpole target is
+#: "at least 2x on four cores"); below it the speedup is report-only.
+GATE_MIN_CORES = 4
+TIMED_SPECS = 4
+QUICK_TIMED_SPECS = 2
+QUICK_CONFIGS = 2
+SATURATION_THRESHOLD = 8
+
+#: Timing keys excluded from every payload comparison.
+_TIMING_KEYS = frozenset({"analysis_time_seconds", "total_time_seconds"})
+#: Solver counters additionally excluded: the parallel kernel sums them
+#: across partition workers, so they are partitioning-dependent by design.
+_COUNTER_KEYS = frozenset({"solver_steps", "solver_joins",
+                           "solver_transfers"})
+
+
+def timing_configs() -> List[Tuple[str, AnalysisConfig]]:
+    """The timed policy columns (all bit-exactly supported in parallel)."""
+    return [
+        ("skipflow", AnalysisConfig.skipflow()),
+        ("pta", AnalysisConfig.baseline_pta()),
+        ("skipflow+degree", AnalysisConfig.skipflow()
+            .with_scheduling("degree")),
+        ("skipflow+cw8", AnalysisConfig.skipflow()
+            .with_saturation_policy("closed-world", SATURATION_THRESHOLD)),
+    ]
+
+
+def _strip_volatile(payload: Dict[str, object]) -> Dict[str, object]:
+    return {key: value for key, value in payload.items()
+            if key not in _TIMING_KEYS and key not in _COUNTER_KEYS}
+
+
+def identity_grid(quick: bool) -> List[Tuple[str, str]]:
+    """The (scheduling, saturation) cells phase 1 sweeps."""
+    schedulings = list(available_scheduling_policies())
+    saturations = list(available_saturation_policies())
+    if quick:
+        schedulings = schedulings[:2]
+        saturations = ["off", "closed-world"]
+    return [(scheduling, saturation)
+            for scheduling in schedulings for saturation in saturations]
+
+
+def check_identity(spec, store: ProgramStore, grid: List[Tuple[str, str]],
+                   partitions) -> List[str]:
+    """Phase 1 on one spec: full-grid payload identity, parallel vs object.
+
+    Returns the labels of diverging cells (empty means bit-identical
+    everywhere).  Also asserts per-flow value-state identity against the
+    serial arena solver whenever the parallel backend actually ran (the
+    payload covers outputs; the state sweep covers every cell of the
+    flat tables).
+    """
+    program = store.load(spec)
+    assert program is not None, f"store lost the pickle for {spec.name}"
+    attached = store.attach(spec)
+    assert attached is not None, f"store lost the arena for {spec.name}"
+    failures: List[str] = []
+    for scheduling, saturation in grid:
+        config = AnalysisConfig.skipflow().with_scheduling(scheduling)
+        if saturation != "off":
+            config = config.with_saturation_policy(
+                saturation, SATURATION_THRESHOLD)
+        label = f"{spec.name}[{scheduling}/{saturation}]"
+        object_payload = _report_payload(NativeImageBuilder(
+            program, config.with_kernel("object"),
+            benchmark_name=spec.name).build())
+        parallel_config = config.with_kernel("parallel")
+        if partitions is not None:
+            parallel_config = parallel_config.with_partitions(partitions)
+        parallel_payload = _report_payload(NativeImageBuilder(
+            attached, parallel_config, benchmark_name=spec.name).build())
+        if (_strip_volatile(object_payload)
+                != _strip_volatile(parallel_payload)):
+            failures.append(label)
+            continue
+        # Per-flow state identity: arena solver vs a direct parallel solve.
+        arena_result = SkipFlowAnalysis(
+            attached, config.with_kernel("arena")).run()
+        parallel_result = SkipFlowAnalysis(attached, parallel_config).run()
+        serial = arena_result.kernel_backend
+        merged = parallel_result.kernel_backend
+        if serial is None or merged is None:  # pragma: no cover — fallback
+            continue
+        states_match = (
+            all(merged._st[i] == serial._st[i]
+                for i in range(len(serial._st)))
+            and all(merged._inp[i] == serial._inp[i]
+                    for i in range(len(serial._inp)))
+            and bytes(merged._enabled) == bytes(serial._enabled)
+            and bytes(merged._saturated) == bytes(serial._saturated))
+        if not states_match:
+            failures.append(label + " (per-flow states)")
+    return failures
+
+
+def run_timed_cell(spec, label: str, config: AnalysisConfig,
+                   store: ProgramStore, partitions):
+    """Phase 2 on one (spec, policy) cell: serial arena vs parallel."""
+    store.load_or_build(spec)  # Warm the disk blob; not part of either half.
+
+    started = time.perf_counter()
+    attached = store.attach(spec)
+    assert attached is not None, f"store lost the arena for {spec.name}"
+    serial_payload = _report_payload(NativeImageBuilder(
+        attached, config.with_kernel("arena"),
+        benchmark_name=spec.name).build())
+    serial_total = time.perf_counter() - started
+
+    parallel_config = config.with_kernel("parallel")
+    if partitions is not None:
+        parallel_config = parallel_config.with_partitions(partitions)
+    started = time.perf_counter()
+    attached = store.attach(spec)
+    parallel_payload = _report_payload(NativeImageBuilder(
+        attached, parallel_config, benchmark_name=spec.name).build())
+    parallel_total = time.perf_counter() - started
+
+    rows = [
+        TrajectoryRow(spec=spec.name, policy=label, kernel="arena",
+                      steps=int(serial_payload["solver_steps"]),
+                      joins=int(serial_payload["solver_joins"]),
+                      wall_time_seconds=serial_total),
+        TrajectoryRow(spec=spec.name, policy=label, kernel="parallel",
+                      steps=int(parallel_payload["solver_steps"]),
+                      joins=int(parallel_payload["solver_joins"]),
+                      wall_time_seconds=parallel_total),
+    ]
+    match = (_strip_volatile(serial_payload)
+             == _strip_volatile(parallel_payload))
+    return rows, serial_total, parallel_total, match
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", type=str, default=None,
+                        help="restrict phase 2 to one benchmark (searched "
+                             "in the DaCapo-style and wide-hierarchy "
+                             "suites)")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="program-store directory (default: a fresh "
+                             "temporary directory)")
+    parser.add_argument("--partitions", type=int, default=None,
+                        help="explicit parallel-kernel partition count "
+                             "(default: the kernel's auto policy)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help=f"fail below this aggregate speedup when the "
+                             f"machine has >= {GATE_MIN_CORES} cores "
+                             f"(default {DEFAULT_MIN_SPEEDUP}, or "
+                             f"{QUICK_MIN_SPEEDUP} with --quick)")
+    parser.add_argument("--bench-dir", type=str, default=None,
+                        help="directory for the BENCH_<n>.json trajectory "
+                             "(default: benchmarks/trajectories; pass '' "
+                             "to skip writing)")
+    parser.add_argument("--bench-index", type=int, default=None,
+                        help="pin the trajectory number instead of taking "
+                             "the next free one")
+    parser.add_argument("--output", type=str, default=None,
+                        help="also write the study text to this file")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized sweep: reduced identity grid, "
+                             f"{QUICK_TIMED_SPECS} cheapest timed specs, "
+                             f"{QUICK_CONFIGS} configurations")
+    args = parser.parse_args(argv)
+
+    specs = list(dacapo_suite()) + list(suite_by_name("WideHierarchy"))
+    if args.benchmark:
+        specs = [spec for spec in specs if spec.name == args.benchmark]
+        if not specs:
+            names = ", ".join(spec.name for spec in dacapo_suite()
+                              + suite_by_name("WideHierarchy"))
+            print(f"run_parallel_study: unknown benchmark "
+                  f"{args.benchmark!r}; expected one of: {names}",
+                  file=sys.stderr)
+            return 2
+        timed_specs = specs
+    elif args.quick:
+        timed_specs = sorted(specs, key=estimated_cost)[:QUICK_TIMED_SPECS]
+    else:
+        # The tentpole target is the *largest* tier: take the most
+        # expensive specs, which by construction include the huge wide
+        # matrices.
+        timed_specs = sorted(specs, key=estimated_cost)[-TIMED_SPECS:]
+    identity_specs = sorted(specs, key=estimated_cost)[:1 if args.quick
+                                                       else 2]
+    configs = timing_configs()
+    if args.quick:
+        configs = configs[:QUICK_CONFIGS]
+    min_speedup = args.min_speedup
+    if min_speedup is None:
+        min_speedup = QUICK_MIN_SPEEDUP if args.quick else DEFAULT_MIN_SPEEDUP
+    cores = os.cpu_count() or 1
+    gate_enforced = cores >= GATE_MIN_CORES
+
+    if args.cache_dir:
+        cache = ResultCache(args.cache_dir)
+        store = ProgramStore(cache.directory / "programs",
+                             code_version=cache.code_version)
+        scratch = None
+    else:
+        scratch = tempfile.TemporaryDirectory(prefix="repro-parallel-study-")
+        store = ProgramStore(scratch.name)
+
+    grid = identity_grid(args.quick)
+    print(f"parallel study phase 1: {len(identity_specs)} spec(s) x "
+          f"{len(grid)} grid cells, parallel vs object...", file=sys.stderr)
+    failures: List[str] = []
+    for spec in identity_specs:
+        store.load_or_build(spec)
+        failures.extend(check_identity(spec, store, grid, args.partitions))
+    if failures:
+        print("run_parallel_study: bit-identity FAILED before timing in "
+              f"{len(failures)} cell(s): {', '.join(failures)}",
+              file=sys.stderr)
+        if scratch is not None:
+            scratch.cleanup()
+        return 1
+
+    print(f"parallel study phase 2: {len(timed_specs)} benchmarks x "
+          f"{len(configs)} configurations, serial arena vs parallel "
+          f"({cores} core(s))...", file=sys.stderr)
+    rows: List[TrajectoryRow] = []
+    lines: List[str] = []
+    serial_sum = parallel_sum = 0.0
+    mismatches = 0
+    header = (f"{'benchmark':<18} {'policy':<16} {'arena':>9} "
+              f"{'parallel':>9} {'speedup':>8}  identical")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for spec in timed_specs:
+        for label, config in configs:
+            cell_rows, serial_total, parallel_total, match = run_timed_cell(
+                spec, label, config, store, args.partitions)
+            rows.extend(cell_rows)
+            serial_sum += serial_total
+            parallel_sum += parallel_total
+            if not match:
+                mismatches += 1
+            lines.append(
+                f"{spec.name:<18} {label:<16} {serial_total:>8.3f}s "
+                f"{parallel_total:>8.3f}s "
+                f"{serial_total / parallel_total:>7.2f}x  "
+                f"{'yes' if match else 'NO'}")
+
+    speedup = serial_sum / parallel_sum if parallel_sum else float("inf")
+    lines.append("-" * len(header))
+    lines.append(
+        f"total: serial arena {serial_sum:.3f}s vs parallel "
+        f"{parallel_sum:.3f}s -> {speedup:.2f}x cold-solve speedup")
+    lines.append(
+        f"identity: {len(identity_specs)} spec(s) x {len(grid)} "
+        f"scheduling x saturation cells bit-identical before timing")
+    if not gate_enforced:
+        lines.append(
+            f"NOTE: {cores} core(s) < {GATE_MIN_CORES}; the "
+            f"{min_speedup:.1f}x speedup gate is report-only on this host")
+    text = "\n".join(lines)
+    print(text)
+
+    bench_dir = args.bench_dir
+    if bench_dir is None:
+        bench_dir = str(Path(__file__).parent / "trajectories")
+    if bench_dir:
+        target = write_trajectory(
+            bench_dir, study="parallel-cold-solve", rows=rows,
+            headline=("parallel_cold_solve_speedup_x", round(speedup, 3)),
+            extra={"benchmarks": [spec.name for spec in timed_specs],
+                   "policies": [label for label, _ in configs],
+                   "identity_cells": len(identity_specs) * len(grid),
+                   "cores": cores, "partitions": args.partitions,
+                   "gate_enforced": gate_enforced, "quick": args.quick},
+            index=args.bench_index)
+        print(f"wrote {target}", file=sys.stderr)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    if scratch is not None:
+        scratch.cleanup()
+
+    if mismatches:
+        print(f"run_parallel_study: {mismatches} timed cell(s) had payload "
+              f"divergence between the kernels", file=sys.stderr)
+        return 1
+    if gate_enforced and speedup < min_speedup:
+        print(f"run_parallel_study: speedup {speedup:.2f}x is below the "
+              f"--min-speedup gate {min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,8 @@ Usage::
                                           [--threshold 16]
                                           [--benchmark composed-duo-112]
                                           [--jobs 4] [--cache-dir .bench-cache]
+                                          [--bench-dir benchmarks/trajectories]
+                                          [--bench-index N]
                                           [--output policy_study.txt] [--quick]
 
 For every benchmark of the ``WideHierarchy`` suite — the five single-tree
@@ -33,12 +35,19 @@ is cached independently under ``--cache-dir`` and the whole grid reuses any
 halves earlier runs (or the saturation study) already computed.  ``--quick``
 shrinks the grid to a CI-sized smoke (two cheap specs, fifo/lifo/degree ×
 off/declared-type).
+
+Every run is also persisted as a versioned ``BENCH_<n>.json`` trajectory
+under ``--bench-dir`` (:mod:`repro.reporting.trajectory`), one row per
+(spec, policy) cell with its solver steps, joins, and wall time — the
+series the wall-time regression gate
+(``benchmarks/check_solver_regression.py --wall-time-dir``) audits.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List
 
 from repro.core.analysis import AnalysisConfig
@@ -54,6 +63,7 @@ from repro.reporting.policy import (
     policy_points,
     summarize_policy_sweep,
 )
+from repro.reporting.trajectory import TrajectoryRow, write_trajectory
 from repro.workloads.suites import wide_hierarchy_suite
 
 DEFAULT_SCHEDULINGS = ("fifo", "lifo", "degree", "rpo", "hybrid")
@@ -110,6 +120,13 @@ def main(argv=None) -> int:
                         help="worker processes for the benchmark engine")
     parser.add_argument("--cache-dir", type=str, default=None,
                         help="directory for the on-disk result cache")
+    parser.add_argument("--bench-dir", type=str, default=None,
+                        help="directory for the BENCH_<n>.json trajectory "
+                             "(default: benchmarks/trajectories; pass '' "
+                             "to skip writing)")
+    parser.add_argument("--bench-index", type=int, default=None,
+                        help="pin the trajectory number instead of taking "
+                             "the next free one")
     parser.add_argument("--output", type=str, default=None,
                         help="also write the tables to this file")
     parser.add_argument("--quick", action="store_true",
@@ -156,8 +173,16 @@ def main(argv=None) -> int:
                              jobs=max(args.jobs, 1), cache=cache)
 
     sections: List[str] = []
+    trajectory_rows: List[TrajectoryRow] = []
+    total_steps = 0
     for spec, row in zip(specs, rows):
         points = policy_points(row)
+        for point in points:
+            trajectory_rows.append(TrajectoryRow(
+                spec=spec.name, policy=point.label, kernel="object",
+                steps=point.solver_steps, joins=point.solver_joins,
+                wall_time_seconds=point.analysis_time_seconds))
+            total_steps += point.solver_steps
         section = format_policy_study(spec.name, points)
         summary = summarize_policy_sweep(points)
         losses = ", ".join(
@@ -171,6 +196,18 @@ def main(argv=None) -> int:
         sections.append(section)
         print(section)
 
+    bench_dir = args.bench_dir
+    if bench_dir is None:
+        bench_dir = str(Path(__file__).parent / "trajectories")
+    if bench_dir:
+        target = write_trajectory(
+            bench_dir, study="policy-grid", rows=trajectory_rows,
+            headline=("policy_grid_total_steps", total_steps),
+            extra={"benchmarks": [spec.name for spec in specs],
+                   "schedulings": schedulings, "saturations": saturations,
+                   "threshold": args.threshold, "quick": args.quick},
+            index=args.bench_index)
+        print(f"wrote {target}", file=sys.stderr)
     if cache is not None:
         print(f"cache: {cache.hits} hits, {cache.misses} misses "
               f"({cache.directory})", file=sys.stderr)

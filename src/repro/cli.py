@@ -101,6 +101,8 @@ def _policy_options(args) -> dict:
         options["scheduling"] = args.scheduling
     if getattr(args, "kernel", None) is not None:
         options["kernel"] = args.kernel
+    if getattr(args, "partitions", None) is not None:
+        options["partitions"] = args.partitions
     return options
 
 
@@ -454,9 +456,11 @@ def _cmd_bench(args) -> int:
     means both halves of the comparison (baseline and SkipFlow) are cached,
     ``base``/``skip`` that only that half is, ``miss`` that neither is.  The
     ``ir`` column reports whether the spec's program blob is in the shared
-    program store under the cache directory.  ``--gc`` first drops result
-    entries, IR blobs, and solver-state snapshots written by other code
-    versions.
+    program store under the cache directory: ``yes`` means pickle plus its
+    ``.arena`` sibling, ``pickle`` a pickle *without* the arena buffer (a
+    backfill gap — the arena and parallel kernels fall back to unpickling
+    there), ``no`` neither.  ``--gc`` first drops result entries, IR blobs,
+    and solver-state snapshots written by other code versions.
     """
     from repro.engine import ProgramStore, ResultCache, SnapshotStore
     from repro.engine.scheduler import estimated_cost
@@ -502,7 +506,7 @@ def _cmd_bench(args) -> int:
               f"{'cost':>8}  {'cache':<5} ir")
     print(header)
     print("-" * len(header))
-    cached = total = 0
+    cached = total = arena_gaps = 0
     for suite_name, specs in suites.items():
         for spec in specs:
             total += 1
@@ -520,13 +524,23 @@ def _cmd_bench(args) -> int:
                     status = "skip"
                 else:
                     status = "miss"
-                ir_status = "yes" if store.contains(spec) else "no"
+                if not store.contains(spec):
+                    ir_status = "no"
+                elif store.has_arena(spec):
+                    ir_status = "yes"
+                else:
+                    ir_status = "pickle"
+                    arena_gaps += 1
             print(f"{suite_name:<14} {spec.name:<28} "
                   f"{spec.expected_total_methods:>7} {spec.guarded_methods:>7} "
                   f"{estimated_cost(spec):>8.0f}  {status:<5} {ir_status}")
     if cache is not None:
         print(f"\n{cached}/{total} specs fully cached in {cache.directory} "
               f"(code version {cache.code_version})")
+        if arena_gaps:
+            print(f"{arena_gaps} pickled spec(s) lack the .arena sibling "
+                  f"(arena/parallel kernels fall back to unpickling); "
+                  f"rebuild them to backfill")
     else:
         print(f"\n{total} specs; pass --cache-dir to check cache status")
     return 0
@@ -641,9 +655,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="solver worklist policy (default: fifo, the "
                               "bit-identical seed order)")
         sub.add_argument("--kernel", default=None, choices=list(KERNELS),
-                         help="propagation kernel: object (seed solver) or "
-                              "arena (flat integer-id kernel, bit-identical "
-                              "results; unsupported solves fall back)")
+                         help="propagation kernel: object (seed solver), "
+                              "arena (flat integer-id kernel), or parallel "
+                              "(partitioned workers over the shared-memory "
+                              "arena) — bit-identical results; unsupported "
+                              "solves fall back down the chain")
+        sub.add_argument("--partitions", type=int, default=None,
+                         help="worker count for --kernel parallel (default: "
+                              "sized from the core budget; ignored by the "
+                              "serial kernels)")
 
     analyze = subparsers.add_parser("analyze", help="run the analysis and print metrics")
     add_common(analyze)

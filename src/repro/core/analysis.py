@@ -31,7 +31,7 @@ from repro.ir.program import Program
 from repro.ir.validate import validate_program
 
 #: The propagation kernels a config may select (``AnalysisConfig.kernel``).
-KERNELS = ("object", "arena")
+KERNELS = ("object", "arena", "parallel")
 
 
 @dataclass(frozen=True)
@@ -72,14 +72,24 @@ class AnalysisConfig:
         :class:`~repro.core.kernel.policy.SolverPolicy` view.
     ``kernel``
         Which propagation kernel executes the solve: ``object`` (the seed
-        solver over :class:`~repro.core.flows.Flow` objects) or ``arena``
+        solver over :class:`~repro.core.flows.Flow` objects), ``arena``
         (:class:`~repro.core.kernel.arena_kernel.ArenaKernelSolver`, the
         flat integer-id kernel over a frozen
-        :mod:`~repro.ir.arena` buffer).  The two are bit-identical —
-        same reachable sets, value states, and step counts — so the choice
-        is purely a performance lever; solves the arena kernel cannot
-        mirror (warm resumes, custom registered policies) fall back to
-        ``object`` transparently.
+        :mod:`~repro.ir.arena` buffer), or ``parallel``
+        (:class:`~repro.core.kernel.parallel_kernel.ParallelKernelSolver`,
+        partitioned fid worklists over the shared-memory arena).  All
+        three produce the same reachable sets, value states, and edges
+        (``object``/``arena`` match step counts too; the parallel
+        kernel's counters depend on the partitioning), so the choice is
+        purely a performance lever; solves a kernel cannot mirror (warm
+        resumes, custom registered policies, ``declared-type`` saturation
+        under ``parallel``) fall back down the chain — parallel → serial
+        arena → object — transparently.
+    ``partitions``
+        Worker count for the ``parallel`` kernel (``None`` sizes it
+        automatically from the core budget and program size).  Ignored by
+        the serial kernels; fewer than two partitions falls back to the
+        serial arena kernel.
     """
 
     name: str = "skipflow"
@@ -92,6 +102,7 @@ class AnalysisConfig:
     scheduling: str = "fifo"
     saturation_policy: str = OFF
     kernel: str = "object"
+    partitions: Optional[int] = None
 
     def __post_init__(self) -> None:
         # Canonicalize the saturation half (see the class docstring), then
@@ -105,6 +116,10 @@ class AnalysisConfig:
             raise ValueError(
                 f"unknown kernel {self.kernel!r}; available: "
                 f"{', '.join(KERNELS)}")
+        if self.partitions is not None and self.partitions < 1:
+            raise ValueError(
+                f"partitions must be a positive worker count, "
+                f"got {self.partitions!r}")
         self.solver_policy  # noqa: B018 — constructing it validates the names
 
     # ------------------------------------------------------------------ #
@@ -191,6 +206,10 @@ class AnalysisConfig:
         """This config executed by a different propagation kernel."""
         return replace(self, kernel=kernel)
 
+    def with_partitions(self, partitions: Optional[int]) -> "AnalysisConfig":
+        """This config with an explicit parallel-kernel worker count."""
+        return replace(self, partitions=partitions)
+
     @property
     def solver_policy(self) -> SolverPolicy:
         """The kernel policy bundle this config solves under."""
@@ -255,16 +274,19 @@ class SkipFlowAnalysis:
         )
 
     def _solve(self, roots: Optional[Iterable[str]]):
-        """Run the configured kernel; fall back to the object solver loudly-never.
+        """Run the configured kernel; fall back down the chain loudly-never.
 
-        The arena kernel only takes cold solves it can prove bit-identical;
-        anything else (warm resume, custom registered policies) raises
+        The arena kernels only take cold solves they can prove
+        bit-identical; anything else raises
         :class:`~repro.core.kernel.arena_kernel.ArenaKernelUnsupported`
         before or during :meth:`solve`, and the fallback below reruns cold
-        with the object solver — safe because the arena path is only taken
-        when there is no borrowed state to corrupt.
+        with the next kernel down — ``parallel`` falls back to the serial
+        arena kernel (warm resumes, ``declared-type`` saturation, too few
+        cores/partitions), and both fall back to the object solver — safe
+        because the arena paths are only taken when there is no borrowed
+        state to corrupt.
         """
-        if self.config.kernel == "arena" and self.state is None:
+        if self.config.kernel in ("arena", "parallel") and self.state is None:
             from repro.core.kernel.arena_kernel import (
                 ArenaKernelSolver,
                 ArenaKernelUnsupported,
@@ -274,13 +296,33 @@ class SkipFlowAnalysis:
             # into an arena is real analysis-path work (an attached
             # ``ArenaProgram`` makes it near-free, which is the point of
             # the store's arena blobs).
-            started = time.perf_counter()
-            try:
-                solver = ArenaKernelSolver(self.program, self.config)
-                solver.solve(roots)
-                return solver, time.perf_counter() - started, solver
-            except ArenaKernelUnsupported:
-                pass
+            try_serial_arena = True
+            if self.config.kernel == "parallel":
+                from repro.core.kernel.parallel_kernel import (
+                    ParallelKernelSolver,
+                    ParallelKernelUnsupported,
+                )
+
+                started = time.perf_counter()
+                try:
+                    solver = ParallelKernelSolver(self.program, self.config)
+                    solver.solve(roots)
+                    return solver, time.perf_counter() - started, solver
+                except ParallelKernelUnsupported:
+                    pass  # partitioning refused; the serial arena may run
+                except ArenaKernelUnsupported:
+                    # Raised by the shared base checks (custom scheduling,
+                    # unproven saturation): the serial arena kernel would
+                    # refuse identically, so go straight to the object solver.
+                    try_serial_arena = False
+            if try_serial_arena:
+                started = time.perf_counter()
+                try:
+                    solver = ArenaKernelSolver(self.program, self.config)
+                    solver.solve(roots)
+                    return solver, time.perf_counter() - started, solver
+                except ArenaKernelUnsupported:
+                    pass
         solver = SkipFlowSolver(self.program, self.config, state=self.state)
         started = time.perf_counter()
         solver.solve(roots)

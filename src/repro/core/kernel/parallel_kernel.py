@@ -1,0 +1,801 @@
+"""The parallel arena kernel: partitioned fid worklists over shared memory.
+
+:class:`ParallelKernelSolver` is the third ``kernel=`` backend.  It cuts
+the dense fid space of one frozen arena into contiguous, method-aligned
+ranges and runs one :class:`~repro.core.kernel.arena_kernel.
+ArenaKernelSolver`-derived worker per range.  Workers never touch each
+other's tables: all *static* CSR edges (uses, observers, predicate
+targets, incoming predicates) are intra-method by construction, so with
+partitions cut at method boundaries the only cross-partition traffic is
+what the solve itself links — argument→parameter and return→invoke edges,
+load/store↔field edges, and method activations.  Those travel as small
+messages over per-edge-direction queues:
+
+``JOIN(fid, state)``
+    join ``state`` into the owner's input state of ``fid`` (the remote
+    half of ``_deliver``); the sender accumulates per-target states so a
+    target is re-sent only when the accumulated join actually grew.
+``EDGE(source, target)``
+    add a dynamic use edge whose *source* the receiver owns (the remote
+    half of ``_add_use_edge``); the owner dedups and re-delivers.
+``ACT(mid)``
+    make a method reachable (the remote half of ``_activate``): the owner
+    enables the method's fid range.
+``TOUCH(field_fid)``
+    record a field flow's first link, so the owner's field-creation order
+    covers every field any partition linked (inflation needs it).
+
+**Execution model.**  The coordinator drives bulk-synchronous rounds: in
+round *r* every worker (1) applies exactly one batch from every inbound
+channel — the batches its peers sent in round *r−1*, applied in ascending
+sender order — (2) runs its local worklist to quiescence under the
+configured scheduling policy, buffering outbound messages, (3) flushes
+exactly one batch (possibly empty) to every outbound channel, and (4)
+reports its send count.  **Global quiescence** is a round whose total send
+count is zero: every worklist is empty and, because round *r*'s receives
+are exactly round *r−1*'s sends, every channel is provably drained.  The
+whole schedule is a deterministic function of (partitioning, scheduling
+policy) — no races, no timing-dependent interleavings.
+
+**Why the result is bit-identical.**  The transfer system is monotone
+over a finite lattice, so chaotic iteration reaches the *unique* least
+fixpoint under any fair schedule — the partitioned schedule included.
+The saturated bit is schedule-independent too: a flow saturates iff its
+final state exceeds the threshold, because states only grow and every
+growth re-checks the threshold.  The one policy whose *sentinel* is
+history-dependent is ``declared-type`` (its field tops depend on which
+parameter carried ``this`` first), so the coordinator refuses it —
+:class:`ParallelKernelUnsupported` — and the caller falls back to the
+serial arena kernel, same as warm resumes and custom policies.  The
+reachability-refined ``allocated-type-reachable`` policy re-collapses at
+round boundaries: at each inner quiescence the coordinator refreshes its
+own policy instance with the merged reachable set and stub signatures,
+and on growth broadcasts the merged sets so every worker refreshes to the
+identical origins before rounds continue.
+
+**Process vs thread workers.**  Large programs get one OS process per
+partition: the coordinator copies the arena buffer into
+:class:`multiprocessing.shared_memory.SharedMemory`, and each worker
+attaches it read-only (``open_program`` — zero decode, shared pages).
+Tiny programs (differential fuzz cases, unit specs) fall back to threads
+over the same protocol — the propagation math is identical and the
+channel protocol still gets exercised on one core.  Auto mode sizes the
+process tier by the ``REPRO_PARALLEL_CORE_BUDGET`` environment variable
+(set by the engine's matrix pool so intra-solve workers and pool workers
+share the machine) and refuses to run on a budget below two cores;
+explicit ``partitions=`` requests are honored regardless so studies and
+tests can exercise the protocol anywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import traceback
+from bisect import bisect_right
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.flows import PredOnFlow
+from repro.core.kernel.arena_kernel import (
+    _EMPTY,
+    _KNOWN_SATURATIONS,
+    ArenaKernelSolver,
+    ArenaKernelUnsupported,
+)
+from repro.core.kernel.saturation import (
+    DeclaredTypeSaturation,
+    make_saturation_policy,
+)
+from repro.core.state import SolverState
+from repro.ir.arena import ProgramArena, open_program, schema
+from repro.ir.program import Program
+from repro.lattice.value_state import ValueState
+
+
+class ParallelKernelUnsupported(ArenaKernelUnsupported):
+    """This solve cannot run partitioned; fall back to the serial arena kernel."""
+
+
+#: Engine workers export their per-solve core allowance here so the matrix
+#: pool and intra-solve partitions never oversubscribe the machine.
+ENV_CORE_BUDGET = "REPRO_PARALLEL_CORE_BUDGET"
+
+#: Programs below this many flows use thread workers: process start-up and
+#: arena copying would dominate, and threads still cover the full channel
+#: protocol (which is the point on fuzz-sized programs).
+THREAD_MODE_MAX_FLOWS = 32768
+#: Auto partition sizing: aim for at least this many flows per partition.
+THREAD_TARGET_FLOWS = 2000
+PROCESS_TARGET_FLOWS = 8000
+
+#: How long the coordinator waits between worker-liveness checks while
+#: blocked on a report.  Not a round deadline — rounds may legitimately
+#: run far longer; the timeout only bounds how late a dead worker is
+#: noticed.
+_REPORT_POLL_SECONDS = 10.0
+
+
+def core_budget() -> int:
+    """Cores this solve may use: the engine's exported budget, else all."""
+    raw = os.environ.get(ENV_CORE_BUDGET, "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def partition_bounds(arena: ProgramArena, count: int) -> List[int]:
+    """Method-aligned cut points for ``count`` contiguous fid ranges.
+
+    Returns ascending fid boundaries ``[0, c1, ..., num_flows]`` — range
+    ``i`` is ``[bounds[i], bounds[i+1])``.  Cuts fall only on method range
+    starts, so every method's flows (and therefore every static CSR edge)
+    live in exactly one partition; partition 0 additionally owns the
+    artificial ``pred_on`` flow (fid 0) and every field flow, which the
+    freezer lays out below the first method.  Greedy balancing by flow
+    count; fewer than ``count`` ranges come back when there are not
+    enough method boundaries to cut at.
+    """
+    n = arena.num_flows
+    cuts = sorted({int(arena.method_flow_lo[mid])
+                   for mid in range(arena.num_methods)
+                   if 0 < arena.method_flow_lo[mid] < n})
+    bounds = [0]
+    ideal = n / count
+    for cut in cuts:
+        if len(bounds) >= count:
+            break
+        if cut >= ideal * len(bounds):
+            bounds.append(cut)
+    bounds.append(n)
+    return bounds
+
+
+class _Outbox:
+    """Per-receiver buffer of one round's outbound messages."""
+
+    __slots__ = ("ops", "joins")
+
+    def __init__(self) -> None:
+        #: EDGE/ACT/TOUCH ops in emission order.
+        self.ops: List[Tuple[Any, ...]] = []
+        #: Accumulated JOIN state per target fid (re-joining the full
+        #: accumulation at the owner is idempotent, so batches coalesce).
+        self.joins: Dict[int, ValueState] = {}
+
+    def flush(self) -> Tuple[List[Tuple[Any, ...]], List[Tuple[int, ValueState]]]:
+        batch = (self.ops, sorted(self.joins.items()))
+        self.ops = []
+        self.joins = {}
+        return batch
+
+
+class _PartitionWorker(ArenaKernelSolver):
+    """One partition's solver: the serial kernel plus ownership routing.
+
+    Every override keeps the owned-fid path byte-for-byte the inherited
+    one and diverts only the remote half into the outboxes, so the local
+    propagation stays the proven serial kernel.
+    """
+
+    def __init__(self, program: Program, config, *, arena: ProgramArena,
+                 index: int, bounds: Sequence[int],
+                 root_names: Sequence[str]) -> None:
+        super().__init__(program, config, arena=arena)
+        self._index = index
+        self._bounds = list(bounds)
+        self._lo = self._bounds[index]
+        self._hi = self._bounds[index + 1]
+        self._outboxes: Dict[int, _Outbox] = {
+            peer: _Outbox() for peer in range(len(self._bounds) - 1)
+            if peer != index}
+        self._root_names = list(root_names)
+        # Remote-send dedup: each activation/touch/edge crosses at most once.
+        self._sent_activations: Set[int] = set()
+        self._sent_touches: Set[int] = set()
+        self._sent_edges: Set[Tuple[int, int]] = set()
+        #: Accumulated state already sent per remote target; a new local
+        #: state only goes out when it grows this accumulation.
+        self._join_sent: Dict[int, ValueState] = {}
+        # Delta tracking for per-round reports (saturation refresh inputs).
+        self._reported_reachable: Set[str] = set()
+        self._reported_stub_links = 0
+
+    # ------------------------------------------------------------------ #
+    # Ownership
+    # ------------------------------------------------------------------ #
+    def _owns(self, fid: int) -> bool:
+        return self._lo <= fid < self._hi
+
+    def _partition_of(self, fid: int) -> int:
+        return bisect_right(self._bounds, fid) - 1
+
+    def _emit(self, peer: int, op: Tuple[Any, ...]) -> None:
+        self._outboxes[peer].ops.append(op)
+
+    def _emit_join(self, target: int, state: ValueState) -> None:
+        sent = self._join_sent.get(target, _EMPTY)
+        accumulated = sent.join(state)
+        if accumulated is sent:
+            return
+        self._join_sent[target] = accumulated
+        self._outboxes[self._partition_of(target)].joins[target] = accumulated
+
+    # ------------------------------------------------------------------ #
+    # Ownership-routing overrides of the serial kernel
+    # ------------------------------------------------------------------ #
+    def _deliver(self, source: int, target: int) -> None:
+        if self._owns(target):
+            super()._deliver(source, target)
+            return
+        state = self._st[source]
+        if not state.is_empty:
+            self._emit_join(target, state)
+
+    def _add_use_edge(self, source: int, target: int) -> None:
+        if self._owns(source):
+            super()._add_use_edge(source, target)
+            return
+        key = (source, target)
+        if key not in self._sent_edges:
+            self._sent_edges.add(key)
+            self._emit(self._partition_of(source), ("edge", source, target))
+
+    def _activate(self, qualified_name: str) -> Optional[int]:
+        arena = self.arena
+        mid = arena.mid_of(qualified_name)
+        if mid is not None and not self._owns(arena.method_flow_lo[mid]):
+            if mid not in self._sent_activations:
+                self._sent_activations.add(mid)
+                self._emit(self._partition_of(arena.method_flow_lo[mid]),
+                           ("act", mid))
+            # The mid is still the caller's answer (``_link_callee`` links
+            # arg/ret edges from the arena's read-only metadata); only the
+            # enable sweep and bookkeeping happen at the owner.
+            return mid
+        return super()._activate(qualified_name)
+
+    def _link_fields(self, fid: int) -> None:
+        # Identical to the base rule except field-creation bookkeeping is
+        # routed to the field's owner (partition 0).
+        arena = self.arena
+        field_name = arena.string(arena.flow_aux1[fid])
+        receiver_state = self._st[arena.flow_aux2[fid]]
+        is_load = arena.flow_kind[fid] == schema.K_LOAD_FIELD
+        for type_name in receiver_state.reference_types:
+            declaration = self.hierarchy.lookup_field(type_name, field_name)
+            if declaration is None:
+                continue
+            field_fid = arena.field_fid(declaration.qualified_name)
+            if field_fid is None:  # pragma: no cover — fields are all frozen
+                continue
+            self._touch_field(field_fid)
+            if is_load:
+                self._add_use_edge(field_fid, fid)
+            else:
+                self._add_use_edge(fid, field_fid)
+
+    def _touch_field(self, field_fid: int) -> None:
+        if self._owns(field_fid):
+            self._record_touch(field_fid)
+        elif field_fid not in self._sent_touches:
+            self._sent_touches.add(field_fid)
+            self._emit(self._partition_of(field_fid), ("touch", field_fid))
+
+    def _record_touch(self, field_fid: int) -> None:
+        if field_fid not in self._touched_field_set:
+            self._touched_field_set.add(field_fid)
+            self._touched_fields.append(field_fid)
+
+    # ------------------------------------------------------------------ #
+    # Round protocol
+    # ------------------------------------------------------------------ #
+    def setup(self) -> None:
+        """Mirror of the serial ``solve`` preamble, restricted to owned fids."""
+        self._enabled[0] = 1
+        self._st[0] = PredOnFlow.artificial_on_enable
+        self._saturation = make_saturation_policy(
+            self.policy.saturation, self.hierarchy,
+            self.policy.saturation_threshold,
+            program=self.program, roots=tuple(self._root_names))
+        self._solve_roots = tuple(dict.fromkeys(self._root_names))
+        self._refresh_saturation()
+        arena = self.arena
+        for root in self._root_names:
+            mid = arena.mid_of(root)
+            if mid is None or not self._owns(arena.method_flow_lo[mid]):
+                continue  # stub roots and remote roots are the owner's job
+            self._activate(root)
+            self._seed_root_parameters(mid)
+        self._solve_count = 1
+
+    def apply_batch(self, batch: Tuple[List[Tuple[Any, ...]],
+                                       List[Tuple[int, ValueState]]]) -> None:
+        ops, joins = batch
+        for op in ops:
+            tag = op[0]
+            if tag == "edge":
+                self._add_use_edge(op[1], op[2])
+            elif tag == "act":
+                self._activate(self.arena.qualified_name(op[1]))
+            else:  # "touch"
+                self._record_touch(op[1])
+        for fid, state in joins:
+            self._inject(fid, state)
+
+    def run_round(self, batches: Iterable[Tuple[int, Any]],
+                  send) -> Tuple[int, List[str], List[Any]]:
+        """One superstep: apply inbound batches, run to local quiescence,
+        flush one batch per outbound channel via ``send(peer, batch)``.
+
+        Returns (messages sent, newly-reachable names, new stub-link
+        signatures) — the deltas the coordinator folds into its
+        saturation-refresh inputs.
+        """
+        for _, batch in batches:
+            self.apply_batch(batch)
+        self._run()
+        sent = 0
+        for peer in sorted(self._outboxes):
+            batch = self._outboxes[peer].flush()
+            sent += len(batch[0]) + len(batch[1])
+            send(peer, batch)
+        reachable_delta = sorted(self._reachable - self._reported_reachable)
+        self._reported_reachable.update(reachable_delta)
+        stub_delta = [signature for _, signature
+                      in self._stub_links[self._reported_stub_links:]]
+        self._reported_stub_links = len(self._stub_links)
+        return sent, reachable_delta, stub_delta
+
+    def apply_refresh(self, reachable: Iterable[str],
+                      stub_signatures: Iterable[Any]) -> None:
+        """Refresh saturation origins from the coordinator's merged sets."""
+        refresh = getattr(self._saturation, "refresh_origins", None)
+        if refresh is None:
+            return
+        if refresh(frozenset(reachable), tuple(stub_signatures),
+                   self._solve_roots):
+            self._recollapse_saturated()
+
+    def collect(self) -> Dict[str, Any]:
+        """The partition's final tables, sliced to owned fids."""
+        lo, hi = self._lo, self._hi
+        st, inp = self._st, self._inp
+        states = [(fid, st[fid], inp[fid]) for fid in range(lo, hi)
+                  if st[fid] is not _EMPTY or inp[fid] is not _EMPTY]
+        return {
+            "index": self._index, "lo": lo, "hi": hi,
+            "states": states,
+            "enabled": bytes(self._enabled[lo:hi]),
+            "saturated": bytes(self._saturated[lo:hi]),
+            "extra_uses": self._extra_uses,
+            "linked_callees": self._linked_callees,
+            "activated_mids": list(self._activated_mids),
+            "touched_fields": list(self._touched_fields),
+            "stub_links": list(self._stub_links),
+            "reachable": sorted(self._reachable),
+            "stub_methods": sorted(self._stub_methods),
+            "steps": self._steps, "joins": self._joins,
+            "transfers": self._transfers,
+            "saturated_count": self._saturated_count,
+        }
+
+
+# ---------------------------------------------------------------------- #
+# Worker mains (shared round-serving loop; thread and process entry)
+# ---------------------------------------------------------------------- #
+def _serve(worker: _PartitionWorker, inboxes: Dict[int, Any],
+           outqueues: Dict[int, Any], report_queue, control_queue) -> None:
+    """Answer coordinator commands until told to stop.
+
+    Commands: ``("round", r, refresh)`` — one superstep, preceded by a
+    saturation refresh when ``refresh`` is a (reachable, stub-signatures)
+    payload; ``("collect",)``; ``("stop",)``.  Any exception is shipped
+    to the coordinator as an ``("error", index, traceback)`` report.
+    """
+    try:
+        worker.setup()
+        while True:
+            command = control_queue.get()
+            tag = command[0]
+            if tag == "round":
+                _, round_index, refresh = command
+                if refresh is not None:
+                    worker.apply_refresh(refresh[0], refresh[1])
+                batches = []
+                if round_index > 0:
+                    # Ascending sender order keeps batch application (and
+                    # with it the whole superstep) deterministic.
+                    for sender in sorted(inboxes):
+                        batches.append((sender, inboxes[sender].get()))
+                sent, reachable_delta, stub_delta = worker.run_round(
+                    batches, lambda peer, batch: outqueues[peer].put(batch))
+                report_queue.put(("report", worker._index, round_index,
+                                  sent, reachable_delta, stub_delta))
+            elif tag == "collect":
+                report_queue.put(("result", worker._index, worker.collect()))
+            else:
+                return
+    except BaseException:
+        report_queue.put(("error", worker._index, traceback.format_exc()))
+
+
+def _process_worker_main(shm_name: str, config, index: int,
+                         bounds: List[int], root_names: List[str],
+                         inboxes, outqueues, report_queue, control_queue,
+                         shared_tracker: bool) -> None:  # pragma: no cover — child process
+    import gc
+
+    from multiprocessing import resource_tracker, shared_memory
+    shm = program = worker = None
+    try:
+        try:
+            shm = shared_memory.SharedMemory(name=shm_name)
+            if not shared_tracker:
+                try:
+                    # Attaching registers the segment with this process's
+                    # own (spawn-context) resource tracker on 3.10–3.12,
+                    # which would unlink it when the first worker exits;
+                    # the coordinator owns the lifetime.  A fork child
+                    # shares the coordinator's tracker, where the attach
+                    # registration is a no-op and an unregister here would
+                    # break the coordinator's own unlink bookkeeping.
+                    resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+                except Exception:
+                    pass
+            program = open_program(shm.buf)
+            worker = _PartitionWorker(program, config, arena=program.arena,
+                                      index=index, bounds=bounds,
+                                      root_names=root_names)
+        except BaseException:
+            report_queue.put(("error", index, traceback.format_exc()))
+            return
+        _serve(worker, inboxes, outqueues, report_queue, control_queue)
+    finally:
+        # Drop every memoryview into the segment before closing it, or
+        # SharedMemory raises BufferError ("exported pointers exist") at
+        # interpreter shutdown.
+        worker = None
+        program = None
+        gc.collect()
+        if shm is not None:
+            try:
+                shm.close()
+            except BufferError:
+                pass
+
+
+# ---------------------------------------------------------------------- #
+# Coordinator
+# ---------------------------------------------------------------------- #
+class ParallelKernelSolver(ArenaKernelSolver):
+    """Partitioned solve over the arena; drop-in for :class:`ArenaKernelSolver`.
+
+    The coordinator never propagates: it plans the partitioning, drives
+    the bulk-synchronous rounds, and installs the workers' merged tables
+    into its own (inherited) flat tables, so inflation, image fast paths,
+    and every read property behave exactly like the serial kernel's.
+    Merging is deterministic — payloads are folded in ascending partition
+    order — and the per-cell results are bit-identical to both serial
+    kernels by fixpoint uniqueness (the module docstring carries the
+    argument; the cross-kernel grid in ``tests/core/test_parallel_kernel.
+    py`` and ``benchmarks/run_parallel_study.py`` enforce it).
+    """
+
+    def __init__(self, program: Program, config,
+                 *, arena: Optional[ProgramArena] = None,
+                 state: Optional[SolverState] = None,
+                 partitions: Optional[int] = None,
+                 mode: Optional[str] = None) -> None:
+        super().__init__(program, config, arena=arena, state=state)
+        if partitions is None:
+            partitions = getattr(config, "partitions", None)
+        if partitions is not None and partitions < 2:
+            raise ParallelKernelUnsupported(
+                f"partitions={partitions}: a partitioned solve needs at "
+                f"least two ranges; run the serial arena kernel")
+        self._requested_partitions = partitions
+        if mode not in (None, "auto", "thread", "process"):
+            raise ValueError(f"unknown parallel worker mode {mode!r}")
+        self._requested_mode = None if mode == "auto" else mode
+        #: Filled by :meth:`solve` for observability (study/tests).
+        self.worker_mode: Optional[str] = None
+        self.worker_bounds: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+    def _plan(self) -> Tuple[str, List[int]]:
+        arena = self.arena
+        if arena.num_methods < 2:
+            raise ParallelKernelUnsupported(
+                "fewer than two methods: nothing to partition")
+        flows = arena.num_flows
+        mode = self._requested_mode
+        if mode is None:
+            mode = "thread" if flows < THREAD_MODE_MAX_FLOWS else "process"
+        requested = self._requested_partitions
+        if requested is None:
+            if mode == "process":
+                budget = core_budget()
+                if budget < 2:
+                    raise ParallelKernelUnsupported(
+                        f"core budget {budget} leaves no room for process "
+                        f"workers; run the serial arena kernel")
+                requested = min(budget, max(2, flows // PROCESS_TARGET_FLOWS))
+            else:
+                requested = max(2, flows // THREAD_TARGET_FLOWS)
+        bounds = partition_bounds(arena, requested)
+        if len(bounds) - 1 < 2:
+            raise ParallelKernelUnsupported(
+                "not enough method boundaries for two partitions")
+        return mode, bounds
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def solve(self, roots: Optional[Iterable[str]] = None) -> None:
+        root_names = (list(roots) if roots is not None
+                      else list(self.program.entry_points))
+        if not root_names:
+            raise ValueError(
+                "no root methods: provide roots or program entry points")
+        saturation = make_saturation_policy(
+            self.policy.saturation, self.hierarchy,
+            self.policy.saturation_threshold,
+            program=self.program, roots=tuple(root_names))
+        if saturation is not None and type(saturation) not in _KNOWN_SATURATIONS:
+            raise ParallelKernelUnsupported(
+                f"saturation policy {self.policy.saturation!r} resolves to "
+                f"{type(saturation).__name__}, which no arena kernel has "
+                f"proven bit-identical")
+        if type(saturation) is DeclaredTypeSaturation:
+            # Its field sentinels depend on delivery *history* (which
+            # parameter carried ``this`` first), the one documented
+            # schedule residue — only the serial schedules reproduce it.
+            raise ParallelKernelUnsupported(
+                "declared-type saturation sentinels are history-dependent; "
+                "run the serial arena kernel")
+        mode, bounds = self._plan()
+        self._saturation = saturation
+        self._solve_roots = tuple(dict.fromkeys(root_names))
+        self._refresh_saturation()
+        self.worker_mode = mode
+        self.worker_bounds = bounds
+        if mode == "thread":
+            payloads = self._run_threads(bounds, root_names)
+        else:
+            payloads = self._run_processes(bounds, root_names)
+        self._install(payloads, root_names)
+        self._solved = True
+
+    # ------------------------------------------------------------------ #
+    # Orchestration
+    # ------------------------------------------------------------------ #
+    def _run_threads(self, bounds: List[int],
+                     root_names: List[str]) -> List[Dict[str, Any]]:
+        count = len(bounds) - 1
+        report_queue: queue.SimpleQueue = queue.SimpleQueue()
+        controls = [queue.SimpleQueue() for _ in range(count)]
+        channels = {(sender, receiver): queue.SimpleQueue()
+                    for sender in range(count) for receiver in range(count)
+                    if sender != receiver}
+        threads = []
+        for index in range(count):
+            worker = _PartitionWorker(
+                self.program, self.config, arena=self.arena,
+                index=index, bounds=bounds, root_names=root_names)
+            inboxes = {s: channels[(s, index)] for s in range(count)
+                       if s != index}
+            outqueues = {r: channels[(index, r)] for r in range(count)
+                         if r != index}
+            thread = threading.Thread(
+                target=_serve, name=f"repro-parallel-{index}",
+                args=(worker, inboxes, outqueues, report_queue,
+                      controls[index]),
+                daemon=True)
+            threads.append(thread)
+        for thread in threads:
+            thread.start()
+        try:
+            return self._drive(controls, report_queue, count, threads)
+        finally:
+            for control in controls:
+                control.put(("stop",))
+            for thread in threads:
+                thread.join(timeout=10)
+
+    def _run_processes(self, bounds: List[int],
+                       root_names: List[str]) -> List[Dict[str, Any]]:
+        import multiprocessing
+
+        count = len(bounds) - 1
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+            context = multiprocessing.get_context(start_method)
+            from multiprocessing import shared_memory
+            blob = self.arena.to_bytes()
+            shm = shared_memory.SharedMemory(create=True, size=len(blob))
+        except (ImportError, OSError, ValueError) as error:
+            raise ParallelKernelUnsupported(
+                f"shared-memory workers unavailable here ({error}); run "
+                f"the serial arena kernel") from error
+        shm.buf[:len(blob)] = blob
+        del blob
+        processes: List[Any] = []
+        try:
+            report_queue = context.Queue()
+            controls = [context.Queue() for _ in range(count)]
+            channels = {(sender, receiver): context.Queue()
+                        for sender in range(count)
+                        for receiver in range(count) if sender != receiver}
+            for index in range(count):
+                inboxes = {s: channels[(s, index)] for s in range(count)
+                           if s != index}
+                outqueues = {r: channels[(index, r)] for r in range(count)
+                             if r != index}
+                process = context.Process(
+                    target=_process_worker_main,
+                    name=f"repro-parallel-{index}",
+                    args=(shm.name, self.config, index, list(bounds),
+                          list(root_names), inboxes, outqueues,
+                          report_queue, controls[index],
+                          start_method == "fork"),
+                    daemon=True)
+                processes.append(process)
+            try:
+                for process in processes:
+                    process.start()
+            except (OSError, ValueError) as error:
+                raise ParallelKernelUnsupported(
+                    f"could not start process workers ({error}); run the "
+                    f"serial arena kernel") from error
+            return self._drive(controls, report_queue, count, processes)
+        finally:
+            for control in controls:
+                try:
+                    control.put(("stop",))
+                except Exception:
+                    pass
+            for process in processes:
+                process.join(timeout=10)
+            for process in processes:
+                if process.is_alive():  # pragma: no cover — hung worker
+                    process.terminate()
+                    process.join(timeout=5)
+            try:
+                shm.close()
+                shm.unlink()
+            except OSError:  # pragma: no cover — already gone
+                pass
+
+    def _drive(self, controls: List[Any], report_queue, count: int,
+               liveness: List[Any]) -> List[Dict[str, Any]]:
+        """The coordinator loop: rounds to quiescence, refresh, collect."""
+        refresh = getattr(self._saturation, "refresh_origins", None)
+        merged_reachable: Set[str] = set(self._reachable)
+        merged_stub_signatures: List[Any] = []
+        round_index = 0
+        refresh_payload = None
+        while True:
+            for control in controls:
+                control.put(("round", round_index, refresh_payload))
+            refresh_payload = None
+            total_sent = 0
+            for message in self._gather(report_queue, count, liveness):
+                tag, index, reported_round, sent, reachable, stubs = message
+                assert tag == "report" and reported_round == round_index, (
+                    f"worker {index} answered round {reported_round} "
+                    f"during round {round_index}")
+                total_sent += sent
+                merged_reachable.update(reachable)
+                merged_stub_signatures.extend(stubs)
+            round_index += 1
+            if total_sent:
+                continue
+            # Global quiescence: nothing was sent, so next round's receives
+            # are all empty and every local worklist is drained.
+            if refresh is not None and refresh(
+                    frozenset(merged_reachable),
+                    tuple(merged_stub_signatures), self._solve_roots):
+                payload = (sorted(merged_reachable),
+                           list(merged_stub_signatures))
+                refresh_payload = payload
+                continue
+            break
+        for control in controls:
+            control.put(("collect",))
+        payloads = []
+        for message in self._gather(report_queue, count, liveness):
+            tag, _, payload = message
+            assert tag == "result"
+            payloads.append(payload)
+        return payloads
+
+    def _gather(self, report_queue, count: int,
+                liveness: List[Any]) -> List[Tuple[Any, ...]]:
+        messages = []
+        while len(messages) < count:
+            try:
+                message = report_queue.get(timeout=_REPORT_POLL_SECONDS)
+            except queue.Empty:
+                dead = [worker.name for worker in liveness
+                        if not worker.is_alive()]
+                if dead:  # pragma: no cover — crashed worker
+                    raise RuntimeError(
+                        f"parallel kernel worker(s) died without reporting: "
+                        f"{', '.join(dead)}")
+                continue
+            if message[0] == "error":
+                raise RuntimeError(
+                    f"parallel kernel worker {message[1]} failed:\n"
+                    f"{message[2]}")
+            messages.append(message)
+        return messages
+
+    # ------------------------------------------------------------------ #
+    # Merge
+    # ------------------------------------------------------------------ #
+    def _install(self, payloads: List[Dict[str, Any]],
+                 root_names: List[str]) -> None:
+        """Fold worker tables into the inherited flat tables.
+
+        Ascending partition order makes the merge deterministic; within a
+        payload every list keeps the worker's local order.  Activation,
+        field-creation, and stub-link order therefore differ from the
+        serial kernels' — all three are presentation order only (image
+        rows sort, counters sum, saturation origins are sets), never part
+        of the bit-identity contract (reachable set, edges, states).
+        """
+        arena = self.arena
+        for payload in sorted(payloads, key=lambda entry: entry["index"]):
+            lo, hi = payload["lo"], payload["hi"]
+            self._enabled[lo:hi] = payload["enabled"]
+            self._saturated[lo:hi] = payload["saturated"]
+            for fid, st, inp in payload["states"]:
+                self._st[fid] = st
+                self._inp[fid] = inp
+            self._extra_uses.update(payload["extra_uses"])
+            self._linked_callees.update(payload["linked_callees"])
+            for mid in payload["activated_mids"]:
+                self._activated[mid] = 1
+                self._activated_mids.append(mid)
+                plo = arena.method_pred_ptr[mid]
+                phi = arena.method_pred_ptr[mid + 1]
+                self._pred_on_targets.extend(arena.method_pred_val[plo:phi])
+            for fid in payload["touched_fields"]:
+                if fid not in self._touched_field_set:
+                    self._touched_field_set.add(fid)
+                    self._touched_fields.append(fid)
+            self._stub_links.extend(payload["stub_links"])
+            self._reachable.update(payload["reachable"])
+            self._stub_methods.update(payload["stub_methods"])
+            self._steps += payload["steps"]
+            self._joins += payload["joins"]
+            self._transfers += payload["transfers"]
+            self._saturated_count += payload["saturated_count"]
+        self._enabled[0] = 1
+        self._st[0] = PredOnFlow.artificial_on_enable
+        seen: Set[str] = set()
+        for root in root_names:
+            if root in seen:
+                continue
+            seen.add(root)
+            if arena.mid_of(root) is None:
+                self._stub_methods.add(root)
+            else:
+                self._seeded_roots.append(root)
+        self._solve_count = 1
+
+
+__all__ = [
+    "ENV_CORE_BUDGET",
+    "ParallelKernelSolver",
+    "ParallelKernelUnsupported",
+    "core_budget",
+    "partition_bounds",
+]

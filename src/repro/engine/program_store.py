@@ -94,6 +94,16 @@ class ProgramStore:
         """Whether a blob exists, without touching the hit/miss counters."""
         return self.path_for(spec).is_file()
 
+    def has_arena(self, spec: BenchmarkSpec) -> bool:
+        """Whether the sibling ``.arena`` buffer exists for this spec.
+
+        Pickles written before the arena encoding (or with arena writing
+        disabled) have no sibling; ``repro bench`` surfaces these backfill
+        gaps so a store can be migrated deliberately instead of silently
+        falling back to the object kernel's unpickle path.
+        """
+        return self.arena_path_for(spec).is_file()
+
     def load(self, spec: BenchmarkSpec) -> Optional[Program]:
         """Unpickle the stored program, or ``None`` on a missing/corrupt blob."""
         try:

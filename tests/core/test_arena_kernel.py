@@ -169,4 +169,4 @@ class TestFallbacks:
     def test_kernel_is_validated(self):
         with pytest.raises(ValueError):
             AnalysisConfig.skipflow().with_kernel("vectorized")
-        assert set(KERNELS) == {"object", "arena"}
+        assert set(KERNELS) == {"object", "arena", "parallel"}

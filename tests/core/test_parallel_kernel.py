@@ -1,0 +1,260 @@
+"""The parallel kernel's contract: bit-identical results, honest fallback.
+
+Thread-mode workers run the full channel protocol on one core, so the
+scheduling x saturation grid here exercises every message type and the
+round/termination logic without needing a many-core host; one smoke test
+covers the shared-memory process tier end to end.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.analysis import KERNELS, AnalysisConfig, SkipFlowAnalysis
+from repro.core.kernel import available_scheduling_policies
+from repro.core.kernel.arena_kernel import ArenaKernelSolver
+from repro.core.kernel.parallel_kernel import (
+    ENV_CORE_BUDGET,
+    ParallelKernelSolver,
+    ParallelKernelUnsupported,
+    core_budget,
+    partition_bounds,
+)
+from repro.ir.arena import freeze, open_program
+from repro.workloads.generator import generate_benchmark
+from repro.workloads.suites import dacapo_suite, suite_by_name
+
+#: Parallel-supported saturations (``declared-type``'s sentinel is
+#: history-dependent and must fall back instead — tested separately).
+SATURATIONS = ("off", "closed-world", "allocated-type",
+               "allocated-type-reachable")
+
+
+def _workload(suite, name):
+    for spec in suite:
+        if spec.name == name:
+            return spec
+    raise AssertionError(f"no spec named {name!r}")
+
+
+WORKLOADS = {
+    "dacapo-pmd": _workload(dacapo_suite(), "pmd"),
+    "wide-flat-64": _workload(suite_by_name("WideHierarchy"),
+                              "wide-flat-64"),
+    "composed-duo-112": _workload(suite_by_name("WideHierarchy"),
+                                  "composed-duo-112"),
+}
+
+_PROGRAMS = {}
+
+
+def _program(key):
+    if key not in _PROGRAMS:
+        _PROGRAMS[key] = generate_benchmark(WORKLOADS[key])
+    return _PROGRAMS[key]
+
+
+def _canonical(result):
+    # No step/join counters here: the parallel kernel's counters are sums
+    # over partition workers and partitioning-dependent by design.  Its
+    # identity contract is outputs and per-flow states.
+    return (frozenset(result.reachable_methods),
+            sorted(result.call_edges()),
+            frozenset(result.stub_methods))
+
+
+def _parallel_config(config, partitions=3):
+    return config.with_kernel("parallel").with_partitions(partitions)
+
+
+class TestBitIdenticalGrid:
+    @pytest.mark.parametrize("scheduling", available_scheduling_policies())
+    @pytest.mark.parametrize("saturation", SATURATIONS)
+    def test_full_grid_on_wide(self, scheduling, saturation):
+        config = AnalysisConfig.skipflow().with_scheduling(scheduling)
+        if saturation != "off":
+            config = config.with_saturation_policy(saturation, 4)
+        reference = SkipFlowAnalysis(_program("wide-flat-64"), config).run()
+        parallel = SkipFlowAnalysis(
+            _program("wide-flat-64"), _parallel_config(config)).run()
+        assert isinstance(parallel.kernel_backend, ParallelKernelSolver)
+        assert _canonical(parallel) == _canonical(reference)
+
+    @pytest.mark.parametrize("workload", ["dacapo-pmd", "composed-duo-112"])
+    @pytest.mark.parametrize("scheduling", available_scheduling_policies())
+    def test_schedulings_on_tier1_and_composed(self, workload, scheduling):
+        config = AnalysisConfig.skipflow().with_scheduling(scheduling)
+        reference = SkipFlowAnalysis(_program(workload), config).run()
+        parallel = SkipFlowAnalysis(
+            _program(workload), _parallel_config(config)).run()
+        assert isinstance(parallel.kernel_backend, ParallelKernelSolver)
+        assert _canonical(parallel) == _canonical(reference)
+
+    def test_baseline_pta_is_bit_identical_too(self):
+        config = AnalysisConfig.baseline_pta()
+        reference = SkipFlowAnalysis(_program("dacapo-pmd"), config).run()
+        parallel = SkipFlowAnalysis(
+            _program("dacapo-pmd"), _parallel_config(config)).run()
+        assert _canonical(parallel) == _canonical(reference)
+
+    def test_per_flow_states_match_the_serial_arena(self):
+        """Beyond outputs: every cell of the flat tables is identical."""
+        config = AnalysisConfig.skipflow()
+        serial = SkipFlowAnalysis(
+            _program("dacapo-pmd"),
+            config.with_kernel("arena")).run().kernel_backend
+        merged = SkipFlowAnalysis(
+            _program("dacapo-pmd"),
+            _parallel_config(config)).run().kernel_backend
+        assert isinstance(serial, ArenaKernelSolver)
+        assert isinstance(merged, ParallelKernelSolver)
+        assert all(merged._st[i] == serial._st[i]
+                   for i in range(len(serial._st)))
+        assert all(merged._inp[i] == serial._inp[i]
+                   for i in range(len(serial._inp)))
+        assert bytes(merged._enabled) == bytes(serial._enabled)
+        assert bytes(merged._saturated) == bytes(serial._saturated)
+
+    def test_partition_count_does_not_change_results(self):
+        config = AnalysisConfig.skipflow()
+        reference = SkipFlowAnalysis(_program("composed-duo-112"),
+                                     config).run()
+        for partitions in (2, 3, 5):
+            parallel = SkipFlowAnalysis(
+                _program("composed-duo-112"),
+                _parallel_config(config, partitions)).run()
+            assert _canonical(parallel) == _canonical(reference)
+
+
+class TestProcessMode:
+    def test_process_smoke_is_bit_identical(self):
+        """The shared-memory tier end to end (explicit mode, 2 workers)."""
+        program = _program("dacapo-pmd")
+        reference = SkipFlowAnalysis(program,
+                                     AnalysisConfig.skipflow()).run()
+        solver = ParallelKernelSolver(
+            program, AnalysisConfig.skipflow().with_kernel("parallel"),
+            partitions=2, mode="process")
+        solver.solve(None)
+        assert solver.worker_mode == "process"
+        assert frozenset(solver.reachable) == frozenset(
+            reference.reachable_methods)
+
+
+class TestPartitionBounds:
+    def test_bounds_are_method_aligned_and_cover_all_flows(self):
+        arena = open_program(freeze(_program("dacapo-pmd"))).arena
+        bounds = partition_bounds(arena, 3)
+        assert bounds[0] == 0
+        assert bounds[-1] == arena.num_flows
+        assert bounds == sorted(set(bounds))
+        starts = {int(arena.method_flow_lo[mid])
+                  for mid in range(arena.num_methods)}
+        for cut in bounds[1:-1]:
+            assert cut in starts
+
+    def test_more_partitions_than_methods_collapses(self):
+        arena = open_program(freeze(_program("wide-flat-64"))).arena
+        bounds = partition_bounds(arena, 10_000)
+        # At most one range per method start, plus the field/pred_on
+        # prelude partition 0 owns.
+        assert len(bounds) - 1 <= arena.num_methods + 1
+
+    def test_every_method_lands_in_exactly_one_range(self):
+        arena = open_program(freeze(_program("composed-duo-112"))).arena
+        bounds = partition_bounds(arena, 4)
+        for mid in range(arena.num_methods):
+            lo = int(arena.method_flow_lo[mid])
+            hi = int(arena.method_flow_hi[mid])
+            owners = {index for index in range(len(bounds) - 1)
+                      if bounds[index] <= lo < bounds[index + 1]}
+            assert len(owners) == 1
+            (owner,) = owners
+            assert hi <= bounds[owner + 1]
+
+
+class TestUnsupportedAndFallback:
+    def test_declared_type_falls_back_to_the_serial_arena(self):
+        config = (AnalysisConfig.skipflow()
+                  .with_saturation_policy("declared-type", 8))
+        reference = SkipFlowAnalysis(_program("dacapo-pmd"), config).run()
+        result = SkipFlowAnalysis(_program("dacapo-pmd"),
+                                  _parallel_config(config)).run()
+        backend = result.kernel_backend
+        assert isinstance(backend, ArenaKernelSolver)
+        assert not isinstance(backend, ParallelKernelSolver)
+        assert _canonical(result) == _canonical(reference)
+
+    def test_declared_type_raises_on_the_solver_directly(self):
+        solver = ParallelKernelSolver(
+            _program("dacapo-pmd"),
+            AnalysisConfig.skipflow()
+            .with_saturation_policy("declared-type", 8)
+            .with_kernel("parallel"),
+            partitions=2, mode="thread")
+        with pytest.raises(ParallelKernelUnsupported):
+            solver.solve(None)
+
+    def test_fewer_than_two_partitions_is_unsupported(self):
+        with pytest.raises(ParallelKernelUnsupported):
+            ParallelKernelSolver(
+                _program("dacapo-pmd"),
+                AnalysisConfig.skipflow().with_kernel("parallel"),
+                partitions=1)
+
+    def test_state_resume_is_unsupported(self):
+        from repro.core.kernel.arena_kernel import ArenaKernelUnsupported
+        warm = SkipFlowAnalysis(_program("dacapo-pmd"),
+                                AnalysisConfig.skipflow()).run()
+        # The *base* exception, deliberately: no arena-family kernel can
+        # resume, so the analysis layer must skip the serial-arena retry
+        # and go straight to the object solver.
+        with pytest.raises(ArenaKernelUnsupported):
+            ParallelKernelSolver(
+                _program("dacapo-pmd"),
+                AnalysisConfig.skipflow().with_kernel("parallel"),
+                partitions=2, state=warm.solver_state)
+
+    def test_warm_resume_routes_to_the_object_solver(self):
+        analysis = SkipFlowAnalysis(_program("dacapo-pmd"),
+                                    _parallel_config(
+                                        AnalysisConfig.skipflow()))
+        cold = analysis.run()
+        assert isinstance(cold.kernel_backend, ParallelKernelSolver)
+        warm_analysis = SkipFlowAnalysis(
+            _program("dacapo-pmd"),
+            _parallel_config(AnalysisConfig.skipflow()),
+            state=cold.solver_state)
+        warm = warm_analysis.run()
+        assert warm.kernel_backend is None  # the object solver ran
+        assert _canonical(warm) == _canonical(cold)
+
+
+class TestConfigPlumbing:
+    def test_kernel_registry_lists_parallel(self):
+        assert "parallel" in KERNELS
+        assert AnalysisConfig.skipflow().kernel == "object"  # default
+
+    def test_partitions_validation(self):
+        with pytest.raises(ValueError):
+            AnalysisConfig.skipflow().with_partitions(0)
+        config = AnalysisConfig.skipflow().with_partitions(4)
+        assert config.partitions == 4
+        assert AnalysisConfig.skipflow().partitions is None
+
+    def test_invalid_mode_is_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelKernelSolver(
+                _program("dacapo-pmd"),
+                AnalysisConfig.skipflow().with_kernel("parallel"),
+                partitions=2, mode="fibers")
+
+    def test_core_budget_reads_the_engine_export(self, monkeypatch):
+        monkeypatch.setenv(ENV_CORE_BUDGET, "3")
+        assert core_budget() == 3
+        monkeypatch.setenv(ENV_CORE_BUDGET, "not-a-number")
+        assert core_budget() == (os.cpu_count() or 1)
+        monkeypatch.delenv(ENV_CORE_BUDGET)
+        assert core_budget() == (os.cpu_count() or 1)

@@ -176,6 +176,16 @@ class TestArenaAttach:
         assert from_store
         assert isinstance(program, ArenaProgram)
 
+    def test_has_arena_tracks_the_sibling(self, tmp_path):
+        """The backfill-gap probe ``repro bench`` reports through."""
+        store = ProgramStore(tmp_path)
+        assert not store.has_arena(_spec())
+        store.load_or_build(_spec())
+        assert store.has_arena(_spec())
+        store.arena_path_for(_spec()).unlink()
+        assert store.contains(_spec())
+        assert not store.has_arena(_spec())
+
     def test_attach_or_build_backfills_missing_arena(self, tmp_path):
         """Stores written before arena blobs existed heal on first touch."""
         store = ProgramStore(tmp_path)
